@@ -1,0 +1,90 @@
+//! Clock-operation micro-benchmarks: the per-event cost of each clock rule
+//! as the system size n grows. Quantifies the paper's O(1)-vs-O(n)
+//! strobe-payload asymmetry at the CPU level (§4.2.2) — scalar ticks and
+//! merges are constant-time, vector operations scale linearly with n.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use psn_clocks::{
+    HybridClock, LamportClock, LogicalClock, MatrixClock, PhysReading, ScalarStamp,
+    StrobeScalarClock, StrobeVectorClock, VectorClock, VectorStamp,
+};
+
+fn bench_ticks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tick");
+    g.bench_function("lamport", |b| {
+        let mut clock = LamportClock::new(0);
+        b.iter(|| black_box(clock.on_local_event()));
+    });
+    g.bench_function("strobe_scalar", |b| {
+        let mut clock = StrobeScalarClock::new(0);
+        b.iter(|| black_box(clock.on_local_event()));
+    });
+    g.bench_function("hlc", |b| {
+        let mut clock = HybridClock::new(0);
+        let mut t = 0i64;
+        b.iter(|| {
+            t += 13;
+            black_box(clock.tick(PhysReading(t)))
+        });
+    });
+    for n in [4usize, 16, 64, 256] {
+        g.bench_with_input(BenchmarkId::new("vector", n), &n, |b, &n| {
+            let mut clock = VectorClock::new(0, n);
+            b.iter(|| black_box(clock.on_local_event()));
+        });
+        g.bench_with_input(BenchmarkId::new("strobe_vector", n), &n, |b, &n| {
+            let mut clock = StrobeVectorClock::new(0, n);
+            b.iter(|| black_box(clock.on_local_event()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_merges(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge");
+    g.bench_function("strobe_scalar", |b| {
+        let mut clock = StrobeScalarClock::new(0);
+        let stamp = ScalarStamp { value: 1_000_000, process: 1 };
+        b.iter(|| clock.on_strobe(black_box(&stamp)));
+    });
+    for n in [4usize, 16, 64, 256] {
+        g.bench_with_input(BenchmarkId::new("strobe_vector", n), &n, |b, &n| {
+            let mut clock = StrobeVectorClock::new(0, n);
+            let stamp = VectorStamp(vec![7; n]);
+            b.iter(|| clock.on_strobe(black_box(&stamp)));
+        });
+        g.bench_with_input(BenchmarkId::new("vector_receive", n), &n, |b, &n| {
+            let mut clock = VectorClock::new(0, n);
+            let stamp = VectorStamp(vec![7; n]);
+            b.iter(|| black_box(clock.on_receive(black_box(&stamp))));
+        });
+        g.bench_with_input(BenchmarkId::new("matrix_receive", n), &n, |b, &n| {
+            let mut clock = MatrixClock::new(0, n);
+            let other = {
+                let mut m = MatrixClock::new(1, n);
+                m.on_local_event();
+                m.on_send()
+            };
+            b.iter(|| clock.on_receive(1, black_box(&other)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_compare(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compare");
+    for n in [4usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::new("vector_concurrent", n), &n, |b, &n| {
+            let a = VectorStamp((0..n as u64).collect());
+            let mut v: Vec<u64> = (0..n as u64).rev().collect();
+            v[0] = 0;
+            let bst = VectorStamp(v);
+            b.iter(|| black_box(a.concurrent(&bst)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ticks, bench_merges, bench_compare);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Detector throughput: reports/second processed by the sweep detectors
+//! under each clock discipline, and by the Possibly/Definitely interval
+//! detector. The sweep detectors are O(R log R) in report count; the
+//! vector-strobe discipline pays an extra O(w·n) race probe per report.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use psn_core::{run_execution, ExecutionConfig, ExecutionTrace};
+use psn_predicates::{detect_conjunctive, detect_occurrences, Conjunct, Discipline, Expr,
+    Predicate, StampFamily};
+use psn_sim::time::{SimDuration, SimTime};
+use psn_world::scenarios::exhibition::{self, ExhibitionParams};
+use psn_world::{AttrKey, Scenario};
+
+fn fixture() -> (Scenario, ExecutionTrace, Predicate) {
+    let params = ExhibitionParams {
+        doors: 4,
+        arrival_rate_hz: 4.0,
+        mean_stay: SimDuration::from_secs(60),
+        duration: SimTime::from_secs(600),
+        capacity: 240,
+    };
+    let scenario = exhibition::generate(&params, 11);
+    let trace = run_execution(
+        &scenario,
+        &ExecutionConfig {
+            delay: psn_sim::delay::DelayModel::delta(SimDuration::from_millis(300)),
+            ..Default::default()
+        },
+    );
+    let pred = Predicate::occupancy_over(4, 240);
+    (scenario, trace, pred)
+}
+
+fn bench_disciplines(c: &mut Criterion) {
+    let (scenario, trace, pred) = fixture();
+    let init = scenario.timeline.initial_state();
+    let reports = trace.log.reports.len() as u64;
+    let mut g = c.benchmark_group("detect_occurrences");
+    g.throughput(criterion::Throughput::Elements(reports));
+    for d in Discipline::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(d.label()), &d, |b, &d| {
+            b.iter(|| black_box(detect_occurrences(&trace, &pred, &init, d)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_conjunctive(c: &mut Criterion) {
+    let (scenario, trace, _) = fixture();
+    let init = scenario.timeline.initial_state();
+    let conjuncts: Vec<Conjunct> = (0..2)
+        .map(|d| Conjunct {
+            process: d,
+            expr: Expr::var(AttrKey::new(d, 0))
+                .sub(Expr::var(AttrKey::new(d, 1)))
+                .gt(Expr::int(20)),
+        })
+        .collect();
+    let mut g = c.benchmark_group("detect_conjunctive");
+    g.bench_function("strobe_vector", |b| {
+        b.iter(|| {
+            black_box(detect_conjunctive(&trace, &conjuncts, &init, StampFamily::StrobeVector))
+        });
+    });
+    g.bench_function("causal", |b| {
+        b.iter(|| black_box(detect_conjunctive(&trace, &conjuncts, &init, StampFamily::Causal)));
+    });
+    g.finish();
+}
+
+fn bench_online(c: &mut Criterion) {
+    use psn_predicates::OnlineDetector;
+    let (scenario, trace, pred) = fixture();
+    let init = scenario.timeline.initial_state();
+    let reports = trace.log.reports.len() as u64;
+    let mut g = c.benchmark_group("online_detector");
+    g.throughput(criterion::Throughput::Elements(reports));
+    for hold_ms in [0u64, 600] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("hold{hold_ms}ms")),
+            &hold_ms,
+            |b, &hold_ms| {
+                b.iter(|| {
+                    let mut d = OnlineDetector::new(
+                        pred.clone(),
+                        &init,
+                        SimDuration::from_millis(hold_ms),
+                    );
+                    for r in &trace.log.reports {
+                        d.offer(r);
+                    }
+                    black_box(d.finish())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_disciplines, bench_conjunctive, bench_online);
+criterion_main!(benches);

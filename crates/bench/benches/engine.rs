@@ -1,0 +1,55 @@
+//! Simulator throughput: full ⟨P, L, O, C⟩ executions per second as the
+//! network grows — the substrate cost every experiment pays. Events/sec
+//! here bounds how large a parameter sweep the harness can afford.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use psn_core::{run_execution, ExecutionConfig};
+use psn_sim::time::{SimDuration, SimTime};
+use psn_world::scenarios::exhibition::{self, ExhibitionParams};
+
+fn bench_execution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("run_execution");
+    g.sample_size(20);
+    for doors in [2usize, 4, 8, 16] {
+        let params = ExhibitionParams {
+            doors,
+            arrival_rate_hz: 2.0,
+            mean_stay: SimDuration::from_secs(30),
+            duration: SimTime::from_secs(120),
+            capacity: 60,
+        };
+        let scenario = exhibition::generate(&params, 5);
+        let cfg = ExecutionConfig {
+            delay: psn_sim::delay::DelayModel::delta(SimDuration::from_millis(200)),
+            ..Default::default()
+        };
+        g.throughput(criterion::Throughput::Elements(scenario.timeline.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(doors), &doors, |b, _| {
+            b.iter(|| black_box(run_execution(&scenario, &cfg)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_scenario_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario_generation");
+    let params = ExhibitionParams {
+        doors: 8,
+        arrival_rate_hz: 5.0,
+        mean_stay: SimDuration::from_secs(60),
+        duration: SimTime::from_secs(600),
+        capacity: 300,
+    };
+    g.bench_function("exhibition_600s_5hz", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(exhibition::generate(&params, seed))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_execution, bench_scenario_generation);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Lattice enumeration cost: states/second of the consistent-cut BFS, on
+//! the two extreme inputs — a chain (Δ = 0, the slim-lattice best case,
+//! O(np) states) and an unconstrained grid (no strobes, O(pⁿ) states).
+//! The gap *is* the slim-lattice postulate measured in CPU time.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use psn_clocks::VectorStamp;
+use psn_lattice::{enumerate_lattice, History};
+
+/// n processes × p events, all mutually ordered (chain).
+fn chain_history(n: usize, p: usize) -> History {
+    let mut global = vec![0u64; n];
+    let mut stamps: Vec<Vec<VectorStamp>> = vec![Vec::new(); n];
+    for round in 0..p {
+        for proc in 0..n {
+            global[proc] += 1;
+            stamps[proc].push(VectorStamp(global.clone()));
+        }
+        let _ = round;
+    }
+    History::new(stamps)
+}
+
+/// n processes × p events, no cross-process ordering (grid).
+fn grid_history(n: usize, p: usize) -> History {
+    History::new(
+        (0..n)
+            .map(|proc| {
+                (1..=p as u64)
+                    .map(|k| {
+                        let mut v = vec![0; n];
+                        v[proc] = k;
+                        VectorStamp(v)
+                    })
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+fn bench_lattice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lattice");
+    for (n, p) in [(3usize, 6usize), (4, 5), (5, 4)] {
+        let chain = chain_history(n, p);
+        g.bench_with_input(
+            BenchmarkId::new("chain", format!("n{n}p{p}")),
+            &chain,
+            |b, h| {
+                b.iter(|| black_box(enumerate_lattice(h, u64::MAX)));
+            },
+        );
+        let grid = grid_history(n, p);
+        g.bench_with_input(
+            BenchmarkId::new("grid", format!("n{n}p{p}")),
+            &grid,
+            |b, h| {
+                b.iter(|| black_box(enumerate_lattice(h, u64::MAX)));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lattice);
+criterion_main!(benches);

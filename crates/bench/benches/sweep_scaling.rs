@@ -1,0 +1,45 @@
+//! Parallel-sweep scaling: wall-clock of a fixed batch of simulations at
+//! 1, 2, 4, … worker threads. Results must be identical at every thread
+//! count (asserted); the speedup should be near-linear until the core
+//! count — the determinism-preserving parallelism the HPC guides call for.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use psn_core::{run_execution, ExecutionConfig};
+use psn_sim::sweep::run_sweep;
+use psn_sim::time::{SimDuration, SimTime};
+use psn_world::scenarios::exhibition::{self, ExhibitionParams};
+
+fn cell(seed: u64) -> u64 {
+    let params = ExhibitionParams {
+        doors: 4,
+        arrival_rate_hz: 2.0,
+        mean_stay: SimDuration::from_secs(30),
+        duration: SimTime::from_secs(60),
+        capacity: 40,
+    };
+    let scenario = exhibition::generate(&params, seed);
+    let trace = run_execution(&scenario, &ExecutionConfig { seed, ..Default::default() });
+    trace.net.messages_delivered
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let seeds: Vec<u64> = (0..32).collect();
+    // Determinism across thread counts — checked once up front.
+    let reference = run_sweep(&seeds, 1, |_, &s| cell(s));
+    for t in [2, 4, 8] {
+        assert_eq!(run_sweep(&seeds, t, |_, &s| cell(s)), reference);
+    }
+
+    let mut g = c.benchmark_group("sweep_32_cells");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(run_sweep(&seeds, t, |_, &s| cell(s))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! The experiment runner.
+//!
+//! ```sh
+//! cargo run --release -p psn-bench --bin experiments            # all, full size
+//! cargo run --release -p psn-bench --bin experiments -- --quick # all, small
+//! cargo run --release -p psn-bench --bin experiments -- --only e2 e5
+//! cargo run --release -p psn-bench --bin experiments -- --csv --only e8
+//! ```
+
+use std::time::Instant;
+
+use psn_bench::experiments::{run_one, ALL};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let only: Vec<String> = match args.iter().position(|a| a == "--only") {
+        Some(pos) => args[pos + 1..]
+            .iter()
+            .take_while(|a| !a.starts_with("--"))
+            .map(|a| a.to_lowercase())
+            .collect(),
+        None => ALL.iter().map(|s| s.to_string()).collect(),
+    };
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: experiments [--quick] [--csv] [--only e1 e2 ...] [--list]");
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in ALL {
+            println!("{id}");
+        }
+        return;
+    }
+
+    for id in &only {
+        let t0 = Instant::now();
+        match run_one(id, quick) {
+            Some(table) => {
+                if csv {
+                    print!("{}", table.to_csv());
+                } else {
+                    println!("{}", table.to_markdown());
+                    println!("_({id} took {:.1}s)_\n", t0.elapsed().as_secs_f64());
+                }
+            }
+            None => eprintln!("unknown experiment id: {id} (known: {})", ALL.join(", ")),
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! E2 — Strobe-clock detection accuracy vs Δ (paper §3.3): "the use of
+//! logical vectors may result in some false negatives, whereas the use of
+//! logical scalars may also result in some false positives"; errors occur
+//! only "when races occur within a period of Δ".
+//!
+//! Setup: the exhibition hall at a fixed event rate; sweep the delay bound
+//! Δ over three orders of magnitude; detect the occupancy predicate with
+//! the scalar-strobe and vector-strobe disciplines on identical executions
+//! and score both against ground truth.
+
+use psn_core::run_execution;
+use psn_predicates::{detect_occurrences, score, BorderlinePolicy, Discipline, Predicate};
+use psn_sim::sweep::run_sweep_auto;
+use psn_sim::time::{SimDuration, SimTime};
+use psn_world::scenarios::exhibition::{self, ExhibitionParams};
+use psn_world::truth_intervals;
+
+use crate::common::delta_config;
+use crate::table::Table;
+
+/// Run E2.
+pub fn run(quick: bool) -> Table {
+    let seeds: Vec<u64> = (0..if quick { 4 } else { 12 }).collect();
+    let deltas_ms: &[u64] = &[0, 50, 200, 500, 1000, 2000, 5000];
+    let params = ExhibitionParams {
+        doors: 4,
+        arrival_rate_hz: 2.0,
+        mean_stay: SimDuration::from_secs(60),
+        duration: SimTime::from_secs(900),
+        capacity: 120, // ≈ expected occupancy ⇒ frequent crossings
+    };
+
+    let mut table = Table::new(
+        "E2 — FP/FN of scalar vs vector strobes vs Δ (exhibition hall, 2 ev/s/door-pool)",
+        &[
+            "Δ", "truth occ", "scalar FP", "scalar FN", "vector FP", "vector FN",
+            "borderline", "bline-FP caught",
+        ],
+    );
+
+    for &delta_ms in deltas_ms {
+        let delta = SimDuration::from_millis(delta_ms);
+        let cells: Vec<(usize, usize, usize, usize, usize, usize, usize)> =
+            run_sweep_auto(&seeds, |_, &seed| {
+                let scenario = exhibition::generate(&params, 1000 + seed);
+                let pred = Predicate::occupancy_over(params.doors, params.capacity);
+                let truth = truth_intervals(&scenario.timeline, |s| pred.eval_state(s));
+                let trace = run_execution(&scenario, &delta_config(delta, seed));
+                let init = scenario.timeline.initial_state();
+                let tol = SimDuration::from_millis(2 * delta_ms + 100);
+                let sc = score(
+                    &detect_occurrences(&trace, &pred, &init, Discipline::ScalarStrobe),
+                    &truth,
+                    params.duration,
+                    tol,
+                    BorderlinePolicy::AsPositive,
+                );
+                let vc = score(
+                    &detect_occurrences(&trace, &pred, &init, Discipline::VectorStrobe),
+                    &truth,
+                    params.duration,
+                    tol,
+                    BorderlinePolicy::AsPositive,
+                );
+                (
+                    truth.len(),
+                    sc.false_positives,
+                    sc.false_negatives,
+                    vc.false_positives,
+                    vc.false_negatives,
+                    vc.borderline,
+                    vc.borderline_false_positives,
+                )
+            });
+        let sum = cells.iter().fold((0, 0, 0, 0, 0, 0, 0), |a, c| {
+            (a.0 + c.0, a.1 + c.1, a.2 + c.2, a.3 + c.3, a.4 + c.4, a.5 + c.5, a.6 + c.6)
+        });
+        table.row(vec![
+            delta.to_string(),
+            sum.0.to_string(),
+            sum.1.to_string(),
+            sum.2.to_string(),
+            sum.3.to_string(),
+            sum.4.to_string(),
+            sum.5.to_string(),
+            sum.6.to_string(),
+        ]);
+    }
+    table.note(
+        "Paper claim: errors appear only under races within Δ — both columns are \
+         ~0 at Δ=0 and grow with Δ; the vector-strobe borderline bin flags its \
+         race-involved detections (catching its FPs), while the scalar detector \
+         has no race information.",
+    );
+    table
+}

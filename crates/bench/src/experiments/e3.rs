@@ -1,0 +1,96 @@
+//! E3 — Detection probability of `Definitely(φ)` vs mean message delay
+//! (paper §3.3, importing the [17] smart-office result: "despite
+//! increasing the average message delay over a wide range, the probability
+//! of correct detection is quite high").
+//!
+//! Setup: the smart office with a genuinely distributed conjunctive
+//! predicate (motion in two different rooms simultaneously); detect its
+//! `Definitely` occurrences from strobe-vector-stamped intervals; sweep
+//! the mean of an *unbounded* exponential delay across three orders of
+//! magnitude.
+
+use psn_core::{run_execution, ExecutionConfig};
+use psn_predicates::{detect_conjunctive, score, BorderlinePolicy, Conjunct, Detection, Expr,
+    Predicate, StampFamily};
+use psn_sim::delay::DelayModel;
+use psn_sim::sweep::run_sweep_auto;
+use psn_sim::time::{SimDuration, SimTime};
+use psn_world::scenarios::office::{self, OfficeParams};
+use psn_world::{truth_intervals, AttrKey};
+
+use crate::table::Table;
+
+fn conjuncts() -> Vec<Conjunct> {
+    vec![
+        Conjunct { process: 1, expr: Expr::var(AttrKey::new(1, 1)) },
+        Conjunct { process: 2, expr: Expr::var(AttrKey::new(2, 1)) },
+    ]
+}
+
+/// Run E3.
+pub fn run(quick: bool) -> Table {
+    let seeds: Vec<u64> = (0..if quick { 4 } else { 10 }).collect();
+    let delays_ms: &[u64] = &[50, 200, 500, 1000, 2000, 5000, 10_000];
+    let params = OfficeParams {
+        rooms: 4,
+        persons: 3,
+        mean_dwell: SimDuration::from_secs(120),
+        duration: SimTime::from_secs(5400),
+        ..Default::default()
+    };
+
+    let mut table = Table::new(
+        "E3 — Definitely(motion@room1 ∧ motion@room2) recall vs mean delay (smart office)",
+        &["mean delay", "truth occ", "definite det", "recall", "precision"],
+    );
+
+    for &delay_ms in delays_ms {
+        let cells: Vec<(usize, usize, usize, usize)> = run_sweep_auto(&seeds, |_, &seed| {
+            let scenario = office::generate(&params, 300 + seed);
+            let pred = Predicate::Conjunctive(conjuncts());
+            let truth = truth_intervals(&scenario.timeline, |s| pred.eval_state(s));
+            let cfg = ExecutionConfig {
+                delay: DelayModel::Exponential {
+                    mean: SimDuration::from_millis(delay_ms),
+                    cap: None,
+                },
+                fifo: false,
+                seed,
+                ..Default::default()
+            };
+            let trace = run_execution(&scenario, &cfg);
+            let occurrences = detect_conjunctive(
+                &trace,
+                &conjuncts(),
+                &scenario.timeline.initial_state(),
+                StampFamily::StrobeVector,
+            );
+            let detections: Vec<Detection> = occurrences
+                .iter()
+                .filter(|o| o.definitely)
+                .map(|o| Detection { start: o.truth_start, end: o.truth_end, borderline: false })
+                .collect();
+            let tol = SimDuration::from_millis(6 * delay_ms + 1000);
+            let r = score(&detections, &truth, params.duration, tol, BorderlinePolicy::AsPositive);
+            (truth.len(), detections.len(), r.true_positives, r.false_positives)
+        });
+        let (truth, det, tp, fp) = cells
+            .iter()
+            .fold((0, 0, 0, 0), |a, c| (a.0 + c.0, a.1 + c.1, a.2 + c.2, a.3 + c.3));
+        let recall = if truth == 0 { 1.0 } else { tp as f64 / truth as f64 };
+        let precision = if det == 0 { 1.0 } else { (det - fp) as f64 / det as f64 };
+        table.row(vec![
+            SimDuration::from_millis(delay_ms).to_string(),
+            truth.to_string(),
+            det.to_string(),
+            format!("{recall:.3}"),
+            format!("{precision:.3}"),
+        ]);
+    }
+    table.note(
+        "Paper claim ([17] simulations): the probability of correct detection \
+         stays high even as the average message delay grows over a wide range, \
+         because human/object movement timescales (minutes) dwarf the delays.",
+    );
+    table
+}

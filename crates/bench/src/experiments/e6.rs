@@ -1,0 +1,102 @@
+//! E6 — The Δ = 0 equivalence (paper §4.2.3 item 5): "When synchronous
+//! communication is used, i.e., when Δ = 0, and the protocol strobes at
+//! each relevant event, strobe vectors can be replaced by strobe scalars
+//! without sacrificing correctness or accuracy. This is not so for the
+//! causality-based clocks even if Δ = 0; Mattern/Fidge clocks are still
+//! more powerful than Lamport clocks."
+//!
+//! Two measurements on identical executions:
+//! 1. detection outcomes of scalar vs vector strobes at Δ = 0 and Δ > 0;
+//! 2. the number of event pairs whose *concurrency* each causal clock can
+//!    recognize at Δ = 0 (vector: all truly concurrent pairs; scalar:
+//!    none — a total order cannot express concurrency).
+
+use psn_clocks::Timestamp;
+use psn_core::run_execution;
+use psn_predicates::{detect_occurrences, Detection, Discipline, Predicate};
+use psn_sim::time::{SimDuration, SimTime};
+use psn_world::scenarios::exhibition::{self, ExhibitionParams};
+
+use crate::common::delta_config;
+use crate::table::Table;
+
+/// Run E6.
+pub fn run(quick: bool) -> Table {
+    let seeds: Vec<u64> = (0..if quick { 4 } else { 10 }).collect();
+    let params = ExhibitionParams {
+        doors: 4,
+        arrival_rate_hz: 3.0,
+        mean_stay: SimDuration::from_secs(60),
+        duration: SimTime::from_secs(600),
+        capacity: 180,
+    };
+    let pred = Predicate::occupancy_over(params.doors, params.capacity);
+
+    let mut table = Table::new(
+        "E6 — Δ=0: strobe scalar ≡ strobe vector; Mattern/Fidge ≻ Lamport regardless",
+        &[
+            "Δ", "runs", "scalar≡vector runs", "concurrent pairs (truth)",
+            "vector-clock detected", "Lamport detected",
+        ],
+    );
+
+    for &delta_ms in &[0u64, 500] {
+        let mut identical = 0usize;
+        let mut truth_conc = 0usize;
+        let mut vec_conc = 0usize;
+        let mut lam_conc = 0usize;
+        for &seed in &seeds {
+            let scenario = exhibition::generate(&params, 900 + seed);
+            let trace =
+                run_execution(&scenario, &delta_config(SimDuration::from_millis(delta_ms), seed));
+            let init = scenario.timeline.initial_state();
+            let strip = |d: Vec<Detection>| -> Vec<Detection> {
+                d.into_iter().map(|x| Detection { borderline: false, ..x }).collect()
+            };
+            let scalar = strip(detect_occurrences(&trace, &pred, &init, Discipline::ScalarStrobe));
+            let vector = strip(detect_occurrences(&trace, &pred, &init, Discipline::VectorStrobe));
+            if scalar == vector {
+                identical += 1;
+            }
+            // Concurrency power of the causality-based clocks over sense
+            // events: in pure observation, cross-process sense events are
+            // truly concurrent (no causal path exists).
+            let senses = trace.log.sense_events();
+            let sample: Vec<_> = senses.iter().step_by(senses.len().div_ceil(40).max(1)).collect();
+            for i in 0..sample.len() {
+                for j in (i + 1)..sample.len() {
+                    let (a, b) = (sample[i], sample[j]);
+                    if a.process == b.process {
+                        continue;
+                    }
+                    truth_conc += 1;
+                    if a.stamps.vector.concurrent(&b.stamps.vector) {
+                        vec_conc += 1;
+                    }
+                    if a.stamps.lamport.causality(&b.stamps.lamport)
+                        == psn_clocks::Causality::Concurrent
+                    {
+                        lam_conc += 1;
+                    }
+                }
+            }
+        }
+        table.row(vec![
+            if delta_ms == 0 { "0 (sync)".into() } else {
+                SimDuration::from_millis(delta_ms).to_string()
+            },
+            seeds.len().to_string(),
+            identical.to_string(),
+            truth_conc.to_string(),
+            vec_conc.to_string(),
+            lam_conc.to_string(),
+        ]);
+    }
+    table.note(
+        "Paper claim: at Δ=0 the scalar and vector strobe detectors agree on every \
+         run; Lamport scalars can never certify concurrency (column 0) while \
+         Mattern/Fidge vectors recognize every truly concurrent cross-process pair \
+         — even at Δ=0.",
+    );
+    table
+}

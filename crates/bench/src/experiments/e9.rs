@@ -1,0 +1,124 @@
+//! E9 — Message-loss locality (paper §4.2.2): "A message loss may result
+//! in the wrong detection of the predicate in the temporal vicinity of the
+//! lost message. However, there will be no long-term ripple effects of the
+//! message loss on later detection."
+//!
+//! Setup: exhibition hall under increasing Bernoulli strobe/report loss.
+//! For each run we record the ground-truth times of every lost message
+//! (from the network trace) and score the detector twice: over *all* truth
+//! occurrences, and over only the occurrences **far** from any loss
+//! (no loss within a vicinity window). The claim holds if far-from-loss
+//! recall stays ≈ 1 while overall recall degrades with the loss rate.
+
+use psn_core::{run_execution, ExecutionConfig};
+use psn_predicates::{detect_occurrences, score, BorderlinePolicy, Discipline, Predicate};
+use psn_sim::loss::LossModel;
+use psn_sim::sweep::run_sweep_auto;
+use psn_sim::time::{SimDuration, SimTime};
+use psn_sim::trace::TraceKind;
+use psn_world::scenarios::exhibition::{self, ExhibitionParams};
+use psn_world::{truth_intervals, TruthInterval};
+
+use crate::table::Table;
+
+/// Run E9.
+pub fn run(quick: bool) -> Table {
+    let seeds: Vec<u64> = (0..if quick { 3 } else { 8 }).collect();
+    let loss_rates: &[f64] = &[0.0, 0.01, 0.05, 0.1, 0.25];
+    let delta = SimDuration::from_millis(300);
+    let vicinity = SimDuration::from_secs(3);
+    let params = ExhibitionParams {
+        doors: 4,
+        arrival_rate_hz: 3.0,
+        mean_stay: SimDuration::from_secs(60),
+        duration: SimTime::from_secs(900),
+        capacity: 180,
+    };
+
+    let mut table = Table::new(
+        "E9 — loss locality: overall vs far-from-loss recall (vicinity = 3 s)",
+        &["loss p", "lost msgs", "truth", "recall (all)", "truth far", "recall (far)", "FP"],
+    );
+
+    for &p in loss_rates {
+        let cells: Vec<(u64, usize, usize, usize, usize, usize)> =
+            run_sweep_auto(&seeds, |_, &seed| {
+                let scenario = exhibition::generate(&params, 7000 + seed);
+                let pred = Predicate::occupancy_over(params.doors, params.capacity);
+                let truth = truth_intervals(&scenario.timeline, |s| pred.eval_state(s));
+                let cfg = ExecutionConfig {
+                    delay: psn_sim::delay::DelayModel::delta(delta),
+                    loss: if p == 0.0 {
+                        LossModel::None
+                    } else {
+                        LossModel::Bernoulli { p }
+                    },
+                    seed,
+                    record_sim_trace: true,
+                    ..Default::default()
+                };
+                let trace = run_execution(&scenario, &cfg);
+                let loss_times: Vec<SimTime> = trace
+                    .sim
+                    .events()
+                    .iter()
+                    .filter(|e| matches!(e.kind, TraceKind::Lost { .. }))
+                    .map(|e| e.at)
+                    .collect();
+                let det = detect_occurrences(
+                    &trace,
+                    &pred,
+                    &scenario.timeline.initial_state(),
+                    Discipline::VectorStrobe,
+                );
+                let tol = SimDuration::from_millis(800);
+                let all = score(&det, &truth, params.duration, tol, BorderlinePolicy::AsPositive);
+                // Occurrences with no loss within the vicinity window.
+                let far: Vec<TruthInterval> = truth
+                    .iter()
+                    .copied()
+                    .filter(|t| {
+                        !loss_times.iter().any(|&l| {
+                            let lo = t.start.as_nanos().saturating_sub(vicinity.as_nanos());
+                            let hi = t
+                                .end
+                                .unwrap_or(params.duration)
+                                .saturating_add(vicinity)
+                                .as_nanos();
+                            l.as_nanos() >= lo && l.as_nanos() <= hi
+                        })
+                    })
+                    .collect();
+                let far_r =
+                    score(&det, &far, params.duration, tol, BorderlinePolicy::AsPositive);
+                (
+                    trace.net.messages_lost,
+                    truth.len(),
+                    all.true_positives,
+                    far.len(),
+                    far_r.true_positives,
+                    all.false_positives,
+                )
+            });
+        let s = cells.iter().fold((0, 0, 0, 0, 0, 0), |a, c| {
+            (a.0 + c.0, a.1 + c.1, a.2 + c.2, a.3 + c.3, a.4 + c.4, a.5 + c.5)
+        });
+        let recall_all = if s.1 == 0 { 1.0 } else { s.2 as f64 / s.1 as f64 };
+        let recall_far = if s.3 == 0 { 1.0 } else { s.4 as f64 / s.3 as f64 };
+        table.row(vec![
+            format!("{p}"),
+            s.0.to_string(),
+            s.1.to_string(),
+            format!("{recall_all:.3}"),
+            s.3.to_string(),
+            format!("{recall_far:.3}"),
+            s.5.to_string(),
+        ]);
+    }
+    table.note(
+        "Paper claim: losses corrupt detection only in their temporal vicinity — \
+         occurrences far from every lost message are detected as reliably as in \
+         the lossless run (recall(far) ≈ recall at p=0), with no long-term ripple.",
+    );
+    table
+}

@@ -1,0 +1,18 @@
+//! # psn-bench — experiment harness and benchmarks
+//!
+//! - [`experiments`] — E1–E10, one per quantitative claim in the paper
+//!   (run them with `cargo run --release -p psn-bench --bin experiments`);
+//! - [`table`] — markdown/CSV result tables;
+//! - [`common`] — shared scaffolding (controlled two-pulse scenarios,
+//!   strobe-stamp histories, per-clock-family byte accounting).
+//!
+//! Criterion micro-benchmarks live in `benches/` (clock operations,
+//! detectors, lattice enumeration, engine throughput, sweep scaling).
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,179 @@
+//! Hybrid logical clocks (documented extension).
+//!
+//! Not in the paper, but a natural completion of its design space: the
+//! paper contrasts *physical* implementations of the single time axis
+//! (§3.2.1.a.i–ii) with *logical* ones (§3.2.1.a.iii–iv). The hybrid
+//! logical clock (Kulkarni et al., 2014) combines both — it stays within a
+//! bounded distance of the local physical clock while preserving the
+//! Lamport property (e → f ⇒ hlc(e) < hlc(f)). The ablation bench compares
+//! it against strobe clocks as an alternative "software clock" (paper
+//! §3.3, limitation 4 notes that software clocks can replace over-accurate
+//! physical sync for slow-moving environments).
+//!
+//! Rules (l = physical part, c = logical part, pt = local physical reading):
+//!
+//! ```text
+//! local/send:  l' = max(l, pt);  c' = (l' == l) ? c+1 : 0
+//! receive(m):  l' = max(l, m.l, pt)
+//!              c' = c+1   if l' == l == m.l
+//!                   m.c+1 if l' == m.l ≠ l
+//!                   c+1   if l' == l  ≠ m.l
+//!                   0     otherwise
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::physical::PhysReading;
+use crate::traits::{Causality, ProcessId, Timestamp};
+
+/// A hybrid logical timestamp: physical part, logical part, tie-break id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HlcStamp {
+    /// Physical component: max physical reading seen (ns).
+    pub l: i64,
+    /// Logical component: disambiguates events within one physical tick.
+    pub c: u32,
+    /// Assigning process, for a total order.
+    pub process: ProcessId,
+}
+
+impl Timestamp for HlcStamp {
+    fn causality(&self, other: &Self) -> Causality {
+        match (self.l, self.c, self.process).cmp(&(other.l, other.c, other.process)) {
+            core::cmp::Ordering::Less => Causality::Before,
+            core::cmp::Ordering::Greater => Causality::After,
+            core::cmp::Ordering::Equal => Causality::Equal,
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        12 // 8-byte l + 4-byte c
+    }
+}
+
+/// A hybrid logical clock.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HybridClock {
+    id: ProcessId,
+    l: i64,
+    c: u32,
+}
+
+impl HybridClock {
+    /// A clock for process `id`.
+    pub fn new(id: ProcessId) -> Self {
+        HybridClock { id, l: i64::MIN, c: 0 }
+    }
+
+    /// Tick for a local or send event at local physical reading `pt`.
+    pub fn tick(&mut self, pt: PhysReading) -> HlcStamp {
+        let l_old = self.l;
+        self.l = self.l.max(pt.0);
+        if self.l == l_old {
+            self.c += 1;
+        } else {
+            self.c = 0;
+        }
+        self.current()
+    }
+
+    /// Merge a received stamp at local physical reading `pt`.
+    pub fn receive(&mut self, m: &HlcStamp, pt: PhysReading) -> HlcStamp {
+        let l_old = self.l;
+        self.l = self.l.max(m.l).max(pt.0);
+        self.c = if self.l == l_old && self.l == m.l {
+            self.c.max(m.c) + 1
+        } else if self.l == m.l {
+            m.c + 1
+        } else if self.l == l_old {
+            self.c + 1
+        } else {
+            0
+        };
+        self.current()
+    }
+
+    /// The current stamp, without ticking.
+    pub fn current(&self) -> HlcStamp {
+        HlcStamp { l: self.l, c: self.c, process: self.id }
+    }
+
+    /// Distance between the logical-physical part and a physical reading —
+    /// the quantity the HLC theorem bounds.
+    pub fn drift_from(&self, pt: PhysReading) -> i64 {
+        self.l - pt.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_follows_physical_time() {
+        let mut h = HybridClock::new(0);
+        let s = h.tick(PhysReading(100));
+        assert_eq!((s.l, s.c), (100, 0));
+        let s = h.tick(PhysReading(200));
+        assert_eq!((s.l, s.c), (200, 0));
+    }
+
+    #[test]
+    fn stalled_physical_clock_increments_c() {
+        let mut h = HybridClock::new(0);
+        h.tick(PhysReading(100));
+        let s = h.tick(PhysReading(100));
+        assert_eq!((s.l, s.c), (100, 1));
+        let s = h.tick(PhysReading(90)); // physical clock behind l
+        assert_eq!((s.l, s.c), (100, 2));
+    }
+
+    #[test]
+    fn receive_takes_max_of_three() {
+        let mut h = HybridClock::new(1);
+        h.tick(PhysReading(50));
+        let m = HlcStamp { l: 120, c: 3, process: 0 };
+        let s = h.receive(&m, PhysReading(70));
+        assert_eq!((s.l, s.c), (120, 4), "follows the message's l, c+1");
+        // Now a receive where local physical wins: c resets.
+        let m2 = HlcStamp { l: 110, c: 9, process: 0 };
+        let s = h.receive(&m2, PhysReading(500));
+        assert_eq!((s.l, s.c), (500, 0));
+    }
+
+    #[test]
+    fn lamport_property_holds() {
+        // e → f via message ⇒ stamp(e) < stamp(f), even with skewed clocks.
+        let mut a = HybridClock::new(0);
+        let mut b = HybridClock::new(1);
+        let e = a.tick(PhysReading(1000)); // a's clock is ahead
+        let f = b.receive(&e, PhysReading(10)); // b's clock is behind
+        assert_eq!(e.causality(&f), Causality::Before);
+    }
+
+    #[test]
+    fn l_never_exceeds_max_physical_seen() {
+        // HLC theorem: l is always the max physical reading on some
+        // causal path — it never invents time.
+        let mut a = HybridClock::new(0);
+        let mut b = HybridClock::new(1);
+        let pts = [100, 250, 260, 400];
+        let mut max_pt = i64::MIN;
+        for (k, &pt) in pts.iter().enumerate() {
+            max_pt = max_pt.max(pt);
+            let s = if k % 2 == 0 {
+                a.tick(PhysReading(pt))
+            } else {
+                b.receive(&a.current(), PhysReading(pt))
+            };
+            assert!(s.l <= max_pt, "l {0} exceeds max physical {max_pt}", s.l);
+        }
+    }
+
+    #[test]
+    fn equal_stamps_same_process_only() {
+        let a = HlcStamp { l: 5, c: 0, process: 0 };
+        let b = HlcStamp { l: 5, c: 0, process: 1 };
+        assert_eq!(a.causality(&b), Causality::Before, "process id breaks ties");
+    }
+}

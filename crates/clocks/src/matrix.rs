@@ -1,0 +1,147 @@
+//! Matrix clocks (documented extension).
+//!
+//! Appendix A of the paper lists the classical middleware uses of vector
+//! time — garbage collection, checkpointing, causal memory. Matrix clocks
+//! are the standard tool for the garbage-collection use: process `i`
+//! maintains `m[k][l]` = `i`'s knowledge of `k`'s knowledge of `l`'s local
+//! clock. The column minimum `min_k m[k][i]` lower-bounds what *everyone*
+//! knows about `i`, so any log entry of `i` older than that bound can be
+//! discarded. We include them to cross-check the vector clock (row `i` of
+//! the matrix clock must evolve exactly like a vector clock) and to
+//! exercise the Appendix-A use case in tests.
+
+use serde::{Deserialize, Serialize};
+
+use crate::traits::ProcessId;
+use crate::vector::VectorStamp;
+
+/// A matrix clock for one process.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatrixClock {
+    id: ProcessId,
+    /// `m[k]` is this process's view of process k's vector clock.
+    m: Vec<VectorStamp>,
+}
+
+impl MatrixClock {
+    /// A clock for process `id` among `n`.
+    pub fn new(id: ProcessId, n: usize) -> Self {
+        assert!(id < n, "process id {id} out of range for n={n}");
+        MatrixClock { id, m: vec![VectorStamp::zero(n); n] }
+    }
+
+    /// The owner process.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// This process's own vector-clock row.
+    pub fn own_row(&self) -> &VectorStamp {
+        &self.m[self.id]
+    }
+
+    /// Full matrix access (row k = view of process k).
+    pub fn row(&self, k: ProcessId) -> &VectorStamp {
+        &self.m[k]
+    }
+
+    /// Tick for a relevant local event.
+    pub fn on_local_event(&mut self) -> VectorStamp {
+        self.m[self.id].0[self.id] += 1;
+        self.m[self.id].clone()
+    }
+
+    /// Tick for a send; the whole matrix is piggybacked.
+    pub fn on_send(&mut self) -> Vec<VectorStamp> {
+        self.m[self.id].0[self.id] += 1;
+        self.m.clone()
+    }
+
+    /// Merge a received matrix from process `from`, then tick.
+    pub fn on_receive(&mut self, from: ProcessId, matrix: &[VectorStamp]) {
+        // Own row merges with the sender's row (the vector-clock rule)…
+        let sender_row = matrix[from].clone();
+        self.m[self.id].merge_from(&sender_row);
+        // …and every view row merges with the corresponding received row.
+        for (k, row) in matrix.iter().enumerate() {
+            self.m[k].merge_from(row);
+        }
+        self.m[self.id].0[self.id] += 1;
+    }
+
+    /// `min_k m[k][target]`: every process is known to have seen at least
+    /// this many events of `target` — the garbage-collection bound.
+    pub fn gc_bound(&self, target: ProcessId) -> u64 {
+        self.m.iter().map(|row| row.0[target]).min().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::LogicalClock;
+    use crate::vector::VectorClock;
+
+    #[test]
+    fn own_row_matches_vector_clock() {
+        // Drive a matrix clock and a plain vector clock through the same
+        // event sequence; the matrix's own row must match exactly.
+        let mut mc0 = MatrixClock::new(0, 2);
+        let mut mc1 = MatrixClock::new(1, 2);
+        let mut vc0 = VectorClock::new(0, 2);
+        let mut vc1 = VectorClock::new(1, 2);
+
+        mc0.on_local_event();
+        vc0.on_local_event();
+        let m = mc0.on_send();
+        let v = vc0.on_send();
+        mc1.on_receive(0, &m);
+        vc1.on_receive(&v);
+        mc1.on_local_event();
+        vc1.on_local_event();
+
+        assert_eq!(*mc0.own_row(), vc0.current());
+        assert_eq!(*mc1.own_row(), vc1.current());
+    }
+
+    #[test]
+    fn gc_bound_rises_with_dissemination() {
+        let mut a = MatrixClock::new(0, 2);
+        let mut b = MatrixClock::new(1, 2);
+        a.on_local_event(); // a has 1 event nobody else knows about
+        assert_eq!(a.gc_bound(0), 0, "b hasn't seen it");
+        let m = a.on_send();
+        b.on_receive(0, &m);
+        let back = b.on_send();
+        a.on_receive(1, &back);
+        // Now a knows that b knows about a's first 2 events (event + send).
+        assert_eq!(a.gc_bound(0), 2);
+    }
+
+    #[test]
+    fn gc_bound_is_min_across_views() {
+        let mut a = MatrixClock::new(0, 3);
+        let b = MatrixClock::new(1, 3);
+        // Only a has events; views of b and c are all-zero.
+        a.on_local_event();
+        assert_eq!(a.gc_bound(0), 0);
+        drop(b);
+    }
+
+    #[test]
+    fn receive_updates_third_party_views() {
+        // a -> b -> c: c learns b's view of a.
+        let mut a = MatrixClock::new(0, 3);
+        let mut b = MatrixClock::new(1, 3);
+        let mut c = MatrixClock::new(2, 3);
+        a.on_local_event();
+        let m_ab = a.on_send();
+        b.on_receive(0, &m_ab);
+        let m_bc = b.on_send();
+        c.on_receive(1, &m_bc);
+        // c's view of a's row reflects a's 2 events.
+        assert_eq!(c.row(0).0[0], 2);
+        // and c's view of b's row reflects b's receive-tick.
+        assert!(c.row(1).0[1] >= 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Physical (asynchronous) vector clocks (paper §3.2.1.b.ii).
+//!
+//! "These vectors use the monotonic physical (local) unsynchronized clocks
+//! of the processes as the vector components. These seem an overkill to
+//! track causality, but are useful when relating the locally observed wall
+//! times at different locations, in the application predicate."
+//!
+//! Component `k` of process `i`'s clock holds the latest reading of
+//! process `k`'s *local physical clock* known to `i` (directly for `k = i`,
+//! transitively through received stamps otherwise). The comparison rules
+//! are the same componentwise ≤ as logical vector clocks; because local
+//! physical clocks are monotone, the order is well-defined even though the
+//! components are unsynchronized wall times.
+
+use serde::{Deserialize, Serialize};
+
+use crate::physical::PhysReading;
+use crate::traits::{Causality, ProcessId, Timestamp};
+
+/// A vector of local physical clock readings, one per process.
+/// `i64::MIN` means "no reading known yet".
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PhysVectorStamp(pub Vec<i64>);
+
+impl PhysVectorStamp {
+    /// The "nothing known" stamp for `n` processes.
+    pub fn unknown(n: usize) -> Self {
+        PhysVectorStamp(vec![i64::MIN; n])
+    }
+
+    /// Componentwise ≤.
+    pub fn le(&self, other: &PhysVectorStamp) -> bool {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+
+    /// Componentwise max, in place.
+    pub fn merge_from(&mut self, other: &PhysVectorStamp) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+}
+
+impl Timestamp for PhysVectorStamp {
+    fn causality(&self, other: &Self) -> Causality {
+        if self.0 == other.0 {
+            Causality::Equal
+        } else if self.le(other) {
+            Causality::Before
+        } else if other.le(self) {
+            Causality::After
+        } else {
+            Causality::Concurrent
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        8 * self.0.len()
+    }
+}
+
+/// A physical vector clock for one process.
+///
+/// Unlike logical clocks, ticking requires the current **local physical
+/// reading**, which the caller obtains from its
+/// [`Oscillator`](crate::physical::Oscillator).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhysVectorClock {
+    id: ProcessId,
+    v: PhysVectorStamp,
+}
+
+impl PhysVectorClock {
+    /// A clock for process `id` among `n`.
+    pub fn new(id: ProcessId, n: usize) -> Self {
+        assert!(id < n, "process id {id} out of range for n={n}");
+        PhysVectorClock { id, v: PhysVectorStamp::unknown(n) }
+    }
+
+    /// Record a relevant local event at local physical time `local_now`;
+    /// returns the event's stamp. Local physical clocks are monotone, so
+    /// `local_now` must not regress (debug-asserted).
+    pub fn on_local_event(&mut self, local_now: PhysReading) -> PhysVectorStamp {
+        debug_assert!(local_now.0 >= self.v.0[self.id], "local physical clock regressed");
+        self.v.0[self.id] = local_now.0;
+        self.v.clone()
+    }
+
+    /// Record a send at local physical time `local_now`; the returned stamp
+    /// is piggybacked on the message.
+    pub fn on_send(&mut self, local_now: PhysReading) -> PhysVectorStamp {
+        self.on_local_event(local_now)
+    }
+
+    /// Merge a received stamp at local physical time `local_now`.
+    pub fn on_receive(
+        &mut self,
+        local_now: PhysReading,
+        stamp: &PhysVectorStamp,
+    ) -> PhysVectorStamp {
+        self.v.merge_from(stamp);
+        self.on_local_event(local_now)
+    }
+
+    /// The current stamp.
+    pub fn current(&self) -> PhysVectorStamp {
+        self.v.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_event_records_reading() {
+        let mut c = PhysVectorClock::new(0, 2);
+        let s = c.on_local_event(PhysReading(100));
+        assert_eq!(s.0[0], 100);
+        assert_eq!(s.0[1], i64::MIN, "peer unknown");
+    }
+
+    #[test]
+    fn receive_merges_peer_times() {
+        let mut a = PhysVectorClock::new(0, 2);
+        let mut b = PhysVectorClock::new(1, 2);
+        let m = a.on_send(PhysReading(50));
+        let s = b.on_receive(PhysReading(900), &m);
+        assert_eq!(s.0, vec![50, 900]);
+    }
+
+    #[test]
+    fn message_chain_orders_stamps() {
+        let mut a = PhysVectorClock::new(0, 2);
+        let mut b = PhysVectorClock::new(1, 2);
+        let e = a.on_local_event(PhysReading(10));
+        let m = a.on_send(PhysReading(20));
+        let f = b.on_receive(PhysReading(5), &m); // b's wall clock is behind — fine
+        assert_eq!(e.causality(&f), Causality::Before);
+    }
+
+    #[test]
+    fn unrelated_events_concurrent() {
+        let mut a = PhysVectorClock::new(0, 2);
+        let mut b = PhysVectorClock::new(1, 2);
+        let e = a.on_local_event(PhysReading(10));
+        let f = b.on_local_event(PhysReading(10_000));
+        assert_eq!(
+            e.causality(&f),
+            Causality::Concurrent,
+            "wall times differ wildly but there is no causal path"
+        );
+    }
+
+    #[test]
+    fn components_expose_remote_wall_times() {
+        // The appendix's use case: the stamp tells you the *physical local
+        // time* of the latest causally-preceding event at each process.
+        let mut a = PhysVectorClock::new(0, 3);
+        let mut b = PhysVectorClock::new(1, 3);
+        let mut c = PhysVectorClock::new(2, 3);
+        let m1 = a.on_send(PhysReading(111));
+        b.on_receive(PhysReading(222), &m1);
+        let m2 = b.on_send(PhysReading(233));
+        let s = c.on_receive(PhysReading(7), &m2);
+        assert_eq!(s.0, vec![111, 233, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn id_in_range() {
+        let _ = PhysVectorClock::new(2, 2);
+    }
+}

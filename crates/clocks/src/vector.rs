@@ -1,0 +1,231 @@
+//! Mattern/Fidge causality-based vector clocks (paper §4.2.1, rules VC1–VC3).
+//!
+//! ```text
+//! VC1. When process i executes (senses) a relevant internal event:
+//!        Cᵢ[i] = Cᵢ[i] + 1
+//! VC2. When process i executes a send event to send message M:
+//!        Cᵢ[i] = Cᵢ[i] + 1;  Send M(Cᵢ)
+//! VC3. When process i receives a vector T piggybacked on a message:
+//!        ∀k: Cᵢ[k] = max(Cᵢ[k], T[k]);  Cᵢ[i] = Cᵢ[i] + 1
+//! ```
+//!
+//! Vector time is *strongly consistent*: the partial order on timestamps is
+//! isomorphic to the causality partial order on events, which is what makes
+//! consistent-cut tests and `Possibly`/`Definitely` detection exact.
+
+use serde::{Deserialize, Serialize};
+
+use crate::traits::{Causality, LogicalClock, ProcessId, Timestamp};
+
+/// A vector timestamp over `n` processes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorStamp(pub Vec<u64>);
+
+impl VectorStamp {
+    /// The all-zero stamp for `n` processes.
+    pub fn zero(n: usize) -> Self {
+        VectorStamp(vec![0; n])
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the stamp has no components.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Component access.
+    pub fn get(&self, k: ProcessId) -> u64 {
+        self.0[k]
+    }
+
+    /// Componentwise `self[k] ≤ other[k]` for all k.
+    pub fn le(&self, other: &VectorStamp) -> bool {
+        debug_assert_eq!(self.len(), other.len());
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+
+    /// Strict happened-before: `self ≤ other` and `self ≠ other`.
+    pub fn lt(&self, other: &VectorStamp) -> bool {
+        self.le(other) && self.0 != other.0
+    }
+
+    /// Neither `self ≤ other` nor `other ≤ self`.
+    pub fn concurrent(&self, other: &VectorStamp) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+
+    /// Componentwise maximum, in place.
+    pub fn merge_from(&mut self, other: &VectorStamp) {
+        debug_assert_eq!(self.len(), other.len());
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// The componentwise maximum of two stamps.
+    pub fn join(&self, other: &VectorStamp) -> VectorStamp {
+        let mut out = self.clone();
+        out.merge_from(other);
+        out
+    }
+}
+
+impl Timestamp for VectorStamp {
+    fn causality(&self, other: &Self) -> Causality {
+        if self.0 == other.0 {
+            Causality::Equal
+        } else if self.le(other) {
+            Causality::Before
+        } else if other.le(self) {
+            Causality::After
+        } else {
+            Causality::Concurrent
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        8 * self.len() // n u64 components
+    }
+}
+
+/// A Mattern/Fidge vector clock.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VectorClock {
+    id: ProcessId,
+    v: VectorStamp,
+}
+
+impl VectorClock {
+    /// A clock for process `id` in a system of `n` processes.
+    pub fn new(id: ProcessId, n: usize) -> Self {
+        assert!(id < n, "process id {id} out of range for n={n}");
+        VectorClock { id, v: VectorStamp::zero(n) }
+    }
+
+    /// The owner process.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+}
+
+impl LogicalClock for VectorClock {
+    type Stamp = VectorStamp;
+
+    /// VC1.
+    fn on_local_event(&mut self) -> VectorStamp {
+        self.v.0[self.id] += 1;
+        self.v.clone()
+    }
+
+    /// VC2.
+    fn on_send(&mut self) -> VectorStamp {
+        self.v.0[self.id] += 1;
+        self.v.clone()
+    }
+
+    /// VC3.
+    fn on_receive(&mut self, stamp: &VectorStamp) -> VectorStamp {
+        self.v.merge_from(stamp);
+        self.v.0[self.id] += 1;
+        self.v.clone()
+    }
+
+    fn current(&self) -> VectorStamp {
+        self.v.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vc1_ticks_own_component_only() {
+        let mut c = VectorClock::new(1, 3);
+        let s = c.on_local_event();
+        assert_eq!(s.0, vec![0, 1, 0]);
+        let s = c.on_local_event();
+        assert_eq!(s.0, vec![0, 2, 0]);
+    }
+
+    #[test]
+    fn vc3_merges_and_ticks() {
+        let mut c = VectorClock::new(2, 3);
+        c.on_local_event(); // [0,0,1]
+        let incoming = VectorStamp(vec![5, 2, 0]);
+        let s = c.on_receive(&incoming);
+        assert_eq!(s.0, vec![5, 2, 2], "max componentwise, then own +1");
+    }
+
+    #[test]
+    fn message_chain_creates_happened_before() {
+        let mut p0 = VectorClock::new(0, 2);
+        let mut p1 = VectorClock::new(1, 2);
+        let e = p0.on_send();
+        let f = p1.on_receive(&e);
+        assert_eq!(e.causality(&f), Causality::Before);
+        assert_eq!(f.causality(&e), Causality::After);
+    }
+
+    #[test]
+    fn independent_events_are_concurrent() {
+        let mut p0 = VectorClock::new(0, 2);
+        let mut p1 = VectorClock::new(1, 2);
+        let e = p0.on_local_event();
+        let f = p1.on_local_event();
+        assert_eq!(e.causality(&f), Causality::Concurrent);
+        assert!(e.concurrent(&f));
+    }
+
+    #[test]
+    fn strong_consistency_through_three_processes() {
+        // P0 --m1--> P1 --m2--> P2: P0's event precedes P2's receive.
+        let mut p0 = VectorClock::new(0, 3);
+        let mut p1 = VectorClock::new(1, 3);
+        let mut p2 = VectorClock::new(2, 3);
+        let e0 = p0.on_local_event();
+        let m1 = p0.on_send();
+        p1.on_receive(&m1);
+        let m2 = p1.on_send();
+        let f = p2.on_receive(&m2);
+        assert_eq!(e0.causality(&f), Causality::Before, "transitive causality");
+        // An isolated P2 event before the receive is concurrent with e0.
+        let mut p2b = VectorClock::new(2, 3);
+        let g = p2b.on_local_event();
+        assert_eq!(e0.causality(&g), Causality::Concurrent);
+    }
+
+    #[test]
+    fn join_is_lub() {
+        let a = VectorStamp(vec![3, 0, 5]);
+        let b = VectorStamp(vec![1, 4, 5]);
+        let j = a.join(&b);
+        assert_eq!(j.0, vec![3, 4, 5]);
+        assert!(a.le(&j) && b.le(&j));
+    }
+
+    #[test]
+    fn equal_stamps_compare_equal() {
+        let a = VectorStamp(vec![1, 2]);
+        let b = VectorStamp(vec![1, 2]);
+        assert_eq!(a.causality(&b), Causality::Equal);
+        assert!(!a.lt(&b));
+        assert!(a.le(&b));
+    }
+
+    #[test]
+    fn wire_size_scales_with_n() {
+        assert_eq!(VectorStamp::zero(4).wire_size(), 32);
+        assert_eq!(VectorStamp::zero(64).wire_size(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn id_must_be_in_range() {
+        let _ = VectorClock::new(3, 3);
+    }
+}

@@ -1,0 +1,237 @@
+//! The clock bundle: every clock of §3.2 running over one execution.
+//!
+//! To compare detection accuracy across clock options *on identical
+//! executions* (the comparisons of §3.3 and experiments E2/E6/E10), each
+//! process runs the whole clock zoo side by side. The strobe messages are
+//! shared — one broadcast carries both the scalar and the vector strobe
+//! payload — and every event receives a [`StampSet`] with one timestamp per
+//! clock. Detectors then read only the stamp family they are being
+//! evaluated with; wire-size accounting per family is analytic (see
+//! `psn-bench` E7).
+
+use serde::{Deserialize, Serialize};
+
+use psn_clocks::{
+    LamportClock, LogicalClock, Oscillator, PhysReading, ProcessId, ScalarStamp, StrobeScalarClock,
+    StrobeVectorClock, SyncedClock, VectorClock, VectorStamp,
+};
+use psn_sim::rng::RngStream;
+use psn_sim::time::{SimDuration, SimTime};
+
+/// Hardware/clock parameters shared by all processes in a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClockConfig {
+    /// Skew bound ε of the synchronized physical clock service.
+    pub epsilon: SimDuration,
+    /// Max initial offset of the free-running oscillator.
+    pub max_offset: SimDuration,
+    /// Max |drift| of the free-running oscillator, ppm.
+    pub max_drift_ppm: f64,
+}
+
+impl Default for ClockConfig {
+    fn default() -> Self {
+        ClockConfig {
+            epsilon: SimDuration::from_millis(1),
+            max_offset: SimDuration::from_millis(50),
+            max_drift_ppm: 50.0,
+        }
+    }
+}
+
+/// All clocks of one process.
+#[derive(Debug, Clone)]
+pub struct ClockBundle {
+    /// Lamport scalar clock (SC1–SC3) — causality-based.
+    pub lamport: LamportClock,
+    /// Mattern/Fidge vector clock (VC1–VC3) — causality-based.
+    pub vector: VectorClock,
+    /// Strobe scalar clock (SSC1–SSC2).
+    pub strobe_scalar: StrobeScalarClock,
+    /// Strobe vector clock (SVC1–SVC2).
+    pub strobe_vector: StrobeVectorClock,
+    /// Free-running local oscillator (unsynchronized physical clock).
+    pub oscillator: Oscillator,
+    /// ε-synchronized physical clock service view.
+    pub synced: SyncedClock,
+}
+
+impl ClockBundle {
+    /// A bundle for process `id` among `n`, with hardware imperfections
+    /// drawn from `rng`.
+    pub fn new(id: ProcessId, n: usize, cfg: &ClockConfig, rng: &mut RngStream) -> Self {
+        ClockBundle {
+            lamport: LamportClock::new(id),
+            vector: VectorClock::new(id, n),
+            strobe_scalar: StrobeScalarClock::new(id),
+            strobe_vector: StrobeVectorClock::new(id, n),
+            oscillator: Oscillator::random(rng, cfg.max_offset, cfg.max_drift_ppm, 1),
+            synced: SyncedClock::new(rng, cfg.epsilon),
+        }
+    }
+
+    /// Read every clock *without ticking* at ground-truth time `now`.
+    pub fn snapshot(&self, now: SimTime) -> StampSet {
+        StampSet {
+            lamport: self.lamport.current(),
+            vector: self.vector.current(),
+            strobe_scalar: self.strobe_scalar.current(),
+            strobe_vector: self.strobe_vector.current(),
+            physical: self.oscillator.read(now),
+            synced: self.synced.read(now),
+            truth: now,
+        }
+    }
+
+    /// Apply the *relevant event* rules (SC1, VC1, SSC1, SVC1) for a sense
+    /// event at ground-truth time `now`; returns the event's stamps and the
+    /// strobe payload that the protocol must now broadcast.
+    pub fn on_sense(&mut self, now: SimTime) -> (StampSet, StrobePayload) {
+        self.lamport.on_local_event();
+        self.vector.on_local_event();
+        self.strobe_scalar.on_local_event();
+        self.strobe_vector.on_local_event();
+        let stamps = self.snapshot(now);
+        let strobe = StrobePayload {
+            scalar: stamps.strobe_scalar,
+            vector: stamps.strobe_vector.clone(),
+        };
+        (stamps, strobe)
+    }
+
+    /// Apply the internal-event rules (SC1, VC1 only — strobe clocks tick
+    /// only on *sensed* relevant events) for a compute/actuate event.
+    pub fn on_internal(&mut self, now: SimTime) -> StampSet {
+        self.lamport.on_local_event();
+        self.vector.on_local_event();
+        self.snapshot(now)
+    }
+
+    /// Apply the send rules (SC2, VC2) for an in-network computation
+    /// message; returns the stamps to piggyback.
+    pub fn on_send(&mut self, now: SimTime) -> StampSet {
+        self.lamport.on_send();
+        self.vector.on_send();
+        self.snapshot(now)
+    }
+
+    /// Apply the receive rules (SC3, VC3) for a piggybacked stamp set.
+    pub fn on_receive(&mut self, piggyback: &StampSet, now: SimTime) -> StampSet {
+        self.lamport.on_receive(&piggyback.lamport);
+        self.vector.on_receive(&piggyback.vector);
+        self.snapshot(now)
+    }
+
+    /// Apply the strobe rules (SSC2, SVC2): merge without ticking.
+    pub fn on_strobe(&mut self, strobe: &StrobePayload) {
+        self.strobe_scalar.on_strobe(&strobe.scalar);
+        self.strobe_vector.on_strobe(&strobe.vector);
+    }
+}
+
+/// The payload of one strobe broadcast. Physically these would be two
+/// protocol variants (O(1) scalar vs O(n) vector); the bundle carries both
+/// on one simulated message so detectors compare on identical executions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrobePayload {
+    /// The scalar strobe (SSC1 broadcast value).
+    pub scalar: ScalarStamp,
+    /// The vector strobe (SVC1 broadcast value).
+    pub vector: VectorStamp,
+}
+
+/// The timestamps every clock assigned to one event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StampSet {
+    /// Lamport scalar stamp.
+    pub lamport: ScalarStamp,
+    /// Mattern/Fidge vector stamp.
+    pub vector: VectorStamp,
+    /// Strobe scalar stamp.
+    pub strobe_scalar: ScalarStamp,
+    /// Strobe vector stamp.
+    pub strobe_vector: VectorStamp,
+    /// Free-running physical reading (unsynchronized).
+    pub physical: PhysReading,
+    /// ε-synchronized physical reading.
+    pub synced: PhysReading,
+    /// Ground truth — **scoring only**, never visible to protocols.
+    pub truth: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psn_sim::rng::RngFactory;
+
+    fn bundle(id: usize, n: usize) -> ClockBundle {
+        let mut rng = RngFactory::new(77).stream(id as u64);
+        ClockBundle::new(id, n, &ClockConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn sense_ticks_all_logical_clocks() {
+        let mut b = bundle(0, 3);
+        let (s, strobe) = b.on_sense(SimTime::from_millis(5));
+        assert_eq!(s.lamport.value, 1);
+        assert_eq!(s.vector.0, vec![1, 0, 0]);
+        assert_eq!(s.strobe_scalar.value, 1);
+        assert_eq!(s.strobe_vector.0, vec![1, 0, 0]);
+        assert_eq!(strobe.scalar, s.strobe_scalar);
+        assert_eq!(strobe.vector, s.strobe_vector);
+        assert_eq!(s.truth, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn internal_does_not_tick_strobes() {
+        let mut b = bundle(1, 2);
+        let s = b.on_internal(SimTime::ZERO);
+        assert_eq!(s.lamport.value, 1, "causal clocks tick");
+        assert_eq!(s.strobe_scalar.value, 0, "strobe clocks tick only on sense");
+        assert_eq!(s.strobe_vector.0, vec![0, 0]);
+    }
+
+    #[test]
+    fn strobe_merges_without_ticks() {
+        let mut a = bundle(0, 2);
+        let mut b = bundle(1, 2);
+        let (_, strobe) = a.on_sense(SimTime::ZERO);
+        b.on_strobe(&strobe);
+        let snap = b.snapshot(SimTime::from_millis(1));
+        assert_eq!(snap.strobe_scalar.value, 1);
+        assert_eq!(snap.strobe_vector.0, vec![1, 0]);
+        assert_eq!(snap.lamport.value, 0, "strobes do not touch causal clocks");
+        assert_eq!(snap.vector.0, vec![0, 0]);
+    }
+
+    #[test]
+    fn send_receive_chain_updates_causal_clocks_only() {
+        let mut a = bundle(0, 2);
+        let mut b = bundle(1, 2);
+        let m = a.on_send(SimTime::from_millis(1));
+        let r = b.on_receive(&m, SimTime::from_millis(4));
+        assert_eq!(r.lamport.value, 2, "max(0,1)+1");
+        assert_eq!(r.vector.0, vec![1, 1]);
+        assert_eq!(r.strobe_vector.0, vec![0, 0], "reports do not move strobe clocks");
+    }
+
+    #[test]
+    fn physical_readings_reflect_now() {
+        let b = bundle(0, 1);
+        let t1 = b.snapshot(SimTime::from_secs(1));
+        let t2 = b.snapshot(SimTime::from_secs(2));
+        assert!(t2.physical > t1.physical, "oscillator advances with truth");
+        assert!(t2.synced > t1.synced);
+        // Synced error bounded by ε/2 = 0.5ms.
+        let err = (t2.synced.0 - 2_000_000_000i64).abs();
+        assert!(err <= 500_000, "synced error {err}ns");
+    }
+
+    #[test]
+    fn bundles_differ_across_processes() {
+        let a = bundle(0, 2);
+        let b = bundle(1, 2);
+        // Different RNG draws: virtually certain to differ.
+        assert_ne!(a.oscillator, b.oscillator);
+    }
+}

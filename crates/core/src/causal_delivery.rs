@@ -1,0 +1,205 @@
+//! Causal message delivery (Appendix A, vector-time use 2.d).
+//!
+//! Among the classical middleware applications of vector time the paper's
+//! Appendix A surveys — "causal memory, maintaining consistency of
+//! replicated files, …" — causally ordered broadcast is the canonical one:
+//! deliver each message only after every message that causally precedes it
+//! (Birman–Schiper–Stephenson). This buffer implements the receiver side
+//! for broadcast traffic stamped with *delivery* vector clocks, where
+//! component k counts messages **broadcast by** process k.
+//!
+//! Delivery condition at process i for a message m from j with stamp V:
+//!
+//! ```text
+//! V[j] == delivered[j] + 1            (next from j, no gaps)
+//! V[k] <= delivered[k]  for k ≠ j     (all causal predecessors delivered)
+//! ```
+
+use std::collections::VecDeque;
+
+use psn_clocks::{ProcessId, VectorStamp};
+
+/// A message held with its broadcast stamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CausalMsg<T> {
+    /// The broadcasting process.
+    pub from: ProcessId,
+    /// The sender's broadcast vector stamp (component k = broadcasts by k
+    /// observed by the sender, including this one for k = sender).
+    pub stamp: VectorStamp,
+    /// The payload.
+    pub payload: T,
+}
+
+/// Sender-side counter: stamps outgoing broadcasts.
+#[derive(Debug, Clone)]
+pub struct CausalSender {
+    id: ProcessId,
+    sent: VectorStamp,
+}
+
+impl CausalSender {
+    /// A sender for process `id` among `n`.
+    pub fn new(id: ProcessId, n: usize) -> Self {
+        assert!(id < n, "id out of range");
+        CausalSender { id, sent: VectorStamp::zero(n) }
+    }
+
+    /// Stamp a new broadcast.
+    pub fn stamp<T>(&mut self, payload: T) -> CausalMsg<T> {
+        self.sent.0[self.id] += 1;
+        CausalMsg { from: self.id, stamp: self.sent.clone(), payload }
+    }
+
+    /// Record a delivered message (its broadcasts become our causal past).
+    pub fn on_deliver(&mut self, msg_stamp: &VectorStamp) {
+        self.sent.merge_from(msg_stamp);
+        // Own component stays our own send count: merge_from can only have
+        // raised others' components (our own is always ≥ anything received,
+        // since nobody sees our k-th broadcast before we send it).
+    }
+}
+
+/// Receiver-side causal delivery buffer.
+#[derive(Debug, Clone)]
+pub struct CausalBuffer<T> {
+    delivered: VectorStamp,
+    pending: VecDeque<CausalMsg<T>>,
+}
+
+impl<T> CausalBuffer<T> {
+    /// A buffer for an `n`-process system.
+    pub fn new(n: usize) -> Self {
+        CausalBuffer { delivered: VectorStamp::zero(n), pending: VecDeque::new() }
+    }
+
+    /// How many messages are waiting for causal predecessors.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The per-origin delivery counts so far.
+    pub fn delivered(&self) -> &VectorStamp {
+        &self.delivered
+    }
+
+    fn deliverable(&self, m: &CausalMsg<T>) -> bool {
+        let v = &m.stamp.0;
+        if v[m.from] != self.delivered.0[m.from] + 1 {
+            return false;
+        }
+        v.iter()
+            .enumerate()
+            .all(|(k, &vk)| k == m.from || vk <= self.delivered.0[k])
+    }
+
+    /// Offer a received message; returns every message that becomes
+    /// deliverable (in causal order), possibly including earlier-buffered
+    /// ones unblocked by this arrival.
+    pub fn offer(&mut self, msg: CausalMsg<T>) -> Vec<CausalMsg<T>> {
+        self.pending.push_back(msg);
+        let mut out = Vec::new();
+        loop {
+            let idx = (0..self.pending.len()).find(|&i| self.deliverable(&self.pending[i]));
+            match idx {
+                Some(i) => {
+                    let m = self.pending.remove(i).expect("index valid");
+                    self.delivered.0[m.from] += 1;
+                    out.push(m);
+                }
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_messages_deliver_immediately() {
+        let mut tx = CausalSender::new(0, 2);
+        let mut rx = CausalBuffer::new(2);
+        let m1 = tx.stamp("a");
+        let m2 = tx.stamp("b");
+        assert_eq!(rx.offer(m1).len(), 1);
+        assert_eq!(rx.offer(m2).len(), 1);
+        assert_eq!(rx.pending(), 0);
+    }
+
+    #[test]
+    fn gap_from_same_sender_buffers() {
+        let mut tx = CausalSender::new(0, 2);
+        let mut rx = CausalBuffer::new(2);
+        let m1 = tx.stamp("a");
+        let m2 = tx.stamp("b");
+        // m2 overtakes m1.
+        assert!(rx.offer(m2).is_empty(), "m2 must wait for m1");
+        assert_eq!(rx.pending(), 1);
+        let delivered = rx.offer(m1);
+        assert_eq!(delivered.len(), 2, "m1 unblocks m2");
+        assert_eq!(delivered[0].payload, "a");
+        assert_eq!(delivered[1].payload, "b");
+    }
+
+    #[test]
+    fn cross_sender_causality_enforced() {
+        // p0 broadcasts a; p1 delivers a then broadcasts b (b causally
+        // after a). A receiver that gets b first must hold it until a.
+        let mut tx0 = CausalSender::new(0, 3);
+        let mut tx1 = CausalSender::new(1, 3);
+        let a = tx0.stamp("a");
+        tx1.on_deliver(&a.stamp);
+        let b = tx1.stamp("b");
+        assert!(b.stamp.0[0] >= 1, "b's stamp records a in its past");
+
+        let mut rx = CausalBuffer::new(3);
+        assert!(rx.offer(b.clone()).is_empty(), "b before a: buffered");
+        let out = rx.offer(a.clone());
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].payload, "a");
+        assert_eq!(out[1].payload, "b");
+    }
+
+    #[test]
+    fn concurrent_messages_deliver_in_any_arrival_order() {
+        let mut tx0 = CausalSender::new(0, 2);
+        let mut tx1 = CausalSender::new(1, 2);
+        let a = tx0.stamp("a");
+        let b = tx1.stamp("b"); // concurrent with a
+        let mut rx = CausalBuffer::new(2);
+        assert_eq!(rx.offer(b.clone()).len(), 1, "no causal constraint");
+        assert_eq!(rx.offer(a.clone()).len(), 1);
+        // And the other order on a fresh buffer.
+        let mut rx2 = CausalBuffer::new(2);
+        assert_eq!(rx2.offer(a).len(), 1);
+        assert_eq!(rx2.offer(b).len(), 1);
+    }
+
+    #[test]
+    fn long_chain_unblocks_in_causal_order() {
+        // p0 sends m1..m5; they arrive fully reversed.
+        let mut tx = CausalSender::new(0, 2);
+        let msgs: Vec<_> = (0..5).map(|k| tx.stamp(k)).collect();
+        let mut rx = CausalBuffer::new(2);
+        for m in msgs.iter().rev().take(4) {
+            assert!(rx.offer(m.clone()).is_empty());
+        }
+        let out = rx.offer(msgs[0].clone());
+        assert_eq!(out.iter().map(|m| m.payload).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(rx.pending(), 0);
+    }
+
+    #[test]
+    fn delivery_counts_track() {
+        let mut tx0 = CausalSender::new(0, 2);
+        let mut tx1 = CausalSender::new(1, 2);
+        let mut rx = CausalBuffer::new(2);
+        rx.offer(tx0.stamp(()));
+        rx.offer(tx1.stamp(()));
+        rx.offer(tx0.stamp(()));
+        assert_eq!(rx.delivered().0, vec![2, 1]);
+    }
+}

@@ -1,0 +1,283 @@
+//! Running a complete execution: world plane → network plane → root.
+//!
+//! [`run_execution`] takes a generated [`Scenario`] (the ground-truth world
+//! timeline plus the sensing assignment) and a network/clock configuration,
+//! builds the ⟨P, L⟩ plane (n sensors + the root P₀ on a full mesh), injects
+//! every world event into its watching sensor at its ground-truth time, and
+//! runs to quiescence. The result is an [`ExecutionTrace`]: the complete
+//! observable history every detector in `psn-predicates` consumes —
+//! detectors built on different clocks therefore compare on *identical*
+//! executions.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use psn_sim::delay::DelayModel;
+use psn_sim::engine::Engine;
+use psn_sim::loss::LossModel;
+use psn_sim::network::{NetStats, NetworkConfig, Topology};
+use psn_sim::time::SimTime;
+use psn_world::Scenario;
+
+use crate::bundle::ClockConfig;
+use crate::log::ExecutionLog;
+use crate::message::NetMsg;
+use crate::process::{SensorProcess, StrobePolicy};
+use crate::root::{ActuationRule, NoActuation, RootProcess};
+
+/// Full configuration of one execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutionConfig {
+    /// The message-delay model (Δ).
+    pub delay: DelayModel,
+    /// The message-loss model.
+    pub loss: LossModel,
+    /// FIFO channels?
+    pub fifo: bool,
+    /// Clock hardware parameters (ε, offsets, drift).
+    pub clocks: ClockConfig,
+    /// Strobe policy.
+    pub strobes: StrobePolicy,
+    /// Overlay topology L over the n sensors + root (node `n`). `None`
+    /// (default) uses a full mesh. For sparse overlays enable
+    /// [`StrobePolicy::flood`] so System-wide_Broadcast still covers P.
+    pub topology: Option<Topology>,
+    /// Master seed (drives delays, losses, and clock imperfections — the
+    /// world timeline has its own seed at generation time).
+    pub seed: u64,
+    /// Record the full network-plane trace (sent/delivered/lost messages)
+    /// into [`ExecutionTrace::sim`]. Off by default (memory).
+    pub record_sim_trace: bool,
+    /// Hard stop for the simulation. `None` runs to quiescence — which is
+    /// correct for purely event-driven runs but would never terminate with
+    /// heartbeat strobes; when heartbeats are enabled and no end time is
+    /// given, the run stops 30 s (sim time) after the last world event.
+    pub end_time: Option<SimTime>,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        ExecutionConfig {
+            delay: DelayModel::delta(psn_sim::time::SimDuration::from_millis(100)),
+            loss: LossModel::None,
+            fifo: true,
+            clocks: ClockConfig::default(),
+            strobes: StrobePolicy::default(),
+            topology: None,
+            seed: 0,
+            record_sim_trace: false,
+            end_time: None,
+        }
+    }
+}
+
+/// The observable outcome of one execution.
+#[derive(Debug, Clone)]
+pub struct ExecutionTrace {
+    /// Number of sensor processes (the root has id `n`).
+    pub n: usize,
+    /// The complete log: process events, reports at the root, actuations.
+    pub log: ExecutionLog,
+    /// Network counters.
+    pub net: NetStats,
+    /// The network-plane trace (empty unless
+    /// [`ExecutionConfig::record_sim_trace`] was set).
+    pub sim: psn_sim::trace::Trace,
+    /// Ground-truth end time of the run.
+    pub ended_at: SimTime,
+}
+
+impl ExecutionTrace {
+    /// The root's process id.
+    pub fn root_id(&self) -> usize {
+        self.n
+    }
+}
+
+/// Run `scenario` under `cfg` with no actuation rule.
+pub fn run_execution(scenario: &Scenario, cfg: &ExecutionConfig) -> ExecutionTrace {
+    run_execution_with_rule(scenario, cfg, Box::new(NoActuation))
+}
+
+/// Run `scenario` under `cfg` with a custom actuation rule at the root.
+pub fn run_execution_with_rule(
+    scenario: &Scenario,
+    cfg: &ExecutionConfig,
+    rule: Box<dyn ActuationRule>,
+) -> ExecutionTrace {
+    let n = scenario.num_processes();
+    assert!(n > 0, "scenario must have at least one sensor process");
+    let log = ExecutionLog::shared();
+    let topology = match &cfg.topology {
+        Some(t) => {
+            assert_eq!(t.len(), n + 1, "topology must cover n sensors + the root");
+            t.clone()
+        }
+        None => Topology::FullMesh { n: n + 1 },
+    };
+    let net = NetworkConfig {
+        topology,
+        delay: cfg.delay.clone(),
+        loss: cfg.loss.clone(),
+        fifo: cfg.fifo,
+    };
+    let mut engine: Engine<NetMsg> = Engine::new(net, cfg.seed);
+    if cfg.record_sim_trace {
+        engine.enable_trace();
+    }
+    match (cfg.end_time, cfg.strobes.heartbeat) {
+        (Some(end), _) => engine.set_end_time(end),
+        (None, Some(_)) => {
+            // Recurring heartbeat timers never drain the queue on their
+            // own; bound the run past the last world event.
+            engine.set_end_time(
+                scenario.timeline.duration() + psn_sim::time::SimDuration::from_secs(30),
+            );
+        }
+        (None, None) => {}
+    }
+    for id in 0..n {
+        engine.add_actor(Box::new(SensorProcess::new(
+            id,
+            n,
+            n, // root actor id
+            cfg.clocks.clone(),
+            cfg.strobes,
+            Arc::clone(&log),
+        )));
+    }
+    engine.add_actor(Box::new(
+        RootProcess::new(n, n, cfg.clocks.clone(), rule, Arc::clone(&log))
+            .with_flood(cfg.strobes.flood),
+    ));
+
+    // Inject the world timeline: each event goes to its watching process at
+    // its ground-truth time (sensing itself is immediate; only the network
+    // plane has delays).
+    for e in &scenario.timeline.events {
+        if let Some(p) = scenario.sensing.process_for(e.key) {
+            engine.inject(
+                e.at,
+                p,
+                p,
+                NetMsg::WorldSense { key: e.key, value: e.value, world_event: e.id },
+            );
+        }
+    }
+
+    let ended_at = engine.run();
+    let log = Arc::try_unwrap(log)
+        .map(Mutex::into_inner)
+        .unwrap_or_else(|shared| shared.lock().clone());
+    ExecutionTrace {
+        n,
+        log,
+        net: engine.stats().clone(),
+        sim: engine.trace().clone(),
+        ended_at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psn_sim::time::{SimDuration, SimTime};
+    use psn_world::scenarios::exhibition::{self, ExhibitionParams};
+
+    fn tiny_scenario() -> Scenario {
+        exhibition::generate(
+            &ExhibitionParams {
+                doors: 3,
+                arrival_rate_hz: 1.0,
+                mean_stay: SimDuration::from_secs(20),
+                duration: SimTime::from_secs(120),
+                capacity: 10,
+            },
+            7,
+        )
+    }
+
+    #[test]
+    fn every_world_event_yields_a_sense_and_a_report() {
+        let s = tiny_scenario();
+        let t = run_execution(&s, &ExecutionConfig::default());
+        let senses = t.log.sense_events().len();
+        assert_eq!(senses, s.timeline.len(), "each world event sensed once");
+        assert_eq!(t.log.reports.len(), senses, "each sense reported (lossless)");
+    }
+
+    #[test]
+    fn executions_are_deterministic() {
+        let s = tiny_scenario();
+        let cfg = ExecutionConfig::default();
+        let a = run_execution(&s, &cfg);
+        let b = run_execution(&s, &cfg);
+        assert_eq!(a.log.events, b.log.events);
+        assert_eq!(a.log.reports, b.log.reports);
+        assert_eq!(a.net, b.net);
+    }
+
+    #[test]
+    fn different_seed_changes_arrival_order_or_stamps() {
+        let s = tiny_scenario();
+        let a = run_execution(&s, &ExecutionConfig { seed: 1, ..Default::default() });
+        let b = run_execution(&s, &ExecutionConfig { seed: 2, ..Default::default() });
+        assert_ne!(a.log.reports, b.log.reports, "delays and clock noise differ");
+    }
+
+    #[test]
+    fn strobe_throttling_reduces_broadcasts() {
+        let s = tiny_scenario();
+        let every1 = run_execution(
+            &s,
+            &ExecutionConfig { strobes: StrobePolicy { every: 1, ..Default::default() }, ..Default::default() },
+        );
+        let every4 = run_execution(
+            &s,
+            &ExecutionConfig { strobes: StrobePolicy { every: 4, ..Default::default() }, ..Default::default() },
+        );
+        assert!(every4.net.broadcasts < every1.net.broadcasts);
+        assert!(every4.net.broadcasts >= every1.net.broadcasts / 5);
+    }
+
+    #[test]
+    fn loss_drops_reports() {
+        let s = tiny_scenario();
+        let lossy = run_execution(
+            &s,
+            &ExecutionConfig { loss: LossModel::Bernoulli { p: 0.5 }, ..Default::default() },
+        );
+        assert!(lossy.net.messages_lost > 0);
+        assert!(lossy.log.reports.len() < s.timeline.len(), "some reports were lost");
+    }
+
+    #[test]
+    fn synchronous_delay_means_everything_arrives_instantly() {
+        let s = tiny_scenario();
+        let t = run_execution(
+            &s,
+            &ExecutionConfig { delay: DelayModel::Synchronous, ..Default::default() },
+        );
+        for r in &t.log.reports {
+            assert_eq!(r.arrived_at, r.report.stamps.truth, "Δ=0: report arrives at sense time");
+        }
+    }
+
+    #[test]
+    fn report_vector_stamps_grow_per_process() {
+        let s = tiny_scenario();
+        let t = run_execution(&s, &ExecutionConfig::default());
+        for p in 0..t.n {
+            let reports = t.log.reports_of(p);
+            for w in reports.windows(2) {
+                assert!(
+                    w[0].report.stamps.vector.lt(&w[1].report.stamps.vector),
+                    "a process's own sense events are totally ordered"
+                );
+                assert!(w[0].report.sense_seq < w[1].report.sense_seq);
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The shared execution log.
+//!
+//! Actors append to an [`ExecutionLog`] behind an `Arc<Mutex<…>>` (the
+//! engine is single-threaded, so the lock is uncontended; it exists only to
+//! satisfy ownership). After the run, the log *is* the observable history:
+//! every process event with its full stamp set, every report in arrival
+//! order at P₀, and every actuation command issued.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use psn_clocks::{ProcessId, VectorStamp};
+use psn_sim::time::SimTime;
+use psn_world::{AttrKey, AttrValue};
+
+use crate::event::ProcEvent;
+use crate::message::Report;
+
+/// A report as received at the root, with arrival metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReceivedReport {
+    /// The report.
+    pub report: Report,
+    /// Ground-truth arrival time at the root (scoring only).
+    pub arrived_at: SimTime,
+    /// The root's causal vector clock *after* merging this report — the
+    /// root's knowledge frontier at this point of the observation stream.
+    pub root_vector: VectorStamp,
+}
+
+/// An actuation command issued by the root.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActuationRecord {
+    /// Ground-truth time the command was issued.
+    pub at: SimTime,
+    /// The process commanded to actuate.
+    pub target: ProcessId,
+    /// The attribute driven.
+    pub key: AttrKey,
+    /// The commanded value.
+    pub command: AttrValue,
+}
+
+/// Everything observable about one execution.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExecutionLog {
+    /// All process events (every process), in recording order (== ground
+    /// truth chronological order, since the engine is monotone).
+    pub events: Vec<ProcEvent>,
+    /// Reports in arrival order at the root.
+    pub reports: Vec<ReceivedReport>,
+    /// Actuation commands issued.
+    pub actuations: Vec<ActuationRecord>,
+}
+
+impl ExecutionLog {
+    /// A fresh, shared, empty log.
+    pub fn shared() -> Arc<Mutex<ExecutionLog>> {
+        Arc::new(Mutex::new(ExecutionLog::default()))
+    }
+
+    /// Events of one process, in order.
+    pub fn events_of(&self, p: ProcessId) -> Vec<&ProcEvent> {
+        self.events.iter().filter(|e| e.process == p).collect()
+    }
+
+    /// All sense events, in ground-truth order.
+    pub fn sense_events(&self) -> Vec<&ProcEvent> {
+        self.events.iter().filter(|e| e.kind.is_relevant()).collect()
+    }
+
+    /// Reports of one process, in arrival order.
+    pub fn reports_of(&self, p: ProcessId) -> Vec<&ReceivedReport> {
+        self.reports.iter().filter(|r| r.report.process == p).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use psn_clocks::{PhysReading, ScalarStamp};
+
+    fn ev(p: ProcessId, seq: usize, relevant: bool) -> ProcEvent {
+        ProcEvent {
+            process: p,
+            seq,
+            at: SimTime::ZERO,
+            kind: if relevant {
+                EventKind::Sense {
+                    key: AttrKey::new(0, 0),
+                    value: AttrValue::Int(1),
+                    world_event: 0,
+                }
+            } else {
+                EventKind::Compute
+            },
+            stamps: crate::bundle::StampSet {
+                lamport: ScalarStamp { value: 0, process: p },
+                vector: VectorStamp::zero(2),
+                strobe_scalar: ScalarStamp { value: 0, process: p },
+                strobe_vector: VectorStamp::zero(2),
+                physical: PhysReading(0),
+                synced: PhysReading(0),
+                truth: SimTime::ZERO,
+            },
+        }
+    }
+
+    #[test]
+    fn filters_by_process_and_kind() {
+        let mut log = ExecutionLog::default();
+        log.events.push(ev(0, 1, true));
+        log.events.push(ev(1, 1, false));
+        log.events.push(ev(0, 2, false));
+        assert_eq!(log.events_of(0).len(), 2);
+        assert_eq!(log.events_of(1).len(), 1);
+        assert_eq!(log.sense_events().len(), 1);
+    }
+
+    #[test]
+    fn shared_log_is_writable() {
+        let shared = ExecutionLog::shared();
+        shared.lock().events.push(ev(0, 1, true));
+        assert_eq!(shared.lock().events.len(), 1);
+    }
+}

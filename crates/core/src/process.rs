@@ -1,0 +1,288 @@
+//! The sensor/actuator process (paper §2.1–2.2).
+//!
+//! A [`SensorProcess`] is an active network entity with an independent
+//! clock (the whole [`ClockBundle`]). Its behaviour per the execution
+//! model:
+//!
+//! - on a significant change of a watched attribute it records a **sense
+//!   event** `n`, ticks its clocks (SC1/VC1/SSC1/SVC1), **broadcasts a
+//!   strobe** (per the strobe policy), and **sends a report** to the root
+//!   P₀ (a send event `s`, rules SC2/VC2);
+//! - on receiving a strobe it merges (SSC2/SVC2) without ticking;
+//! - on receiving an actuation command from the root it records an
+//!   **actuate event** `a` and outputs to the environment.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use psn_clocks::ProcessId;
+use psn_sim::engine::{Actor, Context};
+use psn_sim::network::ActorId;
+use psn_world::AttrValue;
+
+use crate::bundle::{ClockBundle, ClockConfig};
+use crate::event::{EventKind, ProcEvent};
+use crate::log::ExecutionLog;
+use crate::message::{NetMsg, Report};
+
+/// Per-process strobe policy.
+///
+/// The paper (§4.2): "the strobe by a process can synchronize at any time.
+/// However, this synchronization need not happen any more frequently than
+/// the local sensing of relevant events" — `every = 1` is the maximum
+/// event-driven rate; `heartbeat` adds optional *time-driven* strobes
+/// (current clock value, no tick) so long-quiet processes still
+/// disseminate what they know; `flood` makes receivers relay unseen
+/// strobes, implementing the protocol's System-wide_Broadcast on overlays
+/// that are not fully meshed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct StrobePolicy {
+    /// Broadcast on every k-th sense event (1 = every event, the default).
+    pub every: usize,
+    /// Also broadcast the current clock (without ticking) at this period.
+    pub heartbeat: Option<psn_sim::time::SimDuration>,
+    /// Relay strobes not seen before to neighbours (multi-hop overlays).
+    pub flood: bool,
+}
+
+impl Default for StrobePolicy {
+    fn default() -> Self {
+        StrobePolicy { every: 1, heartbeat: None, flood: false }
+    }
+}
+
+/// A sensor/actuator process actor.
+pub struct SensorProcess {
+    id: ProcessId,
+    n: usize,
+    root: ActorId,
+    cfg: ClockConfig,
+    policy: StrobePolicy,
+    bundle: Option<ClockBundle>,
+    sense_count: usize,
+    event_seq: usize,
+    /// This process's strobe counter (event-driven + heartbeat strobes).
+    strobe_seq: u64,
+    /// Flood dedup: highest strobe seq seen per origin.
+    seen_strobes: Vec<u64>,
+    log: Arc<Mutex<ExecutionLog>>,
+}
+
+impl SensorProcess {
+    /// A process `id` among `n` sensors reporting to `root`.
+    pub fn new(
+        id: ProcessId,
+        n: usize,
+        root: ActorId,
+        cfg: ClockConfig,
+        policy: StrobePolicy,
+        log: Arc<Mutex<ExecutionLog>>,
+    ) -> Self {
+        SensorProcess {
+            id,
+            n,
+            root,
+            cfg,
+            policy,
+            bundle: None,
+            sense_count: 0,
+            event_seq: 0,
+            strobe_seq: 0,
+            seen_strobes: vec![0; n + 1],
+            log,
+        }
+    }
+
+    fn next_strobe_seq(&mut self) -> u64 {
+        self.strobe_seq += 1;
+        self.strobe_seq
+    }
+
+    fn record(&mut self, at: psn_sim::time::SimTime, kind: EventKind, stamps: crate::bundle::StampSet) {
+        self.event_seq += 1;
+        self.log.lock().events.push(ProcEvent {
+            process: self.id,
+            seq: self.event_seq,
+            at,
+            kind,
+            stamps,
+        });
+    }
+}
+
+impl Actor<NetMsg> for SensorProcess {
+    fn on_start(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        // Clock hardware imperfections come from this actor's own stream,
+        // so the bundle is built here rather than in `new`.
+        self.bundle = Some(ClockBundle::new(self.id, self.n + 1, &self.cfg, ctx.rng()));
+        if let Some(period) = self.policy.heartbeat {
+            ctx.set_timer(period, 0);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, NetMsg>, _tag: u64) {
+        // Heartbeat strobe: broadcast the *current* clocks without ticking
+        // (a pure "catch up" message — the §4.2 synchronize-at-any-time).
+        let bundle = self.bundle.as_ref().expect("started");
+        let snap = bundle.snapshot(ctx.now());
+        let payload = crate::bundle::StrobePayload {
+            scalar: snap.strobe_scalar,
+            vector: snap.strobe_vector,
+        };
+        let seq = self.next_strobe_seq();
+        ctx.broadcast(NetMsg::Strobe { origin: self.id, seq, payload });
+        if let Some(period) = self.policy.heartbeat {
+            ctx.set_timer(period, 0);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, NetMsg>, _from: ActorId, msg: NetMsg) {
+        let now = ctx.now();
+        match msg {
+            NetMsg::WorldSense { key, value, world_event } => {
+                let bundle = self.bundle.as_mut().expect("started");
+                // The sense event n: tick all relevant-event clocks.
+                let (stamps, strobe) = bundle.on_sense(now);
+                self.sense_count += 1;
+                self.record(now, EventKind::Sense { key, value, world_event }, stamps.clone());
+                // Strobe broadcast per policy (SSC1/SVC1's
+                // System-wide_Broadcast).
+                if self.sense_count % self.policy.every == 0 {
+                    let seq = self.next_strobe_seq();
+                    ctx.broadcast(NetMsg::Strobe { origin: self.id, seq, payload: strobe });
+                }
+                // The report to P0: a semantic send event s.
+                let bundle = self.bundle.as_mut().expect("started");
+                let send_stamps = bundle.on_send(now);
+                self.record(now, EventKind::Send { to: self.root }, send_stamps.clone());
+                ctx.send(
+                    self.root,
+                    NetMsg::Report(Report {
+                        process: self.id,
+                        sense_seq: self.sense_count,
+                        key,
+                        value,
+                        stamps,
+                        send_stamps,
+                        world_event,
+                    }),
+                );
+            }
+            NetMsg::Strobe { origin, seq, payload } => {
+                // SSC2/SVC2: merge, no tick, no logged event (control
+                // message).
+                self.bundle.as_mut().expect("started").on_strobe(&payload);
+                // Flood relay: forward strobes not seen before so the
+                // System-wide_Broadcast covers multi-hop overlays.
+                if origin < self.seen_strobes.len() && seq > self.seen_strobes[origin] {
+                    self.seen_strobes[origin] = seq;
+                    if self.policy.flood && origin != self.id {
+                        ctx.broadcast(NetMsg::Strobe { origin, seq, payload });
+                    }
+                }
+            }
+            NetMsg::Actuate { key, command, stamps: piggyback } => {
+                // Receive event r (merge the root's stamps, SC3/VC3), then
+                // the actuate event a — the sensor-side half of the §4.1
+                // causal chain.
+                let bundle = self.bundle.as_mut().expect("started");
+                bundle.on_receive(&piggyback, now);
+                let stamps = bundle.on_internal(now);
+                self.record(now, EventKind::Actuate { key, command }, stamps);
+                ctx.note(format!("actuate {key:?} := {command:?}"));
+            }
+            NetMsg::Report(_) => {
+                // Sensors do not process peer reports.
+            }
+        }
+    }
+}
+
+/// The command the actuation path applies to a sensed attribute: used by
+/// closed-loop examples (e.g. the exhibition hall locking its doors).
+pub fn actuation_command(value: bool) -> AttrValue {
+    AttrValue::Bool(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psn_sim::delay::DelayModel;
+    use psn_sim::engine::Engine;
+    use psn_sim::network::NetworkConfig;
+    use psn_sim::time::SimTime;
+    use psn_world::AttrKey;
+
+    fn run_two_sensors(delay: DelayModel) -> Arc<Mutex<ExecutionLog>> {
+        let log = ExecutionLog::shared();
+        let net = NetworkConfig::full_mesh(3, delay);
+        let mut engine = Engine::new(net, 42);
+        for id in 0..2 {
+            engine.add_actor(Box::new(SensorProcess::new(
+                id,
+                2,
+                2,
+                ClockConfig::default(),
+                StrobePolicy::default(),
+                Arc::clone(&log),
+            )));
+        }
+        // A dummy root that just absorbs messages.
+        struct Sink;
+        impl Actor<NetMsg> for Sink {
+            fn on_message(&mut self, _: &mut Context<'_, NetMsg>, _: ActorId, _: NetMsg) {}
+        }
+        engine.add_actor(Box::new(Sink));
+        // Two world events at 10ms (P0) and 20ms (P1).
+        engine.inject(
+            SimTime::from_millis(10),
+            0,
+            0,
+            NetMsg::WorldSense { key: AttrKey::new(0, 0), value: AttrValue::Int(1), world_event: 0 },
+        );
+        engine.inject(
+            SimTime::from_millis(20),
+            1,
+            1,
+            NetMsg::WorldSense { key: AttrKey::new(1, 0), value: AttrValue::Int(5), world_event: 1 },
+        );
+        engine.run();
+        log
+    }
+
+    #[test]
+    fn sense_records_event_and_send() {
+        let log = run_two_sensors(DelayModel::Synchronous);
+        let log = log.lock();
+        let p0: Vec<_> = log.events_of(0);
+        assert_eq!(p0.len(), 2, "sense + send");
+        assert_eq!(p0[0].kind.tag(), 'n');
+        assert_eq!(p0[1].kind.tag(), 's');
+        assert_eq!(p0[0].stamps.strobe_vector.0, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn strobes_synchronize_under_zero_delay() {
+        let log = run_two_sensors(DelayModel::Synchronous);
+        let log = log.lock();
+        // P1's sense at 20ms happens after P0's strobe arrived (Δ=0), so
+        // P1's strobe vector covers P0's event.
+        let p1_sense = &log.events_of(1)[0];
+        assert_eq!(p1_sense.stamps.strobe_vector.0, vec![1, 1, 0]);
+        assert_eq!(p1_sense.stamps.strobe_scalar.value, 2, "caught up to 1, ticked to 2");
+    }
+
+    #[test]
+    fn delayed_strobes_leave_concurrency() {
+        // Delay 50ms > gap 10ms: P1's sense at 20ms happens before P0's
+        // strobe lands, so its stamp does not cover P0's event.
+        let log = run_two_sensors(DelayModel::Fixed(
+            psn_sim::time::SimDuration::from_millis(50),
+        ));
+        let log = log.lock();
+        let p1_sense = &log.events_of(1)[0];
+        assert_eq!(p1_sense.stamps.strobe_vector.0, vec![0, 1, 0]);
+        assert!(p1_sense.stamps.strobe_vector.concurrent(&log.events_of(0)[0].stamps.strobe_vector));
+    }
+}

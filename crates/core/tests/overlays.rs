@@ -1,0 +1,163 @@
+//! Multi-hop overlays, strobe flooding, and heartbeat strobes.
+//!
+//! The paper's L is "a dynamically changing graph" — not necessarily a
+//! clique — while the strobe rules call for System-wide_Broadcast. These
+//! tests pin down the flood relay that reconciles the two, and the
+//! time-driven heartbeat strobes ("the strobe by a process can synchronize
+//! at any time", §4.2).
+
+use psn_core::{run_execution, ExecutionConfig, StrobePolicy};
+use psn_sim::delay::DelayModel;
+use psn_sim::network::Topology;
+use psn_sim::time::{SimDuration, SimTime};
+use psn_world::scenarios::exhibition::{self, ExhibitionParams};
+
+fn scenario(seed: u64) -> psn_world::Scenario {
+    exhibition::generate(
+        &ExhibitionParams {
+            doors: 4,
+            arrival_rate_hz: 1.0,
+            mean_stay: SimDuration::from_secs(40),
+            duration: SimTime::from_secs(300),
+            capacity: 25,
+        },
+        seed,
+    )
+}
+
+/// Star overlay with the root (node 4) at the hub: sensors cannot reach
+/// each other directly.
+fn star_with_root_hub() -> Topology {
+    let mut adj = vec![vec![false; 5]; 5];
+    for s in 0..4 {
+        adj[s][4] = true;
+        adj[4][s] = true;
+    }
+    Topology::Graph { adj }
+}
+
+#[test]
+fn without_flooding_sparse_overlay_starves_strobes() {
+    // On the star, a sensor's strobes reach only the root; peers never
+    // merge them, so cross-sensor strobe-vector stamps stay concurrent.
+    let s = scenario(3);
+    let cfg = ExecutionConfig {
+        delay: DelayModel::delta(SimDuration::from_millis(50)),
+        topology: Some(star_with_root_hub()),
+        strobes: StrobePolicy { flood: false, ..Default::default() },
+        ..Default::default()
+    };
+    let trace = run_execution(&s, &cfg);
+    let senses = trace.log.sense_events();
+    let cross_ordered = senses.iter().enumerate().any(|(i, a)| {
+        senses.iter().skip(i + 1).any(|b| {
+            a.process != b.process && !a.stamps.strobe_vector.concurrent(&b.stamps.strobe_vector)
+        })
+    });
+    assert!(!cross_ordered, "no relay ⇒ no cross-sensor strobe knowledge");
+}
+
+#[test]
+fn flooding_restores_system_wide_broadcast() {
+    let s = scenario(3);
+    let cfg = ExecutionConfig {
+        delay: DelayModel::delta(SimDuration::from_millis(50)),
+        topology: Some(star_with_root_hub()),
+        strobes: StrobePolicy { flood: true, ..Default::default() },
+        ..Default::default()
+    };
+    let trace = run_execution(&s, &cfg);
+    let senses = trace.log.sense_events();
+    let cross_ordered = senses.iter().enumerate().any(|(i, a)| {
+        senses.iter().skip(i + 1).any(|b| {
+            a.process != b.process && !a.stamps.strobe_vector.concurrent(&b.stamps.strobe_vector)
+        })
+    });
+    assert!(cross_ordered, "relayed strobes order cross-sensor events");
+}
+
+#[test]
+fn flood_deduplication_prevents_storms() {
+    // On a full mesh with flooding enabled, each strobe is relayed at most
+    // once per receiver: total strobe traffic is bounded by
+    // origins × receivers × relays, not exponential.
+    let s = scenario(5);
+    let no_flood = run_execution(
+        &s,
+        &ExecutionConfig {
+            strobes: StrobePolicy { flood: false, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    let flood = run_execution(
+        &s,
+        &ExecutionConfig {
+            strobes: StrobePolicy { flood: true, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    assert!(flood.net.messages_sent > no_flood.net.messages_sent);
+    // Each of the (n+1 =) 5 nodes relays each unseen strobe once to 4
+    // peers: ≤ (1 + 4) × 4 per original broadcast of 4.
+    assert!(
+        flood.net.messages_sent <= no_flood.net.messages_sent * 6,
+        "dedup must bound amplification: {} vs {}",
+        flood.net.messages_sent,
+        no_flood.net.messages_sent
+    );
+}
+
+#[test]
+fn heartbeats_emit_during_quiet_periods() {
+    let s = scenario(7);
+    let quiet = run_execution(
+        &s,
+        &ExecutionConfig {
+            strobes: StrobePolicy {
+                heartbeat: Some(SimDuration::from_secs(5)),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let silent = run_execution(&s, &ExecutionConfig::default());
+    // 4 sensors × (300s / 5s) = 240 extra broadcasts.
+    let extra = quiet.net.broadcasts - silent.net.broadcasts;
+    assert!(
+        (200..=300).contains(&extra),
+        "expected ≈240 heartbeat broadcasts, got {extra}"
+    );
+}
+
+#[test]
+fn heartbeats_do_not_tick_clocks() {
+    // Heartbeats carry the current value without ticking: the final strobe
+    // vector totals must equal the sense-event counts exactly.
+    let s = scenario(7);
+    let trace = run_execution(
+        &s,
+        &ExecutionConfig {
+            strobes: StrobePolicy {
+                heartbeat: Some(SimDuration::from_secs(2)),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    for p in 0..trace.n {
+        let sense_count =
+            trace.log.sense_events().iter().filter(|e| e.process == p).count() as u64;
+        let last = trace
+            .log
+            .events
+            .iter()
+            .filter(|e| e.process == p)
+            .last()
+            .expect("events exist");
+        assert_eq!(
+            last.stamps.strobe_vector.get(p),
+            sense_count,
+            "own component counts sense events only"
+        );
+    }
+}

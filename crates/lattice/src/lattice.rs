@@ -1,0 +1,174 @@
+//! Enumerating the lattice of consistent global states.
+//!
+//! The consistent cuts of an execution, ordered by componentwise ≤, form a
+//! distributive lattice (Mattern). Its size is the number of global states
+//! a passive observer must consider: O(pⁿ) in the worst case, collapsing to
+//! a chain of n·p + 1 states when the order is total. The paper's "slim
+//! lattice postulate" (§4.2.4) is that strobe traffic keeps this lattice
+//! lean; experiment E4 measures exactly that with this module.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::history::History;
+
+/// Summary of an enumerated lattice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatticeStats {
+    /// Number of consistent global states (cuts), including the empty and
+    /// full cuts. Capped at the enumeration limit.
+    pub states: u64,
+    /// `levels[k]` = number of consistent cuts containing exactly k events.
+    /// The maximum over k is the lattice's width (its largest antichain of
+    /// the level structure).
+    pub levels: Vec<u64>,
+    /// True if enumeration stopped at the cap (states is a lower bound).
+    pub truncated: bool,
+}
+
+impl LatticeStats {
+    /// The widest level — how "fat" the lattice is at its widest point.
+    pub fn width(&self) -> u64 {
+        self.levels.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Slimness: states as a fraction of the unconstrained Πᵢ(pᵢ+1) bound
+    /// (1.0 = nothing pruned; → 0 = heavily pruned).
+    pub fn slimness(&self, history: &History) -> f64 {
+        self.states as f64 / history.unconstrained_cuts()
+    }
+}
+
+/// Enumerate all consistent cuts of `history` (BFS by total event count),
+/// stopping early if more than `cap` states are found.
+pub fn enumerate_lattice(history: &History, cap: u64) -> LatticeStats {
+    let n = history.num_processes();
+    let total = history.total_events();
+    let mut levels = vec![0u64; total + 1];
+    let mut states: u64 = 0;
+    let mut truncated = false;
+
+    let mut frontier: HashSet<Vec<usize>> = HashSet::new();
+    frontier.insert(vec![0; n]);
+
+    for level in 0..=total {
+        if frontier.is_empty() {
+            break;
+        }
+        levels[level] = frontier.len() as u64;
+        states += frontier.len() as u64;
+        if states > cap {
+            truncated = true;
+            break;
+        }
+        let mut next: HashSet<Vec<usize>> = HashSet::new();
+        for cut in &frontier {
+            for i in 0..n {
+                if history.can_advance(cut, i) {
+                    let mut succ = cut.clone();
+                    succ[i] += 1;
+                    next.insert(succ);
+                }
+            }
+        }
+        frontier = next;
+    }
+
+    LatticeStats { states, levels, truncated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psn_clocks::VectorStamp;
+
+    fn vs(v: &[u64]) -> VectorStamp {
+        VectorStamp(v.to_vec())
+    }
+
+    #[test]
+    fn independent_events_give_full_grid() {
+        // 2 processes × 2 events each, no communication: 3×3 = 9 cuts.
+        let h = History::new(vec![
+            vec![vs(&[1, 0]), vs(&[2, 0])],
+            vec![vs(&[0, 1]), vs(&[0, 2])],
+        ]);
+        let s = enumerate_lattice(&h, 1_000);
+        assert_eq!(s.states, 9);
+        assert_eq!(s.levels, vec![1, 2, 3, 2, 1]);
+        assert_eq!(s.width(), 3);
+        assert!(!s.truncated);
+        assert!((s.slimness(&h) - 1.0).abs() < 1e-12, "nothing pruned");
+    }
+
+    #[test]
+    fn totally_ordered_events_give_chain() {
+        // 2 processes, each event ordered after everything before it
+        // (e.g. strobes with Δ=0): a chain of total+1 cuts.
+        let h = History::new(vec![
+            vec![vs(&[1, 0]), vs(&[3, 2])],
+            vec![vs(&[1, 1]), vs(&[1, 2])],
+        ]);
+        // Order: p0e0 [1,0] < p1e0 [1,1] < p1e1 [1,2] < p0e1 [3,2].
+        let s = enumerate_lattice(&h, 1_000);
+        assert_eq!(s.states, h.chain_cuts(), "linear order of np states");
+        assert_eq!(s.width(), 1);
+    }
+
+    #[test]
+    fn message_prunes_lattice() {
+        // One message halves the grid corner: 3x3 grid minus cuts where the
+        // receive is in but the send is out.
+        let h = History::new(vec![
+            vec![vs(&[1, 0]), vs(&[2, 0])],
+            vec![vs(&[0, 1]), vs(&[2, 2])], // second event receives p0's 2nd
+        ]);
+        let s = enumerate_lattice(&h, 1_000);
+        // Excluded: cuts with c1=2 and c0<2: (0,2),(1,2) → 9-2=7.
+        assert_eq!(s.states, 7);
+        assert!(s.slimness(&h) < 1.0);
+    }
+
+    #[test]
+    fn cap_truncates() {
+        // 3 processes × 4 independent events = 5^3 = 125 cuts; cap at 20.
+        let h = History::new(
+            (0..3)
+                .map(|p| {
+                    (1..=4u64)
+                        .map(|k| {
+                            let mut v = vec![0; 3];
+                            v[p] = k;
+                            VectorStamp(v)
+                        })
+                        .collect()
+                })
+                .collect(),
+        );
+        let s = enumerate_lattice(&h, 20);
+        assert!(s.truncated);
+        assert!(s.states > 20);
+        let full = enumerate_lattice(&h, 1_000_000);
+        assert_eq!(full.states, 125);
+        assert!(!full.truncated);
+    }
+
+    #[test]
+    fn empty_history_has_one_state() {
+        let h = History::new(vec![vec![], vec![]]);
+        let s = enumerate_lattice(&h, 10);
+        assert_eq!(s.states, 1);
+        assert_eq!(s.levels, vec![1]);
+    }
+
+    #[test]
+    fn levels_sum_to_states() {
+        let h = History::new(vec![
+            vec![vs(&[1, 0]), vs(&[2, 1])],
+            vec![vs(&[0, 1]), vs(&[0, 2]), vs(&[2, 3])],
+        ]);
+        let s = enumerate_lattice(&h, 10_000);
+        assert_eq!(s.levels.iter().sum::<u64>(), s.states);
+    }
+}

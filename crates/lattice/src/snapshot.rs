@@ -1,0 +1,176 @@
+//! Consistent snapshots (Appendix A, vector-time use 2.d: "taking
+//! efficient consistent snapshots of a system").
+//!
+//! Given a vector-stamped history and a *requested* cut (e.g. "everything
+//! each process had done by wall-clock noon", which need not be
+//! consistent), compute the closest consistent cuts around it:
+//!
+//! - [`max_consistent_cut_within`] — the largest consistent cut ≤ the
+//!   request (the snapshot a Chandy–Lamport-style algorithm would settle
+//!   on by discarding post-marker events);
+//! - [`min_consistent_cut_containing`] — the smallest consistent cut ≥ the
+//!   request (include every requested event plus the causal closure).
+//!
+//! Both are well-defined because consistent cuts are closed under
+//! componentwise min and max (the lattice property).
+
+use crate::history::History;
+
+/// The largest consistent cut with `cut[p] ≤ bound[p]` for all p.
+///
+/// Computed by repeatedly retracting any process whose last included event
+/// depends on an excluded event; terminates because cuts only shrink.
+pub fn max_consistent_cut_within(history: &History, bound: &[usize]) -> Vec<usize> {
+    let n = history.num_processes();
+    assert_eq!(bound.len(), n);
+    let mut cut: Vec<usize> = (0..n).map(|p| bound[p].min(history.len_of(p))).collect();
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            while cut[i] > 0 {
+                // The last included event of i must not depend on any
+                // excluded event of any j.
+                let last = &history.stamps[i][cut[i] - 1];
+                let violated = (0..n).any(|j| {
+                    j != i
+                        && cut[j] < history.len_of(j)
+                        && history.stamps[j][cut[j]].lt(last)
+                });
+                if violated {
+                    cut[i] -= 1;
+                    changed = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    debug_assert!(history.is_consistent(&cut));
+    cut
+}
+
+/// The smallest consistent cut with `cut[p] ≥ want[p]` for all p: the
+/// causal closure of the requested events.
+pub fn min_consistent_cut_containing(history: &History, want: &[usize]) -> Vec<usize> {
+    let n = history.num_processes();
+    assert_eq!(want.len(), n);
+    let mut cut: Vec<usize> = (0..n).map(|p| want[p].min(history.len_of(p))).collect();
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            if cut[i] == 0 {
+                continue;
+            }
+            let last = &history.stamps[i][cut[i] - 1];
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                // Include every event of j that happens-before `last`.
+                while cut[j] < history.len_of(j) && history.stamps[j][cut[j]].lt(last) {
+                    cut[j] += 1;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    debug_assert!(history.is_consistent(&cut));
+    cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psn_clocks::VectorStamp;
+
+    fn vs(v: &[u64]) -> VectorStamp {
+        VectorStamp(v.to_vec())
+    }
+
+    /// p0: e1 [1,0], e2 (send) [2,0]; p1: f1 [0,1], f2 (receive of e2) [2,2].
+    fn messaged() -> History {
+        History::new(vec![vec![vs(&[1, 0]), vs(&[2, 0])], vec![vs(&[0, 1]), vs(&[2, 2])]])
+    }
+
+    #[test]
+    fn already_consistent_bound_is_returned() {
+        let h = messaged();
+        assert_eq!(max_consistent_cut_within(&h, &[1, 1]), vec![1, 1]);
+        assert_eq!(max_consistent_cut_within(&h, &[2, 2]), vec![2, 2]);
+        assert_eq!(max_consistent_cut_within(&h, &[0, 0]), vec![0, 0]);
+    }
+
+    #[test]
+    fn retracts_orphan_receive() {
+        // Requesting p1's receive without p0's send must drop the receive.
+        let h = messaged();
+        assert_eq!(max_consistent_cut_within(&h, &[0, 2]), vec![0, 1]);
+        assert_eq!(max_consistent_cut_within(&h, &[1, 2]), vec![1, 1]);
+    }
+
+    #[test]
+    fn closure_pulls_in_the_send() {
+        // Including the receive requires the send (and everything local
+        // before it).
+        let h = messaged();
+        assert_eq!(min_consistent_cut_containing(&h, &[0, 2]), vec![2, 2]);
+        assert_eq!(min_consistent_cut_containing(&h, &[0, 1]), vec![0, 1]);
+    }
+
+    #[test]
+    fn snapshot_brackets_the_request() {
+        let h = messaged();
+        for b0 in 0..=2usize {
+            for b1 in 0..=2usize {
+                let lo = max_consistent_cut_within(&h, &[b0, b1]);
+                let hi = min_consistent_cut_containing(&h, &[b0, b1]);
+                assert!(h.is_consistent(&lo));
+                assert!(h.is_consistent(&hi));
+                for p in 0..2 {
+                    assert!(lo[p] <= [b0, b1][p]);
+                    assert!(hi[p] >= [b0, b1][p].min(h.len_of(p)));
+                    assert!(lo[p] <= hi[p]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_history_snapshots_exactly() {
+        // Fully ordered history: every prefix is consistent only along the
+        // chain; requesting (2, 0) must retract to wherever the chain
+        // allows.
+        let h = History::new(vec![
+            vec![vs(&[1, 0]), vs(&[2, 2])], // p0's 2nd event saw both of p1's
+            vec![vs(&[1, 1]), vs(&[1, 2])],
+        ]);
+        // p0's 2nd event needs both p1 events.
+        assert_eq!(max_consistent_cut_within(&h, &[2, 0]), vec![1, 0]);
+        assert_eq!(min_consistent_cut_containing(&h, &[2, 0]), vec![2, 2]);
+    }
+
+    #[test]
+    fn maximality_and_minimality() {
+        // The returned cuts are extremal: advancing max (resp. retracting
+        // min) within the bound breaks consistency or the bound.
+        let h = messaged();
+        let bound = [1usize, 2];
+        let lo = max_consistent_cut_within(&h, &bound);
+        for p in 0..2 {
+            if lo[p] < bound[p].min(h.len_of(p)) {
+                let mut bigger = lo.clone();
+                bigger[p] += 1;
+                assert!(
+                    !h.is_consistent(&bigger),
+                    "max cut must be maximal at process {p}"
+                );
+            }
+        }
+    }
+}

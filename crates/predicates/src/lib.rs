@@ -1,0 +1,35 @@
+//! # psn-predicates — specification and detection of global predicates
+//!
+//! The paper's detection problem (§3.3): detect **each occurrence** of a
+//! predicate φ on sensed world attributes under the *Instantaneously*
+//! modality, with Δ-bounded asynchronous messages, using either the single
+//! time axis (scalar clocks) or the multiple time axis (vector clocks).
+//!
+//! - [`spec`] — the predicate language: conjunctive and relational
+//!   predicates over world attributes (§3.1.2);
+//! - [`detect`] — the sweep detectors: one skeleton, six clock disciplines
+//!   (oracle / ε-synced physical / unsynced physical / arrival / scalar
+//!   strobe / vector strobe with the borderline bin);
+//! - [`causal`] — `Possibly` / `Definitely` detection of conjunctive
+//!   predicates over vector-stamped intervals (Cooper–Marzullo modalities,
+//!   Garg–Waldecker advancement), under causal or strobe stamps;
+//! - [`accuracy`] — FP/FN scoring against ground truth with tolerance and
+//!   the borderline policy (§5's "err on the safe side").
+
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod analytic;
+pub mod causal;
+pub mod detect;
+pub mod online;
+pub mod spec;
+pub mod timing;
+
+pub use accuracy::{score, AccuracyReport, BorderlinePolicy};
+pub use analytic::{expected_undetectable_rate, fn_probability_synced, race_probability};
+pub use causal::{detect_conjunctive, CausalOccurrence, StampFamily};
+pub use detect::{detect_occurrences, Detection, Discipline};
+pub use online::OnlineDetector;
+pub use spec::{Conjunct, Expr, Predicate};
+pub use timing::{detect_timing, match_timing, TimingMatch, TimingSpec};

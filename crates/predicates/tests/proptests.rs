@@ -1,0 +1,177 @@
+//! Property-based tests for the predicate layer.
+
+use proptest::prelude::*;
+
+use psn_core::{run_execution, ExecutionConfig};
+use psn_predicates::{
+    detect_occurrences, score, BorderlinePolicy, Detection, Discipline, Expr, Predicate,
+};
+use psn_sim::delay::DelayModel;
+use psn_sim::time::{SimDuration, SimTime};
+use psn_world::scenarios::exhibition::{self, ExhibitionParams};
+use psn_world::{truth_intervals, AttrKey, AttrValue};
+
+// ---------------------------------------------------------------------------
+// Expression semantics
+// ---------------------------------------------------------------------------
+
+fn reader(vals: Vec<i64>) -> impl Fn(AttrKey) -> AttrValue {
+    move |k: AttrKey| AttrValue::Int(vals.get(k.object).copied().unwrap_or(0))
+}
+
+proptest! {
+    /// De Morgan: ¬(a ∧ b) ≡ ¬a ∨ ¬b over random assignments.
+    #[test]
+    fn de_morgan(vals in proptest::collection::vec(-5i64..5, 2)) {
+        let read = reader(vals);
+        let a = || Expr::var(AttrKey::new(0, 0)).gt(Expr::int(0));
+        let b = || Expr::var(AttrKey::new(1, 0)).gt(Expr::int(0));
+        let lhs = a().and(b()).negate();
+        let rhs = a().negate().or(b().negate());
+        prop_assert_eq!(lhs.eval_bool(&read), rhs.eval_bool(&read));
+    }
+
+    /// Comparison trichotomy: exactly one of <, =, > holds numerically.
+    #[test]
+    fn comparison_trichotomy(x in -100i64..100, y in -100i64..100) {
+        let read = reader(vec![x, y]);
+        let vx = || Expr::var(AttrKey::new(0, 0));
+        let vy = || Expr::var(AttrKey::new(1, 0));
+        let lt = vx().lt(vy()).eval_bool(&read);
+        let eq = vx().eq_expr(vy()).eval_bool(&read);
+        let gt = vx().gt(vy()).eval_bool(&read);
+        prop_assert_eq!(u8::from(lt) + u8::from(eq) + u8::from(gt), 1);
+    }
+
+    /// Sum distributes over evaluation: eval(Σ eᵢ) = Σ eval(eᵢ).
+    #[test]
+    fn sum_is_componentwise(vals in proptest::collection::vec(-50i64..50, 1..6)) {
+        let n = vals.len();
+        let read = reader(vals.clone());
+        let sum = Expr::Sum((0..n).map(|i| Expr::var(AttrKey::new(i, 0))).collect());
+        let expect: f64 = vals.iter().map(|&v| v as f64).sum();
+        prop_assert!((sum.eval_num(&read) - expect).abs() < 1e-9);
+    }
+
+    /// Arithmetic identities: a − a = 0, a + 0 = a, a·1 = a.
+    #[test]
+    fn arithmetic_identities(x in -1000i64..1000) {
+        let read = reader(vec![x]);
+        let v = || Expr::var(AttrKey::new(0, 0));
+        prop_assert_eq!(v().sub(v()).eval_num(&read), 0.0);
+        prop_assert_eq!(v().add(Expr::int(0)).eval_num(&read), x as f64);
+        prop_assert_eq!(v().mul(Expr::int(1)).eval_num(&read), x as f64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Detection semantics on real executions
+// ---------------------------------------------------------------------------
+
+fn small_params(rate: f64) -> ExhibitionParams {
+    ExhibitionParams {
+        doors: 3,
+        arrival_rate_hz: rate,
+        mean_stay: SimDuration::from_secs(30),
+        duration: SimTime::from_secs(200),
+        capacity: 25,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The oracle discipline reproduces ground truth exactly, for any
+    /// scenario seed and execution seed.
+    #[test]
+    fn oracle_equals_truth(seed in 0u64..500, exec_seed in 0u64..500) {
+        let s = exhibition::generate(&small_params(2.0), seed);
+        let pred = Predicate::occupancy_over(3, 25);
+        let cfg = ExecutionConfig { seed: exec_seed, ..Default::default() };
+        let trace = run_execution(&s, &cfg);
+        let det = detect_occurrences(&trace, &pred, &s.timeline.initial_state(), Discipline::Oracle);
+        let truth = truth_intervals(&s.timeline, |st| pred.eval_state(st));
+        prop_assert_eq!(det.len(), truth.len());
+        for (d, t) in det.iter().zip(&truth) {
+            prop_assert_eq!(d.start, t.start);
+            prop_assert_eq!(d.end, t.end);
+        }
+    }
+
+    /// At Δ = 0 with per-event strobes, both strobe disciplines equal the
+    /// oracle (paper §4.2.3 item 5) — property-tested across seeds.
+    #[test]
+    fn strobes_equal_oracle_at_delta_zero(seed in 0u64..500) {
+        let s = exhibition::generate(&small_params(3.0), seed);
+        let pred = Predicate::occupancy_over(3, 25);
+        let cfg = ExecutionConfig { delay: DelayModel::Synchronous, ..Default::default() };
+        let trace = run_execution(&s, &cfg);
+        let init = s.timeline.initial_state();
+        let strip = |v: Vec<Detection>| -> Vec<(SimTime, Option<SimTime>)> {
+            v.into_iter().map(|d| (d.start, d.end)).collect()
+        };
+        let oracle = strip(detect_occurrences(&trace, &pred, &init, Discipline::Oracle));
+        let scalar = strip(detect_occurrences(&trace, &pred, &init, Discipline::ScalarStrobe));
+        let vector = strip(detect_occurrences(&trace, &pred, &init, Discipline::VectorStrobe));
+        prop_assert_eq!(&scalar, &oracle);
+        prop_assert_eq!(&vector, &oracle);
+    }
+
+    /// Scoring invariants: TP + FN = |truth|; TP ≤ detections;
+    /// AsNegative never has more detections matched than AsPositive.
+    #[test]
+    fn score_accounting_invariants(seed in 0u64..300, delta_ms in 0u64..2000) {
+        let s = exhibition::generate(&small_params(3.0), seed);
+        let pred = Predicate::occupancy_over(3, 25);
+        let cfg = ExecutionConfig {
+            delay: if delta_ms == 0 { DelayModel::Synchronous } else {
+                DelayModel::delta(SimDuration::from_millis(delta_ms))
+            },
+            seed,
+            ..Default::default()
+        };
+        let trace = run_execution(&s, &cfg);
+        let det = detect_occurrences(
+            &trace, &pred, &s.timeline.initial_state(), Discipline::VectorStrobe,
+        );
+        let truth = truth_intervals(&s.timeline, |st| pred.eval_state(st));
+        let horizon = SimTime::from_secs(200);
+        let tol = SimDuration::from_millis(2 * delta_ms + 100);
+        let plus = score(&det, &truth, horizon, tol, BorderlinePolicy::AsPositive);
+        let minus = score(&det, &truth, horizon, tol, BorderlinePolicy::AsNegative);
+        prop_assert_eq!(plus.true_positives + plus.false_negatives, truth.len());
+        prop_assert_eq!(minus.true_positives + minus.false_negatives, truth.len());
+        prop_assert!(plus.true_positives >= minus.true_positives,
+            "dropping borderline detections cannot gain TPs");
+        prop_assert!(plus.recall() >= minus.recall() - 1e-12);
+        prop_assert!(plus.precision() >= 0.0 && plus.precision() <= 1.0);
+        prop_assert!(plus.f1() >= 0.0 && plus.f1() <= 1.0);
+    }
+
+    /// Detections are time-ordered and non-overlapping per discipline
+    /// (excluding zero-length borderline blips, which may interleave).
+    #[test]
+    fn detections_are_ordered(seed in 0u64..300) {
+        let s = exhibition::generate(&small_params(4.0), seed);
+        let pred = Predicate::occupancy_over(3, 25);
+        let cfg = ExecutionConfig {
+            delay: DelayModel::delta(SimDuration::from_millis(400)),
+            seed,
+            ..Default::default()
+        };
+        let trace = run_execution(&s, &cfg);
+        for disc in [Discipline::Oracle, Discipline::SyncedPhysical, Discipline::Arrival] {
+            let det = detect_occurrences(&trace, &pred, &s.timeline.initial_state(), disc);
+            for w in det.windows(2) {
+                let end0 = w[0].end.expect("only last open");
+                // Edges are attributed in truth coordinates which can be
+                // locally reordered by up to the discipline's error; the
+                // *sweep* order is monotone, so starts are non-decreasing
+                // within tolerance for the oracle at least.
+                if disc == Discipline::Oracle {
+                    prop_assert!(end0 <= w[1].start);
+                }
+            }
+        }
+    }
+}

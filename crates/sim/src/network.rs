@@ -1,0 +1,230 @@
+//! The logical network overlay L (paper §2.1).
+//!
+//! `⟨P, L⟩` is the network/observation plane: processes communicate over a
+//! **dynamically changing** logical overlay. This module provides the
+//! overlay graph (static full mesh, arbitrary graphs, and dynamic link
+//! up/down changes) plus the per-network delay, loss, and FIFO
+//! configuration consumed by the engine.
+
+use serde::{Deserialize, Serialize};
+
+use crate::delay::DelayModel;
+use crate::loss::LossModel;
+
+/// Index of an actor (process) in the simulation.
+pub type ActorId = usize;
+
+/// The overlay graph topology.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Every pair of distinct actors is connected (the common case for the
+    /// paper's system-wide strobe broadcasts).
+    FullMesh {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// Arbitrary undirected graph given by an adjacency matrix. `adj[i][j]`
+    /// is true iff `i` and `j` can exchange messages directly.
+    Graph {
+        /// Symmetric adjacency matrix; the diagonal is ignored.
+        adj: Vec<Vec<bool>>,
+    },
+}
+
+impl Topology {
+    /// A ring of `n` nodes (each node linked to its two neighbours).
+    pub fn ring(n: usize) -> Self {
+        let mut adj = vec![vec![false; n]; n];
+        for i in 0..n {
+            adj[i][(i + 1) % n] = true;
+            adj[(i + 1) % n][i] = true;
+        }
+        Topology::Graph { adj }
+    }
+
+    /// A star with node 0 at the centre — the common sensornet configuration
+    /// with a distinguished root/back-end server P₀.
+    pub fn star(n: usize) -> Self {
+        let mut adj = vec![vec![false; n]; n];
+        for i in 1..n {
+            adj[0][i] = true;
+            adj[i][0] = true;
+        }
+        Topology::Graph { adj }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        match self {
+            Topology::FullMesh { n } => *n,
+            Topology::Graph { adj } => adj.len(),
+        }
+    }
+
+    /// True if the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Are `a` and `b` directly connected? (No self-loops.)
+    pub fn connected(&self, a: ActorId, b: ActorId) -> bool {
+        if a == b {
+            return false;
+        }
+        match self {
+            Topology::FullMesh { n } => a < *n && b < *n,
+            Topology::Graph { adj } => {
+                a < adj.len() && b < adj.len() && adj[a][b]
+            }
+        }
+    }
+
+    /// Bring a link up or down. L is a *dynamically changing* graph in the
+    /// paper's model; experiments can reconfigure mid-run. A `FullMesh` is
+    /// first materialized into an explicit graph.
+    pub fn set_link(&mut self, a: ActorId, b: ActorId, up: bool) {
+        if a == b {
+            return;
+        }
+        if let Topology::FullMesh { n } = *self {
+            let adj = (0..n)
+                .map(|i| (0..n).map(|j| i != j).collect())
+                .collect();
+            *self = Topology::Graph { adj };
+        }
+        if let Topology::Graph { adj } = self {
+            if a < adj.len() && b < adj.len() {
+                adj[a][b] = up;
+                adj[b][a] = up;
+            }
+        }
+    }
+
+    /// The neighbours of `a`.
+    pub fn neighbors(&self, a: ActorId) -> Vec<ActorId> {
+        (0..self.len()).filter(|&b| self.connected(a, b)).collect()
+    }
+}
+
+/// Full network-plane configuration: overlay + delay + loss + ordering.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// The overlay graph L.
+    pub topology: Topology,
+    /// The message-delay model (paper §3.2.2).
+    pub delay: DelayModel,
+    /// The message-loss model.
+    pub loss: LossModel,
+    /// If true, per-(sender, receiver) channels deliver in FIFO order; if
+    /// false, messages may overtake each other (pure asynchrony).
+    pub fifo: bool,
+}
+
+impl NetworkConfig {
+    /// A lossless full mesh of `n` nodes with the given delay model, FIFO.
+    pub fn full_mesh(n: usize, delay: DelayModel) -> Self {
+        NetworkConfig { topology: Topology::FullMesh { n }, delay, loss: LossModel::None, fifo: true }
+    }
+
+    /// Replace the loss model (builder style).
+    pub fn with_loss(mut self, loss: LossModel) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Set FIFO / non-FIFO channel ordering (builder style).
+    pub fn with_fifo(mut self, fifo: bool) -> Self {
+        self.fifo = fifo;
+        self
+    }
+}
+
+/// Counters the engine maintains about network-plane activity. Experiment
+/// E7 ("clock sync is not free"; strobe scalar O(1) vs strobe vector O(n))
+/// reads these.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Point-to-point message transmissions attempted (a broadcast to k
+    /// neighbours counts k).
+    pub messages_sent: u64,
+    /// Messages actually delivered.
+    pub messages_delivered: u64,
+    /// Messages dropped by the loss model.
+    pub messages_lost: u64,
+    /// Total payload bytes across attempted transmissions.
+    pub bytes_sent: u64,
+    /// Number of broadcast operations performed.
+    pub broadcasts: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn full_mesh_connects_all_pairs() {
+        let t = Topology::FullMesh { n: 4 };
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(t.connected(a, b), a != b);
+            }
+        }
+        assert!(!t.connected(0, 4), "out-of-range is not connected");
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn ring_has_degree_two() {
+        let t = Topology::ring(5);
+        for i in 0..5 {
+            assert_eq!(t.neighbors(i).len(), 2, "node {i}");
+        }
+        assert!(t.connected(0, 4), "ring wraps around");
+        assert!(!t.connected(0, 2));
+    }
+
+    #[test]
+    fn star_centres_on_zero() {
+        let t = Topology::star(6);
+        assert_eq!(t.neighbors(0).len(), 5);
+        for i in 1..6 {
+            assert_eq!(t.neighbors(i), vec![0]);
+        }
+    }
+
+    #[test]
+    fn dynamic_link_changes() {
+        let mut t = Topology::FullMesh { n: 3 };
+        t.set_link(0, 1, false);
+        assert!(!t.connected(0, 1));
+        assert!(!t.connected(1, 0));
+        assert!(t.connected(0, 2), "other links unaffected");
+        t.set_link(0, 1, true);
+        assert!(t.connected(0, 1));
+    }
+
+    #[test]
+    fn self_links_are_ignored() {
+        let mut t = Topology::FullMesh { n: 3 };
+        t.set_link(1, 1, true);
+        assert!(!t.connected(1, 1));
+    }
+
+    #[test]
+    fn ring_of_two_is_single_link() {
+        let t = Topology::ring(2);
+        assert!(t.connected(0, 1));
+        assert_eq!(t.neighbors(0), vec![1]);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = NetworkConfig::full_mesh(3, DelayModel::delta(SimDuration::from_millis(10)))
+            .with_loss(LossModel::Bernoulli { p: 0.1 })
+            .with_fifo(false);
+        assert!(!c.fifo);
+        assert_eq!(c.topology.len(), 3);
+        assert!(matches!(c.loss, LossModel::Bernoulli { .. }));
+    }
+}

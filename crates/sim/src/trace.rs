@@ -1,0 +1,150 @@
+//! Execution traces.
+//!
+//! When tracing is enabled, the engine records every network-plane action
+//! with its ground-truth time. Offline analyses (lattice construction,
+//! accuracy scoring) read these traces; they are also invaluable when
+//! debugging a protocol.
+
+use serde::{Deserialize, Serialize};
+
+use crate::network::ActorId;
+use crate::time::SimTime;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Ground-truth simulation time of the event.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// The kinds of events a trace can record.
+///
+/// Fields are the obvious actor ids / payload sizes / timer tags.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum TraceKind {
+    /// A point-to-point transmission was attempted.
+    Sent { from: ActorId, to: ActorId, bytes: usize },
+    /// A message was delivered to its destination.
+    Delivered { from: ActorId, to: ActorId },
+    /// A message was dropped by the loss model.
+    Lost { from: ActorId, to: ActorId },
+    /// A timer fired at an actor.
+    TimerFired { actor: ActorId, tag: u64 },
+    /// A free-form annotation emitted by an actor (protocol-level events:
+    /// "sensed x=5", "detected φ", …).
+    Note { actor: ActorId, label: String },
+}
+
+/// A chronological record of a run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A trace that records events.
+    pub fn enabled() -> Self {
+        Trace { events: Vec::new(), enabled: true }
+    }
+
+    /// A trace that discards everything (zero overhead beyond the branch).
+    pub fn disabled() -> Self {
+        Trace { events: Vec::new(), enabled: false }
+    }
+
+    /// Is recording on?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op if disabled).
+    pub fn record(&mut self, at: SimTime, kind: TraceKind) {
+        if self.enabled {
+            self.events.push(TraceEvent { at, kind });
+        }
+    }
+
+    /// All recorded events, in recording order (which is chronological,
+    /// since the engine advances time monotonically).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All `Note` annotations from a given actor, with their times.
+    pub fn notes_of(&self, actor: ActorId) -> Vec<(SimTime, &str)> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceKind::Note { actor: a, label } if *a == actor => {
+                    Some((e.at, label.as_str()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Count events matching a predicate.
+    pub fn count_matching(&self, f: impl Fn(&TraceKind) -> bool) -> usize {
+        self.events.iter().filter(|e| f(&e.kind)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::ZERO, TraceKind::TimerFired { actor: 0, tag: 1 });
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::from_millis(1), TraceKind::Sent { from: 0, to: 1, bytes: 8 });
+        t.record(SimTime::from_millis(2), TraceKind::Delivered { from: 0, to: 1 });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[0].at, SimTime::from_millis(1));
+        assert!(matches!(t.events()[1].kind, TraceKind::Delivered { .. }));
+    }
+
+    #[test]
+    fn notes_filter_by_actor() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::from_millis(1), TraceKind::Note { actor: 3, label: "sensed".into() });
+        t.record(SimTime::from_millis(2), TraceKind::Note { actor: 4, label: "other".into() });
+        t.record(SimTime::from_millis(5), TraceKind::Note { actor: 3, label: "detected".into() });
+        let notes = t.notes_of(3);
+        assert_eq!(notes.len(), 2);
+        assert_eq!(notes[0].1, "sensed");
+        assert_eq!(notes[1].0, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn count_matching_counts() {
+        let mut t = Trace::enabled();
+        for i in 0..5 {
+            t.record(SimTime::from_millis(i), TraceKind::Lost { from: 0, to: 1 });
+        }
+        t.record(SimTime::from_millis(9), TraceKind::Delivered { from: 0, to: 1 });
+        assert_eq!(t.count_matching(|k| matches!(k, TraceKind::Lost { .. })), 5);
+        assert_eq!(t.count_matching(|k| matches!(k, TraceKind::Delivered { .. })), 1);
+    }
+}

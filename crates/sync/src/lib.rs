@@ -1,0 +1,29 @@
+//! # psn-sync — the physical-clock-synchronization baseline
+//!
+//! The paper's thesis is comparative: strobe clocks (partial-order logical
+//! time) are a viable *alternative* to physically synchronized clocks when
+//! the latter are unavailable or too expensive (§3.3). To make that
+//! comparison concrete, this crate implements the baseline: drifting
+//! oscillators (from `psn-clocks`) brought into sync by
+//!
+//! - [`rbs`] — a Reference-Broadcast-Synchronization-like receiver-receiver
+//!   protocol, and
+//! - [`tpsn`] — a TPSN-like two-way sender-receiver exchange over a tree,
+//!
+//! with [`skew`] measuring the achieved ε and [`cost`] pricing the
+//! messages in radio energy. Experiments E1 (ε → detection accuracy) and
+//! E7 ("sync is not free") consume these.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod on_demand;
+pub mod rbs;
+pub mod skew;
+pub mod tpsn;
+
+pub use cost::CostModel;
+pub use on_demand::{run_on_demand, OnDemandOutcome, OnDemandParams};
+pub use rbs::{run_rbs, RbsParams, SyncOutcome};
+pub use skew::{max_pairwise_skew, max_truth_error, mean_pairwise_skew};
+pub use tpsn::{run_tpsn, run_tpsn_chain, ChainOutcome, TpsnChainParams, TpsnParams};

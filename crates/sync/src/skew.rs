@@ -1,0 +1,95 @@
+//! Skew measurement helpers.
+//!
+//! A synchronization protocol's quality is its achieved skew ε: the largest
+//! disagreement between any two corrected clocks. The paper (§3.3) notes
+//! protocol-achieved skews of microseconds to milliseconds for sensornets
+//! (RBS, TPSN, …) and uses ε to bound detection accuracy: overlaps shorter
+//! than 2ε are undetectable with physical clocks (Mayo–Kearns).
+
+use psn_clocks::Oscillator;
+use psn_sim::time::{SimDuration, SimTime};
+
+/// The largest pairwise disagreement among clocks at ground-truth time `t`.
+pub fn max_pairwise_skew(clocks: &[Oscillator], t: SimTime) -> SimDuration {
+    let readings: Vec<i64> = clocks.iter().map(|c| c.read(t).0).collect();
+    let mut worst = 0u64;
+    for i in 0..readings.len() {
+        for j in (i + 1)..readings.len() {
+            worst = worst.max(readings[i].abs_diff(readings[j]));
+        }
+    }
+    SimDuration::from_nanos(worst)
+}
+
+/// The largest absolute error versus ground truth at time `t`.
+pub fn max_truth_error(clocks: &[Oscillator], t: SimTime) -> SimDuration {
+    clocks.iter().map(|c| c.error_at(t)).max().unwrap_or(SimDuration::ZERO)
+}
+
+/// Mean absolute pairwise skew at time `t`.
+pub fn mean_pairwise_skew(clocks: &[Oscillator], t: SimTime) -> SimDuration {
+    let readings: Vec<i64> = clocks.iter().map(|c| c.read(t).0).collect();
+    let n = readings.len();
+    if n < 2 {
+        return SimDuration::ZERO;
+    }
+    let mut total = 0u128;
+    let mut pairs = 0u128;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += u128::from(readings[i].abs_diff(readings[j]));
+            pairs += 1;
+        }
+    }
+    SimDuration::from_nanos((total / pairs) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn osc(offset_ns: i64) -> Oscillator {
+        Oscillator { offset_ns, drift_ppm: 0.0, granularity_ns: 1 }
+    }
+
+    #[test]
+    fn pairwise_skew_is_spread() {
+        let clocks = vec![osc(-500), osc(0), osc(1500)];
+        let t = SimTime::from_secs(1);
+        assert_eq!(max_pairwise_skew(&clocks, t), SimDuration::from_nanos(2000));
+        assert_eq!(max_truth_error(&clocks, t), SimDuration::from_nanos(1500));
+    }
+
+    #[test]
+    fn identical_clocks_have_zero_skew() {
+        let clocks = vec![osc(100), osc(100)];
+        assert_eq!(max_pairwise_skew(&clocks, SimTime::from_secs(5)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn mean_skew_averages_pairs() {
+        let clocks = vec![osc(0), osc(300), osc(600)];
+        // Pairs: 300, 600, 300 → mean 400.
+        assert_eq!(
+            mean_pairwise_skew(&clocks, SimTime::ZERO),
+            SimDuration::from_nanos(400)
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(max_pairwise_skew(&[], SimTime::ZERO), SimDuration::ZERO);
+        assert_eq!(mean_pairwise_skew(&[osc(5)], SimTime::ZERO), SimDuration::ZERO);
+        assert_eq!(max_truth_error(&[], SimTime::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn drift_grows_skew_over_time() {
+        let fast = Oscillator { offset_ns: 0, drift_ppm: 50.0, granularity_ns: 1 };
+        let slow = Oscillator { offset_ns: 0, drift_ppm: -50.0, granularity_ns: 1 };
+        let clocks = vec![fast, slow];
+        let early = max_pairwise_skew(&clocks, SimTime::from_secs(1));
+        let late = max_pairwise_skew(&clocks, SimTime::from_secs(100));
+        assert!(late > early * 50, "100 ppm relative drift accumulates");
+    }
+}

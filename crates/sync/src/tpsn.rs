@@ -1,0 +1,425 @@
+//! TPSN-like sender-receiver pair-wise synchronization.
+//!
+//! TPSN (Ganeriwal et al.) builds a spanning tree and synchronizes each
+//! node to its parent with a two-way exchange: the child sends a request
+//! stamped with its local T1; the parent receives at its local T2 and
+//! replies carrying (T1, T2, T3 = parent send time); the child receives at
+//! its local T4 and estimates its offset relative to the parent as
+//!
+//! ```text
+//! offset = ((T2 − T1) − (T4 − T3)) / 2
+//! ```
+//!
+//! exact under symmetric delays; the residual error is half the request /
+//! reply delay *asymmetry*. We simulate a star tree rooted at the reference
+//! (depth 1) — enough to reproduce the protocol's accuracy and cost shape.
+//! Multiple rounds are averaged.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use psn_clocks::Oscillator;
+use psn_sim::delay::DelayModel;
+use psn_sim::engine::{Actor, Context, Engine, Message};
+use psn_sim::network::{ActorId, NetworkConfig};
+use psn_sim::rng::RngFactory;
+use psn_sim::time::{SimDuration, SimTime};
+
+use crate::rbs::SyncOutcome;
+use crate::skew::max_pairwise_skew;
+
+/// Parameters of one TPSN run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TpsnParams {
+    /// Number of child nodes to synchronize to the reference.
+    pub children: usize,
+    /// Rounds of exchange per child (estimates are averaged).
+    pub rounds: usize,
+    /// Delay jitter bound (per message, uniform over
+    /// `[propagation, propagation + jitter]`).
+    pub jitter: SimDuration,
+    /// Fixed symmetric propagation delay.
+    pub propagation: SimDuration,
+    /// Max initial clock offset of the children.
+    pub max_offset: SimDuration,
+    /// Max |drift| in ppm.
+    pub max_drift_ppm: f64,
+}
+
+impl Default for TpsnParams {
+    fn default() -> Self {
+        TpsnParams {
+            children: 8,
+            rounds: 4,
+            jitter: SimDuration::from_micros(100),
+            propagation: SimDuration::from_micros(5),
+            max_offset: SimDuration::from_millis(20),
+            max_drift_ppm: 30.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum TpsnMsg {
+    Request { t1: i64 },
+    Reply { t1: i64, t2: i64, t3: i64 },
+}
+
+impl Message for TpsnMsg {
+    fn size_bytes(&self) -> usize {
+        match self {
+            TpsnMsg::Request { .. } => 8,
+            TpsnMsg::Reply { .. } => 24,
+        }
+    }
+}
+
+/// The parent/reference: replies to requests with its own readings. Its
+/// oscillator is the time standard (index 0 in the shared vector).
+struct Parent {
+    oscillators: Arc<Mutex<Vec<Oscillator>>>,
+}
+impl Actor<TpsnMsg> for Parent {
+    fn on_message(&mut self, ctx: &mut Context<'_, TpsnMsg>, from: ActorId, msg: TpsnMsg) {
+        if let TpsnMsg::Request { t1 } = msg {
+            let t2 = self.oscillators.lock()[0].read(ctx.now()).0;
+            let t3 = t2; // reply immediately: T3 == T2 in simulation
+            ctx.send(from, TpsnMsg::Reply { t1, t2, t3 });
+        }
+    }
+}
+
+/// A child: performs `rounds` exchanges, averages the offset estimates,
+/// and corrects its oscillator.
+struct Child {
+    index: usize, // 1-based index into the shared oscillator vec
+    rounds: usize,
+    done_rounds: usize,
+    estimates: Vec<i64>,
+    oscillators: Arc<Mutex<Vec<Oscillator>>>,
+}
+
+impl Child {
+    fn send_request(&self, ctx: &mut Context<'_, TpsnMsg>) {
+        let t1 = self.oscillators.lock()[self.index].read(ctx.now()).0;
+        ctx.send(0, TpsnMsg::Request { t1 });
+    }
+}
+
+impl Actor<TpsnMsg> for Child {
+    fn on_start(&mut self, ctx: &mut Context<'_, TpsnMsg>) {
+        self.send_request(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, TpsnMsg>, _from: ActorId, msg: TpsnMsg) {
+        if let TpsnMsg::Reply { t1, t2, t3 } = msg {
+            let t4 = self.oscillators.lock()[self.index].read(ctx.now()).0;
+            // offset of child relative to parent.
+            let offset = ((t2 - t1) - (t4 - t3)) / 2;
+            self.estimates.push(offset);
+            self.done_rounds += 1;
+            if self.done_rounds < self.rounds {
+                self.send_request(ctx);
+            } else {
+                let mean: i64 =
+                    self.estimates.iter().sum::<i64>() / self.estimates.len() as i64;
+                // offset = parent − child, so the child adds it.
+                self.oscillators.lock()[self.index].adjust_offset(mean);
+            }
+        }
+    }
+}
+
+/// Run the protocol; returns the outcome (skews measured across the
+/// reference plus all children).
+pub fn run_tpsn(params: &TpsnParams, seed: u64) -> SyncOutcome {
+    assert!(params.children >= 1, "need at least one child");
+    assert!(params.rounds >= 1, "need at least one round");
+    let factory = RngFactory::new(seed);
+    let mut hw_rng = factory.labeled_stream("tpsn.hardware");
+    let mut oscillators = vec![Oscillator::perfect()]; // the reference
+    oscillators.extend(
+        (0..params.children)
+            .map(|_| Oscillator::random(&mut hw_rng, params.max_offset, params.max_drift_ppm, 1)),
+    );
+    let initial_skew = max_pairwise_skew(&oscillators, SimTime::ZERO);
+    let oscillators = Arc::new(Mutex::new(oscillators));
+
+    let net = NetworkConfig::full_mesh(
+        params.children + 1,
+        DelayModel::DeltaBounded {
+            min: params.propagation,
+            max: params.propagation + params.jitter,
+        },
+    );
+    let mut engine: Engine<TpsnMsg> = Engine::new(net, seed);
+    engine.add_actor(Box::new(Parent { oscillators: Arc::clone(&oscillators) }));
+    for index in 1..=params.children {
+        engine.add_actor(Box::new(Child {
+            index,
+            rounds: params.rounds,
+            done_rounds: 0,
+            estimates: Vec::new(),
+            oscillators: Arc::clone(&oscillators),
+        }));
+    }
+    let completed_at = engine.run();
+    let achieved_skew = max_pairwise_skew(&oscillators.lock(), completed_at);
+    SyncOutcome {
+        achieved_skew,
+        initial_skew,
+        messages: engine.stats().messages_sent,
+        bytes: engine.stats().bytes_sent,
+        completed_at,
+    }
+}
+
+/// Parameters for a multi-hop TPSN chain (a degenerate spanning tree of
+/// the given depth: node 0 is the reference, node k syncs to node k−1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TpsnChainParams {
+    /// Number of hops (nodes = depth + 1).
+    pub depth: usize,
+    /// Rounds of exchange per hop (averaged).
+    pub rounds: usize,
+    /// Delay jitter bound per message.
+    pub jitter: SimDuration,
+    /// Fixed symmetric propagation delay.
+    pub propagation: SimDuration,
+    /// Max initial clock offset.
+    pub max_offset: SimDuration,
+    /// Max |drift| in ppm.
+    pub max_drift_ppm: f64,
+    /// Gap between levels: node k starts its exchange this long after
+    /// node k−1 (TPSN's level-by-level synchronization phase).
+    pub level_stagger: SimDuration,
+}
+
+impl Default for TpsnChainParams {
+    fn default() -> Self {
+        TpsnChainParams {
+            depth: 4,
+            rounds: 4,
+            jitter: SimDuration::from_micros(100),
+            propagation: SimDuration::from_micros(5),
+            max_offset: SimDuration::from_millis(20),
+            max_drift_ppm: 30.0,
+            level_stagger: SimDuration::from_millis(50),
+        }
+    }
+}
+
+/// Outcome of a chain run: per-hop absolute error vs the reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainOutcome {
+    /// `errors[k]` = |node k+1's clock − reference| after sync, ns.
+    pub hop_errors_ns: Vec<u64>,
+    /// Messages consumed.
+    pub messages: u64,
+}
+
+/// A chain node: waits for its level's turn, then runs `rounds` exchanges
+/// with its parent (node id − 1) and corrects itself.
+struct ChainNode {
+    index: usize,
+    rounds: usize,
+    done_rounds: usize,
+    estimates: Vec<i64>,
+    start_after: SimDuration,
+    oscillators: Arc<Mutex<Vec<Oscillator>>>,
+}
+
+impl ChainNode {
+    fn send_request(&self, ctx: &mut Context<'_, TpsnMsg>) {
+        let t1 = self.oscillators.lock()[self.index].read(ctx.now()).0;
+        ctx.send(self.index - 1, TpsnMsg::Request { t1 });
+    }
+}
+
+impl Actor<TpsnMsg> for ChainNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, TpsnMsg>) {
+        if self.index > 0 {
+            ctx.set_timer(self.start_after, 0);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_, TpsnMsg>, _tag: u64) {
+        self.send_request(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, TpsnMsg>, from: ActorId, msg: TpsnMsg) {
+        match msg {
+            TpsnMsg::Request { t1 } => {
+                // Acting as parent for the next hop.
+                let t2 = self.oscillators.lock()[self.index].read(ctx.now()).0;
+                ctx.send(from, TpsnMsg::Reply { t1, t2, t3: t2 });
+            }
+            TpsnMsg::Reply { t1, t2, t3 } => {
+                let t4 = self.oscillators.lock()[self.index].read(ctx.now()).0;
+                let offset = ((t2 - t1) - (t4 - t3)) / 2;
+                self.estimates.push(offset);
+                self.done_rounds += 1;
+                if self.done_rounds < self.rounds {
+                    self.send_request(ctx);
+                } else {
+                    let mean: i64 =
+                        self.estimates.iter().sum::<i64>() / self.estimates.len() as i64;
+                    self.oscillators.lock()[self.index].adjust_offset(mean);
+                }
+            }
+        }
+    }
+}
+
+/// Run a TPSN chain; error accumulates hop by hop (each hop adds an
+/// independent asymmetry residual — the reason TPSN trees are kept
+/// shallow).
+pub fn run_tpsn_chain(params: &TpsnChainParams, seed: u64) -> ChainOutcome {
+    assert!(params.depth >= 1, "need at least one hop");
+    let factory = RngFactory::new(seed);
+    let mut hw = factory.labeled_stream("tpsn.chain.hw");
+    let mut oscillators = vec![Oscillator::perfect()];
+    oscillators.extend(
+        (0..params.depth)
+            .map(|_| Oscillator::random(&mut hw, params.max_offset, params.max_drift_ppm, 1)),
+    );
+    let oscillators = Arc::new(Mutex::new(oscillators));
+
+    let net = NetworkConfig {
+        topology: psn_sim::network::Topology::ring(params.depth + 1),
+        delay: DelayModel::DeltaBounded {
+            min: params.propagation,
+            max: params.propagation + params.jitter,
+        },
+        loss: psn_sim::loss::LossModel::None,
+        fifo: true,
+    };
+    // A ring connects k to k±1 (and wraps 0 to depth — harmless: no
+    // traffic crosses that edge).
+    let mut engine: Engine<TpsnMsg> = Engine::new(net, seed);
+    for index in 0..=params.depth {
+        engine.add_actor(Box::new(ChainNode {
+            index,
+            rounds: params.rounds,
+            done_rounds: 0,
+            estimates: Vec::new(),
+            start_after: params.level_stagger * index as u64,
+            oscillators: Arc::clone(&oscillators),
+        }));
+    }
+    let end = engine.run();
+    let oscs = oscillators.lock();
+    let reference = oscs[0].read(end).0;
+    let hop_errors_ns =
+        (1..=params.depth).map(|k| oscs[k].read(end).0.abs_diff(reference)).collect();
+    ChainOutcome { hop_errors_ns, messages: engine.stats().messages_sent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpsn_synchronizes() {
+        let out = run_tpsn(&TpsnParams::default(), 42);
+        assert!(
+            out.achieved_skew.as_nanos() * 10 < out.initial_skew.as_nanos(),
+            "achieved {} vs initial {}",
+            out.achieved_skew,
+            out.initial_skew
+        );
+    }
+
+    #[test]
+    fn error_bounded_by_jitter() {
+        // Residual error per child ≤ jitter/2 (asymmetry bound) plus drift;
+        // across children pairwise ≤ jitter plus slack.
+        let params = TpsnParams { jitter: SimDuration::from_micros(200), ..Default::default() };
+        let out = run_tpsn(&params, 9);
+        assert!(
+            out.achieved_skew <= SimDuration::from_micros(300),
+            "skew {} too large",
+            out.achieved_skew
+        );
+    }
+
+    #[test]
+    fn message_cost_is_two_per_round_per_child() {
+        let params = TpsnParams { children: 5, rounds: 3, ..Default::default() };
+        let out = run_tpsn(&params, 1);
+        assert_eq!(out.messages, 2 * 5 * 3, "request + reply per round per child");
+    }
+
+    #[test]
+    fn more_rounds_usually_tighten() {
+        let mean_skew = |rounds: usize| -> f64 {
+            (0..20)
+                .map(|s| {
+                    run_tpsn(&TpsnParams { rounds, ..Default::default() }, s)
+                        .achieved_skew
+                        .as_nanos() as f64
+                })
+                .sum::<f64>()
+                / 20.0
+        };
+        let one = mean_skew(1);
+        let eight = mean_skew(8);
+        assert!(eight < one, "averaging helps: 1→{one}, 8→{eight}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run_tpsn(&TpsnParams::default(), 3), run_tpsn(&TpsnParams::default(), 3));
+    }
+
+    #[test]
+    fn chain_synchronizes_every_hop() {
+        let out = run_tpsn_chain(&TpsnChainParams::default(), 42);
+        assert_eq!(out.hop_errors_ns.len(), 4);
+        for (k, &err) in out.hop_errors_ns.iter().enumerate() {
+            // Initial offsets were up to 20 ms; post-sync errors are
+            // bounded by accumulated jitter (≤ depth × jitter/2 + drift).
+            assert!(
+                err < 1_000_000,
+                "hop {} error {}ns should be ≪ the 20ms raw offsets",
+                k + 1,
+                err
+            );
+        }
+    }
+
+    #[test]
+    fn chain_error_accumulates_with_depth() {
+        // Mean error of the last hop grows with depth (random-walk
+        // accumulation of per-hop asymmetry residuals).
+        let mean_last_error = |depth: usize| -> f64 {
+            (0..30)
+                .map(|s| {
+                    let params = TpsnChainParams { depth, ..Default::default() };
+                    *run_tpsn_chain(&params, s).hop_errors_ns.last().expect("hops") as f64
+                })
+                .sum::<f64>()
+                / 30.0
+        };
+        let shallow = mean_last_error(1);
+        let deep = mean_last_error(8);
+        assert!(
+            deep > shallow * 1.5,
+            "depth-8 error {deep} should exceed depth-1 error {shallow}"
+        );
+    }
+
+    #[test]
+    fn chain_message_cost() {
+        let params = TpsnChainParams { depth: 5, rounds: 3, ..Default::default() };
+        let out = run_tpsn_chain(&params, 1);
+        assert_eq!(out.messages, 2 * 5 * 3, "request+reply per round per hop");
+    }
+
+    #[test]
+    fn chain_deterministic() {
+        assert_eq!(
+            run_tpsn_chain(&TpsnChainParams::default(), 9),
+            run_tpsn_chain(&TpsnChainParams::default(), 9)
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Scenario generators.
+//!
+//! Each generator builds a complete, deterministic world-plane run: the
+//! objects, the ground-truth event [`Timeline`] with covert-channel
+//! causality, and the [`SensorAssignment`] saying which network-plane
+//! process senses which attributes. The four scenarios cover the paper's
+//! motivating settings:
+//!
+//! - [`exhibition`] — the §5 convention-center hall: d doors, RFID entry /
+//!   exit counting, occupancy predicate Σ(xᵢ−yᵢ) > capacity;
+//! - [`office`] — the smart office of §3.1: room temperatures and motion,
+//!   the `motion ∧ temp > 30 °C` rule;
+//! - [`hospital`] — the §5 hospital: ward visitor counts, infectious-ward
+//!   entry;
+//! - [`habitat`] — monitoring "in the wild": rare, slow events where the
+//!   paper argues strobe clocks shine (event rate ≪ 1/Δ).
+
+pub mod exhibition;
+pub mod habitat;
+pub mod hospital;
+pub mod office;
+pub mod structure;
+
+use serde::{Deserialize, Serialize};
+
+use crate::object::AttrKey;
+use crate::timeline::Timeline;
+
+/// Which process senses which world attributes.
+///
+/// In the paper's model a process records a sense event `n` "whenever a
+/// significant change in the value of an attribute of an object is sensed"
+/// — this map says who is in range of what. Every attribute is watched by
+/// exactly one process in these scenarios (multi-sensor coverage is
+/// exercised separately in tests).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SensorAssignment {
+    /// `watches[p]` = the attributes process `p` senses.
+    pub watches: Vec<Vec<AttrKey>>,
+}
+
+impl SensorAssignment {
+    /// The process that senses `key`, if any.
+    pub fn process_for(&self, key: AttrKey) -> Option<usize> {
+        self.watches.iter().position(|w| w.contains(&key))
+    }
+
+    /// Number of sensor processes.
+    pub fn num_processes(&self) -> usize {
+        self.watches.len()
+    }
+}
+
+/// A generated scenario: ground truth plus the sensing layout.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable name.
+    pub name: String,
+    /// The ground-truth world-plane run.
+    pub timeline: Timeline,
+    /// Which process senses which attribute.
+    pub sensing: SensorAssignment,
+}
+
+impl Scenario {
+    /// Number of sensor processes the scenario expects.
+    pub fn num_processes(&self) -> usize {
+        self.sensing.num_processes()
+    }
+
+    /// Mean world-event rate over the run, in events per second.
+    pub fn event_rate_hz(&self) -> f64 {
+        let d = self.timeline.duration().as_secs_f64();
+        if d == 0.0 {
+            0.0
+        } else {
+            self.timeline.len() as f64 / d
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_lookup() {
+        let a = SensorAssignment {
+            watches: vec![
+                vec![AttrKey::new(0, 0), AttrKey::new(0, 1)],
+                vec![AttrKey::new(1, 0)],
+            ],
+        };
+        assert_eq!(a.process_for(AttrKey::new(0, 1)), Some(0));
+        assert_eq!(a.process_for(AttrKey::new(1, 0)), Some(1));
+        assert_eq!(a.process_for(AttrKey::new(9, 0)), None);
+        assert_eq!(a.num_processes(), 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Habitat monitoring "in the wild" — the paper's strongest case for
+//! strobe clocks (§3.3, §6): events are rare relative to Δ, energy is
+//! scarce, and no lower-layer clock-sync service is affordable. Shows
+//! (1) near-perfect strobe detection of a congregation predicate at Δ = 1 s,
+//! (2) the energy budget vs a periodic sync service, and
+//! (3) on-demand synchronization (§4.2, Baumgartner et al.) for one
+//!     simultaneous sampling task without any standing time base.
+//!
+//! ```sh
+//! cargo run --release --example habitat_wild
+//! ```
+
+use pervasive_time::prelude::*;
+use pervasive_time::sync::{run_on_demand, run_rbs, CostModel, OnDemandParams, RbsParams};
+use pervasive_time::world::scenarios::habitat::ATTR_PRESENT;
+
+fn main() {
+    // A day in a valley: 6 stations along a corridor, 3 tagged animals,
+    // 20-minute mean dwell — a few events per hour across the whole site.
+    let params = HabitatParams::default();
+    let scenario = habitat::generate(&params, 7);
+    println!(
+        "{} — {} events over 24h ({:.2} events/hour)",
+        scenario.name,
+        scenario.timeline.len(),
+        scenario.event_rate_hz() * 3600.0
+    );
+
+    // Detection with vector strobes at a (huge, for sensornets) Δ = 1 s.
+    let cfg = ExecutionConfig {
+        delay: DelayModel::delta(SimDuration::from_secs(1)),
+        ..Default::default()
+    };
+    let trace = run_execution(&scenario, &cfg);
+    let pred = Predicate::Relational(
+        Expr::var(AttrKey::new(2, ATTR_PRESENT)).ge(Expr::int(2)),
+    );
+    let truth = truth_intervals(&scenario.timeline, |s| pred.eval_state(s));
+    let det = detect_occurrences(
+        &trace,
+        &pred,
+        &scenario.timeline.initial_state(),
+        Discipline::VectorStrobe,
+    );
+    let r = score(
+        &det,
+        &truth,
+        SimTime::from_secs(86_400),
+        SimDuration::from_secs(3),
+        BorderlinePolicy::AsPositive,
+    );
+    println!(
+        "\npredicate '≥2 animals at station 2': truth {} → TP {} FP {} FN {} (borderline {})",
+        truth.len(),
+        r.true_positives,
+        r.false_positives,
+        r.false_negatives,
+        r.borderline
+    );
+    println!(
+        "event rate ({:.4}/s) ≪ 1/Δ (1/s): the paper's regime — strobes are near-exact.",
+        scenario.event_rate_hz()
+    );
+
+    // Energy: strobes for the whole day vs an RBS service resyncing every
+    // 30 s for the whole day.
+    let cost = CostModel::default();
+    let strobe_energy = cost.net_energy(&trace.net);
+    let rbs = run_rbs(
+        &RbsParams { receivers: params.stations, beacons: 5, ..Default::default() },
+        3,
+    );
+    let rounds = (86_400.0_f64 / 30.0).ceil();
+    let sync_energy = cost.sync_energy(&rbs) * rounds;
+    println!("\nenergy over 24h (model units):");
+    println!("  event-driven strobes : {strobe_energy:>12.0}");
+    println!("  RBS service @30s     : {sync_energy:>12.0}   (ε = {})", rbs.achieved_skew);
+    println!(
+        "  ratio                : {:>11.1}x  — 'such service is not for free' (§3.3)",
+        sync_energy / strobe_energy.max(1.0)
+    );
+
+    // On-demand sync: fire all stations' microphones simultaneously once,
+    // to localize an audio source — no standing time base needed.
+    println!("\non-demand simultaneous sampling (Baumgartner et al., §4.2):");
+    let od = run_on_demand(
+        &OnDemandParams { nodes: params.stations, ..Default::default() },
+        11,
+    );
+    let raw = run_on_demand(
+        &OnDemandParams { nodes: params.stations, synchronize: false, ..Default::default() },
+        11,
+    );
+    println!("  firing spread with one-shot sync : {:>12}  ({} msgs)", od.spread, od.messages);
+    println!("  firing spread on raw clocks      : {:>12}  ({} msgs)", raw.spread, raw.messages);
+    println!(
+        "\nThe network stays unsynchronized all day and collaborates only\n\
+         for the event itself — the §4.2 pattern, with {}x tighter firing.",
+        (raw.spread.as_nanos() as f64 / od.spread.as_nanos().max(1) as f64).round()
+    );
+}

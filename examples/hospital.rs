@@ -1,0 +1,88 @@
+//! The §5 hospital scenario: RFID badges on visitors, ward sensors, two
+//! predicates — waiting-room overcrowding (relational) and
+//! infectious-ward intrusion (boolean) — detected with strobe clocks, plus
+//! the energy comparison against running a clock-sync service.
+//!
+//! ```sh
+//! cargo run --release --example hospital
+//! ```
+
+use pervasive_time::prelude::*;
+use pervasive_time::sync::{run_rbs, CostModel, RbsParams};
+use pervasive_time::world::scenarios::hospital::{ATTR_COUNT, ATTR_INTRUSION};
+
+fn main() {
+    let params = HospitalParams {
+        wards: 5,
+        infectious_ward: 4,
+        visitors: 8,
+        mean_dwell: SimDuration::from_secs(240),
+        duration: SimTime::from_secs(7200),
+    };
+    let scenario = hospital::generate(&params, 2024);
+    println!("{} — {} world events over {}", scenario.name, scenario.timeline.len(), scenario.timeline.duration());
+
+    let cfg = ExecutionConfig {
+        delay: DelayModel::delta(SimDuration::from_millis(400)),
+        ..Default::default()
+    };
+    let trace = run_execution(&scenario, &cfg);
+    let initial = scenario.timeline.initial_state();
+
+    // Predicate 1 (relational): waiting room over 5 visitors.
+    let crowded = Predicate::Relational(
+        Expr::var(AttrKey::new(0, ATTR_COUNT)).gt(Expr::int(5)),
+    );
+    // Predicate 2 (boolean): someone inside the infectious ward.
+    let breach = Predicate::Relational(Expr::var(AttrKey::new(
+        params.infectious_ward,
+        ATTR_INTRUSION,
+    )));
+
+    for (name, pred) in [("waiting-room > 5", &crowded), ("infectious-ward breach", &breach)] {
+        let truth = truth_intervals(&scenario.timeline, |s| pred.eval_state(s));
+        let det = detect_occurrences(&trace, pred, &initial, Discipline::VectorStrobe);
+        let r = score(
+            &det,
+            &truth,
+            params.duration,
+            SimDuration::from_secs(2),
+            BorderlinePolicy::AsPositive,
+        );
+        println!(
+            "\n{name}: truth {} occurrences → detected TP {} FP {} FN {} (borderline {})",
+            truth.len(),
+            r.true_positives,
+            r.false_positives,
+            r.false_negatives,
+            r.borderline
+        );
+        if let Some(first) = truth.first() {
+            println!("  first occurrence at {}", first.start);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // "This service is not for free": the energy cost of the strobe
+    // protocol for this whole run versus a physically-synchronized-clock
+    // service resynchronizing every 30 s (RBS, 5 beacons per round).
+    // ------------------------------------------------------------------
+    let cost = CostModel::default();
+    let strobe_energy = cost.net_energy(&trace.net);
+
+    let rounds = (params.duration.as_secs_f64() / 30.0).ceil() as u64;
+    let rbs = run_rbs(
+        &RbsParams { receivers: params.wards, beacons: 5, ..Default::default() },
+        9,
+    );
+    let sync_energy = cost.sync_energy(&rbs) * rounds as f64;
+    println!("\nenergy (model units) over {}:", params.duration);
+    println!("  strobe clocks (per-event broadcast) : {strobe_energy:>10.0}");
+    println!("  RBS sync service (every 30s, ε={})  : {sync_energy:>10.0}", rbs.achieved_skew);
+    println!(
+        "\nWith rare events (here {:.3} ev/s), strobes transmit only when\n\
+         something happens, while a sync service pays continuously — the\n\
+         paper's case for strobe clocks in low-rate settings.",
+        scenario.event_rate_hz()
+    );
+}

@@ -1,0 +1,79 @@
+//! Quickstart: build a small sensor network, run it with strobe clocks,
+//! detect a global predicate, and compare clock disciplines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pervasive_time::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. A world to observe: the paper's §5 exhibition hall, scaled down.
+    //    Four doors, people arriving at 2/s, staying ~90s. The "covert
+    //    channel" is each person: their exit is caused by their entry, but
+    //    no sensor can see that causality — only per-door counters.
+    // ------------------------------------------------------------------
+    let params = ExhibitionParams {
+        doors: 4,
+        arrival_rate_hz: 2.0,
+        mean_stay: SimDuration::from_secs(90),
+        duration: SimTime::from_secs(900),
+        capacity: 150,
+    };
+    let scenario = exhibition::generate(&params, 42);
+    println!("world: {}", scenario.name);
+    println!("  {} ground-truth events over {}", scenario.timeline.len(), scenario.timeline.duration());
+
+    // ------------------------------------------------------------------
+    // 2. The network plane: 4 sensor processes + the root P0, asynchronous
+    //    Δ-bounded links (Δ = 250 ms), strobe broadcast on every sense
+    //    event (rules SSC1/SVC1).
+    // ------------------------------------------------------------------
+    let cfg = ExecutionConfig {
+        delay: DelayModel::delta(SimDuration::from_millis(250)),
+        ..Default::default()
+    };
+    let trace = run_execution(&scenario, &cfg);
+    println!("\nnetwork plane:");
+    println!("  sense events   : {}", trace.log.sense_events().len());
+    println!("  reports at P0  : {}", trace.log.reports.len());
+    println!("  strobe bcasts  : {}", trace.net.broadcasts);
+    println!("  messages sent  : {}", trace.net.messages_sent);
+
+    // ------------------------------------------------------------------
+    // 3. Detect every occurrence of the occupancy predicate
+    //    φ = Σ(xᵢ − yᵢ) > 150 under the Instantaneously modality, with
+    //    each clock discipline on the *same* execution.
+    // ------------------------------------------------------------------
+    let predicate = Predicate::occupancy_over(params.doors, params.capacity);
+    let truth = truth_intervals(&scenario.timeline, |s| predicate.eval_state(s));
+    println!("\nground truth: {} occurrence(s) of occupancy > {}", truth.len(), params.capacity);
+
+    let horizon = params.duration;
+    let tolerance = SimDuration::from_millis(500); // ≈ 2Δ race window
+    let initial = scenario.timeline.initial_state();
+
+    println!("\n{:<16} {:>5} {:>4} {:>4} {:>6} {:>10} {:>8}", "discipline", "TP", "FP", "FN", "bline", "precision", "recall");
+    for d in Discipline::ALL {
+        let detections = detect_occurrences(&trace, &predicate, &initial, d);
+        let r = score(&detections, &truth, horizon, tolerance, BorderlinePolicy::AsPositive);
+        println!(
+            "{:<16} {:>5} {:>4} {:>4} {:>6} {:>10.3} {:>8.3}",
+            d.label(),
+            r.true_positives,
+            r.false_positives,
+            r.false_negatives,
+            r.borderline,
+            r.precision(),
+            r.recall()
+        );
+    }
+
+    println!(
+        "\nThe oracle row is the unattainable ideal; strobe rows show the\n\
+         paper's claim: logical strobe clocks simulate the single time axis\n\
+         well when the event rate is low relative to Δ, with races confined\n\
+         to the borderline bin (treat as positive to err on the safe side)."
+    );
+}

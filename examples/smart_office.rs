@@ -1,0 +1,159 @@
+//! The §3.1 smart-office example: detect `Definitely(motion ∧ temp>30°C)`
+//! per room, comparing the causality-based Mattern/Fidge stamps (which
+//! degenerate for pure observation — the paper's point) against strobe
+//! vector stamps, and reproducing the [17]-style result that detection
+//! probability stays high as the mean message delay grows.
+//!
+//! ```sh
+//! cargo run --release --example smart_office
+//! ```
+
+use pervasive_time::prelude::*;
+
+fn main() {
+    let params = OfficeParams {
+        rooms: 4,
+        persons: 3,
+        mean_dwell: SimDuration::from_secs(90),
+        temp_step_every: SimDuration::from_secs(10),
+        temp_sigma: 0.9,
+        temp_emit_threshold: 0.5,
+        base_temp: 29.0,
+        pens: 1,
+        duration: SimTime::from_secs(3600),
+    };
+    let scenario = office::generate(&params, 99);
+    println!("{} — {} world events", scenario.name, scenario.timeline.len());
+
+    // The conjunctive predicate for room 1: motion ∧ temp > 30.
+    let room = 1;
+    let conjuncts = match Predicate::hot_and_occupied(room, 30.0) {
+        Predicate::Conjunctive(cs) => cs,
+        _ => unreachable!(),
+    };
+    let pred = Predicate::hot_and_occupied(room, 30.0);
+    let truth = truth_intervals(&scenario.timeline, |s| pred.eval_state(s));
+    println!(
+        "ground truth: room {room} hot-and-occupied {} time(s), total {:.1}s",
+        truth.len(),
+        truth
+            .iter()
+            .map(|t| t.duration(params.duration).as_secs_f64())
+            .sum::<f64>()
+    );
+
+    // --- The paper's degeneracy observation -----------------------------
+    // Mattern/Fidge clocks have "no occasion" to relate sensors that never
+    // exchange computation messages: Definitely never holds.
+    let cfg = ExecutionConfig {
+        delay: DelayModel::delta(SimDuration::from_millis(100)),
+        ..Default::default()
+    };
+    let trace = run_execution(&scenario, &cfg);
+    let initial = scenario.timeline.initial_state();
+    let causal = detect_conjunctive(&trace, &conjuncts, &initial, StampFamily::Causal);
+    let strobe = detect_conjunctive(&trace, &conjuncts, &initial, StampFamily::StrobeVector);
+    println!("\nconjunctive detection (single-room conjunct is trivially definite;");
+    println!("multi-room conjunction shows the contrast):");
+
+    // A genuinely distributed conjunction: motion in room 1 AND room 2.
+    let multi = vec![
+        Conjunct { process: 1, expr: Expr::var(AttrKey::new(1, 1)) },
+        Conjunct { process: 2, expr: Expr::var(AttrKey::new(2, 1)) },
+    ];
+    let causal_multi = detect_conjunctive(&trace, &multi, &initial, StampFamily::Causal);
+    let strobe_multi = detect_conjunctive(&trace, &multi, &initial, StampFamily::StrobeVector);
+    println!(
+        "  Mattern/Fidge stamps : {} possibly, {} definitely  (degenerate: observation-only)",
+        causal_multi.len(),
+        causal_multi.iter().filter(|o| o.definitely).count()
+    );
+    println!(
+        "  strobe vector stamps : {} possibly, {} definitely",
+        strobe_multi.len(),
+        strobe_multi.iter().filter(|o| o.definitely).count()
+    );
+    let _ = (causal, strobe);
+
+    // --- Detection probability vs mean delay ([17]-style) ---------------
+    // Sweep the mean message delay over a wide range; the probability of
+    // detecting the hot-and-occupied occurrences stays high.
+    println!("\ndetection probability of each occurrence vs mean delay (vector strobes):");
+    println!("{:>12} {:>8} {:>8} {:>8}", "mean delay", "recall", "prec.", "bline");
+    for delay_ms in [50u64, 200, 500, 1000, 2000, 5000] {
+        let cfg = ExecutionConfig {
+            delay: DelayModel::Exponential {
+                mean: SimDuration::from_millis(delay_ms),
+                cap: None,
+            },
+            fifo: false,
+            ..Default::default()
+        };
+        let trace = run_execution(&scenario, &cfg);
+        let detections =
+            detect_occurrences(&trace, &pred, &initial, Discipline::VectorStrobe);
+        let r = score(
+            &detections,
+            &truth,
+            params.duration,
+            SimDuration::from_millis(4 * delay_ms + 1000),
+            BorderlinePolicy::AsPositive,
+        );
+        println!(
+            "{:>10}ms {:>8.3} {:>8.3} {:>8}",
+            delay_ms,
+            r.recall(),
+            r.precision(),
+            r.borderline
+        );
+    }
+    println!(
+        "\nHuman-timescale events (minutes) vastly outpace even multi-second\n\
+         delays, so correctness stays high — the paper's §3.3 argument for\n\
+         strobe clocks in smart offices."
+    );
+
+    // --- §4.1: the smart pen ---------------------------------------------
+    // "When Bob gives a pen to Tom, Tom then moves to another room, and
+    // leaves the pen there, the physical handoff and transport of the pen
+    // can be detected by all the sensors/badge readers. The causality …
+    // can be tracked in the network plane."
+    // Our pen's moves are sensed by the room badge readers at BOTH ends,
+    // so — unlike generic covert channels — this world-plane causal chain
+    // IS mirrored by the strobe order.
+    use pervasive_time::world::scenarios::office::pen_object_id;
+    let pen = pen_object_id(params.rooms, 0);
+    let pen_events: Vec<_> = trace
+        .log
+        .sense_events()
+        .into_iter()
+        .filter(|e| match e.kind {
+            pervasive_time::core::EventKind::Sense { key, .. } => key.object == pen,
+            _ => false,
+        })
+        .cloned()
+        .collect();
+    println!("\n§4.1 pen tracking: {} pen sightings across badge readers", pen_events.len());
+    // Sightings at *different instants* must come out strobe-ordered (the
+    // chain is mirrored); the leave/enter pair of one physical move shares
+    // an instant and is correctly concurrent.
+    let mut mirrored = 0;
+    let mut total = 0;
+    for w in pen_events.windows(2) {
+        if w[0].at == w[1].at {
+            continue; // one physical move: simultaneous by construction
+        }
+        total += 1;
+        if w[0].stamps.strobe_vector.lt(&w[1].stamps.strobe_vector) {
+            mirrored += 1;
+        }
+    }
+    if total > 0 {
+        println!(
+            "distinct-instant sighting pairs whose world-plane causality the\n\
+             strobe order mirrors in the network plane: {mirrored}/{total} — the pen's\n\
+             chain is trackable because both ends are sensed (contrast the\n\
+             dumb-pen case, a covert channel the network plane cannot see)."
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! Cross-validation between independent implementations of the same
+//! concept: the lattice view, the interval-overlap view, and the sweep
+//! detectors must agree where the theory says they must.
+
+use pervasive_time::lattice::{enumerate_lattice, History, StampedInterval};
+use pervasive_time::prelude::*;
+
+fn small_trace(delta_ms: u64, seed: u64) -> (Scenario, ExecutionTrace) {
+    let params = ExhibitionParams {
+        doors: 3,
+        arrival_rate_hz: 0.5,
+        mean_stay: SimDuration::from_secs(20),
+        duration: SimTime::from_secs(60),
+        capacity: 5,
+    };
+    let scenario = exhibition::generate(&params, seed);
+    let cfg = ExecutionConfig {
+        delay: if delta_ms == 0 {
+            DelayModel::Synchronous
+        } else {
+            DelayModel::delta(SimDuration::from_millis(delta_ms))
+        },
+        seed,
+        ..Default::default()
+    };
+    let trace = run_execution(&scenario, &cfg);
+    (scenario, trace)
+}
+
+fn strobe_history(trace: &ExecutionTrace) -> History {
+    let mut stamps = vec![Vec::new(); trace.n];
+    let mut events: Vec<_> = trace.log.sense_events();
+    events.sort_by_key(|e| (e.process, e.seq));
+    for e in events {
+        if e.process < trace.n {
+            stamps[e.process].push(e.stamps.strobe_vector.clone());
+        }
+    }
+    History::new(stamps)
+}
+
+#[test]
+fn delta_zero_lattice_is_a_chain_and_orders_all_events() {
+    let (_, trace) = small_trace(0, 3);
+    let h = strobe_history(&trace);
+    let stats = enumerate_lattice(&h, 1_000_000);
+    assert_eq!(stats.states, h.chain_cuts(), "Δ=0 ⇒ chain of np+1 states");
+    // Equivalent statement at the stamp level: no two sense events at
+    // different processes are concurrent.
+    let senses = trace.log.sense_events();
+    for i in 0..senses.len() {
+        for j in (i + 1)..senses.len() {
+            if senses[i].process != senses[j].process {
+                assert!(
+                    !senses[i].stamps.strobe_vector.concurrent(&senses[j].stamps.strobe_vector),
+                    "chain lattice implies no concurrency"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lattice_size_grows_with_delta() {
+    let sizes: Vec<u64> = [0u64, 1000, 30_000]
+        .iter()
+        .map(|&d| {
+            let (_, trace) = small_trace(d, 3);
+            enumerate_lattice(&strobe_history(&trace), 10_000_000).states
+        })
+        .collect();
+    assert!(sizes[0] <= sizes[1] && sizes[1] <= sizes[2], "sizes {sizes:?}");
+    assert!(sizes[2] > sizes[0], "30s delays must fatten the lattice");
+}
+
+#[test]
+fn concurrency_count_matches_lattice_width_direction() {
+    // More concurrent pairs ⇔ wider lattice (coarse cross-check).
+    let width_at = |d| {
+        let (_, trace) = small_trace(d, 9);
+        let h = strobe_history(&trace);
+        enumerate_lattice(&h, 10_000_000)
+            .levels
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    };
+    assert!(width_at(0) <= width_at(30_000));
+    assert_eq!(width_at(0), 1);
+}
+
+#[test]
+fn stamped_interval_tests_agree_with_raw_stamp_order() {
+    let (_, trace) = small_trace(200, 5);
+    let senses = trace.log.sense_events();
+    // Build per-event degenerate intervals [stamp, stamp] and check that
+    // surely_precedes agrees with the raw vector order.
+    for i in 0..senses.len().min(20) {
+        for j in 0..senses.len().min(20) {
+            if i == j {
+                continue;
+            }
+            let a = &senses[i].stamps.strobe_vector;
+            let b = &senses[j].stamps.strobe_vector;
+            let ia = StampedInterval { lo: a.clone(), hi: a.clone() };
+            let ib = StampedInterval { lo: b.clone(), hi: b.clone() };
+            assert_eq!(ia.surely_precedes(&ib), a.lt(b));
+            assert_eq!(
+                ia.possibly_overlaps(&ib),
+                !a.lt(b) && !b.lt(a),
+                "degenerate intervals overlap iff stamps are unordered-or-equal"
+            );
+        }
+    }
+}
+
+#[test]
+fn conjunctive_detection_consistent_with_relational_sweep() {
+    // A conjunction evaluated as a relational predicate by the sweep
+    // detector and as interval overlaps by the conjunctive detector must
+    // agree on *whether it ever held* at Δ=0.
+    let params = ExhibitionParams {
+        doors: 2,
+        arrival_rate_hz: 3.0,
+        mean_stay: SimDuration::from_secs(60),
+        duration: SimTime::from_secs(400),
+        capacity: 100,
+    };
+    for seed in 0..5 {
+        let scenario = exhibition::generate(&params, seed);
+        let cfg = ExecutionConfig { delay: DelayModel::Synchronous, seed, ..Default::default() };
+        let trace = run_execution(&scenario, &cfg);
+        let init = scenario.timeline.initial_state();
+        let conjuncts: Vec<Conjunct> = (0..2)
+            .map(|d| Conjunct {
+                process: d,
+                expr: Expr::var(AttrKey::new(d, 0))
+                    .sub(Expr::var(AttrKey::new(d, 1)))
+                    .gt(Expr::int(4)),
+            })
+            .collect();
+        let pred = Predicate::Conjunctive(conjuncts.clone());
+        let sweep = detect_occurrences(&trace, &pred, &init, Discipline::VectorStrobe);
+        let ivs = detect_conjunctive(&trace, &conjuncts, &init, StampFamily::StrobeVector);
+        let definite = ivs.iter().filter(|o| o.definitely).count();
+        assert_eq!(
+            sweep.is_empty(),
+            definite == 0,
+            "seed {seed}: sweep found {} but interval detector found {definite}",
+            sweep.len()
+        );
+    }
+}
+
+#[test]
+fn flooded_star_detection_matches_full_mesh_quality() {
+    // A star overlay with the root at the hub: sensors reach each other
+    // only through the relay. With flooding on, the vector-strobe detector
+    // should perform about as well as on the full mesh.
+    use pervasive_time::core::StrobePolicy;
+    use pervasive_time::sim::network::Topology;
+
+    let params = ExhibitionParams {
+        doors: 4,
+        arrival_rate_hz: 1.0,
+        mean_stay: SimDuration::from_secs(40),
+        duration: SimTime::from_secs(300),
+        capacity: 25,
+    };
+    let s = exhibition::generate(&params, 9);
+    let pred = Predicate::occupancy_over(4, 25);
+    let star = {
+        let mut adj = vec![vec![false; 5]; 5];
+        for sensor in 0..4 {
+            adj[sensor][4] = true;
+            adj[4][sensor] = true;
+        }
+        Topology::Graph { adj }
+    };
+    let detect = |topology: Option<Topology>, flood: bool| {
+        let cfg = ExecutionConfig {
+            delay: DelayModel::delta(SimDuration::from_millis(50)),
+            topology,
+            strobes: StrobePolicy { flood, ..Default::default() },
+            seed: 1,
+            ..Default::default()
+        };
+        let trace = run_execution(&s, &cfg);
+        detect_occurrences(&trace, &pred, &s.timeline.initial_state(), Discipline::VectorStrobe)
+            .len()
+    };
+    let mesh = detect(None, false);
+    let starred = detect(Some(star), true);
+    assert!(
+        starred.abs_diff(mesh) <= 1,
+        "flooded star ({starred}) should detect about as well as the mesh ({mesh})"
+    );
+}
