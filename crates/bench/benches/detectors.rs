@@ -6,8 +6,9 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use psn_core::{run_execution, ExecutionConfig, ExecutionTrace};
-use psn_predicates::{detect_conjunctive, detect_occurrences, Conjunct, Discipline, Expr,
-    Predicate, StampFamily};
+use psn_predicates::{
+    detect_conjunctive, detect_occurrences, Conjunct, Discipline, Expr, Predicate, StampFamily,
+};
 use psn_sim::time::{SimDuration, SimTime};
 use psn_world::scenarios::exhibition::{self, ExhibitionParams};
 use psn_world::{AttrKey, Scenario};
@@ -82,11 +83,8 @@ fn bench_online(c: &mut Criterion) {
             &hold_ms,
             |b, &hold_ms| {
                 b.iter(|| {
-                    let mut d = OnlineDetector::new(
-                        pred.clone(),
-                        &init,
-                        SimDuration::from_millis(hold_ms),
-                    );
+                    let mut d =
+                        OnlineDetector::new(pred.clone(), &init, SimDuration::from_millis(hold_ms));
                     for r in &trace.log.reports {
                         d.offer(r);
                     }

@@ -43,21 +43,13 @@ fn bench_lattice(c: &mut Criterion) {
     let mut g = c.benchmark_group("lattice");
     for (n, p) in [(3usize, 6usize), (4, 5), (5, 4)] {
         let chain = chain_history(n, p);
-        g.bench_with_input(
-            BenchmarkId::new("chain", format!("n{n}p{p}")),
-            &chain,
-            |b, h| {
-                b.iter(|| black_box(enumerate_lattice(h, u64::MAX)));
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("chain", format!("n{n}p{p}")), &chain, |b, h| {
+            b.iter(|| black_box(enumerate_lattice(h, u64::MAX)));
+        });
         let grid = grid_history(n, p);
-        g.bench_with_input(
-            BenchmarkId::new("grid", format!("n{n}p{p}")),
-            &grid,
-            |b, h| {
-                b.iter(|| black_box(enumerate_lattice(h, u64::MAX)));
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("grid", format!("n{n}p{p}")), &grid, |b, h| {
+            b.iter(|| black_box(enumerate_lattice(h, u64::MAX)));
+        });
     }
     g.finish();
 }

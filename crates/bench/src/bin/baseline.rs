@@ -1,0 +1,119 @@
+//! Generate `BENCH_baseline.json`: a coarse wall-clock throughput snapshot
+//! of the three hot paths (engine event loop, clock operations, sweep
+//! detector), committed at the repo root so perf regressions have a
+//! reference point. Numbers are machine-dependent by nature — regenerate on
+//! the machine under comparison:
+//!
+//! ```sh
+//! cargo run --release -p psn-bench --bin baseline            # writes BENCH_baseline.json
+//! cargo run --release -p psn-bench --bin baseline -- out.json
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use psn_clocks::{LogicalClock, StrobeScalarClock, StrobeVectorClock, VectorStamp};
+use psn_core::{run_execution_instrumented, ExecutionConfig};
+use psn_predicates::{detect_occurrences, Discipline, Predicate};
+use psn_sim::delay::DelayModel;
+use psn_sim::metrics::Metrics;
+use psn_sim::time::{SimDuration, SimTime};
+use psn_world::scenarios::exhibition::{self, ExhibitionParams};
+use serde::Serialize;
+
+/// The committed snapshot format.
+#[derive(Serialize)]
+struct Baseline {
+    note: String,
+    engine_events_per_sec: f64,
+    scalar_tick_ops_per_sec: f64,
+    vector64_merge_ops_per_sec: f64,
+    detector_reports_per_sec: f64,
+}
+
+fn engine_events_per_sec() -> f64 {
+    let params = ExhibitionParams {
+        doors: 4,
+        arrival_rate_hz: 4.0,
+        mean_stay: SimDuration::from_secs(60),
+        duration: SimTime::from_secs(600),
+        capacity: 240,
+    };
+    let scenario = exhibition::generate(&params, 11);
+    let cfg = ExecutionConfig {
+        delay: DelayModel::delta(SimDuration::from_millis(300)),
+        ..Default::default()
+    };
+    // Warm up once, then measure: the engine metrics count the events, the
+    // wall clock prices them.
+    black_box(run_execution_instrumented(&scenario, &cfg, &Metrics::disabled()));
+    let metrics = Metrics::new();
+    let t0 = Instant::now();
+    black_box(run_execution_instrumented(&scenario, &cfg, &metrics));
+    let secs = t0.elapsed().as_secs_f64();
+    let events = metrics.snapshot().counter("engine.events_processed").unwrap_or(0);
+    events as f64 / secs
+}
+
+fn scalar_tick_ops_per_sec() -> f64 {
+    let mut clock = StrobeScalarClock::new(0);
+    let iters = 20_000_000u64;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(clock.on_local_event());
+    }
+    iters as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn vector64_merge_ops_per_sec() -> f64 {
+    let n = 64;
+    let mut clock = StrobeVectorClock::new(0, n);
+    let stamp = VectorStamp(vec![7; n]);
+    let iters = 2_000_000u64;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        clock.on_strobe(black_box(&stamp));
+    }
+    iters as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn detector_reports_per_sec() -> f64 {
+    let params = ExhibitionParams {
+        doors: 4,
+        arrival_rate_hz: 4.0,
+        mean_stay: SimDuration::from_secs(60),
+        duration: SimTime::from_secs(600),
+        capacity: 240,
+    };
+    let scenario = exhibition::generate(&params, 11);
+    let cfg = ExecutionConfig {
+        delay: DelayModel::delta(SimDuration::from_millis(300)),
+        ..Default::default()
+    };
+    let trace = run_execution_instrumented(&scenario, &cfg, &Metrics::disabled());
+    let pred = Predicate::occupancy_over(4, 240);
+    let init = scenario.timeline.initial_state();
+    let reports = trace.log.reports.len() as u64;
+    let rounds = 20u64;
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        black_box(detect_occurrences(&trace, &pred, &init, Discipline::ScalarStrobe));
+    }
+    (reports * rounds) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let baseline = Baseline {
+        note: "wall-clock throughput snapshot; regenerate with `cargo run --release -p \
+               psn-bench --bin baseline` on the machine under comparison"
+            .to_string(),
+        engine_events_per_sec: engine_events_per_sec(),
+        scalar_tick_ops_per_sec: scalar_tick_ops_per_sec(),
+        vector64_merge_ops_per_sec: vector64_merge_ops_per_sec(),
+        detector_reports_per_sec: detector_reports_per_sec(),
+    };
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    std::fs::write(&path, json + "\n").expect("write baseline file");
+    println!("wrote {path}");
+}

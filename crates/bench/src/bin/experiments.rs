@@ -5,16 +5,20 @@
 //! cargo run --release -p psn-bench --bin experiments -- --quick # all, small
 //! cargo run --release -p psn-bench --bin experiments -- --only e2 e5
 //! cargo run --release -p psn-bench --bin experiments -- --csv --only e8
+//! cargo run --release -p psn-bench --bin experiments -- --only e7 --metrics-out /tmp/m.jsonl
 //! ```
 
 use std::time::Instant;
 
 use psn_bench::experiments::{run_one, ALL};
+use psn_bench::metrics_out;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
+    let metrics_path: Option<&String> =
+        args.iter().position(|a| a == "--metrics-out").and_then(|p| args.get(p + 1));
     let only: Vec<String> = match args.iter().position(|a| a == "--only") {
         Some(pos) => args[pos + 1..]
             .iter()
@@ -24,8 +28,17 @@ fn main() {
         None => ALL.iter().map(|s| s.to_string()).collect(),
     };
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: experiments [--quick] [--csv] [--only e1 e2 ...] [--list]");
+        eprintln!(
+            "usage: experiments [--quick] [--csv] [--only e1 e2 ...] [--list] \
+             [--metrics-out <path.jsonl>]"
+        );
         return;
+    }
+    if let Some(path) = metrics_path {
+        if let Err(e) = metrics_out::set_metrics_out(path) {
+            eprintln!("cannot open --metrics-out {path}: {e}");
+            std::process::exit(1);
+        }
     }
     if args.iter().any(|a| a == "--list") {
         for id in ALL {
@@ -48,4 +61,5 @@ fn main() {
             None => eprintln!("unknown experiment id: {id} (known: {})", ALL.join(", ")),
         }
     }
+    metrics_out::finish();
 }

@@ -68,11 +68,7 @@ pub fn strobe_history(trace: &ExecutionTrace) -> History {
 /// A Δ-bounded execution config with the given Δ and seed.
 pub fn delta_config(delta: SimDuration, seed: u64) -> ExecutionConfig {
     ExecutionConfig {
-        delay: if delta.is_zero() {
-            DelayModel::Synchronous
-        } else {
-            DelayModel::delta(delta)
-        },
+        delay: if delta.is_zero() { DelayModel::Synchronous } else { DelayModel::delta(delta) },
         seed,
         ..Default::default()
     }

@@ -121,41 +121,35 @@ pub fn a2(quick: bool) -> Table {
         ("w=0 (scalar strobes: no race info)", Discipline::ScalarStrobe),
         ("w=n (vector strobes + race probe)", Discipline::VectorStrobe),
     ] {
-        let cells: Vec<(usize, usize, usize, usize, usize)> =
-            run_sweep_auto(&seeds, |_, &seed| {
-                let scenario = exhibition::generate(&params, 200 + seed);
-                let pred = Predicate::occupancy_over(4, 180);
-                let truth = truth_intervals(&scenario.timeline, |s| pred.eval_state(s));
-                let cfg = ExecutionConfig {
-                    delay: DelayModel::delta(SimDuration::from_millis(800)),
-                    seed,
-                    ..Default::default()
-                };
-                let trace = run_execution(&scenario, &cfg);
-                let det = detect_occurrences(
-                    &trace,
-                    &pred,
-                    &scenario.timeline.initial_state(),
-                    disc,
-                );
-                let r = score(
-                    &det,
-                    &truth,
-                    params.duration,
-                    SimDuration::from_secs(2),
-                    BorderlinePolicy::AsPositive,
-                );
-                (
-                    truth.len(),
-                    r.true_positives,
-                    r.false_positives,
-                    r.false_negatives,
-                    r.borderline_false_positives,
-                )
-            });
-        let s = cells.iter().fold((0, 0, 0, 0, 0), |a, c| {
-            (a.0 + c.0, a.1 + c.1, a.2 + c.2, a.3 + c.3, a.4 + c.4)
+        let cells: Vec<(usize, usize, usize, usize, usize)> = run_sweep_auto(&seeds, |_, &seed| {
+            let scenario = exhibition::generate(&params, 200 + seed);
+            let pred = Predicate::occupancy_over(4, 180);
+            let truth = truth_intervals(&scenario.timeline, |s| pred.eval_state(s));
+            let cfg = ExecutionConfig {
+                delay: DelayModel::delta(SimDuration::from_millis(800)),
+                seed,
+                ..Default::default()
+            };
+            let trace = run_execution(&scenario, &cfg);
+            let det = detect_occurrences(&trace, &pred, &scenario.timeline.initial_state(), disc);
+            let r = score(
+                &det,
+                &truth,
+                params.duration,
+                SimDuration::from_secs(2),
+                BorderlinePolicy::AsPositive,
+            );
+            (
+                truth.len(),
+                r.true_positives,
+                r.false_positives,
+                r.false_negatives,
+                r.borderline_false_positives,
+            )
         });
+        let s = cells
+            .iter()
+            .fold((0, 0, 0, 0, 0), |a, c| (a.0 + c.0, a.1 + c.1, a.2 + c.2, a.3 + c.3, a.4 + c.4));
         let recall = if s.0 == 0 { 1.0 } else { s.1 as f64 / s.0 as f64 };
         let precision = if s.1 + s.2 == 0 { 1.0 } else { s.1 as f64 / (s.1 + s.2) as f64 };
         table.row(vec![
@@ -194,20 +188,19 @@ pub fn a3(quick: bool) -> Table {
         let mut full_bytes = 0u64;
         let mut diff_bytes = 0u64;
         let mut scalar_bytes = 0u64;
-        let mut broadcast = |p: usize,
-                             clocks: &mut Vec<StrobeVectorClock>,
-                             senders: &mut Vec<DiffSender>| {
-            let stamp = clocks[p].on_local_event();
-            for q in 0..n {
-                if q == p {
-                    continue;
+        let mut broadcast =
+            |p: usize, clocks: &mut Vec<StrobeVectorClock>, senders: &mut Vec<DiffSender>| {
+                let stamp = clocks[p].on_local_event();
+                for (q, clock) in clocks.iter_mut().enumerate() {
+                    if q == p {
+                        continue;
+                    }
+                    full_bytes += 8 * n as u64;
+                    scalar_bytes += 8;
+                    diff_bytes += senders[p].diff_for(q, &stamp).wire_size() as u64;
+                    clock.on_strobe(&stamp);
                 }
-                full_bytes += 8 * n as u64;
-                scalar_bytes += 8;
-                diff_bytes += senders[p].diff_for(q, &stamp).wire_size() as u64;
-                clocks[q].on_strobe(&stamp);
-            }
-        };
+            };
         for cycle in 0..(events_per_node * n / 10).max(1) {
             for _ in 0..9 {
                 broadcast(0, &mut clocks, &mut senders);
@@ -254,10 +247,7 @@ pub fn a4(quick: bool) -> Table {
                 let pred = Predicate::Relational(
                     Expr::Sum(
                         (0..params.segments)
-                            .map(|s| {
-                                Expr::var(AttrKey::new(s, ATTR_VIBRATION))
-                                    .gt(Expr::int(0))
-                            })
+                            .map(|s| Expr::var(AttrKey::new(s, ATTR_VIBRATION)).gt(Expr::int(0)))
                             .collect(),
                     )
                     .ge(Expr::int(3)),

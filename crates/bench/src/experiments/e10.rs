@@ -33,8 +33,14 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E10 — single-time-axis implementation options (one execution, Δ = 500 ms)",
         &[
-            "option", "FP", "FN", "borderline", "precision", "recall",
-            "bytes/event", "needs lower-layer sync?",
+            "option",
+            "FP",
+            "FN",
+            "borderline",
+            "precision",
+            "recall",
+            "bytes/event",
+            "needs lower-layer sync?",
         ],
     );
 

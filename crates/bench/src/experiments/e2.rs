@@ -33,8 +33,14 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E2 — FP/FN of scalar vs vector strobes vs Δ (exhibition hall, 2 ev/s/door-pool)",
         &[
-            "Δ", "truth occ", "scalar FP", "scalar FN", "vector FP", "vector FN",
-            "borderline", "bline-FP caught",
+            "Δ",
+            "truth occ",
+            "scalar FP",
+            "scalar FN",
+            "vector FP",
+            "vector FN",
+            "borderline",
+            "bline-FP caught",
         ],
     );
 

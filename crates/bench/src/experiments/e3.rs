@@ -10,8 +10,9 @@
 //! magnitude.
 
 use psn_core::{run_execution, ExecutionConfig};
-use psn_predicates::{detect_conjunctive, score, BorderlinePolicy, Conjunct, Detection, Expr,
-    Predicate, StampFamily};
+use psn_predicates::{
+    detect_conjunctive, score, BorderlinePolicy, Conjunct, Detection, Expr, Predicate, StampFamily,
+};
 use psn_sim::delay::DelayModel;
 use psn_sim::sweep::run_sweep_auto;
 use psn_sim::time::{SimDuration, SimTime};
@@ -74,9 +75,8 @@ pub fn run(quick: bool) -> Table {
             let r = score(&detections, &truth, params.duration, tol, BorderlinePolicy::AsPositive);
             (truth.len(), detections.len(), r.true_positives, r.false_positives)
         });
-        let (truth, det, tp, fp) = cells
-            .iter()
-            .fold((0, 0, 0, 0), |a, c| (a.0 + c.0, a.1 + c.1, a.2 + c.2, a.3 + c.3));
+        let (truth, det, tp, fp) =
+            cells.iter().fold((0, 0, 0, 0), |a, c| (a.0 + c.0, a.1 + c.1, a.2 + c.2, a.3 + c.3));
         let recall = if truth == 0 { 1.0 } else { tp as f64 / truth as f64 };
         let precision = if det == 0 { 1.0 } else { (det - fp) as f64 / det as f64 };
         table.row(vec![

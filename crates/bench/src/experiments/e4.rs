@@ -39,12 +39,13 @@ pub fn run(quick: bool) -> Table {
 
     let scenario = exhibition::generate(&params, 77);
     for &delta_ms in deltas_ms {
-        let trace =
-            run_execution(&scenario, &delta_config(SimDuration::from_millis(delta_ms), 5));
+        let trace = run_execution(&scenario, &delta_config(SimDuration::from_millis(delta_ms), 5));
         let h = strobe_history(&trace);
         let r = measure(&h, cap);
         table.row(vec![
-            if delta_ms >= 600_000 { "∞ (never)".into() } else {
+            if delta_ms >= 600_000 {
+                "∞ (never)".into()
+            } else {
                 SimDuration::from_millis(delta_ms).to_string()
             },
             h.total_events().to_string(),

@@ -21,20 +21,23 @@ pub fn run(quick: bool) -> Table {
     let seeds: Vec<u64> = (0..if quick { 3 } else { 8 }).collect();
     // (arrival rate, Δ ms) grid. Occupancy ≈ rate × 70s stay; capacity 200
     // ⇒ rates around 3/s cross the threshold repeatedly.
-    let grid: &[(f64, u64)] = &[
-        (3.0, 100),
-        (3.0, 500),
-        (3.0, 2000),
-        (6.0, 500),
-        (10.0, 500),
-        (10.0, 2000),
-    ];
+    let grid: &[(f64, u64)] =
+        &[(3.0, 100), (3.0, 500), (3.0, 2000), (6.0, 500), (10.0, 500), (10.0, 2000)];
 
     let mut table = Table::new(
         "E5 — §5 exhibition hall (capacity 200): borderline bin and safe-side policy",
         &[
-            "λ (1/s)", "Δ", "truth", "TP+", "FP+", "FN+", "TP−", "FN−", "bline",
-            "recall(+)", "recall(−)",
+            "λ (1/s)",
+            "Δ",
+            "truth",
+            "TP+",
+            "FP+",
+            "FN+",
+            "TP−",
+            "FN−",
+            "bline",
+            "recall(+)",
+            "recall(−)",
         ],
     );
 
@@ -62,10 +65,8 @@ pub fn run(quick: bool) -> Table {
                     Discipline::VectorStrobe,
                 );
                 let tol = SimDuration::from_millis(2 * delta_ms + 200);
-                let plus =
-                    score(&det, &truth, params.duration, tol, BorderlinePolicy::AsPositive);
-                let minus =
-                    score(&det, &truth, params.duration, tol, BorderlinePolicy::AsNegative);
+                let plus = score(&det, &truth, params.duration, tol, BorderlinePolicy::AsPositive);
+                let minus = score(&det, &truth, params.duration, tol, BorderlinePolicy::AsNegative);
                 (
                     truth.len(),
                     plus.true_positives,

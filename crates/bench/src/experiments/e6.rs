@@ -35,8 +35,12 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E6 — Δ=0: strobe scalar ≡ strobe vector; Mattern/Fidge ≻ Lamport regardless",
         &[
-            "Δ", "runs", "scalar≡vector runs", "concurrent pairs (truth)",
-            "vector-clock detected", "Lamport detected",
+            "Δ",
+            "runs",
+            "scalar≡vector runs",
+            "concurrent pairs (truth)",
+            "vector-clock detected",
+            "Lamport detected",
         ],
     );
 
@@ -82,7 +86,9 @@ pub fn run(quick: bool) -> Table {
             }
         }
         table.row(vec![
-            if delta_ms == 0 { "0 (sync)".into() } else {
+            if delta_ms == 0 {
+                "0 (sync)".into()
+            } else {
                 SimDuration::from_millis(delta_ms).to_string()
             },
             seeds.len().to_string(),

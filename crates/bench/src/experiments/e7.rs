@@ -11,12 +11,14 @@
 //!   clock-sync service (RBS every 30 s, and TPSN every 30 s) running for
 //!   the same hour regardless of events.
 
-use psn_core::run_execution;
+use psn_core::run_execution_instrumented;
+use psn_sim::metrics::Metrics;
 use psn_sim::time::{SimDuration, SimTime};
 use psn_sync::{run_rbs, run_tpsn, CostModel, RbsParams, TpsnParams};
 use psn_world::scenarios::habitat::{self, HabitatParams};
 
 use crate::common::{delta_config, family_bytes};
+use crate::metrics_out;
 use crate::table::Table;
 
 /// Run E7.
@@ -29,8 +31,14 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E7 — message/energy overhead vs n (1h habitat deployment, ~rare events)",
         &[
-            "n", "events", "scalar-strobe B", "vector-strobe B", "piggyback B",
-            "strobe energy", "RBS energy/h", "TPSN energy/h",
+            "n",
+            "events",
+            "scalar-strobe B",
+            "vector-strobe B",
+            "piggyback B",
+            "strobe energy",
+            "RBS energy/h",
+            "TPSN energy/h",
         ],
     );
 
@@ -42,7 +50,15 @@ pub fn run(quick: bool) -> Table {
             duration,
         };
         let scenario = habitat::generate(&params, 42);
-        let trace = run_execution(&scenario, &delta_config(SimDuration::from_millis(300), 1));
+        // A live registry only when `--metrics-out` opened a sink; the trace
+        // is bit-identical either way (core's instrumentation test).
+        let metrics = if metrics_out::is_enabled() { Metrics::new() } else { Metrics::disabled() };
+        let trace = run_execution_instrumented(
+            &scenario,
+            &delta_config(SimDuration::from_millis(300), 1),
+            &metrics,
+        );
+        metrics_out::emit_cell("e7", &format!("n={n}"), &metrics.snapshot());
         let fb = family_bytes(&trace);
         // Event-driven protocol energy: strobe broadcasts (scalar payload)
         // + reports.

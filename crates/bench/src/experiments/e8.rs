@@ -30,8 +30,16 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E8 — vector-strobe accuracy vs event-rate·Δ (Δ = 500 ms)",
         &[
-            "λ (1/s)", "rate·Δ", "truth", "TP", "FP", "FN", "bline frac",
-            "analytic race", "recall", "precision",
+            "λ (1/s)",
+            "rate·Δ",
+            "truth",
+            "TP",
+            "FP",
+            "FN",
+            "bline frac",
+            "analytic race",
+            "recall",
+            "precision",
         ],
     );
 
@@ -66,7 +74,14 @@ pub fn run(quick: bool) -> Table {
                     SimDuration::from_millis(1200),
                     BorderlinePolicy::AsPositive,
                 );
-                (truth.len(), r.true_positives, r.false_positives, r.false_negatives, n_det, n_bline)
+                (
+                    truth.len(),
+                    r.true_positives,
+                    r.false_positives,
+                    r.false_negatives,
+                    n_det,
+                    n_bline,
+                )
             });
         let s = cells.iter().fold((0, 0, 0, 0, 0, 0), |a, c| {
             (a.0 + c.0, a.1 + c.1, a.2 + c.2, a.3 + c.3, a.4 + c.4, a.5 + c.5)

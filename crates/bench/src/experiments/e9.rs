@@ -48,11 +48,7 @@ pub fn run(quick: bool) -> Table {
                 let truth = truth_intervals(&scenario.timeline, |s| pred.eval_state(s));
                 let cfg = ExecutionConfig {
                     delay: psn_sim::delay::DelayModel::delta(delta),
-                    loss: if p == 0.0 {
-                        LossModel::None
-                    } else {
-                        LossModel::Bernoulli { p }
-                    },
+                    loss: if p == 0.0 { LossModel::None } else { LossModel::Bernoulli { p } },
                     seed,
                     record_sim_trace: true,
                     ..Default::default()
@@ -89,8 +85,7 @@ pub fn run(quick: bool) -> Table {
                         })
                     })
                     .collect();
-                let far_r =
-                    score(&det, &far, params.duration, tol, BorderlinePolicy::AsPositive);
+                let far_r = score(&det, &far, params.duration, tol, BorderlinePolicy::AsPositive);
                 (
                     trace.net.messages_lost,
                     truth.len(),

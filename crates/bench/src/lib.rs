@@ -4,7 +4,10 @@
 //!   (run them with `cargo run --release -p psn-bench --bin experiments`);
 //! - [`table`] — markdown/CSV result tables;
 //! - [`common`] — shared scaffolding (controlled two-pulse scenarios,
-//!   strobe-stamp histories, per-clock-family byte accounting).
+//!   strobe-stamp histories, per-clock-family byte accounting);
+//! - [`metrics_out`] — the `--metrics-out` JSONL sink: one line per
+//!   instrumented experiment cell, carrying a full
+//!   [`psn_sim::metrics::MetricsSnapshot`].
 //!
 //! Criterion micro-benchmarks live in `benches/` (clock operations,
 //! detectors, lattice enumeration, engine throughput, sweep scaling).
@@ -13,6 +16,7 @@
 
 pub mod common;
 pub mod experiments;
+pub mod metrics_out;
 pub mod table;
 
 pub use table::Table;

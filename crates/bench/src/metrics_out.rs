@@ -1,0 +1,103 @@
+//! JSONL metrics sink for the experiment runner.
+//!
+//! `experiments --metrics-out <path>` opens a process-wide sink here; each
+//! instrumented experiment cell then calls [`emit_cell`] with the
+//! [`MetricsSnapshot`] of its run, producing **one JSON line per cell**:
+//!
+//! ```json
+//! {"experiment":"e7","cell":"n=4","metrics":{"counters":[...],"gauges":[...],"timers":[...]}}
+//! ```
+//!
+//! When no sink is set (the default, and always in `cargo test`), the whole
+//! module is inert: [`is_enabled`] is `false`, experiments run with a
+//! disabled [`psn_sim::metrics::Metrics`] registry, and [`emit_cell`] is a
+//! no-op — so the flag adds zero cost and zero output when absent.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::sync::Mutex;
+
+use psn_sim::metrics::MetricsSnapshot;
+use serde::Serialize;
+
+static SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
+
+/// One JSONL record: the metrics snapshot of a single experiment cell.
+#[derive(Serialize)]
+struct CellRecord {
+    experiment: String,
+    cell: String,
+    metrics: MetricsSnapshot,
+}
+
+/// Open `path` (truncating) as the process-wide metrics sink.
+pub fn set_metrics_out(path: &str) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    *SINK.lock().expect("metrics sink lock") = Some(BufWriter::new(file));
+    Ok(())
+}
+
+/// Is a sink open? Experiments use this to decide whether to pay for a
+/// live [`psn_sim::metrics::Metrics`] registry.
+pub fn is_enabled() -> bool {
+    SINK.lock().expect("metrics sink lock").is_some()
+}
+
+/// Append one JSONL record for (`experiment`, `cell`). No-op without a sink.
+pub fn emit_cell(experiment: &str, cell: &str, metrics: &MetricsSnapshot) {
+    let mut guard = SINK.lock().expect("metrics sink lock");
+    if let Some(w) = guard.as_mut() {
+        let record = CellRecord {
+            experiment: experiment.to_string(),
+            cell: cell.to_string(),
+            metrics: metrics.clone(),
+        };
+        let line = serde_json::to_string(&record).expect("metrics snapshot serializes");
+        if let Err(e) = writeln!(w, "{line}") {
+            eprintln!("metrics-out: write failed: {e}");
+        }
+    }
+}
+
+/// Flush and close the sink (end of the runner's main loop).
+pub fn finish() {
+    let mut guard = SINK.lock().expect("metrics sink lock");
+    if let Some(mut w) = guard.take() {
+        if let Err(e) = w.flush() {
+            eprintln!("metrics-out: flush failed: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psn_sim::metrics::Metrics;
+
+    #[test]
+    fn disabled_sink_is_inert_and_enabled_sink_writes_jsonl() {
+        // Single test covering both states: the sink is process-global, so
+        // ordering within one test avoids cross-test interference.
+        assert!(!is_enabled());
+        let m = Metrics::new();
+        m.counter("x.bytes").add(7);
+        emit_cell("e0", "n=1", &m.snapshot()); // no-op
+
+        let path = std::env::temp_dir().join("psn_metrics_out_test.jsonl");
+        let path = path.to_str().expect("utf-8 temp path");
+        set_metrics_out(path).expect("open sink");
+        assert!(is_enabled());
+        emit_cell("e0", "n=1", &m.snapshot());
+        emit_cell("e0", "n=2", &m.snapshot());
+        finish();
+        assert!(!is_enabled());
+
+        let text = std::fs::read_to_string(path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one JSON line per cell");
+        assert!(lines[0].contains("\"experiment\":\"e0\""));
+        assert!(lines[0].contains("\"cell\":\"n=1\""));
+        assert!(lines[0].contains("x.bytes"));
+        std::fs::remove_file(path).ok();
+    }
+}

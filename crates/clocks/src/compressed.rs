@@ -98,8 +98,7 @@ impl DiffReceiver {
     /// Apply a diff from `sender`, returning the sender's reconstructed
     /// full vector.
     pub fn apply(&mut self, sender: ProcessId, diff: &VectorDiff) -> &VectorStamp {
-        let entry =
-            self.per_sender.entry(sender).or_insert_with(|| VectorStamp::zero(self.n));
+        let entry = self.per_sender.entry(sender).or_insert_with(|| VectorStamp::zero(self.n));
         for &(i, v) in &diff.0 {
             entry.0[i] = v;
         }

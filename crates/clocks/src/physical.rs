@@ -81,11 +81,8 @@ impl Oscillator {
         granularity_ns: u64,
     ) -> Self {
         let span = max_offset.as_nanos() as i64;
-        let offset_ns = if span == 0 {
-            0
-        } else {
-            rng.uniform_u64(0, 2 * span as u64) as i64 - span
-        };
+        let offset_ns =
+            if span == 0 { 0 } else { rng.uniform_u64(0, 2 * span as u64) as i64 - span };
         Oscillator {
             offset_ns,
             drift_ppm: rng.uniform_f64(-max_drift_ppm, max_drift_ppm),
@@ -131,10 +128,7 @@ impl SyncedClock {
         let half = (epsilon.as_nanos() / 2) as i64;
         let offset_ns =
             if half == 0 { 0 } else { rng.uniform_u64(0, 2 * half as u64) as i64 - half };
-        SyncedClock {
-            osc: Oscillator { offset_ns, drift_ppm: 0.0, granularity_ns: 1 },
-            epsilon,
-        }
+        SyncedClock { osc: Oscillator { offset_ns, drift_ppm: 0.0, granularity_ns: 1 }, epsilon }
     }
 
     /// The skew bound ε.

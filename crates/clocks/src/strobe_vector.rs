@@ -118,11 +118,8 @@ mod tests {
     fn monotonicity_componentwise() {
         let mut c = StrobeVectorClock::new(0, 3);
         let mut prev = c.current();
-        let strobes = [
-            VectorStamp(vec![0, 5, 1]),
-            VectorStamp(vec![0, 2, 8]),
-            VectorStamp(vec![0, 0, 0]),
-        ];
+        let strobes =
+            [VectorStamp(vec![0, 5, 1]), VectorStamp(vec![0, 2, 8]), VectorStamp(vec![0, 0, 0])];
         for s in &strobes {
             c.on_local_event();
             c.on_strobe(s);

@@ -31,11 +31,7 @@ enum Op {
 }
 
 fn op_strategy(n: usize) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..n).prop_map(Op::Local),
-        (0..n).prop_map(Op::Send),
-        (0..n).prop_map(Op::Recv),
-    ]
+    prop_oneof![(0..n).prop_map(Op::Local), (0..n).prop_map(Op::Send), (0..n).prop_map(Op::Recv),]
 }
 
 /// A recorded event with its ground-truth causal predecessors.
@@ -57,25 +53,24 @@ fn replay(n: usize, script: &[Op]) -> Vec<EventRec> {
     let mut mailbox: Vec<(usize, usize, VectorStamp, u64)> = Vec::new();
     let mut events: Vec<EventRec> = Vec::new();
 
-    let push_event =
-        |events: &mut Vec<EventRec>,
-         last_event_at: &mut Vec<Option<usize>>,
-         proc: usize,
-         extra_pred: Option<usize>,
-         vstamp: VectorStamp,
-         lstamp: u64| {
-            let mut preds = Vec::new();
-            if let Some(p) = last_event_at[proc] {
-                preds.push(p);
-            }
-            if let Some(e) = extra_pred {
-                preds.push(e);
-            }
-            let idx = events.len();
-            events.push(EventRec { proc, preds, vstamp, lstamp });
-            last_event_at[proc] = Some(idx);
-            idx
-        };
+    let push_event = |events: &mut Vec<EventRec>,
+                      last_event_at: &mut Vec<Option<usize>>,
+                      proc: usize,
+                      extra_pred: Option<usize>,
+                      vstamp: VectorStamp,
+                      lstamp: u64| {
+        let mut preds = Vec::new();
+        if let Some(p) = last_event_at[proc] {
+            preds.push(p);
+        }
+        if let Some(e) = extra_pred {
+            preds.push(e);
+        }
+        let idx = events.len();
+        events.push(EventRec { proc, preds, vstamp, lstamp });
+        last_event_at[proc] = Some(idx);
+        idx
+    };
 
     for op in script {
         match *op {
@@ -122,8 +117,7 @@ fn happened_before(events: &[EventRec]) -> Vec<Vec<bool>> {
             if hb[i][j] {
                 let (left, right) = hb.split_at_mut(j);
                 // everything that precedes i also precedes j
-                let row_j_src: Vec<usize> =
-                    (0..i).filter(|&k| left[k][j] || left[k][i]).collect();
+                let row_j_src: Vec<usize> = (0..i).filter(|&k| left[k][j] || left[k][i]).collect();
                 let _ = right;
                 for k in row_j_src {
                     hb[k][j] = true;

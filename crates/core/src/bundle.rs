@@ -92,10 +92,8 @@ impl ClockBundle {
         self.strobe_scalar.on_local_event();
         self.strobe_vector.on_local_event();
         let stamps = self.snapshot(now);
-        let strobe = StrobePayload {
-            scalar: stamps.strobe_scalar,
-            vector: stamps.strobe_vector.clone(),
-        };
+        let strobe =
+            StrobePayload { scalar: stamps.strobe_scalar, vector: stamps.strobe_vector.clone() };
         (stamps, strobe)
     }
 

@@ -88,9 +88,7 @@ impl<T> CausalBuffer<T> {
         if v[m.from] != self.delivered.0[m.from] + 1 {
             return false;
         }
-        v.iter()
-            .enumerate()
-            .all(|(k, &vk)| k == m.from || vk <= self.delivered.0[k])
+        v.iter().enumerate().all(|(k, &vk)| k == m.from || vk <= self.delivered.0[k])
     }
 
     /// Offer a received message; returns every message that becomes

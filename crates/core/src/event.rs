@@ -93,12 +93,8 @@ mod tests {
     fn tags_match_paper() {
         assert_eq!(EventKind::Compute.tag(), 'c');
         assert_eq!(
-            EventKind::Sense {
-                key: AttrKey::new(0, 0),
-                value: AttrValue::Int(1),
-                world_event: 0
-            }
-            .tag(),
+            EventKind::Sense { key: AttrKey::new(0, 0), value: AttrValue::Int(1), world_event: 0 }
+                .tag(),
             'n'
         );
         assert_eq!(
@@ -120,9 +116,7 @@ mod tests {
         assert!(!EventKind::Compute.is_relevant());
         assert!(!EventKind::Send { to: 0 }.is_relevant());
         assert!(!EventKind::Receive { from: 0 }.is_relevant());
-        assert!(
-            !EventKind::Actuate { key: AttrKey::new(0, 0), command: AttrValue::Int(0) }
-                .is_relevant()
-        );
+        assert!(!EventKind::Actuate { key: AttrKey::new(0, 0), command: AttrValue::Int(0) }
+            .is_relevant());
     }
 }

@@ -24,6 +24,7 @@ use psn_world::Scenario;
 use crate::bundle::ClockConfig;
 use crate::log::ExecutionLog;
 use crate::message::NetMsg;
+use crate::metrics::ExecMetrics;
 use crate::process::{SensorProcess, StrobePolicy};
 use crate::root::{ActuationRule, NoActuation, RootProcess};
 
@@ -107,6 +108,28 @@ pub fn run_execution_with_rule(
     cfg: &ExecutionConfig,
     rule: Box<dyn ActuationRule>,
 ) -> ExecutionTrace {
+    run_execution_full(scenario, cfg, rule, &psn_sim::metrics::Metrics::disabled())
+}
+
+/// Run `scenario` under `cfg`, recording engine and execution metrics
+/// (events, delivered/dropped messages, semantic event counts, strobe wire
+/// bytes by clock discipline) into `metrics`. The returned trace is
+/// bit-identical to an uninstrumented [`run_execution`] of the same inputs.
+pub fn run_execution_instrumented(
+    scenario: &Scenario,
+    cfg: &ExecutionConfig,
+    metrics: &psn_sim::metrics::Metrics,
+) -> ExecutionTrace {
+    run_execution_full(scenario, cfg, Box::new(NoActuation), metrics)
+}
+
+/// The general entry point: custom actuation rule plus metrics registry.
+pub fn run_execution_full(
+    scenario: &Scenario,
+    cfg: &ExecutionConfig,
+    rule: Box<dyn ActuationRule>,
+    metrics: &psn_sim::metrics::Metrics,
+) -> ExecutionTrace {
     let n = scenario.num_processes();
     assert!(n > 0, "scenario must have at least one sensor process");
     let log = ExecutionLog::shared();
@@ -124,6 +147,8 @@ pub fn run_execution_with_rule(
         fifo: cfg.fifo,
     };
     let mut engine: Engine<NetMsg> = Engine::new(net, cfg.seed);
+    engine.set_metrics(metrics);
+    let exec_metrics = ExecMetrics::attach(metrics, n);
     if cfg.record_sim_trace {
         engine.enable_trace();
     }
@@ -139,18 +164,22 @@ pub fn run_execution_with_rule(
         (None, None) => {}
     }
     for id in 0..n {
-        engine.add_actor(Box::new(SensorProcess::new(
-            id,
-            n,
-            n, // root actor id
-            cfg.clocks.clone(),
-            cfg.strobes,
-            Arc::clone(&log),
-        )));
+        engine.add_actor(Box::new(
+            SensorProcess::new(
+                id,
+                n,
+                n, // root actor id
+                cfg.clocks.clone(),
+                cfg.strobes,
+                Arc::clone(&log),
+            )
+            .with_metrics(exec_metrics.clone()),
+        ));
     }
     engine.add_actor(Box::new(
         RootProcess::new(n, n, cfg.clocks.clone(), rule, Arc::clone(&log))
-            .with_flood(cfg.strobes.flood),
+            .with_flood(cfg.strobes.flood)
+            .with_metrics(exec_metrics),
     ));
 
     // Inject the world timeline: each event goes to its watching process at
@@ -168,16 +197,9 @@ pub fn run_execution_with_rule(
     }
 
     let ended_at = engine.run();
-    let log = Arc::try_unwrap(log)
-        .map(Mutex::into_inner)
-        .unwrap_or_else(|shared| shared.lock().clone());
-    ExecutionTrace {
-        n,
-        log,
-        net: engine.stats().clone(),
-        sim: engine.trace().clone(),
-        ended_at,
-    }
+    let log =
+        Arc::try_unwrap(log).map(Mutex::into_inner).unwrap_or_else(|shared| shared.lock().clone());
+    ExecutionTrace { n, log, net: engine.stats().clone(), sim: engine.trace().clone(), ended_at }
 }
 
 #[cfg(test)]
@@ -220,6 +242,31 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_run_is_identical_and_counts_semantics() {
+        let s = tiny_scenario();
+        let cfg = ExecutionConfig::default();
+        let plain = run_execution(&s, &cfg);
+        let m = psn_sim::metrics::Metrics::new();
+        let inst = run_execution_instrumented(&s, &cfg, &m);
+        assert_eq!(plain.log.events, inst.log.events, "metrics must not perturb the run");
+        assert_eq!(plain.log.reports, inst.log.reports);
+        assert_eq!(plain.net, inst.net);
+
+        let snap = m.snapshot();
+        let n = inst.n as u64;
+        assert_eq!(snap.counter("exec.senses"), Some(inst.log.sense_events().len() as u64));
+        assert_eq!(snap.counter("exec.receives"), Some(inst.log.reports.len() as u64));
+        assert_eq!(snap.counter("exec.strobes_broadcast"), Some(inst.net.broadcasts));
+        // Byte accounting reproduces the E7 analytic model exactly.
+        assert_eq!(snap.counter("exec.strobe_scalar_bytes"), Some(inst.net.broadcasts * n * 8));
+        assert_eq!(
+            snap.counter("exec.strobe_vector_bytes"),
+            Some(inst.net.broadcasts * n * 8 * (n + 1))
+        );
+        assert_eq!(snap.counter("engine.messages_delivered"), Some(inst.net.messages_delivered));
+    }
+
+    #[test]
     fn different_seed_changes_arrival_order_or_stamps() {
         let s = tiny_scenario();
         let a = run_execution(&s, &ExecutionConfig { seed: 1, ..Default::default() });
@@ -232,11 +279,17 @@ mod tests {
         let s = tiny_scenario();
         let every1 = run_execution(
             &s,
-            &ExecutionConfig { strobes: StrobePolicy { every: 1, ..Default::default() }, ..Default::default() },
+            &ExecutionConfig {
+                strobes: StrobePolicy { every: 1, ..Default::default() },
+                ..Default::default()
+            },
         );
         let every4 = run_execution(
             &s,
-            &ExecutionConfig { strobes: StrobePolicy { every: 4, ..Default::default() }, ..Default::default() },
+            &ExecutionConfig {
+                strobes: StrobePolicy { every: 4, ..Default::default() },
+                ..Default::default()
+            },
         );
         assert!(every4.net.broadcasts < every1.net.broadcasts);
         assert!(every4.net.broadcasts >= every1.net.broadcasts / 5);

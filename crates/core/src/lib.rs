@@ -15,7 +15,10 @@
 //!   report;
 //! - [`root`] — the distinguished root P₀: collect, merge clocks, actuate;
 //! - [`execution`] — run a scenario end to end and return the
-//!   [`execution::ExecutionTrace`] detectors consume.
+//!   [`execution::ExecutionTrace`] detectors consume;
+//! - [`metrics`] — execution-level instrumentation (semantic event counts,
+//!   strobe broadcasts, wire bytes by clock discipline) recorded into a
+//!   [`psn_sim::metrics::Metrics`] registry without perturbing the run.
 //!
 //! ## Example
 //!
@@ -47,15 +50,20 @@ pub mod execution;
 pub mod io;
 pub mod log;
 pub mod message;
+pub mod metrics;
 pub mod process;
 pub mod root;
 
 pub use bundle::{ClockBundle, ClockConfig, StampSet, StrobePayload};
 pub use causal_delivery::{CausalBuffer, CausalMsg, CausalSender};
 pub use event::{EventKind, ProcEvent};
-pub use execution::{run_execution, run_execution_with_rule, ExecutionConfig, ExecutionTrace};
+pub use execution::{
+    run_execution, run_execution_instrumented, run_execution_with_rule, ExecutionConfig,
+    ExecutionTrace,
+};
 pub use io::TraceFile;
 pub use log::{ActuationRecord, ExecutionLog, ReceivedReport};
 pub use message::{NetMsg, Report};
+pub use metrics::ExecMetrics;
 pub use process::{SensorProcess, StrobePolicy};
 pub use root::{ActuationRule, NoActuation, RootProcess};

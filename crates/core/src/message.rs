@@ -44,6 +44,9 @@ pub struct Report {
 }
 
 /// Everything that travels between actors in an execution.
+// Boxing the big variants would touch every construction/match site for a
+// type that only lives inside the engine's event queue; not worth it.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum NetMsg {
     /// Simulator → sensor: a watched attribute changed (not a network
@@ -94,9 +97,7 @@ impl Message for NetMsg {
             NetMsg::Strobe { payload, .. } => 8 + 8 * payload.vector.len(),
             // Key + value + the two stamp sets (each: lamport 8 + vector 8n
             // + strobe scalar 8 + strobe vector 8n + physical 8 + synced 8).
-            NetMsg::Report(r) => {
-                16 + 2 * (32 + 16 * r.stamps.vector.len())
-            }
+            NetMsg::Report(r) => 16 + 2 * (32 + 16 * r.stamps.vector.len()),
             NetMsg::Actuate { stamps, .. } => 16 + 32 + 16 * stamps.vector.len(),
         }
     }

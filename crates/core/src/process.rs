@@ -25,6 +25,7 @@ use crate::bundle::{ClockBundle, ClockConfig};
 use crate::event::{EventKind, ProcEvent};
 use crate::log::ExecutionLog;
 use crate::message::{NetMsg, Report};
+use crate::metrics::ExecMetrics;
 
 /// Per-process strobe policy.
 ///
@@ -67,6 +68,7 @@ pub struct SensorProcess {
     /// Flood dedup: highest strobe seq seen per origin.
     seen_strobes: Vec<u64>,
     log: Arc<Mutex<ExecutionLog>>,
+    metrics: ExecMetrics,
 }
 
 impl SensorProcess {
@@ -91,7 +93,15 @@ impl SensorProcess {
             strobe_seq: 0,
             seen_strobes: vec![0; n + 1],
             log,
+            metrics: ExecMetrics::disabled(),
         }
+    }
+
+    /// Record semantic event counts and strobe byte accounting into
+    /// `metrics` (builder style). Recording never changes behaviour.
+    pub fn with_metrics(mut self, metrics: ExecMetrics) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     fn next_strobe_seq(&mut self) -> u64 {
@@ -99,7 +109,12 @@ impl SensorProcess {
         self.strobe_seq
     }
 
-    fn record(&mut self, at: psn_sim::time::SimTime, kind: EventKind, stamps: crate::bundle::StampSet) {
+    fn record(
+        &mut self,
+        at: psn_sim::time::SimTime,
+        kind: EventKind,
+        stamps: crate::bundle::StampSet,
+    ) {
         self.event_seq += 1;
         self.log.lock().events.push(ProcEvent {
             process: self.id,
@@ -126,12 +141,11 @@ impl Actor<NetMsg> for SensorProcess {
         // (a pure "catch up" message — the §4.2 synchronize-at-any-time).
         let bundle = self.bundle.as_ref().expect("started");
         let snap = bundle.snapshot(ctx.now());
-        let payload = crate::bundle::StrobePayload {
-            scalar: snap.strobe_scalar,
-            vector: snap.strobe_vector,
-        };
+        let payload =
+            crate::bundle::StrobePayload { scalar: snap.strobe_scalar, vector: snap.strobe_vector };
         let seq = self.next_strobe_seq();
         ctx.broadcast(NetMsg::Strobe { origin: self.id, seq, payload });
+        self.metrics.on_strobe_broadcast();
         if let Some(period) = self.policy.heartbeat {
             ctx.set_timer(period, 0);
         }
@@ -145,16 +159,19 @@ impl Actor<NetMsg> for SensorProcess {
                 // The sense event n: tick all relevant-event clocks.
                 let (stamps, strobe) = bundle.on_sense(now);
                 self.sense_count += 1;
+                self.metrics.senses.inc();
                 self.record(now, EventKind::Sense { key, value, world_event }, stamps.clone());
                 // Strobe broadcast per policy (SSC1/SVC1's
                 // System-wide_Broadcast).
-                if self.sense_count % self.policy.every == 0 {
+                if self.sense_count.is_multiple_of(self.policy.every) {
                     let seq = self.next_strobe_seq();
                     ctx.broadcast(NetMsg::Strobe { origin: self.id, seq, payload: strobe });
+                    self.metrics.on_strobe_broadcast();
                 }
                 // The report to P0: a semantic send event s.
                 let bundle = self.bundle.as_mut().expect("started");
                 let send_stamps = bundle.on_send(now);
+                self.metrics.on_report_sent();
                 self.record(now, EventKind::Send { to: self.root }, send_stamps.clone());
                 ctx.send(
                     self.root,
@@ -179,6 +196,7 @@ impl Actor<NetMsg> for SensorProcess {
                     self.seen_strobes[origin] = seq;
                     if self.policy.flood && origin != self.id {
                         ctx.broadcast(NetMsg::Strobe { origin, seq, payload });
+                        self.metrics.on_strobe_broadcast();
                     }
                 }
             }
@@ -189,6 +207,7 @@ impl Actor<NetMsg> for SensorProcess {
                 let bundle = self.bundle.as_mut().expect("started");
                 bundle.on_receive(&piggyback, now);
                 let stamps = bundle.on_internal(now);
+                self.metrics.actuates.inc();
                 self.record(now, EventKind::Actuate { key, command }, stamps);
                 ctx.note(format!("actuate {key:?} := {command:?}"));
             }
@@ -239,13 +258,21 @@ mod tests {
             SimTime::from_millis(10),
             0,
             0,
-            NetMsg::WorldSense { key: AttrKey::new(0, 0), value: AttrValue::Int(1), world_event: 0 },
+            NetMsg::WorldSense {
+                key: AttrKey::new(0, 0),
+                value: AttrValue::Int(1),
+                world_event: 0,
+            },
         );
         engine.inject(
             SimTime::from_millis(20),
             1,
             1,
-            NetMsg::WorldSense { key: AttrKey::new(1, 0), value: AttrValue::Int(5), world_event: 1 },
+            NetMsg::WorldSense {
+                key: AttrKey::new(1, 0),
+                value: AttrValue::Int(5),
+                world_event: 1,
+            },
         );
         engine.run();
         log
@@ -277,12 +304,13 @@ mod tests {
     fn delayed_strobes_leave_concurrency() {
         // Delay 50ms > gap 10ms: P1's sense at 20ms happens before P0's
         // strobe lands, so its stamp does not cover P0's event.
-        let log = run_two_sensors(DelayModel::Fixed(
-            psn_sim::time::SimDuration::from_millis(50),
-        ));
+        let log = run_two_sensors(DelayModel::Fixed(psn_sim::time::SimDuration::from_millis(50)));
         let log = log.lock();
         let p1_sense = &log.events_of(1)[0];
         assert_eq!(p1_sense.stamps.strobe_vector.0, vec![0, 1, 0]);
-        assert!(p1_sense.stamps.strobe_vector.concurrent(&log.events_of(0)[0].stamps.strobe_vector));
+        assert!(p1_sense
+            .stamps
+            .strobe_vector
+            .concurrent(&log.events_of(0)[0].stamps.strobe_vector));
     }
 }

@@ -19,6 +19,7 @@ use crate::bundle::{ClockBundle, ClockConfig};
 use crate::event::{EventKind, ProcEvent};
 use crate::log::{ActuationRecord, ExecutionLog, ReceivedReport};
 use crate::message::{NetMsg, Report};
+use crate::metrics::ExecMetrics;
 
 /// A rule the root evaluates online on each arriving report. Returning
 /// commands closes the actuation loop.
@@ -52,6 +53,7 @@ pub struct RootProcess {
     flood: bool,
     seen_strobes: Vec<u64>,
     log: Arc<Mutex<ExecutionLog>>,
+    metrics: ExecMetrics,
 }
 
 impl RootProcess {
@@ -73,12 +75,20 @@ impl RootProcess {
             flood: false,
             seen_strobes: vec![0; n + 1],
             log,
+            metrics: ExecMetrics::disabled(),
         }
     }
 
     /// Enable strobe flood relay at the root (builder style).
     pub fn with_flood(mut self, flood: bool) -> Self {
         self.flood = flood;
+        self
+    }
+
+    /// Record semantic event counts and strobe byte accounting into
+    /// `metrics` (builder style). Recording never changes behaviour.
+    pub fn with_metrics(mut self, metrics: ExecMetrics) -> Self {
+        self.metrics = metrics;
         self
     }
 }
@@ -95,6 +105,7 @@ impl Actor<NetMsg> for RootProcess {
                 let bundle = self.bundle.as_mut().expect("started");
                 // Receive event r: merge piggybacked stamps (SC3/VC3).
                 let stamps = bundle.on_receive(&report.send_stamps, now);
+                self.metrics.receives.inc();
                 self.event_seq += 1;
                 let root_vector = stamps.vector.clone();
                 let mut log = self.log.lock();
@@ -118,6 +129,7 @@ impl Actor<NetMsg> for RootProcess {
                     // at the root (SC2/VC2), stamps piggybacked.
                     let bundle = self.bundle.as_mut().expect("started");
                     let send_stamps = bundle.on_send(now);
+                    self.metrics.sends.inc();
                     self.event_seq += 1;
                     ctx.send(
                         target,
@@ -141,6 +153,7 @@ impl Actor<NetMsg> for RootProcess {
                     self.seen_strobes[origin] = seq;
                     if self.flood {
                         ctx.broadcast(NetMsg::Strobe { origin, seq, payload });
+                        self.metrics.on_strobe_broadcast();
                     }
                 }
             }
@@ -201,13 +214,21 @@ mod tests {
             SimTime::from_millis(10),
             0,
             0,
-            NetMsg::WorldSense { key: AttrKey::new(0, 0), value: AttrValue::Int(3), world_event: 0 },
+            NetMsg::WorldSense {
+                key: AttrKey::new(0, 0),
+                value: AttrValue::Int(3),
+                world_event: 0,
+            },
         );
         engine.inject(
             SimTime::from_millis(20),
             1,
             1,
-            NetMsg::WorldSense { key: AttrKey::new(1, 0), value: AttrValue::Int(9), world_event: 1 },
+            NetMsg::WorldSense {
+                key: AttrKey::new(1, 0),
+                value: AttrValue::Int(9),
+                world_event: 1,
+            },
         );
         engine.run();
         log

@@ -29,9 +29,9 @@ fn scenario(seed: u64) -> psn_world::Scenario {
 /// each other directly.
 fn star_with_root_hub() -> Topology {
     let mut adj = vec![vec![false; 5]; 5];
-    for s in 0..4 {
-        adj[s][4] = true;
-        adj[4][s] = true;
+    adj[4][..4].iter_mut().for_each(|e| *e = true);
+    for row in adj.iter_mut().take(4) {
+        row[4] = true;
     }
     Topology::Graph { adj }
 }
@@ -123,10 +123,7 @@ fn heartbeats_emit_during_quiet_periods() {
     let silent = run_execution(&s, &ExecutionConfig::default());
     // 4 sensors × (300s / 5s) = 240 extra broadcasts.
     let extra = quiet.net.broadcasts - silent.net.broadcasts;
-    assert!(
-        (200..=300).contains(&extra),
-        "expected ≈240 heartbeat broadcasts, got {extra}"
-    );
+    assert!((200..=300).contains(&extra), "expected ≈240 heartbeat broadcasts, got {extra}");
 }
 
 #[test]
@@ -145,15 +142,8 @@ fn heartbeats_do_not_tick_clocks() {
         },
     );
     for p in 0..trace.n {
-        let sense_count =
-            trace.log.sense_events().iter().filter(|e| e.process == p).count() as u64;
-        let last = trace
-            .log
-            .events
-            .iter()
-            .filter(|e| e.process == p)
-            .last()
-            .expect("events exist");
+        let sense_count = trace.log.sense_events().iter().filter(|e| e.process == p).count() as u64;
+        let last = trace.log.events.iter().rfind(|e| e.process == p).expect("events exist");
         assert_eq!(
             last.stamps.strobe_vector.get(p),
             sense_count,

@@ -269,9 +269,8 @@ mod tests {
         // Generate interval pairs from every monotone stamp combination in
         // a small grid and verify classify() never produces an
         // inconsistent code.
-        let grid: Vec<VectorStamp> = (0..3u64)
-            .flat_map(|a| (0..3u64).map(move |b| VectorStamp(vec![a, b])))
-            .collect();
+        let grid: Vec<VectorStamp> =
+            (0..3u64).flat_map(|a| (0..3u64).map(move |b| VectorStamp(vec![a, b]))).collect();
         let mut seen = std::collections::HashSet::new();
         for lo_x in &grid {
             for hi_x in &grid {

@@ -170,8 +170,19 @@ mod tests {
     fn inverse_is_involutive_and_correct() {
         use Allen::*;
         for r in [
-            Before, Meets, Overlaps, Starts, During, Finishes, Equal, After, MetBy,
-            OverlappedBy, StartedBy, Contains, FinishedBy,
+            Before,
+            Meets,
+            Overlaps,
+            Starts,
+            During,
+            Finishes,
+            Equal,
+            After,
+            MetBy,
+            OverlappedBy,
+            StartedBy,
+            Contains,
+            FinishedBy,
         ] {
             assert_eq!(r.inverse().inverse(), r);
         }

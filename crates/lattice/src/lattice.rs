@@ -52,11 +52,11 @@ pub fn enumerate_lattice(history: &History, cap: u64) -> LatticeStats {
     let mut frontier: HashSet<Vec<usize>> = HashSet::new();
     frontier.insert(vec![0; n]);
 
-    for level in 0..=total {
+    for slot in &mut levels {
         if frontier.is_empty() {
             break;
         }
-        levels[level] = frontier.len() as u64;
+        *slot = frontier.len() as u64;
         states += frontier.len() as u64;
         if states > cap {
             truncated = true;
@@ -90,10 +90,7 @@ mod tests {
     #[test]
     fn independent_events_give_full_grid() {
         // 2 processes × 2 events each, no communication: 3×3 = 9 cuts.
-        let h = History::new(vec![
-            vec![vs(&[1, 0]), vs(&[2, 0])],
-            vec![vs(&[0, 1]), vs(&[0, 2])],
-        ]);
+        let h = History::new(vec![vec![vs(&[1, 0]), vs(&[2, 0])], vec![vs(&[0, 1]), vs(&[0, 2])]]);
         let s = enumerate_lattice(&h, 1_000);
         assert_eq!(s.states, 9);
         assert_eq!(s.levels, vec![1, 2, 3, 2, 1]);
@@ -106,10 +103,7 @@ mod tests {
     fn totally_ordered_events_give_chain() {
         // 2 processes, each event ordered after everything before it
         // (e.g. strobes with Δ=0): a chain of total+1 cuts.
-        let h = History::new(vec![
-            vec![vs(&[1, 0]), vs(&[3, 2])],
-            vec![vs(&[1, 1]), vs(&[1, 2])],
-        ]);
+        let h = History::new(vec![vec![vs(&[1, 0]), vs(&[3, 2])], vec![vs(&[1, 1]), vs(&[1, 2])]]);
         // Order: p0e0 [1,0] < p1e0 [1,1] < p1e1 [1,2] < p0e1 [3,2].
         let s = enumerate_lattice(&h, 1_000);
         assert_eq!(s.states, h.chain_cuts(), "linear order of np states");

@@ -65,11 +65,8 @@ mod tests {
         for r in 0..rounds {
             for p in 0..n {
                 // Deliver due strobes first.
-                let due: Vec<_> = in_flight
-                    .iter()
-                    .filter(|&&(at, _, _)| at <= event_counter)
-                    .cloned()
-                    .collect();
+                let due: Vec<_> =
+                    in_flight.iter().filter(|&&(at, _, _)| at <= event_counter).cloned().collect();
                 in_flight.retain(|&(at, _, _)| at > event_counter);
                 for (_, sender, s) in due {
                     for (q, c) in clocks.iter_mut().enumerate() {

@@ -32,9 +32,7 @@ pub fn max_consistent_cut_within(history: &History, bound: &[usize]) -> Vec<usiz
                 // excluded event of any j.
                 let last = &history.stamps[i][cut[i] - 1];
                 let violated = (0..n).any(|j| {
-                    j != i
-                        && cut[j] < history.len_of(j)
-                        && history.stamps[j][cut[j]].lt(last)
+                    j != i && cut[j] < history.len_of(j) && history.stamps[j][cut[j]].lt(last)
                 });
                 if violated {
                     cut[i] -= 1;
@@ -65,13 +63,13 @@ pub fn min_consistent_cut_containing(history: &History, want: &[usize]) -> Vec<u
                 continue;
             }
             let last = &history.stamps[i][cut[i] - 1];
-            for j in 0..n {
+            for (j, cj) in cut.iter_mut().enumerate() {
                 if j == i {
                     continue;
                 }
                 // Include every event of j that happens-before `last`.
-                while cut[j] < history.len_of(j) && history.stamps[j][cut[j]].lt(last) {
-                    cut[j] += 1;
+                while *cj < history.len_of(j) && history.stamps[j][*cj].lt(last) {
+                    *cj += 1;
                     changed = true;
                 }
             }
@@ -166,10 +164,7 @@ mod tests {
             if lo[p] < bound[p].min(h.len_of(p)) {
                 let mut bigger = lo.clone();
                 bigger[p] += 1;
-                assert!(
-                    !h.is_consistent(&bigger),
-                    "max cut must be maximal at process {p}"
-                );
+                assert!(!h.is_consistent(&bigger), "max cut must be maximal at process {p}");
             }
         }
     }

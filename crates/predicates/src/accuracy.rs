@@ -96,8 +96,7 @@ pub fn score(
     let overlaps = |d: &Detection, t: &TruthInterval| -> bool {
         let d_start = d.start;
         let d_end = d.end.unwrap_or(horizon);
-        let t_start =
-            SimTime::from_nanos(t.start.as_nanos().saturating_sub(tolerance.as_nanos()));
+        let t_start = SimTime::from_nanos(t.start.as_nanos().saturating_sub(tolerance.as_nanos()));
         let t_end = t.end.unwrap_or(horizon).saturating_add(tolerance);
         // Half-open overlap with the tolerance-expanded truth interval;
         // point detections (start == end) still count via <=.
@@ -169,10 +168,7 @@ mod tests {
         let truth = [t(100, Some(200)), t(500, Some(700))];
         let det = [d(100, Some(200), false), d(500, Some(700), false)];
         let r = score(&det, &truth, H, TOL, BorderlinePolicy::AsPositive);
-        assert_eq!(
-            (r.true_positives, r.false_positives, r.false_negatives),
-            (2, 0, 0)
-        );
+        assert_eq!((r.true_positives, r.false_positives, r.false_negatives), (2, 0, 0));
         assert_eq!(r.precision(), 1.0);
         assert_eq!(r.recall(), 1.0);
         assert_eq!(r.f1(), 1.0);

@@ -126,7 +126,8 @@ mod tests {
         use psn_sim::time::SimTime;
 
         let epsilon = SimDuration::from_millis(20);
-        for &ratio in &[0.25f64] {
+        {
+            let &ratio = &0.25f64;
             let overlap = epsilon.mul_f64(ratio);
             let trials = 120;
             let fn_count = (0..trials)

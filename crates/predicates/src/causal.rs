@@ -72,14 +72,10 @@ fn local_intervals(
     reports.sort_by_key(|r| r.report.sense_seq);
 
     let vars = conjunct.expr.variables();
-    let mut state: std::collections::HashMap<AttrKey, AttrValue> = vars
-        .iter()
-        .map(|&k| (k, initial.get(k).unwrap_or(AttrValue::Int(0))))
-        .collect();
+    let mut state: std::collections::HashMap<AttrKey, AttrValue> =
+        vars.iter().map(|&k| (k, initial.get(k).unwrap_or(AttrValue::Int(0)))).collect();
     let eval = |state: &std::collections::HashMap<AttrKey, AttrValue>| {
-        conjunct
-            .expr
-            .eval_bool(&|k| state.get(&k).copied().unwrap_or(AttrValue::Int(0)))
+        conjunct.expr.eval_bool(&|k| state.get(&k).copied().unwrap_or(AttrValue::Int(0)))
     };
     let stamp_of = |r: &psn_core::ReceivedReport| -> VectorStamp {
         match family {
@@ -90,11 +86,8 @@ fn local_intervals(
 
     let mut out = Vec::new();
     let mut holds = eval(&state);
-    let mut open: Option<(VectorStamp, SimTime)> = if holds {
-        Some((VectorStamp::zero(n_stamp), SimTime::ZERO))
-    } else {
-        None
-    };
+    let mut open: Option<(VectorStamp, SimTime)> =
+        if holds { Some((VectorStamp::zero(n_stamp), SimTime::ZERO)) } else { None };
     let mut last_stamp = VectorStamp::zero(n_stamp);
     for r in &reports {
         if state.contains_key(&r.report.key) {
@@ -142,10 +135,8 @@ pub fn detect_conjunctive(
 ) -> Vec<CausalOccurrence> {
     assert!(!conjuncts.is_empty(), "need at least one conjunct");
     let n_stamp = trace.n + 1; // stamps cover sensors + root
-    let lists: Vec<Vec<LocalInterval>> = conjuncts
-        .iter()
-        .map(|c| local_intervals(trace, c, initial, family, n_stamp))
-        .collect();
+    let lists: Vec<Vec<LocalInterval>> =
+        conjuncts.iter().map(|c| local_intervals(trace, c, initial, family, n_stamp)).collect();
     let mut idx = vec![0usize; lists.len()];
     let mut out = Vec::new();
 
@@ -183,8 +174,7 @@ pub fn detect_conjunctive(
             (0..current.len())
                 .all(|q| p == q || current[p].stamped.definitely_overlaps(&current[q].stamped))
         }) || current.len() == 1;
-        let truth_start =
-            current.iter().map(|iv| iv.truth_start).max().expect("nonempty");
+        let truth_start = current.iter().map(|iv| iv.truth_start).max().expect("nonempty");
         let truth_end = current
             .iter()
             .map(|iv| iv.truth_end)
@@ -328,11 +318,6 @@ mod tests {
     fn empty_conjuncts_rejected() {
         let s = scenario();
         let trace = run_execution(&s, &ExecutionConfig::default());
-        let _ = detect_conjunctive(
-            &trace,
-            &[],
-            &s.timeline.initial_state(),
-            StampFamily::Causal,
-        );
+        let _ = detect_conjunctive(&trace, &[], &s.timeline.initial_state(), StampFamily::Causal);
     }
 }

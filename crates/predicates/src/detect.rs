@@ -34,6 +34,7 @@ use psn_core::{ExecutionTrace, ReceivedReport};
 use psn_sim::time::SimTime;
 use psn_world::{AttrKey, AttrValue, WorldState};
 
+use crate::metrics::DetectorMetrics;
 use crate::spec::Predicate;
 
 /// One detected occurrence, in ground-truth coordinates (the truth times of
@@ -118,6 +119,25 @@ pub fn detect_occurrences(
     initial: &WorldState,
     discipline: Discipline,
 ) -> Vec<Detection> {
+    detect_occurrences_instrumented(
+        trace,
+        predicate,
+        initial,
+        discipline,
+        &DetectorMetrics::disabled(),
+    )
+}
+
+/// [`detect_occurrences`], recording occurrences emitted, borderline-bin
+/// size, and per-occurrence detection latency vs ground truth into
+/// `metrics`. Output is identical to the uninstrumented call.
+pub fn detect_occurrences_instrumented(
+    trace: &ExecutionTrace,
+    predicate: &Predicate,
+    initial: &WorldState,
+    discipline: Discipline,
+    metrics: &DetectorMetrics,
+) -> Vec<Detection> {
     // Order the observation stream per the discipline.
     let mut ordered: Vec<&ReceivedReport> = trace.log.reports.iter().collect();
     let keys: HashMap<*const ReceivedReport, (i128, usize, usize)> = trace
@@ -130,10 +150,8 @@ pub fn detect_occurrences(
     ordered.sort_by_key(|r| keys[&(*r as *const _)]);
 
     let vars = predicate.variables();
-    let mut state: HashMap<AttrKey, AttrValue> = vars
-        .iter()
-        .map(|&k| (k, initial.get(k).unwrap_or(AttrValue::Int(0))))
-        .collect();
+    let mut state: HashMap<AttrKey, AttrValue> =
+        vars.iter().map(|&k| (k, initial.get(k).unwrap_or(AttrValue::Int(0)))).collect();
 
     let eval = |state: &HashMap<AttrKey, AttrValue>| {
         predicate.eval(&|k| state.get(&k).copied().unwrap_or(AttrValue::Int(0)))
@@ -144,10 +162,12 @@ pub fn detect_occurrences(
     let window = trace.n.max(2);
 
     let mut detections: Vec<Detection> = Vec::new();
-    let mut open: Option<(SimTime, bool)> = None; // (start, borderline)
+    // (start, borderline, root-local arrival of the rising-edge report —
+    // None for the deployment-time open interval).
+    let mut open: Option<(SimTime, bool, Option<SimTime>)> = None;
     let mut holds = eval(&state);
     if holds {
-        open = Some((SimTime::ZERO, false));
+        open = Some((SimTime::ZERO, false, None));
     }
     // Recent history for race probes: (index, report, previous value of its
     // key before it applied).
@@ -165,23 +185,22 @@ pub fn detect_occurrences(
             && recent.iter().any(|(i, s, _)| {
                 idx - i <= window
                     && s.report.process != r.report.process
-                    && s.report
-                        .stamps
-                        .strobe_vector
-                        .concurrent(&r.report.stamps.strobe_vector)
+                    && s.report.stamps.strobe_vector.concurrent(&r.report.stamps.strobe_vector)
             });
 
         match (holds, now_holds) {
             (false, true) => {
-                open = Some((r.report.stamps.truth, is_race));
+                open = Some((r.report.stamps.truth, is_race, Some(r.arrived_at)));
             }
             (true, false) => {
-                let (start, race_at_start) = open.take().expect("open interval");
-                detections.push(Detection {
+                let (start, race_at_start, seen_at) = open.take().expect("open interval");
+                let d = Detection {
                     start,
                     end: Some(r.report.stamps.truth),
                     borderline: race_at_start || is_race,
-                });
+                };
+                metrics.on_occurrence(&d, seen_at);
+                detections.push(d);
             }
             _ => {}
         }
@@ -196,11 +215,7 @@ pub fn detect_occurrences(
                     break;
                 }
                 if s.report.process == r.report.process
-                    || !s
-                        .report
-                        .stamps
-                        .strobe_vector
-                        .concurrent(&r.report.stamps.strobe_vector)
+                    || !s.report.stamps.strobe_vector.concurrent(&r.report.stamps.strobe_vector)
                     || !state.contains_key(&s.report.key)
                 {
                     continue;
@@ -226,11 +241,13 @@ pub fn detect_occurrences(
                     }
                 }
                 if probe {
-                    detections.push(Detection {
+                    let d = Detection {
                         start: r.report.stamps.truth,
                         end: Some(r.report.stamps.truth),
                         borderline: true,
-                    });
+                    };
+                    metrics.on_occurrence(&d, Some(r.arrived_at));
+                    detections.push(d);
                     break;
                 }
             }
@@ -244,8 +261,10 @@ pub fn detect_occurrences(
             }
         }
     }
-    if let Some((start, race)) = open {
-        detections.push(Detection { start, end: None, borderline: race });
+    if let Some((start, race, seen_at)) = open {
+        let d = Detection { start, end: None, borderline: race };
+        metrics.on_occurrence(&d, seen_at);
+        detections.push(d);
     }
     detections
 }
@@ -277,12 +296,8 @@ mod tests {
         let s = scenario(2.0, 40);
         let trace = run_execution(&s, &ExecutionConfig::default());
         let pred = Predicate::occupancy_over(3, 40);
-        let detected = detect_occurrences(
-            &trace,
-            &pred,
-            &s.timeline.initial_state(),
-            Discipline::Oracle,
-        );
+        let detected =
+            detect_occurrences(&trace, &pred, &s.timeline.initial_state(), Discipline::Oracle);
         let truth = truth_intervals(&s.timeline, |st| pred.eval_state(st));
         assert_eq!(detected.len(), truth.len(), "every occurrence, no hang");
         for (d, t) in detected.iter().zip(&truth) {
@@ -302,12 +317,8 @@ mod tests {
             // Seed chosen to produce multiple occurrences; guard anyway.
             return;
         }
-        let detected = detect_occurrences(
-            &trace,
-            &pred,
-            &s.timeline.initial_state(),
-            Discipline::Oracle,
-        );
+        let detected =
+            detect_occurrences(&trace, &pred, &s.timeline.initial_state(), Discipline::Oracle);
         assert!(detected.len() >= 2, "detector must not hang after the first occurrence");
     }
 
@@ -373,6 +384,35 @@ mod tests {
             detected.iter().any(|d| d.borderline),
             "high event rate with Δ=1s must produce races"
         );
+    }
+
+    #[test]
+    fn instrumented_detection_is_identical_and_counts() {
+        let s = scenario(8.0, 60);
+        let trace = run_execution(
+            &s,
+            &ExecutionConfig {
+                delay: DelayModel::delta(SimDuration::from_secs(1)),
+                ..Default::default()
+            },
+        );
+        let pred = Predicate::occupancy_over(3, 60);
+        let init = s.timeline.initial_state();
+        let plain = detect_occurrences(&trace, &pred, &init, Discipline::VectorStrobe);
+        let m = psn_sim::metrics::Metrics::new();
+        let dm = crate::metrics::DetectorMetrics::attach(&m);
+        let inst =
+            detect_occurrences_instrumented(&trace, &pred, &init, Discipline::VectorStrobe, &dm);
+        assert_eq!(plain, inst, "metrics must not change detection output");
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("detector.occurrences"), Some(inst.len() as u64));
+        assert_eq!(
+            snap.counter("detector.borderline"),
+            Some(inst.iter().filter(|d| d.borderline).count() as u64)
+        );
+        let lat = snap.timer("detector.latency_ns").unwrap();
+        assert!(lat.count >= 1, "report-triggered occurrences have a latency sample");
+        assert!(lat.mean > 0.0, "Δ=1s delays give positive detection latency");
     }
 
     #[test]

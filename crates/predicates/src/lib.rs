@@ -14,7 +14,10 @@
 //!   predicates over vector-stamped intervals (Cooper–Marzullo modalities,
 //!   Garg–Waldecker advancement), under causal or strobe stamps;
 //! - [`accuracy`] — FP/FN scoring against ground truth with tolerance and
-//!   the borderline policy (§5's "err on the safe side").
+//!   the borderline policy (§5's "err on the safe side");
+//! - [`metrics`] — detector instrumentation (occurrences emitted,
+//!   borderline-bin size, detection latency vs ground truth) recorded into
+//!   a [`psn_sim::metrics::Metrics`] registry without changing output.
 
 #![warn(missing_docs)]
 
@@ -22,6 +25,7 @@ pub mod accuracy;
 pub mod analytic;
 pub mod causal;
 pub mod detect;
+pub mod metrics;
 pub mod online;
 pub mod spec;
 pub mod timing;
@@ -29,7 +33,8 @@ pub mod timing;
 pub use accuracy::{score, AccuracyReport, BorderlinePolicy};
 pub use analytic::{expected_undetectable_rate, fn_probability_synced, race_probability};
 pub use causal::{detect_conjunctive, CausalOccurrence, StampFamily};
-pub use detect::{detect_occurrences, Detection, Discipline};
+pub use detect::{detect_occurrences, detect_occurrences_instrumented, Detection, Discipline};
+pub use metrics::DetectorMetrics;
 pub use online::OnlineDetector;
 pub use spec::{Conjunct, Expr, Predicate};
 pub use timing::{detect_timing, match_timing, TimingMatch, TimingSpec};

@@ -20,6 +20,7 @@ use psn_sim::time::{SimDuration, SimTime};
 use psn_world::{AttrKey, AttrValue, WorldState};
 
 use crate::detect::Detection;
+use crate::metrics::DetectorMetrics;
 use crate::spec::Predicate;
 
 type OrderKey = (u64, usize, usize);
@@ -37,9 +38,12 @@ pub struct OnlineDetector {
     /// Buffered, not-yet-released reports.
     buffer: Vec<ReceivedReport>,
     detections: Vec<Detection>,
-    open: Option<SimTime>,
+    /// (truth start, arrival of the rising-edge report — None for the
+    /// deployment-time open interval).
+    open: Option<(SimTime, Option<SimTime>)>,
     last_released: Option<OrderKey>,
     late_reports: usize,
+    metrics: DetectorMetrics,
 }
 
 impl OnlineDetector {
@@ -53,7 +57,7 @@ impl OnlineDetector {
             .map(|k| (k, initial.get(k).unwrap_or(AttrValue::Int(0))))
             .collect();
         let holds = predicate.eval(&|k| state.get(&k).copied().unwrap_or(AttrValue::Int(0)));
-        let open = if holds { Some(SimTime::ZERO) } else { None };
+        let open = if holds { Some((SimTime::ZERO, None)) } else { None };
         OnlineDetector {
             predicate,
             state,
@@ -64,7 +68,15 @@ impl OnlineDetector {
             open,
             last_released: None,
             late_reports: 0,
+            metrics: DetectorMetrics::disabled(),
         }
+    }
+
+    /// Record occurrences, detection latency, and buffer occupancy into
+    /// `metrics` (builder style). Recording never changes detection output.
+    pub fn with_metrics(mut self, metrics: DetectorMetrics) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Feed the next report **in arrival order**. Releases (and evaluates)
@@ -72,9 +84,9 @@ impl OnlineDetector {
     pub fn offer(&mut self, r: &ReceivedReport) {
         let now = r.arrived_at;
         self.buffer.push(r.clone());
-        let watermark = SimTime::from_nanos(
-            now.as_nanos().saturating_sub(self.hold_back.as_nanos()),
-        );
+        self.metrics.buffer_depth.set(self.buffer.len() as u64);
+        let watermark =
+            SimTime::from_nanos(now.as_nanos().saturating_sub(self.hold_back.as_nanos()));
         self.release_until(watermark);
     }
 
@@ -84,12 +96,8 @@ impl OnlineDetector {
         // due report over a smaller-key, recently-arrived one would
         // evaluate out of strobe order.)
         loop {
-            let min_idx = self
-                .buffer
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, b)| strobe_key(b))
-                .map(|(i, _)| i);
+            let min_idx =
+                self.buffer.iter().enumerate().min_by_key(|(_, b)| strobe_key(b)).map(|(i, _)| i);
             let Some(i) = min_idx else { break };
             if self.buffer[i].arrived_at > watermark {
                 break;
@@ -110,18 +118,15 @@ impl OnlineDetector {
         if self.state.contains_key(&r.report.key) {
             self.state.insert(r.report.key, r.report.value);
         }
-        let now_holds = self
-            .predicate
-            .eval(&|k| self.state.get(&k).copied().unwrap_or(AttrValue::Int(0)));
+        let now_holds =
+            self.predicate.eval(&|k| self.state.get(&k).copied().unwrap_or(AttrValue::Int(0)));
         match (self.holds, now_holds) {
-            (false, true) => self.open = Some(r.report.stamps.truth),
+            (false, true) => self.open = Some((r.report.stamps.truth, Some(r.arrived_at))),
             (true, false) => {
-                let start = self.open.take().expect("open interval");
-                self.detections.push(Detection {
-                    start,
-                    end: Some(r.report.stamps.truth),
-                    borderline: false,
-                });
+                let (start, seen_at) = self.open.take().expect("open interval");
+                let d = Detection { start, end: Some(r.report.stamps.truth), borderline: false };
+                self.metrics.on_occurrence(&d, seen_at);
+                self.detections.push(d);
             }
             _ => {}
         }
@@ -148,8 +153,10 @@ impl OnlineDetector {
     /// detection list.
     pub fn finish(mut self) -> Vec<Detection> {
         self.release_until(SimTime::MAX);
-        if let Some(start) = self.open.take() {
-            self.detections.push(Detection { start, end: None, borderline: false });
+        if let Some((start, seen_at)) = self.open.take() {
+            let d = Detection { start, end: None, borderline: false };
+            self.metrics.on_occurrence(&d, seen_at);
+            self.detections.push(d);
         }
         self.detections
     }
@@ -255,6 +262,29 @@ mod tests {
         // ~4 ev/s world rate × 0.2 s window ⇒ a handful in flight.
         assert!(max_buf < 50, "buffer stayed bounded, saw {max_buf}");
         let _ = online.finish();
+    }
+
+    #[test]
+    fn instrumented_online_detector_is_identical_and_records() {
+        let (scenario, trace) = fixture(200, 2);
+        let pred = Predicate::occupancy_over(3, 70);
+        let init = scenario.timeline.initial_state();
+        let hold = SimDuration::from_millis(400);
+        let mut plain = OnlineDetector::new(pred.clone(), &init, hold);
+        let m = psn_sim::metrics::Metrics::new();
+        let mut inst = OnlineDetector::new(pred, &init, hold)
+            .with_metrics(crate::metrics::DetectorMetrics::attach(&m));
+        for r in &trace.log.reports {
+            plain.offer(r);
+            inst.offer(r);
+        }
+        let plain_out = plain.finish();
+        let inst_out = inst.finish();
+        assert_eq!(plain_out, inst_out, "metrics must not change online output");
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("detector.occurrences"), Some(inst_out.len() as u64));
+        let (_, buf_high) = snap.gauge("detector.buffer_depth").unwrap();
+        assert!(buf_high >= 1, "hold-back keeps at least one report buffered");
     }
 
     #[test]

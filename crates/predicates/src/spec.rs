@@ -94,14 +94,17 @@ impl Expr {
         Expr::Not(Box::new(self))
     }
     /// `self − rhs`.
+    #[allow(clippy::should_implement_trait)] // by-value builder DSL, not arithmetic on &Expr
     pub fn sub(self, rhs: Expr) -> Expr {
         Expr::Sub(Box::new(self), Box::new(rhs))
     }
     /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::Add(Box::new(self), Box::new(rhs))
     }
     /// `self × rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Expr) -> Expr {
         Expr::Mul(Box::new(self), Box::new(rhs))
     }
@@ -231,9 +234,7 @@ impl Predicate {
         Predicate::Relational(
             Expr::Sum(
                 (0..doors)
-                    .map(|d| {
-                        Expr::var(AttrKey::new(d, 0)).sub(Expr::var(AttrKey::new(d, 1)))
-                    })
+                    .map(|d| Expr::var(AttrKey::new(d, 0)).sub(Expr::var(AttrKey::new(d, 1))))
                     .collect(),
             )
             .gt(Expr::int(capacity)),
@@ -257,11 +258,7 @@ mod tests {
 
     fn reader(pairs: &[(AttrKey, AttrValue)]) -> impl Fn(AttrKey) -> AttrValue + '_ {
         move |k| {
-            pairs
-                .iter()
-                .find(|(key, _)| *key == k)
-                .map(|(_, v)| *v)
-                .unwrap_or(AttrValue::Int(0))
+            pairs.iter().find(|(key, _)| *key == k).map(|(_, v)| *v).unwrap_or(AttrValue::Int(0))
         }
     }
 
@@ -335,14 +332,10 @@ mod tests {
             Conjunct { process: 0, expr: Expr::var(AttrKey::new(0, 0)).gt(Expr::int(1)) },
             Conjunct { process: 1, expr: Expr::var(AttrKey::new(1, 0)).gt(Expr::int(1)) },
         ]);
-        let both = [
-            (AttrKey::new(0, 0), AttrValue::Int(2)),
-            (AttrKey::new(1, 0), AttrValue::Int(2)),
-        ];
-        let one = [
-            (AttrKey::new(0, 0), AttrValue::Int(2)),
-            (AttrKey::new(1, 0), AttrValue::Int(0)),
-        ];
+        let both =
+            [(AttrKey::new(0, 0), AttrValue::Int(2)), (AttrKey::new(1, 0), AttrValue::Int(2))];
+        let one =
+            [(AttrKey::new(0, 0), AttrValue::Int(2)), (AttrKey::new(1, 0), AttrValue::Int(0))];
         assert!(p.eval(&reader(&both)));
         assert!(!p.eval(&reader(&one)));
     }

@@ -145,10 +145,7 @@ mod tests {
         let m = DelayModel::delta(SimDuration::from_millis(100));
         assert_eq!(
             m,
-            DelayModel::DeltaBounded {
-                min: SimDuration::ZERO,
-                max: SimDuration::from_millis(100)
-            }
+            DelayModel::DeltaBounded { min: SimDuration::ZERO, max: SimDuration::from_millis(100) }
         );
         assert_eq!(m.mean(), SimDuration::from_millis(50));
     }

@@ -15,6 +15,7 @@
 //!   [`crate::queue::EventQueue`]), so even the synchronous Δ = 0 model is
 //!   fully deterministic.
 
+use crate::metrics::{Counter, Gauge, Metrics, Timer};
 use crate::network::{ActorId, NetStats, NetworkConfig};
 use crate::queue::EventQueue;
 use crate::rng::{RngFactory, RngStream};
@@ -22,6 +23,7 @@ use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceKind};
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// A message payload. Sizes feed the byte-overhead accounting of
 /// experiment E7 (strobe scalar O(1) vs strobe vector O(n) payloads).
@@ -126,6 +128,33 @@ enum Dispatch<M> {
     Timer { tag: u64 },
 }
 
+/// Pre-registered engine metric handles (see [`crate::metrics`]). Recording
+/// observes the simulation without feeding anything back into it — no RNG
+/// draws, no event reordering — so enabling metrics cannot change a run.
+struct EngineMetrics {
+    events: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    queue_depth: Gauge,
+    in_flight: Gauge,
+    run_wall: Timer,
+    events_per_sec: Gauge,
+}
+
+impl EngineMetrics {
+    fn attach(m: &Metrics) -> Self {
+        EngineMetrics {
+            events: m.counter("engine.events_processed"),
+            delivered: m.counter("engine.messages_delivered"),
+            dropped: m.counter("engine.messages_dropped"),
+            queue_depth: m.gauge("engine.queue_depth"),
+            in_flight: m.gauge("engine.in_flight"),
+            run_wall: m.timer_with_range("engine.run_wall_ns", 0.0, 1e10, 128),
+            events_per_sec: m.gauge("engine.events_per_sec"),
+        }
+    }
+}
+
 /// The simulation engine.
 pub struct Engine<M: Message> {
     now: SimTime,
@@ -141,6 +170,9 @@ pub struct Engine<M: Message> {
     end_time: SimTime,
     halted: bool,
     events_processed: u64,
+    m: EngineMetrics,
+    /// Messages scheduled for delivery but not yet delivered.
+    in_flight: u64,
 }
 
 impl<M: Message> Engine<M> {
@@ -163,7 +195,17 @@ impl<M: Message> Engine<M> {
             end_time: SimTime::MAX,
             halted: false,
             events_processed: 0,
+            m: EngineMetrics::attach(&Metrics::disabled()),
+            in_flight: 0,
         }
+    }
+
+    /// Record engine metrics (events processed, delivered vs dropped
+    /// messages, queue depth, in-flight high-water, run wall time) into
+    /// `metrics`. Recording is observational only: a run with metrics
+    /// attached is bit-identical to the same run without.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.m = EngineMetrics::attach(metrics);
     }
 
     /// Register an actor; returns its id. Actors must be added before
@@ -192,11 +234,16 @@ impl<M: Message> Engine<M> {
     /// (often the world actor's id).
     pub fn inject(&mut self, at: SimTime, to: ActorId, from: ActorId, msg: M) {
         self.queue.schedule(at, Pending::Deliver { from, to, msg });
+        self.in_flight += 1;
+        self.m.in_flight.set(self.in_flight);
+        self.m.queue_depth.set(self.queue.len() as u64);
     }
 
     /// Run until the queue drains, the end time passes, or an actor halts.
     /// Returns the final simulation time.
     pub fn run(&mut self) -> SimTime {
+        let wall_start = Instant::now();
+        let events_before = self.events_processed;
         for id in 0..self.actors.len() {
             if self.halted {
                 break;
@@ -213,10 +260,14 @@ impl<M: Message> Engine<M> {
             debug_assert!(at >= self.now, "time must be monotone");
             self.now = at;
             self.events_processed += 1;
+            self.m.events.inc();
             match pending {
                 Pending::Deliver { from, to, msg } => {
                     self.trace.record(self.now, TraceKind::Delivered { from, to });
                     self.stats.messages_delivered += 1;
+                    self.m.delivered.inc();
+                    self.in_flight = self.in_flight.saturating_sub(1);
+                    self.m.in_flight.set(self.in_flight);
                     self.dispatch(to, Dispatch::Message { from, msg });
                 }
                 Pending::Timer { actor, tag } => {
@@ -224,6 +275,15 @@ impl<M: Message> Engine<M> {
                     self.dispatch(actor, Dispatch::Timer { tag });
                 }
             }
+            self.m.queue_depth.set(self.queue.len() as u64);
+        }
+        let wall = wall_start.elapsed();
+        self.m.run_wall.record_duration(wall);
+        let secs = wall.as_secs_f64();
+        if secs > 0.0 {
+            self.m
+                .events_per_sec
+                .set(((self.events_processed - events_before) as f64 / secs) as u64);
         }
         self.now
     }
@@ -272,6 +332,7 @@ impl<M: Message> Engine<M> {
 
     fn transmit(&mut self, from: ActorId, to: ActorId, msg: M) {
         if !self.network.topology.connected(from, to) {
+            self.m.dropped.inc();
             return; // no link: silently dropped
         }
         let bytes = msg.size_bytes();
@@ -280,6 +341,7 @@ impl<M: Message> Engine<M> {
         self.trace.record(self.now, TraceKind::Sent { from, to, bytes });
         if self.network.loss.is_lost(&mut self.net_rng) {
             self.stats.messages_lost += 1;
+            self.m.dropped.inc();
             self.trace.record(self.now, TraceKind::Lost { from, to });
             return;
         }
@@ -293,6 +355,8 @@ impl<M: Message> Engine<M> {
             *last = deliver_at;
         }
         self.queue.schedule(deliver_at, Pending::Deliver { from, to, msg });
+        self.in_flight += 1;
+        self.m.in_flight.set(self.in_flight);
     }
 
     /// Current simulation time.
@@ -364,9 +428,7 @@ mod tests {
             self.log.push((ctx.now(), msg.clone()));
             match msg {
                 TestMsg::Ping(k) => ctx.send(self.peer, TestMsg::Pong(k)),
-                TestMsg::Pong(k) if k + 1 < self.max => {
-                    ctx.send(self.peer, TestMsg::Ping(k + 1))
-                }
+                TestMsg::Pong(k) if k + 1 < self.max => ctx.send(self.peer, TestMsg::Ping(k + 1)),
                 TestMsg::Pong(_) => ctx.halt(),
             }
         }
@@ -402,8 +464,7 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let run = |seed| {
-            let net =
-                NetworkConfig::full_mesh(2, DelayModel::delta(SimDuration::from_millis(50)));
+            let net = NetworkConfig::full_mesh(2, DelayModel::delta(SimDuration::from_millis(50)));
             let mut e = Engine::new(net, seed);
             e.add_actor(Box::new(PingPong { peer: 1, max: 20, log: vec![], initiator: true }));
             e.add_actor(Box::new(PingPong { peer: 0, max: 20, log: vec![], initiator: false }));
@@ -623,10 +684,41 @@ mod tests {
         e.inject(SimTime::from_millis(2), 0, 0, TestMsg::Ping(2));
         e.run();
         let got = got.lock().unwrap().clone();
-        assert_eq!(
-            *got,
-            vec![(SimTime::from_millis(2), 2), (SimTime::from_millis(5), 1)]
-        );
+        assert_eq!(*got, vec![(SimTime::from_millis(2), 2), (SimTime::from_millis(5), 1)]);
+    }
+
+    #[test]
+    fn metrics_observe_the_run_without_changing_it() {
+        let m = crate::metrics::Metrics::new();
+        let mut instrumented = ping_pong_engine(DelayModel::Fixed(SimDuration::from_millis(10)));
+        instrumented.set_metrics(&m);
+        let end_i = instrumented.run();
+        let mut plain = ping_pong_engine(DelayModel::Fixed(SimDuration::from_millis(10)));
+        let end_p = plain.run();
+        assert_eq!(end_i, end_p, "metrics must not perturb the run");
+        assert_eq!(instrumented.stats().clone(), plain.stats().clone());
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("engine.messages_delivered"), Some(10));
+        assert_eq!(snap.counter("engine.events_processed"), Some(instrumented.events_processed()));
+        let (in_flight_now, in_flight_high) = snap.gauge("engine.in_flight").unwrap();
+        assert_eq!(in_flight_now, 0, "queue drained");
+        assert!(in_flight_high >= 1, "ping-pong always has one message in flight");
+        assert_eq!(snap.timer("engine.run_wall_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn metrics_count_dropped_messages() {
+        let m = crate::metrics::Metrics::new();
+        let net = NetworkConfig::full_mesh(2, DelayModel::Synchronous)
+            .with_loss(LossModel::Bernoulli { p: 1.0 });
+        let mut e = Engine::new(net, 1);
+        e.set_metrics(&m);
+        e.add_actor(Box::new(PingPong { peer: 1, max: 1, log: vec![], initiator: true }));
+        e.add_actor(Box::new(PingPong { peer: 0, max: 1, log: vec![], initiator: false }));
+        e.run();
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("engine.messages_dropped"), Some(1));
+        assert_eq!(snap.counter("engine.messages_delivered"), Some(0));
     }
 
     #[test]
@@ -636,8 +728,7 @@ mod tests {
         e.run();
         assert!(e.trace().len() >= 20, "sent + delivered for each message");
         let sent = e.trace().count_matching(|k| matches!(k, TraceKind::Sent { .. }));
-        let delivered =
-            e.trace().count_matching(|k| matches!(k, TraceKind::Delivered { .. }));
+        let delivered = e.trace().count_matching(|k| matches!(k, TraceKind::Delivered { .. }));
         assert_eq!(sent, 10);
         assert_eq!(delivered, 10);
     }

@@ -15,8 +15,10 @@
 //! - dynamic logical overlays with broadcast, FIFO/non-FIFO channels and
 //!   byte accounting ([`network`]),
 //! - an actor-based engine ([`engine`]),
-//! - run traces ([`trace`]), summary statistics ([`stats`]), and
-//! - a deterministic parallel sweep runner ([`sweep`]).
+//! - run traces ([`trace`]), summary statistics ([`stats`]),
+//! - a deterministic parallel sweep runner ([`sweep`]), and
+//! - a run-wide metrics/instrumentation registry ([`metrics`]) whose
+//!   recording provably never perturbs simulation results.
 //!
 //! Every run is a pure function of `(actors, network, seed)`; sweeps return
 //! identical results at any thread count.
@@ -55,6 +57,7 @@
 pub mod delay;
 pub mod engine;
 pub mod loss;
+pub mod metrics;
 pub mod network;
 pub mod queue;
 pub mod rng;
@@ -68,10 +71,11 @@ pub mod prelude {
     pub use crate::delay::DelayModel;
     pub use crate::engine::{Actor, Context, Engine, Message};
     pub use crate::loss::LossModel;
+    pub use crate::metrics::{Counter, Gauge, Metrics, MetricsSnapshot, Timer};
     pub use crate::network::{ActorId, NetStats, NetworkConfig, Topology};
     pub use crate::rng::{RngFactory, RngStream};
     pub use crate::stats::OnlineStats;
-    pub use crate::sweep::{run_sweep, run_sweep_auto};
+    pub use crate::sweep::{run_sweep, run_sweep_auto, run_sweep_instrumented};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{Trace, TraceEvent, TraceKind};
 }

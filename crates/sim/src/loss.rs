@@ -126,8 +126,7 @@ mod tests {
         let mut r = rng();
         let mut m = LossModel::bursty(0.02, 0.10, 0.001, 0.8);
         let samples: Vec<bool> = (0..400_000).map(|_| m.is_lost(&mut r)).collect();
-        let marginal =
-            samples.iter().filter(|&&x| x).count() as f64 / samples.len() as f64;
+        let marginal = samples.iter().filter(|&&x| x).count() as f64 / samples.len() as f64;
         let mut after_loss = 0usize;
         let mut loss_then_loss = 0usize;
         for w in samples.windows(2) {

@@ -46,9 +46,9 @@ impl Topology {
     /// with a distinguished root/back-end server P₀.
     pub fn star(n: usize) -> Self {
         let mut adj = vec![vec![false; n]; n];
-        for i in 1..n {
-            adj[0][i] = true;
-            adj[i][0] = true;
+        adj[0][1..].iter_mut().for_each(|e| *e = true);
+        for row in adj.iter_mut().skip(1) {
+            row[0] = true;
         }
         Topology::Graph { adj }
     }
@@ -73,9 +73,7 @@ impl Topology {
         }
         match self {
             Topology::FullMesh { n } => a < *n && b < *n,
-            Topology::Graph { adj } => {
-                a < adj.len() && b < adj.len() && adj[a][b]
-            }
+            Topology::Graph { adj } => a < adj.len() && b < adj.len() && adj[a][b],
         }
     }
 
@@ -87,9 +85,7 @@ impl Topology {
             return;
         }
         if let Topology::FullMesh { n } = *self {
-            let adj = (0..n)
-                .map(|i| (0..n).map(|j| i != j).collect())
-                .collect();
+            let adj = (0..n).map(|i| (0..n).map(|j| i != j).collect()).collect();
             *self = Topology::Graph { adj };
         }
         if let Topology::Graph { adj } = self {
@@ -123,7 +119,12 @@ pub struct NetworkConfig {
 impl NetworkConfig {
     /// A lossless full mesh of `n` nodes with the given delay model, FIFO.
     pub fn full_mesh(n: usize, delay: DelayModel) -> Self {
-        NetworkConfig { topology: Topology::FullMesh { n }, delay, loss: LossModel::None, fifo: true }
+        NetworkConfig {
+            topology: Topology::FullMesh { n },
+            delay,
+            loss: LossModel::None,
+            fifo: true,
+        }
     }
 
     /// Replace the loss model (builder style).

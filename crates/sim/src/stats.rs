@@ -117,6 +117,7 @@ impl OnlineStats {
 /// The `q`-quantile (0 ≤ q ≤ 1) of a sample, by linear interpolation on the
 /// sorted data. Returns NaN for an empty slice.
 pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "quantile() requires sorted input");
     if sorted.is_empty() {
         return f64::NAN;
     }
@@ -136,30 +137,37 @@ pub fn quantile(sorted: &[f64], q: f64) -> f64 {
 }
 
 /// Sort a sample and return (p50, p90, p99).
-pub fn percentiles(samples: &mut Vec<f64>) -> (f64, f64, f64) {
+pub fn percentiles(samples: &mut [f64]) -> (f64, f64, f64) {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
     (quantile(samples, 0.50), quantile(samples, 0.90), quantile(samples, 0.99))
 }
 
 /// A fixed-width histogram over `[lo, hi)` with values outside clamped into
-/// the end bins.
+/// the end bins. NaN observations are not recorded; they are counted in
+/// [`Histogram::dropped`] instead (NaN would otherwise cast to bin 0 and
+/// silently skew the distribution).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
     bins: Vec<u64>,
     total: u64,
+    dropped: u64,
 }
 
 impl Histogram {
     /// A histogram with `bins` equal-width buckets covering `[lo, hi)`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(hi > lo && bins > 0, "invalid histogram bounds");
-        Histogram { lo, hi, bins: vec![0; bins], total: 0 }
+        Histogram { lo, hi, bins: vec![0; bins], total: 0, dropped: 0 }
     }
 
-    /// Record one observation.
+    /// Record one observation. NaN is skipped and counted as dropped.
     pub fn record(&mut self, x: f64) {
+        if x.is_nan() {
+            self.dropped += 1;
+            return;
+        }
         let k = ((x - self.lo) / (self.hi - self.lo) * self.bins.len() as f64)
             .floor()
             .clamp(0.0, (self.bins.len() - 1) as f64) as usize;
@@ -172,9 +180,35 @@ impl Histogram {
         &self.bins
     }
 
-    /// Total observations recorded.
+    /// Total observations recorded (NaN drops excluded).
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// NaN observations that were offered to [`Histogram::record`] and
+    /// skipped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The `q`-quantile of the recorded distribution at bucket granularity:
+    /// the upper edge of the first bucket whose cumulative mass reaches
+    /// `q`. Returns NaN if the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let mut cum = 0u64;
+        for (k, &c) in self.bins.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return self.lo + width * (k + 1) as f64;
+            }
+        }
+        self.hi
     }
 
     /// The fraction of mass at or below `x` (empirical CDF at bucket
@@ -287,6 +321,105 @@ mod tests {
         assert_eq!(h.bins()[0], 2, "0.5 and clamped -5.0");
         assert_eq!(h.bins()[1], 2);
         assert_eq!(h.bins()[9], 2, "9.9 and clamped 15.0");
+    }
+
+    #[test]
+    fn histogram_drops_nan_instead_of_bin_zero() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(f64::NAN);
+        h.record(0.5);
+        h.record(f64::NAN);
+        assert_eq!(h.dropped(), 2, "NaN observations are counted");
+        assert_eq!(h.total(), 1, "NaN observations are not recorded");
+        assert_eq!(h.bins()[0], 1, "only the real 0.5 lands in bin 0");
+    }
+
+    #[test]
+    fn histogram_quantile_at_bucket_granularity() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        assert!((h.quantile(0.5) - 5.0).abs() < 1e-12, "median at upper edge of bin 4");
+        assert!((h.quantile(1.0) - 10.0).abs() < 1e-12);
+        assert!((h.quantile(0.0) - 1.0).abs() < 1e-12, "q=0 maps to the first occupied bin");
+        assert!(Histogram::new(0.0, 1.0, 4).quantile(0.5).is_nan());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "sorted input")]
+    fn quantile_rejects_unsorted_input_in_debug() {
+        quantile(&[3.0, 1.0, 2.0], 0.5);
+    }
+
+    mod merge_properties {
+        use super::super::OnlineStats;
+        use proptest::prelude::*;
+
+        fn stats_of(xs: &[f64]) -> OnlineStats {
+            let mut s = OnlineStats::new();
+            for &x in xs {
+                s.push(x);
+            }
+            s
+        }
+
+        fn close(a: f64, b: f64) -> bool {
+            (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+        }
+
+        fn assert_equivalent(a: &OnlineStats, b: &OnlineStats) {
+            assert_eq!(a.count(), b.count());
+            assert!(close(a.mean(), b.mean()), "mean {} vs {}", a.mean(), b.mean());
+            assert!(
+                close(a.variance(), b.variance()),
+                "variance {} vs {}",
+                a.variance(),
+                b.variance()
+            );
+            if a.count() > 0 {
+                assert_eq!(a.min(), b.min());
+                assert_eq!(a.max(), b.max());
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn merge_is_associative_and_order_insensitive(
+                xs in proptest::collection::vec(-1e3f64..1e3, 0..40),
+                ys in proptest::collection::vec(-1e3f64..1e3, 0..40),
+                zs in proptest::collection::vec(-1e3f64..1e3, 0..40),
+            ) {
+                let (sx, sy, sz) = (stats_of(&xs), stats_of(&ys), stats_of(&zs));
+
+                // (x ⊕ y) ⊕ z
+                let mut left = sx.clone();
+                left.merge(&sy);
+                left.merge(&sz);
+
+                // x ⊕ (y ⊕ z)
+                let mut yz = sy.clone();
+                yz.merge(&sz);
+                let mut right = sx.clone();
+                right.merge(&yz);
+
+                // z ⊕ (y ⊕ x): a different operand order entirely.
+                let mut yx = sy.clone();
+                yx.merge(&sx);
+                let mut rev = sz.clone();
+                rev.merge(&yx);
+
+                // And the ground truth: one pass over the concatenation.
+                let all: Vec<f64> =
+                    xs.iter().chain(&ys).chain(&zs).copied().collect();
+                let whole = stats_of(&all);
+
+                assert_equivalent(&left, &right);
+                assert_equivalent(&left, &rev);
+                assert_equivalent(&left, &whole);
+            }
+        }
     }
 
     #[test]

@@ -195,7 +195,7 @@ impl fmt::Display for SimDuration {
 fn format_nanos(ns: u64) -> String {
     if ns == 0 {
         "0s".to_string()
-    } else if ns % 1_000_000_000 == 0 {
+    } else if ns.is_multiple_of(1_000_000_000) {
         format!("{}s", ns / 1_000_000_000)
     } else if ns >= 1_000_000_000 {
         format!("{:.3}s", ns as f64 / 1e9)

@@ -89,9 +89,7 @@ impl Trace {
         self.events
             .iter()
             .filter_map(|e| match &e.kind {
-                TraceKind::Note { actor: a, label } if *a == actor => {
-                    Some((e.at, label.as_str()))
-                }
+                TraceKind::Note { actor: a, label } if *a == actor => Some((e.at, label.as_str())),
                 _ => None,
             })
             .collect()

@@ -197,11 +197,8 @@ pub fn run_on_demand(params: &OnDemandParams, seed: u64) -> OnDemandOutcome {
         }));
     }
     engine.run();
-    let fire_times: Vec<SimTime> = fire_times
-        .lock()
-        .iter()
-        .map(|t| t.expect("every node fired"))
-        .collect();
+    let fire_times: Vec<SimTime> =
+        fire_times.lock().iter().map(|t| t.expect("every node fired")).collect();
     let min = fire_times.iter().min().copied().expect("nonempty");
     let max = fire_times.iter().max().copied().expect("nonempty");
     OnDemandOutcome {
@@ -220,11 +217,7 @@ mod tests {
         let out = run_on_demand(&OnDemandParams::default(), 42);
         // Spread bounded by a few times the jitter (exchange asymmetry +
         // drift over the 2s lead), far below the 50ms raw offsets.
-        assert!(
-            out.spread < SimDuration::from_millis(2),
-            "spread {} too large",
-            out.spread
-        );
+        assert!(out.spread < SimDuration::from_millis(2), "spread {} too large", out.spread);
     }
 
     #[test]

@@ -216,11 +216,7 @@ pub fn run_rbs(params: &RbsParams, seed: u64) -> SyncOutcome {
             beacons: params.beacons,
             oscillators: Arc::clone(&oscillators),
             readings: Vec::new(),
-            collected: if index == 0 {
-                vec![None; params.receivers]
-            } else {
-                Vec::new()
-            },
+            collected: if index == 0 { vec![None; params.receivers] } else { Vec::new() },
             done: Arc::clone(&done),
         }));
     }
@@ -252,14 +248,10 @@ mod tests {
 
     #[test]
     fn achieved_skew_scales_with_jitter() {
-        let lo = run_rbs(
-            &RbsParams { jitter: SimDuration::from_micros(10), ..Default::default() },
-            7,
-        );
-        let hi = run_rbs(
-            &RbsParams { jitter: SimDuration::from_millis(10), ..Default::default() },
-            7,
-        );
+        let lo =
+            run_rbs(&RbsParams { jitter: SimDuration::from_micros(10), ..Default::default() }, 7);
+        let hi =
+            run_rbs(&RbsParams { jitter: SimDuration::from_millis(10), ..Default::default() }, 7);
         assert!(
             hi.achieved_skew.as_nanos() > lo.achieved_skew.as_nanos() * 10,
             "lo {} hi {}",

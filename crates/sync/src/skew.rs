@@ -70,10 +70,7 @@ mod tests {
     fn mean_skew_averages_pairs() {
         let clocks = vec![osc(0), osc(300), osc(600)];
         // Pairs: 300, 600, 300 → mean 400.
-        assert_eq!(
-            mean_pairwise_skew(&clocks, SimTime::ZERO),
-            SimDuration::from_nanos(400)
-        );
+        assert_eq!(mean_pairwise_skew(&clocks, SimTime::ZERO), SimDuration::from_nanos(400));
     }
 
     #[test]

@@ -122,8 +122,7 @@ impl Actor<TpsnMsg> for Child {
             if self.done_rounds < self.rounds {
                 self.send_request(ctx);
             } else {
-                let mean: i64 =
-                    self.estimates.iter().sum::<i64>() / self.estimates.len() as i64;
+                let mean: i64 = self.estimates.iter().sum::<i64>() / self.estimates.len() as i64;
                 // offset = parent − child, so the child adds it.
                 self.oscillators.lock()[self.index].adjust_offset(mean);
             }
@@ -402,10 +401,7 @@ mod tests {
         };
         let shallow = mean_last_error(1);
         let deep = mean_last_error(8);
-        assert!(
-            deep > shallow * 1.5,
-            "depth-8 error {deep} should exceed depth-1 error {shallow}"
-        );
+        assert!(deep > shallow * 1.5, "depth-8 error {deep} should exceed depth-1 error {shallow}");
     }
 
     #[test]

@@ -80,10 +80,8 @@ pub fn truth_duty_cycle(
     pred: impl Fn(&WorldState) -> bool,
     horizon: SimTime,
 ) -> f64 {
-    let total: u64 = truth_intervals(timeline, pred)
-        .iter()
-        .map(|iv| iv.duration(horizon).as_nanos())
-        .sum();
+    let total: u64 =
+        truth_intervals(timeline, pred).iter().map(|iv| iv.duration(horizon).as_nanos()).sum();
     if horizon == SimTime::ZERO {
         0.0
     } else {
@@ -165,10 +163,8 @@ mod tests {
 
     #[test]
     fn interval_predicates() {
-        let iv = TruthInterval {
-            start: SimTime::from_millis(10),
-            end: Some(SimTime::from_millis(20)),
-        };
+        let iv =
+            TruthInterval { start: SimTime::from_millis(10), end: Some(SimTime::from_millis(20)) };
         assert!(iv.contains(SimTime::from_millis(10)));
         assert!(iv.contains(SimTime::from_millis(19)));
         assert!(!iv.contains(SimTime::from_millis(20)), "half-open");

@@ -107,7 +107,12 @@ impl RoomWalker {
     }
 
     /// If `now ≥ next_move`, transition and return `Some((old, new))`.
-    pub fn maybe_move(&mut self, now: SimTime, graph: &RoomGraph, rng: &mut RngStream) -> Option<(usize, usize)> {
+    pub fn maybe_move(
+        &mut self,
+        now: SimTime,
+        graph: &RoomGraph,
+        rng: &mut RngStream,
+    ) -> Option<(usize, usize)> {
         if now < self.next_move {
             return None;
         }
@@ -148,8 +153,7 @@ impl Waypoint {
     }
 
     fn pick_new_dest(&mut self, rng: &mut RngStream) {
-        self.dest =
-            (rng.uniform_f64(0.0, self.bounds.0), rng.uniform_f64(0.0, self.bounds.1));
+        self.dest = (rng.uniform_f64(0.0, self.bounds.0), rng.uniform_f64(0.0, self.bounds.1));
         self.speed = rng.uniform_f64(self.speed_range.0, self.speed_range.1).max(1e-9);
     }
 

@@ -81,7 +81,7 @@ pub fn generate(params: &ExhibitionParams, seed: u64) -> Scenario {
     let mut t = SimTime::ZERO;
     let mean_gap = 1.0 / params.arrival_rate_hz.max(1e-12);
     loop {
-        t = t + arrivals_rng.exponential_duration(SimDuration::from_secs_f64(mean_gap));
+        t += arrivals_rng.exponential_duration(SimDuration::from_secs_f64(mean_gap));
         if t > params.duration {
             break;
         }

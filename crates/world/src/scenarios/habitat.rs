@@ -160,8 +160,7 @@ mod tests {
         let s = generate(&small(), 5);
         let mut pending: Option<(psn_sim::time::SimTime, i64)> = None;
         s.timeline.replay(|state, e| {
-            let total: i64 =
-                (0..4).map(|st| state.get_int(AttrKey::new(st, ATTR_PRESENT))).sum();
+            let total: i64 = (0..4).map(|st| state.get_int(AttrKey::new(st, ATTR_PRESENT))).sum();
             if let Some((t, tot)) = pending.take() {
                 if t != e.at {
                     assert_eq!(tot, 2);

@@ -86,10 +86,7 @@ mod tests {
     #[test]
     fn assignment_lookup() {
         let a = SensorAssignment {
-            watches: vec![
-                vec![AttrKey::new(0, 0), AttrKey::new(0, 1)],
-                vec![AttrKey::new(1, 0)],
-            ],
+            watches: vec![vec![AttrKey::new(0, 0), AttrKey::new(0, 1)], vec![AttrKey::new(1, 0)]],
         };
         assert_eq!(a.process_for(AttrKey::new(0, 1)), Some(0));
         assert_eq!(a.process_for(AttrKey::new(1, 0)), Some(1));

@@ -140,9 +140,8 @@ pub fn generate(params: &OfficeParams, seed: u64) -> Scenario {
             .filter(|&(t, _)| t <= params.duration)
             .min();
         let Some((t, p)) = next else { break };
-        let (old, new) = walkers[p]
-            .maybe_move(t, &graph, &mut person_rngs[p])
-            .expect("move is due");
+        let (old, new) =
+            walkers[p].maybe_move(t, &graph, &mut person_rngs[p]).expect("move is due");
         if old == new {
             continue;
         }
@@ -209,7 +208,7 @@ pub fn generate(params: &OfficeParams, seed: u64) -> Scenario {
         let mut last_emitted = params.base_temp;
         let mut t = SimTime::ZERO;
         loop {
-            t = t + params.temp_step_every;
+            t += params.temp_step_every;
             if t > params.duration {
                 break;
             }
@@ -288,7 +287,7 @@ mod tests {
         // equal "some walker is in the room" — verified indirectly: motion
         // can only flip, never repeat a value.
         let s = generate(&small(), 8);
-        let mut motion = vec![false; 3];
+        let mut motion = [false; 3];
         for e in &s.timeline.events {
             if e.key.object < 3 && e.key.attr == ATTR_MOTION {
                 let new = e.value.as_bool();
@@ -327,8 +326,7 @@ mod tests {
         let mut pending: Option<(psn_sim::time::SimTime, i32)> = None;
         let mut check = 0;
         s.timeline.replay(|state, e| {
-            let count: i32 =
-                (0..3).map(|r| i32::from(state.get_bool(AttrKey::new(pen, r)))).sum();
+            let count: i32 = (0..3).map(|r| i32::from(state.get_bool(AttrKey::new(pen, r)))).sum();
             if let Some((t, c)) = pending.take() {
                 if t != e.at {
                     assert_eq!(c, 1, "pen must be in exactly one room");
@@ -347,8 +345,7 @@ mod tests {
         // pen enter is caused by the matching pen leave at the same time.
         let s = generate(&small(), 8);
         let pen = pen_object_id(3, 0);
-        let pen_events: Vec<_> =
-            s.timeline.events.iter().filter(|e| e.key.object == pen).collect();
+        let pen_events: Vec<_> = s.timeline.events.iter().filter(|e| e.key.object == pen).collect();
         assert!(!pen_events.is_empty(), "the carrier moves during 30 minutes");
         for e in &pen_events {
             if e.value.as_bool() {
@@ -386,14 +383,11 @@ mod tests {
     #[test]
     fn temperatures_emit_on_significant_change_only() {
         let s = generate(&small(), 8);
-        let mut last = vec![27.0f64; 3];
+        let mut last = [27.0f64; 3];
         for e in &s.timeline.events {
             if e.key.object < 3 && e.key.attr == ATTR_TEMP {
                 let v = e.value.as_float();
-                assert!(
-                    (v - last[e.key.object]).abs() >= 0.5,
-                    "insignificant change emitted"
-                );
+                assert!((v - last[e.key.object]).abs() >= 0.5, "insignificant change emitted");
                 assert!((10.0..=45.0).contains(&v), "clamped range");
                 last[e.key.object] = v;
             }
@@ -406,7 +400,8 @@ mod tests {
         // essentially certain over half an hour.
         let params = OfficeParams { base_temp: 29.5, temp_sigma: 1.0, ..small() };
         let s = generate(&params, 21);
-        let any = (0..3).any(|r| !truth_intervals(&s.timeline, hot_and_occupied(r, 30.0)).is_empty());
+        let any =
+            (0..3).any(|r| !truth_intervals(&s.timeline, hot_and_occupied(r, 30.0)).is_empty());
         assert!(any, "the conjunctive predicate should hold at some point");
     }
 

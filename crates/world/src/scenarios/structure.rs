@@ -77,7 +77,7 @@ pub fn generate(params: &StructureParams, seed: u64) -> Scenario {
     let mut t = SimTime::ZERO;
     let mean_gap = SimDuration::from_secs_f64(1.0 / params.shock_rate_hz.max(1e-12));
     loop {
-        t = t + shocks.exponential_duration(mean_gap);
+        t += shocks.exponential_duration(mean_gap);
         if t > params.duration {
             break;
         }
@@ -129,16 +129,11 @@ pub fn generate(params: &StructureParams, seed: u64) -> Scenario {
     }
 
     let sensing = SensorAssignment {
-        watches: (0..params.segments)
-            .map(|s| vec![AttrKey::new(s, ATTR_VIBRATION)])
-            .collect(),
+        watches: (0..params.segments).map(|s| vec![AttrKey::new(s, ATTR_VIBRATION)]).collect(),
     };
 
     Scenario {
-        name: format!(
-            "structure(segments={}, shocks={}/s)",
-            params.segments, params.shock_rate_hz
-        ),
+        name: format!("structure(segments={}, shocks={}/s)", params.segments, params.shock_rate_hz),
         timeline: Timeline::new(objects, events),
         sensing,
     }
@@ -148,10 +143,7 @@ pub fn generate(params: &StructureParams, seed: u64) -> Scenario {
 /// (a propagating shock, as opposed to local noise).
 pub fn widespread_vibration(segments: usize, k: usize) -> impl Fn(&WorldState) -> bool {
     move |state| {
-        (0..segments)
-            .filter(|&s| state.get_int(AttrKey::new(s, ATTR_VIBRATION)) > 0)
-            .count()
-            >= k
+        (0..segments).filter(|&s| state.get_int(AttrKey::new(s, ATTR_VIBRATION)) > 0).count() >= k
     }
 }
 
@@ -229,14 +221,8 @@ mod tests {
     #[test]
     fn widespread_vibration_fires_on_propagating_shocks() {
         let s = generate(&small(), 11);
-        let ivs = crate::ground_truth::truth_intervals(
-            &s.timeline,
-            widespread_vibration(5, 3),
-        );
-        assert!(
-            !ivs.is_empty(),
-            "a shock with 2-hop coupling excites ≥3 segments"
-        );
+        let ivs = crate::ground_truth::truth_intervals(&s.timeline, widespread_vibration(5, 3));
+        assert!(!ivs.is_empty(), "a shock with 2-hop coupling excites ≥3 segments");
         // And each such episode is short (ring-down bounded).
         for iv in &ivs {
             assert!(

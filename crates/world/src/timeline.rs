@@ -55,13 +55,18 @@ impl Timeline {
         }
         let mut sorted: Vec<WorldEvent> = order
             .into_iter()
-            .map(|i| std::mem::replace(&mut events[i], WorldEvent {
-                id: 0,
-                at: SimTime::ZERO,
-                key: AttrKey::new(0, 0),
-                value: AttrValue::Bool(false),
-                caused_by: Vec::new(),
-            }))
+            .map(|i| {
+                std::mem::replace(
+                    &mut events[i],
+                    WorldEvent {
+                        id: 0,
+                        at: SimTime::ZERO,
+                        key: AttrKey::new(0, 0),
+                        value: AttrValue::Bool(false),
+                        caused_by: Vec::new(),
+                    },
+                )
+            })
             .collect();
         for (new_id, e) in sorted.iter_mut().enumerate() {
             e.id = new_id;
@@ -210,18 +215,12 @@ mod tests {
 
     #[test]
     fn replay_visits_every_event_in_order() {
-        let t = Timeline::new(
-            one_object(),
-            vec![ev(0, 20, 0, 2, vec![]), ev(1, 10, 0, 1, vec![])],
-        );
+        let t = Timeline::new(one_object(), vec![ev(0, 20, 0, 2, vec![]), ev(1, 10, 0, 1, vec![])]);
         let mut seen = Vec::new();
         t.replay(|state, e| {
             seen.push((e.at, state.get_int(e.key)));
         });
-        assert_eq!(
-            seen,
-            vec![(SimTime::from_millis(10), 1), (SimTime::from_millis(20), 2)]
-        );
+        assert_eq!(seen, vec![(SimTime::from_millis(10), 1), (SimTime::from_millis(20), 2)]);
     }
 
     #[test]
@@ -258,10 +257,7 @@ mod tests {
 
     #[test]
     fn ties_keep_stable_order() {
-        let t = Timeline::new(
-            one_object(),
-            vec![ev(0, 10, 0, 1, vec![]), ev(1, 10, 0, 2, vec![])],
-        );
+        let t = Timeline::new(one_object(), vec![ev(0, 10, 0, 1, vec![]), ev(1, 10, 0, 2, vec![])]);
         assert_eq!(t.events[0].value, AttrValue::Int(1));
         assert_eq!(t.events[1].value, AttrValue::Int(2));
     }

@@ -13,11 +13,8 @@ fn arb_events(max: usize) -> impl Strategy<Value = Vec<(u64, i64)>> {
 }
 
 fn counter_timeline(changes: &[(u64, i64)]) -> Timeline {
-    let objects = vec![ObjectSpec {
-        id: 0,
-        name: "c".into(),
-        attrs: vec![("v".into(), AttrValue::Int(0))],
-    }];
+    let objects =
+        vec![ObjectSpec { id: 0, name: "c".into(), attrs: vec![("v".into(), AttrValue::Int(0))] }];
     let events = changes
         .iter()
         .enumerate()

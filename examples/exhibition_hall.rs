@@ -45,9 +45,7 @@ impl ActuationRule for CapacityRule {
         let over = self.occupancy() > self.capacity;
         if over != self.locked {
             self.locked = over;
-            (0..self.doors)
-                .map(|d| (d, AttrKey::new(d, 2), AttrValue::Bool(over)))
-                .collect()
+            (0..self.doors).map(|d| (d, AttrKey::new(d, 2), AttrValue::Bool(over))).collect()
         } else {
             Vec::new()
         }
@@ -110,12 +108,7 @@ fn main() {
 
     // Each actuated sensor recorded an 'a' event — the causal chain of
     // §4.1: e1@world → sense@door → report → detect@P0 → actuate@door.
-    let actuate_events = trace
-        .log
-        .events
-        .iter()
-        .filter(|e| e.kind.tag() == 'a')
-        .count();
+    let actuate_events = trace.log.events.iter().filter(|e| e.kind.tag() == 'a').count();
     println!("\n'a' (actuate) events recorded at sensors: {actuate_events}");
 
     // Detection quality with the vector strobe clock + borderline bin.
@@ -134,7 +127,11 @@ fn main() {
     );
     println!(
         "\nvector-strobe detection: TP {} FP {} FN {} (borderline bin {}, of which FP caught {})",
-        r.true_positives, r.false_positives, r.false_negatives, r.borderline, r.borderline_false_positives,
+        r.true_positives,
+        r.false_positives,
+        r.false_negatives,
+        r.borderline,
+        r.borderline_false_positives,
     );
     println!(
         "precision {:.3} recall {:.3} — races within Δ land in the borderline bin;\n\

@@ -32,9 +32,7 @@ fn main() {
         ..Default::default()
     };
     let trace = run_execution(&scenario, &cfg);
-    let pred = Predicate::Relational(
-        Expr::var(AttrKey::new(2, ATTR_PRESENT)).ge(Expr::int(2)),
-    );
+    let pred = Predicate::Relational(Expr::var(AttrKey::new(2, ATTR_PRESENT)).ge(Expr::int(2)));
     let truth = truth_intervals(&scenario.timeline, |s| pred.eval_state(s));
     let det = detect_occurrences(
         &trace,
@@ -66,10 +64,8 @@ fn main() {
     // 30 s for the whole day.
     let cost = CostModel::default();
     let strobe_energy = cost.net_energy(&trace.net);
-    let rbs = run_rbs(
-        &RbsParams { receivers: params.stations, beacons: 5, ..Default::default() },
-        3,
-    );
+    let rbs =
+        run_rbs(&RbsParams { receivers: params.stations, beacons: 5, ..Default::default() }, 3);
     let rounds = (86_400.0_f64 / 30.0).ceil();
     let sync_energy = cost.sync_energy(&rbs) * rounds;
     println!("\nenergy over 24h (model units):");
@@ -83,10 +79,7 @@ fn main() {
     // On-demand sync: fire all stations' microphones simultaneously once,
     // to localize an audio source — no standing time base needed.
     println!("\non-demand simultaneous sampling (Baumgartner et al., §4.2):");
-    let od = run_on_demand(
-        &OnDemandParams { nodes: params.stations, ..Default::default() },
-        11,
-    );
+    let od = run_on_demand(&OnDemandParams { nodes: params.stations, ..Default::default() }, 11);
     let raw = run_on_demand(
         &OnDemandParams { nodes: params.stations, synchronize: false, ..Default::default() },
         11,

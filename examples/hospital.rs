@@ -20,7 +20,12 @@ fn main() {
         duration: SimTime::from_secs(7200),
     };
     let scenario = hospital::generate(&params, 2024);
-    println!("{} — {} world events over {}", scenario.name, scenario.timeline.len(), scenario.timeline.duration());
+    println!(
+        "{} — {} world events over {}",
+        scenario.name,
+        scenario.timeline.len(),
+        scenario.timeline.duration()
+    );
 
     let cfg = ExecutionConfig {
         delay: DelayModel::delta(SimDuration::from_millis(400)),
@@ -30,14 +35,10 @@ fn main() {
     let initial = scenario.timeline.initial_state();
 
     // Predicate 1 (relational): waiting room over 5 visitors.
-    let crowded = Predicate::Relational(
-        Expr::var(AttrKey::new(0, ATTR_COUNT)).gt(Expr::int(5)),
-    );
+    let crowded = Predicate::Relational(Expr::var(AttrKey::new(0, ATTR_COUNT)).gt(Expr::int(5)));
     // Predicate 2 (boolean): someone inside the infectious ward.
-    let breach = Predicate::Relational(Expr::var(AttrKey::new(
-        params.infectious_ward,
-        ATTR_INTRUSION,
-    )));
+    let breach =
+        Predicate::Relational(Expr::var(AttrKey::new(params.infectious_ward, ATTR_INTRUSION)));
 
     for (name, pred) in [("waiting-room > 5", &crowded), ("infectious-ward breach", &breach)] {
         let truth = truth_intervals(&scenario.timeline, |s| pred.eval_state(s));
@@ -71,10 +72,7 @@ fn main() {
     let strobe_energy = cost.net_energy(&trace.net);
 
     let rounds = (params.duration.as_secs_f64() / 30.0).ceil() as u64;
-    let rbs = run_rbs(
-        &RbsParams { receivers: params.wards, beacons: 5, ..Default::default() },
-        9,
-    );
+    let rbs = run_rbs(&RbsParams { receivers: params.wards, beacons: 5, ..Default::default() }, 9);
     let sync_energy = cost.sync_energy(&rbs) * rounds as f64;
     println!("\nenergy (model units) over {}:", params.duration);
     println!("  strobe clocks (per-event broadcast) : {strobe_energy:>10.0}");

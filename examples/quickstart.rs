@@ -23,7 +23,11 @@ fn main() {
     };
     let scenario = exhibition::generate(&params, 42);
     println!("world: {}", scenario.name);
-    println!("  {} ground-truth events over {}", scenario.timeline.len(), scenario.timeline.duration());
+    println!(
+        "  {} ground-truth events over {}",
+        scenario.timeline.len(),
+        scenario.timeline.duration()
+    );
 
     // ------------------------------------------------------------------
     // 2. The network plane: 4 sensor processes + the root P0, asynchronous
@@ -54,7 +58,10 @@ fn main() {
     let tolerance = SimDuration::from_millis(500); // ≈ 2Δ race window
     let initial = scenario.timeline.initial_state();
 
-    println!("\n{:<16} {:>5} {:>4} {:>4} {:>6} {:>10} {:>8}", "discipline", "TP", "FP", "FN", "bline", "precision", "recall");
+    println!(
+        "\n{:<16} {:>5} {:>4} {:>4} {:>6} {:>10} {:>8}",
+        "discipline", "TP", "FP", "FN", "bline", "precision", "recall"
+    );
     for d in Discipline::ALL {
         let detections = detect_occurrences(&trace, &predicate, &initial, d);
         let r = score(&detections, &truth, horizon, tolerance, BorderlinePolicy::AsPositive);

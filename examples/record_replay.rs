@@ -56,13 +56,7 @@ fn main() {
             SimDuration::from_millis(900),
             BorderlinePolicy::AsPositive,
         );
-        println!(
-            "{:<16} {:>10} {:>8.3} {:>8.3}",
-            d.label(),
-            det.len(),
-            r.recall(),
-            r.precision()
-        );
+        println!("{:<16} {:>10} {:>8.3} {:>8.3}", d.label(), det.len(), r.recall(), r.precision());
     }
 
     // The replayed trace is bit-identical to the live one.

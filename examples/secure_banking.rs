@@ -91,8 +91,7 @@ fn main() {
     let spec = TimingSpec::FollowedWithin { max_gap: SimDuration::from_secs(30) };
 
     for disc in [Discipline::SyncedPhysical, Discipline::VectorStrobe] {
-        let matches =
-            detect_timing(&trace, &password, &biometric, &spec, &init, disc, horizon);
+        let matches = detect_timing(&trace, &password, &biometric, &spec, &init, disc, horizon);
         println!("\nauthentications accepted under {:?}:", disc.label());
         for m in &matches {
             println!(
@@ -122,10 +121,8 @@ fn main() {
         Discipline::VectorStrobe,
         horizon,
     );
-    let rejected: Vec<_> = bio_all
-        .iter()
-        .filter(|b| !accepted.iter().any(|m| m.y_start == b.start))
-        .collect();
+    let rejected: Vec<_> =
+        bio_all.iter().filter(|b| !accepted.iter().any(|m| m.y_start == b.start)).collect();
     println!("\nrejected biometric presentations:");
     for b in &rejected {
         println!("  biometric@{} — no password within the session window", b.start);

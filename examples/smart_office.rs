@@ -36,10 +36,7 @@ fn main() {
     println!(
         "ground truth: room {room} hot-and-occupied {} time(s), total {:.1}s",
         truth.len(),
-        truth
-            .iter()
-            .map(|t| t.duration(params.duration).as_secs_f64())
-            .sum::<f64>()
+        truth.iter().map(|t| t.duration(params.duration).as_secs_f64()).sum::<f64>()
     );
 
     // --- The paper's degeneracy observation -----------------------------
@@ -82,16 +79,12 @@ fn main() {
     println!("{:>12} {:>8} {:>8} {:>8}", "mean delay", "recall", "prec.", "bline");
     for delay_ms in [50u64, 200, 500, 1000, 2000, 5000] {
         let cfg = ExecutionConfig {
-            delay: DelayModel::Exponential {
-                mean: SimDuration::from_millis(delay_ms),
-                cap: None,
-            },
+            delay: DelayModel::Exponential { mean: SimDuration::from_millis(delay_ms), cap: None },
             fifo: false,
             ..Default::default()
         };
         let trace = run_execution(&scenario, &cfg);
-        let detections =
-            detect_occurrences(&trace, &pred, &initial, Discipline::VectorStrobe);
+        let detections = detect_occurrences(&trace, &pred, &initial, Discipline::VectorStrobe);
         let r = score(
             &detections,
             &truth,

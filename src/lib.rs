@@ -83,15 +83,17 @@ pub mod prelude {
         VectorClock, VectorStamp,
     };
     pub use psn_core::{
-        run_execution, run_execution_with_rule, ActuationRule, ClockConfig, ExecutionConfig,
-        ExecutionTrace, StrobePolicy,
+        run_execution, run_execution_instrumented, run_execution_with_rule, ActuationRule,
+        ClockConfig, ExecMetrics, ExecutionConfig, ExecutionTrace, StrobePolicy,
     };
     pub use psn_predicates::{
-        detect_conjunctive, detect_occurrences, score, AccuracyReport, BorderlinePolicy, Conjunct,
-        Detection, Discipline, Expr, Predicate, StampFamily,
+        detect_conjunctive, detect_occurrences, detect_occurrences_instrumented, score,
+        AccuracyReport, BorderlinePolicy, Conjunct, Detection, DetectorMetrics, Discipline, Expr,
+        OnlineDetector, Predicate, StampFamily,
     };
     pub use psn_sim::delay::DelayModel;
     pub use psn_sim::loss::LossModel;
+    pub use psn_sim::metrics::{Metrics, MetricsSnapshot};
     pub use psn_sim::time::{SimDuration, SimTime};
     pub use psn_world::scenarios::exhibition::{self, ExhibitionParams};
     pub use psn_world::scenarios::habitat::{self, HabitatParams};

@@ -79,12 +79,7 @@ fn concurrency_count_matches_lattice_width_direction() {
     let width_at = |d| {
         let (_, trace) = small_trace(d, 9);
         let h = strobe_history(&trace);
-        enumerate_lattice(&h, 10_000_000)
-            .levels
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(0)
+        enumerate_lattice(&h, 10_000_000).levels.iter().copied().max().unwrap_or(0)
     };
     assert!(width_at(0) <= width_at(30_000));
     assert_eq!(width_at(0), 1);
@@ -172,9 +167,9 @@ fn flooded_star_detection_matches_full_mesh_quality() {
     let pred = Predicate::occupancy_over(4, 25);
     let star = {
         let mut adj = vec![vec![false; 5]; 5];
-        for sensor in 0..4 {
-            adj[sensor][4] = true;
-            adj[4][sensor] = true;
+        adj[4][..4].iter_mut().for_each(|e| *e = true);
+        for row in adj.iter_mut().take(4) {
+            row[4] = true;
         }
         Topology::Graph { adj }
     };

@@ -12,11 +12,7 @@ fn exhibition_scenario(seed: u64) -> (Scenario, Predicate, SimTime) {
         duration: SimTime::from_secs(600),
         capacity: 110,
     };
-    (
-        exhibition::generate(&params, seed),
-        Predicate::occupancy_over(4, 110),
-        params.duration,
-    )
+    (exhibition::generate(&params, seed), Predicate::occupancy_over(4, 110), params.duration)
 }
 
 #[test]
@@ -67,7 +63,13 @@ fn all_disciplines_are_reasonable_at_small_delta() {
     assert!(!truth.is_empty(), "fixture must have occurrences");
     for d in Discipline::ALL {
         let det = detect_occurrences(&trace, &pred, &s.timeline.initial_state(), d);
-        let r = score(&det, &truth, horizon, SimDuration::from_millis(100), BorderlinePolicy::AsPositive);
+        let r = score(
+            &det,
+            &truth,
+            horizon,
+            SimDuration::from_millis(100),
+            BorderlinePolicy::AsPositive,
+        );
         assert!(
             r.recall() > 0.9,
             "discipline {} recall {} too low at tiny Δ",
@@ -89,12 +91,8 @@ fn habitat_regime_strobes_are_near_perfect() {
     };
     let trace = run_execution(&s, &cfg);
     let truth = truth_intervals(&s.timeline, |st| pred.eval_state(st));
-    let det = detect_occurrences(
-        &trace,
-        &pred,
-        &s.timeline.initial_state(),
-        Discipline::VectorStrobe,
-    );
+    let det =
+        detect_occurrences(&trace, &pred, &s.timeline.initial_state(), Discipline::VectorStrobe);
     let r = score(
         &det,
         &truth,
@@ -115,11 +113,7 @@ fn actuation_loop_reacts_to_detection() {
         fired: bool,
     }
     impl ActuationRule for AlarmRule {
-        fn on_report(
-            &mut self,
-            report: &Report,
-            _h: &ExecutionLog,
-        ) -> Vec<(usize, AttrKey, AV)> {
+        fn on_report(&mut self, report: &Report, _h: &ExecutionLog) -> Vec<(usize, AttrKey, AV)> {
             if !self.fired && report.value.as_int() >= 3 {
                 self.fired = true;
                 vec![(report.process, report.key, AV::Bool(true))]
@@ -137,20 +131,11 @@ fn actuation_loop_reacts_to_detection() {
     );
     assert_eq!(trace.log.actuations.len(), 1);
     let target = trace.log.actuations[0].target;
-    let actuated = trace
-        .log
-        .events
-        .iter()
-        .any(|e| e.process == target && e.kind.tag() == 'a');
+    let actuated = trace.log.events.iter().any(|e| e.process == target && e.kind.tag() == 'a');
     assert!(actuated, "the commanded sensor must record an 'a' event");
     // The actuate event is causally after the root's receive: its vector
     // clock must dominate the root's component.
-    let a_event = trace
-        .log
-        .events
-        .iter()
-        .find(|e| e.kind.tag() == 'a')
-        .expect("actuate event");
+    let a_event = trace.log.events.iter().find(|e| e.kind.tag() == 'a').expect("actuate event");
     assert!(
         a_event.stamps.vector.get(trace.root_id()) > 0,
         "actuation carries the root's causal influence (sense→send→receive→actuate)"
@@ -175,7 +160,8 @@ fn strobe_throttling_trades_messages_for_accuracy() {
             Discipline::VectorStrobe,
         );
         let truth = truth_intervals(&s.timeline, |st| pred.eval_state(st));
-        let r = score(&det, &truth, horizon, SimDuration::from_secs(2), BorderlinePolicy::AsPositive);
+        let r =
+            score(&det, &truth, horizon, SimDuration::from_secs(2), BorderlinePolicy::AsPositive);
         (trace.net.broadcasts, r.f1())
     };
     let (msgs_every, f1_every) = run_with(1);

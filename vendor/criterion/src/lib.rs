@@ -1,0 +1,183 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! benchmark groups, `bench_function` / `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple calibrated wall-clock
+//! loop instead of criterion's statistical machinery. Results print as
+//! `group/name ... ns/iter (throughput)` lines. Good enough to eyeball
+//! regressions offline; swap in real criterion when a registry is
+//! available.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark (`name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId { text: format!("{name}/{param}") }
+    }
+
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId { text: param.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Units for per-iteration throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// The timing loop handed to bench closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Run `f` in a calibrated loop and record its mean wall-clock cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and calibrate: find an iteration count that runs for at
+        // least ~20ms, then measure three rounds and keep the fastest.
+        let mut n: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(20) || n >= 1 << 30 {
+                let mut best = dt.as_secs_f64() / n as f64;
+                for _ in 0..2 {
+                    let t0 = Instant::now();
+                    for _ in 0..n {
+                        black_box(f());
+                    }
+                    best = best.min(t0.elapsed().as_secs_f64() / n as f64);
+                }
+                self.ns_per_iter = best * 1e9;
+                return;
+            }
+            n = n.saturating_mul(if dt.as_micros() == 0 {
+                100
+            } else {
+                (Duration::from_millis(25).as_micros() / dt.as_micros().max(1)).max(2) as u64
+            });
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Accepted for API compatibility; the shim's single-pass timing loop
+    /// has no sample count to configure.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        self.report(&id.to_string(), b.ns_per_iter);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b, input);
+        self.report(&id.to_string(), b.ns_per_iter);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, ns: f64) {
+        let extra = match self.throughput {
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                format!("  ({:.1}M elem/s)", n as f64 / ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                format!("  ({:.1} MiB/s)", n as f64 / ns * 1e9 / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!("{}/{:<40} {:>14.1} ns/iter{extra}", self.name, id, ns);
+        let _ = &self.criterion;
+    }
+}
+
+/// Entry point matching criterion's; collects and prints results.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self, throughput: None }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

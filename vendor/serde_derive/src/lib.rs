@@ -1,0 +1,426 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored Value-based `serde` shim, with no `syn`/`quote` dependency: the
+//! item is parsed by hand from the raw token stream and the impl is emitted
+//! as a source string. Supported shapes — which cover every derived type in
+//! this workspace — are non-generic structs (named, tuple, unit) and enums
+//! (unit, newtype, tuple, struct variants). Generic or `#[serde(...)]`-
+//! attributed types are rejected with a compile error rather than silently
+//! mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Parsed {
+    name: String,
+    item: Item,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let parsed = match parse_item(input) {
+        Ok(p) => p,
+        Err(msg) => {
+            return format!("compile_error!({:?});", format!("serde shim derive: {msg}"))
+                .parse()
+                .expect("compile_error tokens");
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&parsed),
+        Mode::Deserialize => gen_deserialize(&parsed),
+    };
+    code.parse().expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("generic type `{name}` is not supported by the vendored derive"));
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                _ => return Err(format!("unsupported struct body for `{name}`")),
+            };
+            Ok(Parsed { name, item: Item::Struct(fields) })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => return Err(format!("expected enum body for `{name}`")),
+            };
+            Ok(Parsed { name, item: Item::Enum(parse_variants(body)?) })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Advance past any `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' then the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Names of the fields in a `{ a: T, b: U }` body, in declaration order.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, got `{other}`")),
+        };
+        i += 1;
+        match &tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_type(&tokens, &mut i);
+        names.push(name);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(names)
+}
+
+/// Advance past one type, stopping at a top-level `,` (angle-bracket aware:
+/// commas inside `Vec<(A, B)>`'s `<...>` don't terminate the field).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Number of fields in a `(T, U, ...)` tuple body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, got `{other}`")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            while i < tokens.len()
+                && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (source strings; shapes mirror serde's JSON conventions)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.item {
+        Item::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Item::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Item::Struct(Fields::Tuple(n)) => {
+            let entries: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Item::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Item::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        Fields::Unit => format!(
+            "{enum_name}::{vname} => \
+             ::serde::Value::Str(::std::string::String::from({vname:?})),"
+        ),
+        Fields::Tuple(1) => format!(
+            "{enum_name}::{vname}(__f0) => ::serde::Value::Map(::std::vec![(\
+             ::std::string::String::from({vname:?}), ::serde::Serialize::to_value(__f0))]),"
+        ),
+        Fields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let vals: Vec<String> =
+                binds.iter().map(|b| format!("::serde::Serialize::to_value({b})")).collect();
+            format!(
+                "{enum_name}::{vname}({}) => ::serde::Value::Map(::std::vec![(\
+                 ::std::string::String::from({vname:?}), \
+                 ::serde::Value::Seq(::std::vec![{}]))]),",
+                binds.join(", "),
+                vals.join(", ")
+            )
+        }
+        Fields::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![(\
+                 ::std::string::String::from({vname:?}), \
+                 ::serde::Value::Map(::std::vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.item {
+        Item::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(v, {name:?}, {f:?})?"))
+                .collect();
+            format!(
+                "if v.as_map().is_none() {{\n\
+                     return ::std::result::Result::Err(::serde::Error::expected({name:?}, v));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Item::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Item::Struct(Fields::Tuple(n)) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__private::element(__s, {name:?}, {i})?"))
+                .collect();
+            format!(
+                "let __s = v.as_seq().ok_or_else(|| ::serde::Error::expected({name:?}, v))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Item::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Item::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut data_arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                unit_arms.push(format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),"))
+            }
+            Fields::Tuple(1) => data_arms.push(format!(
+                "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                 ::serde::Deserialize::from_value(__payload)?)),"
+            )),
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::__private::element(__s, {vname:?}, {i})?"))
+                    .collect();
+                data_arms.push(format!(
+                    "{vname:?} => {{\n\
+                         let __s = __payload.as_seq()\
+                             .ok_or_else(|| ::serde::Error::expected({vname:?}, __payload))?;\n\
+                         ::std::result::Result::Ok({name}::{vname}({}))\n\
+                     }}",
+                    inits.join(", ")
+                ))
+            }
+            Fields::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!("{f}: ::serde::__private::field(__payload, {vname:?}, {f:?})?")
+                    })
+                    .collect();
+                data_arms.push(format!(
+                    "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                    inits.join(", ")
+                ))
+            }
+        }
+    }
+    format!(
+        "match v {{\n\
+             ::serde::Value::Str(__tag) => match __tag.as_str() {{\n\
+                 {unit}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown unit variant `{{__other}}` for {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__m[0];\n\
+                 let _ = __payload;\n\
+                 match __tag.as_str() {{\n\
+                     {data}\n\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             __other => ::std::result::Result::Err(::serde::Error::expected({name:?}, __other)),\n\
+         }}",
+        unit = unit_arms.join("\n"),
+        data = data_arms.join("\n"),
+    )
+}
