@@ -51,12 +51,12 @@ fn bench_merges(c: &mut Criterion) {
     for n in [4usize, 16, 64, 256] {
         g.bench_with_input(BenchmarkId::new("strobe_vector", n), &n, |b, &n| {
             let mut clock = StrobeVectorClock::new(0, n);
-            let stamp = VectorStamp(vec![7; n]);
+            let stamp = VectorStamp::from(vec![7; n]);
             b.iter(|| clock.on_strobe(black_box(&stamp)));
         });
         g.bench_with_input(BenchmarkId::new("vector_receive", n), &n, |b, &n| {
             let mut clock = VectorClock::new(0, n);
-            let stamp = VectorStamp(vec![7; n]);
+            let stamp = VectorStamp::from(vec![7; n]);
             b.iter(|| black_box(clock.on_receive(black_box(&stamp))));
         });
         g.bench_with_input(BenchmarkId::new("matrix_receive", n), &n, |b, &n| {
@@ -76,10 +76,10 @@ fn bench_compare(c: &mut Criterion) {
     let mut g = c.benchmark_group("compare");
     for n in [4usize, 64, 256] {
         g.bench_with_input(BenchmarkId::new("vector_concurrent", n), &n, |b, &n| {
-            let a = VectorStamp((0..n as u64).collect());
+            let a = VectorStamp::from((0..n as u64).collect::<Vec<_>>());
             let mut v: Vec<u64> = (0..n as u64).rev().collect();
             v[0] = 0;
-            let bst = VectorStamp(v);
+            let bst = VectorStamp::from(v);
             b.iter(|| black_box(a.concurrent(&bst)));
         });
     }

@@ -15,7 +15,7 @@ fn chain_history(n: usize, p: usize) -> History {
     for round in 0..p {
         for proc in 0..n {
             global[proc] += 1;
-            stamps[proc].push(VectorStamp(global.clone()));
+            stamps[proc].push(VectorStamp::from(global.clone()));
         }
         let _ = round;
     }
@@ -31,7 +31,7 @@ fn grid_history(n: usize, p: usize) -> History {
                     .map(|k| {
                         let mut v = vec![0; n];
                         v[proc] = k;
-                        VectorStamp(v)
+                        VectorStamp::from(v)
                     })
                     .collect()
             })

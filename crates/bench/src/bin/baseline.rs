@@ -14,6 +14,7 @@ use std::time::Instant;
 
 use psn_clocks::{LogicalClock, StrobeScalarClock, StrobeVectorClock, VectorStamp};
 use psn_core::{run_execution_instrumented, ExecutionConfig};
+use psn_lattice::{enumerate_lattice, History};
 use psn_predicates::{detect_occurrences, Discipline, Predicate};
 use psn_sim::delay::DelayModel;
 use psn_sim::metrics::Metrics;
@@ -29,6 +30,7 @@ struct Baseline {
     scalar_tick_ops_per_sec: f64,
     vector64_merge_ops_per_sec: f64,
     detector_reports_per_sec: f64,
+    lattice_states_per_sec: f64,
 }
 
 fn engine_events_per_sec() -> f64 {
@@ -68,7 +70,7 @@ fn scalar_tick_ops_per_sec() -> f64 {
 fn vector64_merge_ops_per_sec() -> f64 {
     let n = 64;
     let mut clock = StrobeVectorClock::new(0, n);
-    let stamp = VectorStamp(vec![7; n]);
+    let stamp = VectorStamp::from(vec![7; n]);
     let iters = 2_000_000u64;
     let t0 = Instant::now();
     for _ in 0..iters {
@@ -102,6 +104,34 @@ fn detector_reports_per_sec() -> f64 {
     (reports * rounds) as f64 / t0.elapsed().as_secs_f64()
 }
 
+fn lattice_states_per_sec() -> f64 {
+    // Unconstrained grid: 4 processes × 8 events, 9⁴ = 6561 consistent cuts
+    // — the O(pⁿ) worst case the slim-lattice postulate is measured
+    // against (E4's widest cell shape).
+    let n = 4usize;
+    let p = 8u64;
+    let history = History::new(
+        (0..n)
+            .map(|proc| {
+                (1..=p)
+                    .map(|k| {
+                        let mut v = vec![0; n];
+                        v[proc] = k;
+                        VectorStamp::from(v)
+                    })
+                    .collect()
+            })
+            .collect(),
+    );
+    let states = enumerate_lattice(&history, u64::MAX).states;
+    let rounds = 200u64;
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        black_box(enumerate_lattice(black_box(&history), u64::MAX));
+    }
+    (states * rounds) as f64 / t0.elapsed().as_secs_f64()
+}
+
 fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_baseline.json".to_string());
     let baseline = Baseline {
@@ -112,6 +142,7 @@ fn main() {
         scalar_tick_ops_per_sec: scalar_tick_ops_per_sec(),
         vector64_merge_ops_per_sec: vector64_merge_ops_per_sec(),
         detector_reports_per_sec: detector_reports_per_sec(),
+        lattice_states_per_sec: lattice_states_per_sec(),
     };
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
     std::fs::write(&path, json + "\n").expect("write baseline file");

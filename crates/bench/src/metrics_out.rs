@@ -18,22 +18,26 @@ use std::io::{BufWriter, Write};
 use std::sync::Mutex;
 
 use psn_sim::metrics::MetricsSnapshot;
-use serde::Serialize;
+use serde::{Serialize, Value};
 
-static SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
-
-/// One JSONL record: the metrics snapshot of a single experiment cell.
-#[derive(Serialize)]
-struct CellRecord {
-    experiment: String,
-    cell: String,
-    metrics: MetricsSnapshot,
+/// The sink plus a reusable line buffer: the JSON text of each record is
+/// rendered into `line` (whose capacity persists across cells), streamed
+/// into the `BufWriter`, and flushed **once per cell** — a cell is the
+/// atomic output unit, so readers tailing the file never see a torn line,
+/// while the snapshot's many counters/gauges/timers still hit the `File`
+/// in one buffered write rather than many small ones.
+struct Sink {
+    writer: BufWriter<File>,
+    line: String,
 }
+
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
 
 /// Open `path` (truncating) as the process-wide metrics sink.
 pub fn set_metrics_out(path: &str) -> std::io::Result<()> {
     let file = File::create(path)?;
-    *SINK.lock().expect("metrics sink lock") = Some(BufWriter::new(file));
+    *SINK.lock().expect("metrics sink lock") =
+        Some(Sink { writer: BufWriter::new(file), line: String::new() });
     Ok(())
 }
 
@@ -46,14 +50,20 @@ pub fn is_enabled() -> bool {
 /// Append one JSONL record for (`experiment`, `cell`). No-op without a sink.
 pub fn emit_cell(experiment: &str, cell: &str, metrics: &MetricsSnapshot) {
     let mut guard = SINK.lock().expect("metrics sink lock");
-    if let Some(w) = guard.as_mut() {
-        let record = CellRecord {
-            experiment: experiment.to_string(),
-            cell: cell.to_string(),
-            metrics: metrics.clone(),
-        };
-        let line = serde_json::to_string(&record).expect("metrics snapshot serializes");
-        if let Err(e) = writeln!(w, "{line}") {
+    if let Some(sink) = guard.as_mut() {
+        // Assemble the record as a borrowing Value tree — no snapshot
+        // clone; `to_value` converts the snapshot directly.
+        let record = Value::Map(vec![
+            ("experiment".to_string(), Value::Str(experiment.to_string())),
+            ("cell".to_string(), Value::Str(cell.to_string())),
+            ("metrics".to_string(), metrics.to_value()),
+        ]);
+        sink.line.clear();
+        serde_json::write_value_to(&record, &mut sink.line);
+        sink.line.push('\n');
+        if let Err(e) =
+            sink.writer.write_all(sink.line.as_bytes()).and_then(|()| sink.writer.flush())
+        {
             eprintln!("metrics-out: write failed: {e}");
         }
     }
@@ -62,8 +72,8 @@ pub fn emit_cell(experiment: &str, cell: &str, metrics: &MetricsSnapshot) {
 /// Flush and close the sink (end of the runner's main loop).
 pub fn finish() {
     let mut guard = SINK.lock().expect("metrics sink lock");
-    if let Some(mut w) = guard.take() {
-        if let Err(e) = w.flush() {
+    if let Some(mut sink) = guard.take() {
+        if let Err(e) = sink.writer.flush() {
             eprintln!("metrics-out: flush failed: {e}");
         }
     }

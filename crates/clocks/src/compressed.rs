@@ -58,19 +58,12 @@ impl DiffSender {
     pub fn diff_for(&mut self, dest: ProcessId, current: &VectorStamp) -> VectorDiff {
         let diff = match self.last_sent.get(&dest) {
             None => VectorDiff(
-                current
-                    .0
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &v)| v != 0)
-                    .map(|(i, &v)| (i, v))
-                    .collect(),
+                current.iter().enumerate().filter(|(_, &v)| v != 0).map(|(i, &v)| (i, v)).collect(),
             ),
             Some(prev) => VectorDiff(
                 current
-                    .0
                     .iter()
-                    .zip(&prev.0)
+                    .zip(prev.iter())
                     .enumerate()
                     .filter(|(_, (cur, prev))| cur != prev)
                     .map(|(i, (&cur, _))| (i, cur))
@@ -100,7 +93,7 @@ impl DiffReceiver {
     pub fn apply(&mut self, sender: ProcessId, diff: &VectorDiff) -> &VectorStamp {
         let entry = self.per_sender.entry(sender).or_insert_with(|| VectorStamp::zero(self.n));
         for &(i, v) in &diff.0 {
-            entry.0[i] = v;
+            entry[i] = v;
         }
         entry
     }
@@ -117,10 +110,10 @@ mod tests {
         let mut tx = DiffSender::new();
         let mut rx = DiffReceiver::new(3);
         let vectors = [
-            VectorStamp(vec![1, 0, 0]),
-            VectorStamp(vec![2, 0, 0]),
-            VectorStamp(vec![2, 5, 1]),
-            VectorStamp(vec![3, 5, 1]),
+            VectorStamp::from(vec![1, 0, 0]),
+            VectorStamp::from(vec![2, 0, 0]),
+            VectorStamp::from(vec![2, 5, 1]),
+            VectorStamp::from(vec![3, 5, 1]),
         ];
         for v in &vectors {
             let d = tx.diff_for(9, v);
@@ -152,7 +145,7 @@ mod tests {
         let v1 = clock.on_local_event();
         let _ = tx.diff_for(1, &v1);
         // A receive merges 3 remote components at once.
-        clock.on_receive(&VectorStamp(vec![0, 7, 7, 7, 0, 0, 0, 0]));
+        clock.on_receive(&VectorStamp::from(vec![0, 7, 7, 7, 0, 0, 0, 0]));
         let v2 = clock.current();
         let d = tx.diff_for(1, &v2);
         assert_eq!(d.len(), 4, "3 merged + own tick");
@@ -161,8 +154,8 @@ mod tests {
     #[test]
     fn per_destination_state_is_independent() {
         let mut tx = DiffSender::new();
-        let v1 = VectorStamp(vec![1, 0]);
-        let v2 = VectorStamp(vec![2, 0]);
+        let v1 = VectorStamp::from(vec![1, 0]);
+        let v2 = VectorStamp::from(vec![2, 0]);
         let _ = tx.diff_for(1, &v1);
         // First message to dest 2 must carry the full (nonzero) state even
         // though dest 1 already knows v1.
@@ -175,7 +168,7 @@ mod tests {
     #[test]
     fn empty_diff_when_unchanged() {
         let mut tx = DiffSender::new();
-        let v = VectorStamp(vec![1, 2]);
+        let v = VectorStamp::from(vec![1, 2]);
         let _ = tx.diff_for(1, &v);
         let d = tx.diff_for(1, &v);
         assert!(d.is_empty());
@@ -187,7 +180,7 @@ mod tests {
         let mut rx = DiffReceiver::new(2);
         rx.apply(0, &VectorDiff(vec![(0, 5)]));
         rx.apply(1, &VectorDiff(vec![(1, 9)]));
-        assert_eq!(rx.apply(0, &VectorDiff(vec![])).0, vec![5, 0]);
-        assert_eq!(rx.apply(1, &VectorDiff(vec![])).0, vec![0, 9]);
+        assert_eq!(rx.apply(0, &VectorDiff(vec![])).as_slice(), [5, 0]);
+        assert_eq!(rx.apply(1, &VectorDiff(vec![])).as_slice(), [0, 9]);
     }
 }

@@ -47,13 +47,13 @@ impl MatrixClock {
 
     /// Tick for a relevant local event.
     pub fn on_local_event(&mut self) -> VectorStamp {
-        self.m[self.id].0[self.id] += 1;
+        self.m[self.id].tick(self.id);
         self.m[self.id].clone()
     }
 
     /// Tick for a send; the whole matrix is piggybacked.
     pub fn on_send(&mut self) -> Vec<VectorStamp> {
-        self.m[self.id].0[self.id] += 1;
+        self.m[self.id].tick(self.id);
         self.m.clone()
     }
 
@@ -66,13 +66,13 @@ impl MatrixClock {
         for (k, row) in matrix.iter().enumerate() {
             self.m[k].merge_from(row);
         }
-        self.m[self.id].0[self.id] += 1;
+        self.m[self.id].tick(self.id);
     }
 
     /// `min_k m[k][target]`: every process is known to have seen at least
     /// this many events of `target` — the garbage-collection bound.
     pub fn gc_bound(&self, target: ProcessId) -> u64 {
-        self.m.iter().map(|row| row.0[target]).min().unwrap_or(0)
+        self.m.iter().map(|row| row[target]).min().unwrap_or(0)
     }
 }
 
@@ -140,8 +140,8 @@ mod tests {
         let m_bc = b.on_send();
         c.on_receive(1, &m_bc);
         // c's view of a's row reflects a's 2 events.
-        assert_eq!(c.row(0).0[0], 2);
+        assert_eq!(c.row(0)[0], 2);
         // and c's view of b's row reflects b's receive-tick.
-        assert!(c.row(1).0[1] >= 1);
+        assert!(c.row(1)[1] >= 1);
     }
 }

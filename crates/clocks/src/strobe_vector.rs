@@ -53,7 +53,7 @@ impl LogicalClock for StrobeVectorClock {
     /// SVC1: tick the own component; the caller must then broadcast
     /// [`Self::current`] system-wide.
     fn on_local_event(&mut self) -> VectorStamp {
-        self.v.0[self.id] += 1;
+        self.v.tick(self.id);
         self.v.clone()
     }
 
@@ -76,29 +76,29 @@ mod tests {
     #[test]
     fn svc1_ticks_own_component() {
         let mut c = StrobeVectorClock::new(2, 4);
-        assert_eq!(c.on_local_event().0, vec![0, 0, 1, 0]);
-        assert_eq!(c.on_local_event().0, vec![0, 0, 2, 0]);
+        assert_eq!(c.on_local_event().as_slice(), [0, 0, 1, 0]);
+        assert_eq!(c.on_local_event().as_slice(), [0, 0, 2, 0]);
     }
 
     #[test]
     fn svc2_merges_without_tick() {
         let mut c = StrobeVectorClock::new(0, 3);
         c.on_local_event(); // [1,0,0]
-        c.on_strobe(&VectorStamp(vec![0, 4, 2]));
-        assert_eq!(c.current().0, vec![1, 4, 2], "merge only — no own tick");
+        c.on_strobe(&VectorStamp::from(vec![0, 4, 2]));
+        assert_eq!(c.current().as_slice(), [1, 4, 2], "merge only — no own tick");
     }
 
     #[test]
     fn receiver_tick_is_the_vc3_difference() {
         // Same sequence under both clocks; the causal clock ticks on
         // receive, the strobe clock does not (paper §4.2.3 item 2).
-        let incoming = VectorStamp(vec![3, 0]);
+        let incoming = VectorStamp::from(vec![3, 0]);
         let mut causal = VectorClock::new(1, 2);
         let mut strobe = StrobeVectorClock::new(1, 2);
         causal.on_receive(&incoming);
         strobe.on_strobe(&incoming);
-        assert_eq!(causal.current().0, vec![3, 1]);
-        assert_eq!(strobe.current().0, vec![3, 0]);
+        assert_eq!(causal.current().as_slice(), [3, 1]);
+        assert_eq!(strobe.current().as_slice(), [3, 0]);
     }
 
     #[test]
@@ -109,8 +109,8 @@ mod tests {
         b.on_strobe(&s);
         let t = b.on_local_event();
         a.on_strobe(&t);
-        assert_eq!(a.current().0, vec![1, 1]);
-        assert_eq!(b.current().0, vec![1, 1]);
+        assert_eq!(a.current().as_slice(), [1, 1]);
+        assert_eq!(b.current().as_slice(), [1, 1]);
         assert_eq!(a.current().causality(&b.current()), Causality::Equal);
     }
 
@@ -118,8 +118,11 @@ mod tests {
     fn monotonicity_componentwise() {
         let mut c = StrobeVectorClock::new(0, 3);
         let mut prev = c.current();
-        let strobes =
-            [VectorStamp(vec![0, 5, 1]), VectorStamp(vec![0, 2, 8]), VectorStamp(vec![0, 0, 0])];
+        let strobes = [
+            VectorStamp::from(vec![0, 5, 1]),
+            VectorStamp::from(vec![0, 2, 8]),
+            VectorStamp::from(vec![0, 0, 0]),
+        ];
         for s in &strobes {
             c.on_local_event();
             c.on_strobe(s);

@@ -13,56 +13,190 @@
 //! isomorphic to the causality partial order on events, which is what makes
 //! consistent-cut tests and `Possibly`/`Definitely` detection exact.
 
-use serde::{Deserialize, Serialize};
+use std::hash::{Hash, Hasher};
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Error, Serialize, Value};
 
 use crate::traits::{Causality, LogicalClock, ProcessId, Timestamp};
 
+/// Stamps with at most this many components are stored in-struct; larger
+/// stamps spill to the heap. Small deployments (the paper's n = 4..16
+/// sensor cells) stay allocation-free on every clone/merge; E7/A3's n = 64
+/// strobe vectors take the heap path.
+pub const INLINE_COMPONENTS: usize = 8;
+
+/// Storage for a vector timestamp: inline array up to
+/// [`INLINE_COMPONENTS`], heap vector above.
+#[derive(Debug, Clone)]
+enum Repr {
+    Inline { len: u8, buf: [u64; INLINE_COMPONENTS] },
+    Spilled(Vec<u64>),
+}
+
 /// A vector timestamp over `n` processes.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct VectorStamp(pub Vec<u64>);
+///
+/// Internally a small-vector: components live in-struct for `n ≤ 8` (no
+/// heap allocation on construction, clone, or merge) and in a `Vec` above.
+/// All observable behaviour — comparison, hashing, serialization — depends
+/// only on the component slice, never on which representation holds it.
+#[derive(Debug, Clone)]
+pub struct VectorStamp(Repr);
 
 impl VectorStamp {
     /// The all-zero stamp for `n` processes.
     pub fn zero(n: usize) -> Self {
-        VectorStamp(vec![0; n])
+        if n <= INLINE_COMPONENTS {
+            VectorStamp(Repr::Inline { len: n as u8, buf: [0; INLINE_COMPONENTS] })
+        } else {
+            VectorStamp(Repr::Spilled(vec![0; n]))
+        }
+    }
+
+    /// A stamp with the given components.
+    pub fn from_slice(v: &[u64]) -> Self {
+        if v.len() <= INLINE_COMPONENTS {
+            let mut buf = [0; INLINE_COMPONENTS];
+            buf[..v.len()].copy_from_slice(v);
+            VectorStamp(Repr::Inline { len: v.len() as u8, buf })
+        } else {
+            VectorStamp(Repr::Spilled(v.to_vec()))
+        }
+    }
+
+    /// A stamp that is forced onto the heap regardless of arity. Exists so
+    /// tests can check that inline and spilled storage of the same
+    /// components are observationally identical; not useful otherwise.
+    #[doc(hidden)]
+    pub fn spilled(v: Vec<u64>) -> Self {
+        VectorStamp(Repr::Spilled(v))
+    }
+
+    /// True if the components are stored in-struct (n ≤ 8 and not
+    /// explicitly spilled).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.0, Repr::Inline { .. })
     }
 
     /// Number of components.
     pub fn len(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Spilled(v) => v.len(),
+        }
     }
 
     /// True if the stamp has no components.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len() == 0
+    }
+
+    /// The components as a slice.
+    pub fn as_slice(&self) -> &[u64] {
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Spilled(v) => v,
+        }
+    }
+
+    /// The components as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [u64] {
+        match &mut self.0 {
+            Repr::Inline { len, buf } => &mut buf[..*len as usize],
+            Repr::Spilled(v) => v,
+        }
+    }
+
+    /// Iterate over the components.
+    pub fn iter(&self) -> std::slice::Iter<'_, u64> {
+        self.as_slice().iter()
+    }
+
+    /// Copy the components into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.as_slice().to_vec()
     }
 
     /// Component access.
     pub fn get(&self, k: ProcessId) -> u64 {
-        self.0[k]
+        self.as_slice()[k]
+    }
+
+    /// Increment component `k` (the VC1/VC2/SVC1 own-component tick).
+    #[inline]
+    pub fn tick(&mut self, k: ProcessId) {
+        self.as_mut_slice()[k] += 1;
     }
 
     /// Componentwise `self[k] ≤ other[k]` for all k.
+    #[inline]
     pub fn le(&self, other: &VectorStamp) -> bool {
-        debug_assert_eq!(self.len(), other.len());
-        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+        let (a, b) = (self.as_slice(), other.as_slice());
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b).all(|(x, y)| x <= y)
     }
 
     /// Strict happened-before: `self ≤ other` and `self ≠ other`.
+    ///
+    /// Single fused pass: tracks strictness while testing ≤, instead of a ≤
+    /// sweep followed by an equality sweep.
+    #[inline]
     pub fn lt(&self, other: &VectorStamp) -> bool {
-        self.le(other) && self.0 != other.0
+        let (a, b) = (self.as_slice(), other.as_slice());
+        debug_assert_eq!(a.len(), b.len());
+        let mut strict = false;
+        for (x, y) in a.iter().zip(b) {
+            if x > y {
+                return false;
+            }
+            strict |= x < y;
+        }
+        strict
     }
 
     /// Neither `self ≤ other` nor `other ≤ self`.
+    ///
+    /// Single fused pass over both directions, short-circuiting as soon as
+    /// a strict disagreement is seen both ways.
+    #[inline]
     pub fn concurrent(&self, other: &VectorStamp) -> bool {
-        !self.le(other) && !other.le(self)
+        let (a, b) = (self.as_slice(), other.as_slice());
+        debug_assert_eq!(a.len(), b.len());
+        let mut a_gt = false;
+        let mut b_gt = false;
+        for (x, y) in a.iter().zip(b) {
+            a_gt |= x > y;
+            b_gt |= y > x;
+            if a_gt && b_gt {
+                return true;
+            }
+        }
+        false
     }
 
     /// Componentwise maximum, in place.
+    #[inline]
     pub fn merge_from(&mut self, other: &VectorStamp) {
-        debug_assert_eq!(self.len(), other.len());
-        for (a, b) in self.0.iter_mut().zip(&other.0) {
-            *a = (*a).max(*b);
+        let b = other.as_slice();
+        let a = self.as_mut_slice();
+        assert_eq!(a.len(), b.len(), "vector stamps must have equal arity");
+        #[cfg(target_arch = "x86_64")]
+        if a.len() >= 8 {
+            if std::is_x86_feature_detected!("avx512f") {
+                // SAFETY: AVX-512F support was just verified at runtime.
+                unsafe { merge_max_avx512(a, b) };
+                return;
+            }
+            if std::is_x86_feature_detected!("avx2") {
+                // SAFETY: AVX2 support was just verified at runtime.
+                unsafe { merge_max_avx2(a, b) };
+                return;
+            }
+        }
+        for i in 0..a.len() {
+            if b[i] > a[i] {
+                a[i] = b[i];
+            }
         }
     }
 
@@ -74,16 +208,149 @@ impl VectorStamp {
     }
 }
 
-impl Timestamp for VectorStamp {
-    fn causality(&self, other: &Self) -> Causality {
-        if self.0 == other.0 {
-            Causality::Equal
-        } else if self.le(other) {
-            Causality::Before
-        } else if other.le(self) {
-            Causality::After
+/// Componentwise unsigned max over 8-lane `u64` vectors, using the native
+/// unsigned max AVX-512F provides (`vpmaxuq`). Exactly the scalar loop's
+/// result, so runs stay bit-identical across CPUs.
+///
+/// # Safety
+/// The caller must ensure the running CPU supports AVX-512F; slices may
+/// have any (equal) length and alignment.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn merge_max_avx512(a: &mut [u64], b: &[u64]) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let va = _mm512_loadu_si512(a.as_ptr().add(i) as *const _);
+        let vb = _mm512_loadu_si512(b.as_ptr().add(i) as *const _);
+        _mm512_storeu_si512(a.as_mut_ptr().add(i) as *mut _, _mm512_max_epu64(va, vb));
+        i += 8;
+    }
+    while i < n {
+        if b[i] > a[i] {
+            a[i] = b[i];
+        }
+        i += 1;
+    }
+}
+
+/// Componentwise unsigned max over 4-lane `u64` vectors. AVX2 has no
+/// unsigned 64-bit compare, so both operands are sign-biased and compared
+/// signed — a standard identity (`x >u y  ⇔  x ^ MIN >s y ^ MIN`). The
+/// result is exactly the scalar loop's, so representations and runs stay
+/// bit-identical whether or not the CPU has AVX2.
+///
+/// # Safety
+/// The caller must ensure the running CPU supports AVX2; slices may have
+/// any (equal) length and alignment.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn merge_max_avx2(a: &mut [u64], b: &[u64]) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let sign = _mm256_set1_epi64x(i64::MIN);
+    let mut i = 0;
+    while i + 4 <= n {
+        let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+        let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+        let gt = _mm256_cmpgt_epi64(_mm256_xor_si256(vb, sign), _mm256_xor_si256(va, sign));
+        let merged = _mm256_blendv_epi8(va, vb, gt);
+        _mm256_storeu_si256(a.as_mut_ptr().add(i) as *mut __m256i, merged);
+        i += 4;
+    }
+    while i < n {
+        if b[i] > a[i] {
+            a[i] = b[i];
+        }
+        i += 1;
+    }
+}
+
+impl From<Vec<u64>> for VectorStamp {
+    fn from(v: Vec<u64>) -> Self {
+        if v.len() <= INLINE_COMPONENTS {
+            VectorStamp::from_slice(&v)
         } else {
-            Causality::Concurrent
+            VectorStamp(Repr::Spilled(v))
+        }
+    }
+}
+
+impl Index<usize> for VectorStamp {
+    type Output = u64;
+    #[inline]
+    fn index(&self, k: usize) -> &u64 {
+        &self.as_slice()[k]
+    }
+}
+
+impl IndexMut<usize> for VectorStamp {
+    #[inline]
+    fn index_mut(&mut self, k: usize) -> &mut u64 {
+        &mut self.as_mut_slice()[k]
+    }
+}
+
+impl<'a> IntoIterator for &'a VectorStamp {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+// Equality, hashing, and serialization go through the component slice, so
+// an inline stamp and a spilled stamp with the same components are fully
+// interchangeable (same Eq, same Hash, same JSON).
+impl PartialEq for VectorStamp {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for VectorStamp {}
+
+impl Hash for VectorStamp {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl Serialize for VectorStamp {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl Deserialize for VectorStamp {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Vec::<u64>::from_value(v).map(VectorStamp::from)
+    }
+}
+
+impl Timestamp for VectorStamp {
+    /// Fused single-pass classification: computes both direction flags in
+    /// one sweep (short-circuiting to `Concurrent`) instead of an equality
+    /// pass plus up to two ≤ passes.
+    fn causality(&self, other: &Self) -> Causality {
+        let (a, b) = (self.as_slice(), other.as_slice());
+        debug_assert_eq!(a.len(), b.len());
+        let mut a_gt = false;
+        let mut b_gt = false;
+        for (x, y) in a.iter().zip(b) {
+            a_gt |= x > y;
+            b_gt |= y > x;
+            if a_gt && b_gt {
+                return Causality::Concurrent;
+            }
+        }
+        match (a_gt, b_gt) {
+            (false, false) => Causality::Equal,
+            (false, true) => Causality::Before,
+            (true, false) => Causality::After,
+            (true, true) => unreachable!("short-circuited above"),
         }
     }
 
@@ -117,20 +384,20 @@ impl LogicalClock for VectorClock {
 
     /// VC1.
     fn on_local_event(&mut self) -> VectorStamp {
-        self.v.0[self.id] += 1;
+        self.v.tick(self.id);
         self.v.clone()
     }
 
     /// VC2.
     fn on_send(&mut self) -> VectorStamp {
-        self.v.0[self.id] += 1;
+        self.v.tick(self.id);
         self.v.clone()
     }
 
     /// VC3.
     fn on_receive(&mut self, stamp: &VectorStamp) -> VectorStamp {
         self.v.merge_from(stamp);
-        self.v.0[self.id] += 1;
+        self.v.tick(self.id);
         self.v.clone()
     }
 
@@ -147,18 +414,18 @@ mod tests {
     fn vc1_ticks_own_component_only() {
         let mut c = VectorClock::new(1, 3);
         let s = c.on_local_event();
-        assert_eq!(s.0, vec![0, 1, 0]);
+        assert_eq!(s.as_slice(), [0, 1, 0]);
         let s = c.on_local_event();
-        assert_eq!(s.0, vec![0, 2, 0]);
+        assert_eq!(s.as_slice(), [0, 2, 0]);
     }
 
     #[test]
     fn vc3_merges_and_ticks() {
         let mut c = VectorClock::new(2, 3);
         c.on_local_event(); // [0,0,1]
-        let incoming = VectorStamp(vec![5, 2, 0]);
+        let incoming = VectorStamp::from_slice(&[5, 2, 0]);
         let s = c.on_receive(&incoming);
-        assert_eq!(s.0, vec![5, 2, 2], "max componentwise, then own +1");
+        assert_eq!(s.as_slice(), [5, 2, 2], "max componentwise, then own +1");
     }
 
     #[test]
@@ -201,17 +468,17 @@ mod tests {
 
     #[test]
     fn join_is_lub() {
-        let a = VectorStamp(vec![3, 0, 5]);
-        let b = VectorStamp(vec![1, 4, 5]);
+        let a = VectorStamp::from_slice(&[3, 0, 5]);
+        let b = VectorStamp::from_slice(&[1, 4, 5]);
         let j = a.join(&b);
-        assert_eq!(j.0, vec![3, 4, 5]);
+        assert_eq!(j.as_slice(), [3, 4, 5]);
         assert!(a.le(&j) && b.le(&j));
     }
 
     #[test]
     fn equal_stamps_compare_equal() {
-        let a = VectorStamp(vec![1, 2]);
-        let b = VectorStamp(vec![1, 2]);
+        let a = VectorStamp::from_slice(&[1, 2]);
+        let b = VectorStamp::from_slice(&[1, 2]);
         assert_eq!(a.causality(&b), Causality::Equal);
         assert!(!a.lt(&b));
         assert!(a.le(&b));
@@ -221,6 +488,44 @@ mod tests {
     fn wire_size_scales_with_n() {
         assert_eq!(VectorStamp::zero(4).wire_size(), 32);
         assert_eq!(VectorStamp::zero(64).wire_size(), 512);
+    }
+
+    #[test]
+    fn small_stamps_are_inline_and_large_spill() {
+        assert!(VectorStamp::zero(INLINE_COMPONENTS).is_inline());
+        assert!(!VectorStamp::zero(INLINE_COMPONENTS + 1).is_inline());
+        assert!(VectorStamp::from_slice(&[1, 2, 3]).is_inline());
+        assert!(VectorStamp::from(vec![0; 64]).len() == 64);
+    }
+
+    #[test]
+    fn inline_and_spilled_are_observationally_equal() {
+        let inline = VectorStamp::from_slice(&[1, 2, 3]);
+        let spilled = VectorStamp::spilled(vec![1, 2, 3]);
+        assert!(inline.is_inline() && !spilled.is_inline());
+        assert_eq!(inline, spilled);
+        assert_eq!(inline.causality(&spilled), Causality::Equal);
+        let hash = |s: &VectorStamp| {
+            use std::hash::{DefaultHasher, Hasher as _};
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&inline), hash(&spilled));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_components() {
+        for stamp in [
+            VectorStamp::from_slice(&[1, 0, 9]),
+            VectorStamp::from(vec![3; 17]),
+            VectorStamp::spilled(vec![4, 5]),
+        ] {
+            let v = stamp.to_value();
+            let back = VectorStamp::from_value(&v).expect("round trip");
+            assert_eq!(stamp, back);
+            assert_eq!(back.is_inline(), back.len() <= INLINE_COMPONENTS, "repr renormalizes");
+        }
     }
 
     #[test]

@@ -191,8 +191,8 @@ proptest! {
         a in proptest::collection::vec(0u64..10, 4),
         b in proptest::collection::vec(0u64..10, 4),
     ) {
-        let sa = VectorStamp(a);
-        let sb = VectorStamp(b);
+        let sa = VectorStamp::from(a);
+        let sb = VectorStamp::from(b);
         prop_assert_eq!(sa.causality(&sb), sb.causality(&sa).flip());
     }
 
@@ -202,12 +202,12 @@ proptest! {
         a in proptest::collection::vec(0u64..100, 5),
         b in proptest::collection::vec(0u64..100, 5),
     ) {
-        let sa = VectorStamp(a.clone());
-        let sb = VectorStamp(b.clone());
+        let sa = VectorStamp::from(a.clone());
+        let sb = VectorStamp::from(b.clone());
         let j = sa.join(&sb);
         prop_assert!(sa.le(&j) && sb.le(&j));
         // any other upper bound dominates the join
-        let ub = VectorStamp(a.iter().zip(&b).map(|(x, y)| x.max(y) + 1).collect());
+        let ub = VectorStamp::from(a.iter().zip(&b).map(|(x, y)| x.max(y) + 1).collect::<Vec<_>>());
         prop_assert!(j.le(&ub));
     }
 
@@ -222,7 +222,7 @@ proptest! {
         for (kind, strobe) in ops {
             match kind {
                 0 => { c.on_local_event(); }
-                _ => { c.on_strobe(&VectorStamp(strobe)); }
+                _ => { c.on_strobe(&VectorStamp::from(strobe)); }
             }
             let cur = c.current();
             prop_assert!(prev.le(&cur), "regressed: {:?} -> {:?}", prev, cur);
@@ -274,13 +274,59 @@ proptest! {
         d1 in proptest::collection::vec(0u64..6, 3),
         d2 in proptest::collection::vec(0u64..6, 3),
     ) {
-        let sa = VectorStamp(a.clone());
-        let sb = VectorStamp(a.iter().zip(&d1).map(|(x, y)| x + y).collect());
-        let sc = VectorStamp(sb.0.iter().zip(&d2).map(|(x, y)| x + y).collect());
+        let sa = VectorStamp::from(a.clone());
+        let sb = VectorStamp::from(a.iter().zip(&d1).map(|(x, y)| x + y).collect::<Vec<_>>());
+        let sc = VectorStamp::from(sb.iter().zip(&d2).map(|(x, y)| x + y).collect::<Vec<_>>());
         if sa.lt(&sb) && sb.lt(&sc) {
             prop_assert!(sa.lt(&sc));
         }
         prop_assert!(!sa.lt(&sa), "irreflexive");
+    }
+
+    /// Inline (≤8 components) and spilled (heap) `VectorStamp` storage are
+    /// observationally identical: `le`, `concurrent`, `merge_from`, `Eq` and
+    /// `Hash` may not depend on which representation holds the components.
+    /// Lengths straddle the 8-component boundary so both regimes — and the
+    /// boundary itself — are exercised.
+    #[test]
+    fn inline_and_spilled_representations_agree(
+        len in 1usize..=12,
+        seed_a in proptest::collection::vec(0u64..50, 12),
+        seed_b in proptest::collection::vec(0u64..50, 12),
+    ) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a: Vec<u64> = seed_a[..len].to_vec();
+        let b: Vec<u64> = seed_b[..len].to_vec();
+        let ia = VectorStamp::from(a.clone());
+        let ib = VectorStamp::from(b.clone());
+        let sa = VectorStamp::spilled(a.clone());
+        let sb = VectorStamp::spilled(b.clone());
+        // Representation is as expected on each side of the boundary.
+        prop_assert_eq!(ia.is_inline(), len <= 8);
+        prop_assert!(!sa.is_inline());
+        // Cross-representation observational equality.
+        prop_assert_eq!(&ia, &sa);
+        prop_assert_eq!(ia.le(&ib), sa.le(&sb));
+        prop_assert_eq!(ia.le(&sb), sa.le(&ib));
+        prop_assert_eq!(ia.concurrent(&ib), sa.concurrent(&sb));
+        prop_assert_eq!(ia.causality(&ib), sa.causality(&sb));
+        let hash = |s: &VectorStamp| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        prop_assert_eq!(hash(&ia), hash(&sa), "Hash must ignore representation");
+        // merge_from produces identical components whichever side spilled.
+        let mut m1 = ia.clone();
+        m1.merge_from(&sb);
+        let mut m2 = sa.clone();
+        m2.merge_from(&ib);
+        prop_assert_eq!(m1.as_slice(), m2.as_slice());
+        prop_assert_eq!(
+            m1.as_slice().to_vec(),
+            a.iter().zip(&b).map(|(x, y)| *x.max(y)).collect::<Vec<_>>()
+        );
     }
 
     /// Scalar stamps form a total order: exactly one of <, >, = holds.

@@ -172,9 +172,9 @@ mod tests {
         let mut b = bundle(0, 3);
         let (s, strobe) = b.on_sense(SimTime::from_millis(5));
         assert_eq!(s.lamport.value, 1);
-        assert_eq!(s.vector.0, vec![1, 0, 0]);
+        assert_eq!(s.vector.as_slice(), [1, 0, 0]);
         assert_eq!(s.strobe_scalar.value, 1);
-        assert_eq!(s.strobe_vector.0, vec![1, 0, 0]);
+        assert_eq!(s.strobe_vector.as_slice(), [1, 0, 0]);
         assert_eq!(strobe.scalar, s.strobe_scalar);
         assert_eq!(strobe.vector, s.strobe_vector);
         assert_eq!(s.truth, SimTime::from_millis(5));
@@ -186,7 +186,7 @@ mod tests {
         let s = b.on_internal(SimTime::ZERO);
         assert_eq!(s.lamport.value, 1, "causal clocks tick");
         assert_eq!(s.strobe_scalar.value, 0, "strobe clocks tick only on sense");
-        assert_eq!(s.strobe_vector.0, vec![0, 0]);
+        assert_eq!(s.strobe_vector.as_slice(), [0, 0]);
     }
 
     #[test]
@@ -197,9 +197,9 @@ mod tests {
         b.on_strobe(&strobe);
         let snap = b.snapshot(SimTime::from_millis(1));
         assert_eq!(snap.strobe_scalar.value, 1);
-        assert_eq!(snap.strobe_vector.0, vec![1, 0]);
+        assert_eq!(snap.strobe_vector.as_slice(), [1, 0]);
         assert_eq!(snap.lamport.value, 0, "strobes do not touch causal clocks");
-        assert_eq!(snap.vector.0, vec![0, 0]);
+        assert_eq!(snap.vector.as_slice(), [0, 0]);
     }
 
     #[test]
@@ -209,8 +209,8 @@ mod tests {
         let m = a.on_send(SimTime::from_millis(1));
         let r = b.on_receive(&m, SimTime::from_millis(4));
         assert_eq!(r.lamport.value, 2, "max(0,1)+1");
-        assert_eq!(r.vector.0, vec![1, 1]);
-        assert_eq!(r.strobe_vector.0, vec![0, 0], "reports do not move strobe clocks");
+        assert_eq!(r.vector.as_slice(), [1, 1]);
+        assert_eq!(r.strobe_vector.as_slice(), [0, 0], "reports do not move strobe clocks");
     }
 
     #[test]

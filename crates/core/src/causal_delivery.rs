@@ -47,7 +47,7 @@ impl CausalSender {
 
     /// Stamp a new broadcast.
     pub fn stamp<T>(&mut self, payload: T) -> CausalMsg<T> {
-        self.sent.0[self.id] += 1;
+        self.sent.tick(self.id);
         CausalMsg { from: self.id, stamp: self.sent.clone(), payload }
     }
 
@@ -84,11 +84,11 @@ impl<T> CausalBuffer<T> {
     }
 
     fn deliverable(&self, m: &CausalMsg<T>) -> bool {
-        let v = &m.stamp.0;
-        if v[m.from] != self.delivered.0[m.from] + 1 {
+        let v = m.stamp.as_slice();
+        if v[m.from] != self.delivered[m.from] + 1 {
             return false;
         }
-        v.iter().enumerate().all(|(k, &vk)| k == m.from || vk <= self.delivered.0[k])
+        v.iter().enumerate().all(|(k, &vk)| k == m.from || vk <= self.delivered[k])
     }
 
     /// Offer a received message; returns every message that becomes
@@ -102,7 +102,7 @@ impl<T> CausalBuffer<T> {
             match idx {
                 Some(i) => {
                     let m = self.pending.remove(i).expect("index valid");
-                    self.delivered.0[m.from] += 1;
+                    self.delivered.tick(m.from);
                     out.push(m);
                 }
                 None => break,
@@ -151,7 +151,7 @@ mod tests {
         let a = tx0.stamp("a");
         tx1.on_deliver(&a.stamp);
         let b = tx1.stamp("b");
-        assert!(b.stamp.0[0] >= 1, "b's stamp records a in its past");
+        assert!(b.stamp[0] >= 1, "b's stamp records a in its past");
 
         let mut rx = CausalBuffer::new(3);
         assert!(rx.offer(b.clone()).is_empty(), "b before a: buffered");
@@ -198,6 +198,6 @@ mod tests {
         rx.offer(tx0.stamp(()));
         rx.offer(tx1.stamp(()));
         rx.offer(tx0.stamp(()));
-        assert_eq!(rx.delivered().0, vec![2, 1]);
+        assert_eq!(rx.delivered().as_slice(), [2, 1]);
     }
 }

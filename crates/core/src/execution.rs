@@ -185,6 +185,7 @@ pub fn run_execution_full(
     // Inject the world timeline: each event goes to its watching process at
     // its ground-truth time (sensing itself is immediate; only the network
     // plane has delays).
+    engine.reserve_events(scenario.timeline.events.len());
     for e in &scenario.timeline.events {
         if let Some(p) = scenario.sensing.process_for(e.key) {
             engine.inject(

@@ -286,7 +286,7 @@ mod tests {
         assert_eq!(p0.len(), 2, "sense + send");
         assert_eq!(p0[0].kind.tag(), 'n');
         assert_eq!(p0[1].kind.tag(), 's');
-        assert_eq!(p0[0].stamps.strobe_vector.0, vec![1, 0, 0]);
+        assert_eq!(p0[0].stamps.strobe_vector.as_slice(), [1, 0, 0]);
     }
 
     #[test]
@@ -296,7 +296,7 @@ mod tests {
         // P1's sense at 20ms happens after P0's strobe arrived (Δ=0), so
         // P1's strobe vector covers P0's event.
         let p1_sense = &log.events_of(1)[0];
-        assert_eq!(p1_sense.stamps.strobe_vector.0, vec![1, 1, 0]);
+        assert_eq!(p1_sense.stamps.strobe_vector.as_slice(), [1, 1, 0]);
         assert_eq!(p1_sense.stamps.strobe_scalar.value, 2, "caught up to 1, ticked to 2");
     }
 
@@ -307,7 +307,7 @@ mod tests {
         let log = run_two_sensors(DelayModel::Fixed(psn_sim::time::SimDuration::from_millis(50)));
         let log = log.lock();
         let p1_sense = &log.events_of(1)[0];
-        assert_eq!(p1_sense.stamps.strobe_vector.0, vec![0, 1, 0]);
+        assert_eq!(p1_sense.stamps.strobe_vector.as_slice(), [0, 1, 0]);
         assert!(p1_sense
             .stamps
             .strobe_vector

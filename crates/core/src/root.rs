@@ -273,6 +273,6 @@ mod tests {
         assert!(root_events.iter().all(|e| e.kind.tag() == 'r'));
         // Root's vector clock merged the senders' components.
         let last = &root_events[1].stamps.vector;
-        assert!(last.0[0] >= 1 && last.0[1] >= 1);
+        assert!(last[0] >= 1 && last[1] >= 1);
     }
 }

@@ -172,7 +172,7 @@ mod tests {
     use super::*;
 
     fn vs(v: &[u64]) -> VectorStamp {
-        VectorStamp(v.to_vec())
+        VectorStamp::from_slice(v)
     }
     fn iv(lo: &[u64], hi: &[u64]) -> StampedInterval {
         StampedInterval { lo: vs(lo), hi: vs(hi) }
@@ -270,7 +270,7 @@ mod tests {
         // a small grid and verify classify() never produces an
         // inconsistent code.
         let grid: Vec<VectorStamp> =
-            (0..3u64).flat_map(|a| (0..3u64).map(move |b| VectorStamp(vec![a, b]))).collect();
+            (0..3u64).flat_map(|a| (0..3u64).map(move |b| VectorStamp::from(vec![a, b]))).collect();
         let mut seen = std::collections::HashSet::new();
         for lo_x in &grid {
             for hi_x in &grid {

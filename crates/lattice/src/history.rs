@@ -122,7 +122,7 @@ mod tests {
     use super::*;
 
     fn vs(v: &[u64]) -> VectorStamp {
-        VectorStamp(v.to_vec())
+        VectorStamp::from_slice(v)
     }
 
     /// Two processes, one message 0→1: e01 is p0's send (stamp [1,0]);

@@ -206,7 +206,7 @@ mod tests {
     }
 
     fn vs(v: &[u64]) -> VectorStamp {
-        VectorStamp(v.to_vec())
+        VectorStamp::from_slice(v)
     }
 
     #[test]

@@ -88,7 +88,7 @@ mod tests {
     use psn_clocks::VectorStamp;
 
     fn vs(v: &[u64]) -> VectorStamp {
-        VectorStamp(v.to_vec())
+        VectorStamp::from_slice(v)
     }
 
     /// p0: e1 [1,0], e2 (send) [2,0]; p1: f1 [0,1], f2 (receive of e2) [2,2].

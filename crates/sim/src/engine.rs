@@ -22,7 +22,6 @@ use crate::rng::{RngFactory, RngStream};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceKind};
 
-use std::collections::HashMap;
 use std::time::Instant;
 
 /// A message payload. Sizes feed the byte-overhead accounting of
@@ -56,12 +55,15 @@ enum Action<M> {
 }
 
 /// The per-callback view an actor has of the simulation.
+///
+/// The action buffer is a reusable scratch vector owned by the engine, so
+/// steady-state dispatch allocates nothing.
 pub struct Context<'a, M> {
     now: SimTime,
     id: ActorId,
     n: usize,
     rng: &'a mut RngStream,
-    actions: Vec<Action<M>>,
+    actions: &'a mut Vec<Action<M>>,
 }
 
 impl<M> Context<'_, M> {
@@ -116,10 +118,12 @@ impl<M> Context<'_, M> {
     }
 }
 
-/// An event in the future-event list.
+/// An event in the future-event list. Actor ids are stored as `u32` to keep
+/// entries small — every queue entry is moved O(log n) times per heap
+/// operation, so entry size is directly visible in engine throughput.
 enum Pending<M> {
-    Deliver { from: ActorId, to: ActorId, msg: M },
-    Timer { actor: ActorId, tag: u64 },
+    Deliver { from: u32, to: u32, msg: M },
+    Timer { actor: u32, tag: u64 },
 }
 
 enum Dispatch<M> {
@@ -166,13 +170,23 @@ pub struct Engine<M: Message> {
     net_rng: RngStream,
     trace: Trace,
     stats: NetStats,
-    fifo_last: HashMap<(ActorId, ActorId), SimTime>,
+    /// Dense `n×n` matrix of last-scheduled delivery times per (from, to)
+    /// channel, indexed `from * fifo_stride + to`. Actor ids are dense from
+    /// 0, so a flat matrix replaces the former per-pair `HashMap` with a
+    /// single multiply-add and no hashing on the transmit hot path.
+    /// `SimTime::ZERO` entries are exactly the pairs the map did not hold.
+    fifo_last: Vec<SimTime>,
+    fifo_stride: usize,
     end_time: SimTime,
     halted: bool,
     events_processed: u64,
     m: EngineMetrics,
     /// Messages scheduled for delivery but not yet delivered.
     in_flight: u64,
+    /// Reusable buffer for the actions produced by one actor callback.
+    action_scratch: Vec<Action<M>>,
+    /// Reusable buffer for a broadcast's neighbor list.
+    peer_scratch: Vec<ActorId>,
 }
 
 impl<M: Message> Engine<M> {
@@ -191,12 +205,15 @@ impl<M: Message> Engine<M> {
             factory,
             trace: Trace::disabled(),
             stats: NetStats::default(),
-            fifo_last: HashMap::new(),
+            fifo_last: Vec::new(),
+            fifo_stride: 0,
             end_time: SimTime::MAX,
             halted: false,
             events_processed: 0,
             m: EngineMetrics::attach(&Metrics::disabled()),
             in_flight: 0,
+            action_scratch: Vec::new(),
+            peer_scratch: Vec::new(),
         }
     }
 
@@ -233,10 +250,17 @@ impl<M: Message> Engine<M> {
     /// precomputed world-plane timelines. `from` is a conventional source id
     /// (often the world actor's id).
     pub fn inject(&mut self, at: SimTime, to: ActorId, from: ActorId, msg: M) {
-        self.queue.schedule(at, Pending::Deliver { from, to, msg });
+        self.queue.schedule(at, Pending::Deliver { from: from as u32, to: to as u32, msg });
         self.in_flight += 1;
         self.m.in_flight.set(self.in_flight);
         self.m.queue_depth.set(self.queue.len() as u64);
+    }
+
+    /// Pre-reserve queue capacity for `n` additional events. Callers that
+    /// bulk-[`inject`](Engine::inject) a known timeline (e.g. the world
+    /// plane) should reserve up front to avoid repeated heap growth.
+    pub fn reserve_events(&mut self, n: usize) {
+        self.queue.reserve(n);
     }
 
     /// Run until the queue drains, the end time passes, or an actor halts.
@@ -263,6 +287,7 @@ impl<M: Message> Engine<M> {
             self.m.events.inc();
             match pending {
                 Pending::Deliver { from, to, msg } => {
+                    let (from, to) = (from as ActorId, to as ActorId);
                     self.trace.record(self.now, TraceKind::Delivered { from, to });
                     self.stats.messages_delivered += 1;
                     self.m.delivered.inc();
@@ -271,6 +296,7 @@ impl<M: Message> Engine<M> {
                     self.dispatch(to, Dispatch::Message { from, msg });
                 }
                 Pending::Timer { actor, tag } => {
+                    let actor = actor as ActorId;
                     self.trace.record(self.now, TraceKind::TimerFired { actor, tag });
                     self.dispatch(actor, Dispatch::Timer { tag });
                 }
@@ -291,23 +317,27 @@ impl<M: Message> Engine<M> {
     fn dispatch(&mut self, id: ActorId, what: Dispatch<M>) {
         let Some(slot) = self.actors.get_mut(id) else { return };
         let Some(mut actor) = slot.take() else { return };
+        // Lend the engine's scratch buffer to the callback, then take it
+        // back: dispatch allocates nothing once the buffer has warmed up.
+        let mut actions = std::mem::take(&mut self.action_scratch);
+        debug_assert!(actions.is_empty());
         let mut ctx = Context {
             now: self.now,
             id,
             n: self.actors.len(),
             rng: &mut self.rngs[id],
-            actions: Vec::new(),
+            actions: &mut actions,
         };
         match what {
             Dispatch::Start => actor.on_start(&mut ctx),
             Dispatch::Message { from, msg } => actor.on_message(&mut ctx, from, msg),
             Dispatch::Timer { tag } => actor.on_timer(&mut ctx, tag),
         }
-        let actions = ctx.actions;
         self.actors[id] = Some(actor);
-        for a in actions {
+        for a in actions.drain(..) {
             self.apply(id, a);
         }
+        self.action_scratch = actions;
     }
 
     fn apply(&mut self, from: ActorId, action: Action<M>) {
@@ -315,13 +345,20 @@ impl<M: Message> Engine<M> {
             Action::Send { to, msg } => self.transmit(from, to, msg),
             Action::Broadcast { msg } => {
                 self.stats.broadcasts += 1;
-                let peers = self.network.topology.neighbors(from);
-                for to in peers {
-                    self.transmit(from, to, msg.clone());
+                let mut peers = std::mem::take(&mut self.peer_scratch);
+                self.network.topology.collect_neighbors(from, &mut peers);
+                // The message moves to the final peer; only the first
+                // `len - 1` transmissions clone it.
+                if let Some((&last, rest)) = peers.split_last() {
+                    for &to in rest {
+                        self.transmit(from, to, msg.clone());
+                    }
+                    self.transmit(from, last, msg);
                 }
+                self.peer_scratch = peers;
             }
             Action::SetTimer { after, tag } => {
-                self.queue.schedule(self.now + after, Pending::Timer { actor: from, tag });
+                self.queue.schedule(self.now + after, Pending::Timer { actor: from as u32, tag });
             }
             Action::Note { label } => {
                 self.trace.record(self.now, TraceKind::Note { actor: from, label });
@@ -348,15 +385,35 @@ impl<M: Message> Engine<M> {
         let delay = self.network.delay.sample(&mut self.net_rng);
         let mut deliver_at = self.now + delay;
         if self.network.fifo {
-            let last = self.fifo_last.entry((from, to)).or_insert(SimTime::ZERO);
+            // `connected` guarantees from/to < topology.len(), so the matrix
+            // only ever grows when the topology itself does.
+            let n = self.network.topology.len();
+            if self.fifo_stride < n {
+                self.grow_fifo(n);
+            }
+            let last = &mut self.fifo_last[from * self.fifo_stride + to];
             if deliver_at < *last {
                 deliver_at = *last;
             }
             *last = deliver_at;
         }
-        self.queue.schedule(deliver_at, Pending::Deliver { from, to, msg });
+        self.queue.schedule(deliver_at, Pending::Deliver { from: from as u32, to: to as u32, msg });
         self.in_flight += 1;
         self.m.in_flight.set(self.in_flight);
+    }
+
+    /// Resize the FIFO matrix to stride `n`, remapping existing channel
+    /// entries. Runs at most once per topology size change.
+    #[cold]
+    fn grow_fifo(&mut self, n: usize) {
+        let mut grown = vec![SimTime::ZERO; n * n];
+        for f in 0..self.fifo_stride {
+            for t in 0..self.fifo_stride {
+                grown[f * n + t] = self.fifo_last[f * self.fifo_stride + t];
+            }
+        }
+        self.fifo_last = grown;
+        self.fifo_stride = n;
     }
 
     /// Current simulation time.

@@ -98,7 +98,30 @@ impl Topology {
 
     /// The neighbours of `a`.
     pub fn neighbors(&self, a: ActorId) -> Vec<ActorId> {
-        (0..self.len()).filter(|&b| self.connected(a, b)).collect()
+        let mut out = Vec::new();
+        self.collect_neighbors(a, &mut out);
+        out
+    }
+
+    /// Collect the neighbours of `a` (ascending id order) into `out`,
+    /// clearing it first. Allocation-free once `out` has warmed up — the
+    /// engine calls this on every broadcast.
+    pub fn collect_neighbors(&self, a: ActorId, out: &mut Vec<ActorId>) {
+        out.clear();
+        match self {
+            Topology::FullMesh { n } => {
+                if a < *n {
+                    out.extend((0..*n).filter(|&b| b != a));
+                }
+            }
+            Topology::Graph { adj } => {
+                if let Some(row) = adj.get(a) {
+                    out.extend(
+                        row.iter().enumerate().filter_map(|(b, &up)| (up && b != a).then_some(b)),
+                    );
+                }
+            }
+        }
     }
 }
 

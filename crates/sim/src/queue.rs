@@ -56,6 +56,13 @@ impl<E> EventQueue<E> {
         EventQueue { heap: BinaryHeap::new(), next_seq: 0, scheduled_total: 0 }
     }
 
+    /// Reserve capacity for at least `additional` more events, so bulk
+    /// scheduling (e.g. injecting a whole world timeline) does not regrow
+    /// the heap repeatedly.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// Schedule `payload` to fire at absolute time `at`.
     pub fn schedule(&mut self, at: SimTime, payload: E) {
         let seq = self.next_seq;

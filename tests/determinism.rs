@@ -34,6 +34,72 @@ fn fingerprint(seed: u64, delta_ms: u64) -> (usize, u64, u64, Vec<(SimTime, Opti
     )
 }
 
+/// FNV-1a over a stable encoding of the full network-plane trace. Unlike
+/// `DefaultHasher`, FNV has a specified algorithm, so the constant below is
+/// meaningful across Rust versions and standard-library changes.
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn trace_hash(trace: &pervasive_time::sim::trace::Trace) -> u64 {
+    use pervasive_time::sim::trace::TraceKind;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for e in trace.events() {
+        fnv1a(&mut h, &e.at.as_nanos().to_le_bytes());
+        let (tag, a, b, c): (u8, u64, u64, u64) = match &e.kind {
+            TraceKind::Sent { from, to, bytes } => (0, *from as u64, *to as u64, *bytes as u64),
+            TraceKind::Delivered { from, to } => (1, *from as u64, *to as u64, 0),
+            TraceKind::Lost { from, to } => (2, *from as u64, *to as u64, 0),
+            TraceKind::TimerFired { actor, tag } => (3, *actor as u64, *tag, 0),
+            TraceKind::Note { actor, label } => {
+                fnv1a(&mut h, label.as_bytes());
+                (4, *actor as u64, label.len() as u64, 0)
+            }
+        };
+        fnv1a(&mut h, &[tag]);
+        fnv1a(&mut h, &a.to_le_bytes());
+        fnv1a(&mut h, &b.to_le_bytes());
+        fnv1a(&mut h, &c.to_le_bytes());
+    }
+    h
+}
+
+/// Golden-trace regression: the exact event-for-event network trace of a
+/// fixed `(scenario, config, seed)` triple, hashed. The constant was
+/// recorded before the zero-allocation engine overhaul (PR 2); any
+/// optimization that reorders events, perturbs an RNG draw, or changes a
+/// delivery time will move this hash. Δ is variable (sampled) and loss is
+/// nonzero so the fifo clamp, the loss path, and the delay sampler all
+/// execute.
+#[test]
+fn golden_trace_hash_is_stable() {
+    let params = ExhibitionParams {
+        doors: 4,
+        arrival_rate_hz: 3.0,
+        mean_stay: SimDuration::from_secs(40),
+        duration: SimTime::from_secs(200),
+        capacity: 90,
+    };
+    let scenario = exhibition::generate(&params, 13);
+    let cfg = ExecutionConfig {
+        delay: DelayModel::delta(SimDuration::from_millis(150)),
+        loss: LossModel::Bernoulli { p: 0.02 },
+        seed: 13,
+        record_sim_trace: true,
+        ..Default::default()
+    };
+    let trace = run_execution(&scenario, &cfg);
+    assert!(trace.sim.len() > 1_000, "trace must be non-trivial, got {}", trace.sim.len());
+    assert_eq!(
+        trace_hash(&trace.sim),
+        9037720422308291165,
+        "engine trace diverged from the pre-optimization golden hash"
+    );
+}
+
 #[test]
 fn full_pipeline_is_deterministic() {
     assert_eq!(fingerprint(7, 300), fingerprint(7, 300));

@@ -52,9 +52,22 @@ pub struct Bencher {
     ns_per_iter: f64,
 }
 
+/// True when the benches were invoked as `cargo bench -- --test`:
+/// criterion's "test mode", where every closure runs exactly once so CI can
+/// verify benches compile and run without paying for (flaky) timing.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 impl Bencher {
     /// Run `f` in a calibrated loop and record its mean wall-clock cost.
+    /// Under `--test`, run it once and skip calibration entirely.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if test_mode() {
+            black_box(f());
+            self.ns_per_iter = 0.0;
+            return;
+        }
         // Warm up and calibrate: find an iteration count that runs for at
         // least ~20ms, then measure three rounds and keep the fastest.
         let mut n: u64 = 1;
@@ -131,6 +144,10 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 
     fn report(&self, id: &str, ns: f64) {
+        if test_mode() {
+            println!("{}/{:<40} ok (--test: ran once, untimed)", self.name, id);
+            return;
+        }
         let extra = match self.throughput {
             Some(Throughput::Elements(n)) if ns > 0.0 => {
                 format!("  ({:.1}M elem/s)", n as f64 / ns * 1e3)

@@ -50,6 +50,15 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Render an already-built [`Value`] as compact JSON, appending to `out`.
+/// Unlike [`to_string`] (whose `Serialize` bound would deep-clone a
+/// `Value` argument via its identity `to_value`), this borrows — callers
+/// that assemble `Value` trees by hand serialize them without a copy and
+/// can reuse the output buffer.
+pub fn write_value_to(value: &Value, out: &mut String) {
+    write_value(value, out, None, 0);
+}
+
 /// Deserialize a value from a JSON string.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let value = parse(s)?;
