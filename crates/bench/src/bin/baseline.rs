@@ -31,6 +31,7 @@ struct Baseline {
     vector64_merge_ops_per_sec: f64,
     detector_reports_per_sec: f64,
     lattice_states_per_sec: f64,
+    trace_records_per_sec: f64,
 }
 
 fn engine_events_per_sec() -> f64 {
@@ -132,6 +133,40 @@ fn lattice_states_per_sec() -> f64 {
     (states * rounds) as f64 / t0.elapsed().as_secs_f64()
 }
 
+fn trace_records_per_sec() -> f64 {
+    use psn_sim::trace::{ClockStamp, MsgId, ProcessEventKind, Trace, TraceKind};
+    // Recording cost of the structured trace pipeline: a realistic record
+    // mix (send, deliver, stamped process event) through the per-actor
+    // rings, then one seal. The stamp is an 8-wide vector — the inline
+    // capacity, matching small-deployment runs.
+    let actors = 8usize;
+    let rounds = 300_000u64;
+    let records_per_round = 3u64;
+    let stamp = [1u64, 2, 3, 4, 5, 6, 7, 8];
+    let mut trace = Trace::enabled();
+    trace.configure_actors(actors);
+    let t0 = Instant::now();
+    for i in 0..rounds {
+        let from = (i as usize) % actors;
+        let to = (from + 1) % actors;
+        let at = SimTime::from_nanos(i);
+        trace.record(at, TraceKind::Sent { from, to, bytes: 64, msg: MsgId(i) });
+        trace.record(at, TraceKind::Delivered { from, to, msg: MsgId(i) });
+        trace.record(
+            at,
+            TraceKind::Process {
+                actor: to,
+                kind: ProcessEventKind::Receive,
+                stamp: ClockStamp::vector(&stamp),
+                detail: from as u64,
+            },
+        );
+    }
+    trace.seal();
+    black_box(trace.len());
+    (rounds * records_per_round) as f64 / t0.elapsed().as_secs_f64()
+}
+
 fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_baseline.json".to_string());
     let baseline = Baseline {
@@ -143,6 +178,7 @@ fn main() {
         vector64_merge_ops_per_sec: vector64_merge_ops_per_sec(),
         detector_reports_per_sec: detector_reports_per_sec(),
         lattice_states_per_sec: lattice_states_per_sec(),
+        trace_records_per_sec: trace_records_per_sec(),
     };
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
     std::fs::write(&path, json + "\n").expect("write baseline file");

@@ -6,12 +6,14 @@
 //! cargo run --release -p psn-bench --bin experiments -- --only e2 e5
 //! cargo run --release -p psn-bench --bin experiments -- --csv --only e8
 //! cargo run --release -p psn-bench --bin experiments -- --only e7 --metrics-out /tmp/m.jsonl
+//! cargo run --release -p psn-bench --bin experiments -- --only e7 e9 --trace-out /tmp/traces
 //! ```
 
 use std::time::Instant;
 
 use psn_bench::experiments::{run_one, ALL};
 use psn_bench::metrics_out;
+use psn_bench::trace_out;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,6 +21,10 @@ fn main() {
     let csv = args.iter().any(|a| a == "--csv");
     let metrics_path: Option<&String> =
         args.iter().position(|a| a == "--metrics-out").and_then(|p| args.get(p + 1));
+    let trace_dir: Option<&String> =
+        args.iter().position(|a| a == "--trace-out").and_then(|p| args.get(p + 1));
+    let trace_format: Option<&String> =
+        args.iter().position(|a| a == "--trace-format").and_then(|p| args.get(p + 1));
     let only: Vec<String> = match args.iter().position(|a| a == "--only") {
         Some(pos) => args[pos + 1..]
             .iter()
@@ -30,13 +36,29 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: experiments [--quick] [--csv] [--only e1 e2 ...] [--list] \
-             [--metrics-out <path.jsonl>]"
+             [--metrics-out <path.jsonl>] [--trace-out <dir>] [--trace-format chrome|jsonl]"
         );
         return;
     }
     if let Some(path) = metrics_path {
         if let Err(e) = metrics_out::set_metrics_out(path) {
             eprintln!("cannot open --metrics-out {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    let format = match trace_format {
+        Some(f) => match trace_out::TraceFormat::parse(f) {
+            Some(f) => f,
+            None => {
+                eprintln!("unknown --trace-format {f} (known: chrome, jsonl)");
+                std::process::exit(1);
+            }
+        },
+        None => trace_out::TraceFormat::default(),
+    };
+    if let Some(dir) = trace_dir {
+        if let Err(e) = trace_out::set_trace_out(dir, format) {
+            eprintln!("cannot open --trace-out {dir}: {e}");
             std::process::exit(1);
         }
     }
@@ -62,4 +84,8 @@ fn main() {
         }
     }
     metrics_out::finish();
+    let traces = trace_out::finish();
+    if traces > 0 {
+        eprintln!("trace-out: wrote {traces} cell trace file(s)");
+    }
 }

@@ -1,0 +1,73 @@
+//! Validate Chrome trace-event files produced by `experiments --trace-out`.
+//!
+//! ```sh
+//! cargo run --release -p psn-bench --bin trace_check -- /tmp/traces
+//! ```
+//!
+//! Checks every `*.json` file in the directory against the trace-event
+//! schema ([`psn_sim::trace_export::validate_chrome`]): top-level
+//! `traceEvents` array, required per-event fields, known phase codes, and
+//! every flow-finish bound to a matching flow-start. Exits non-zero on any
+//! invalid file — or when the directory contains no trace files at all, so
+//! a silently-empty export step fails CI rather than passing vacuously.
+
+use psn_sim::trace_export::validate_chrome;
+
+fn main() {
+    let dir = match std::env::args().nth(1) {
+        Some(d) => d,
+        None => {
+            eprintln!("usage: trace_check <dir>");
+            std::process::exit(2);
+        }
+    };
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {dir}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut checked = 0usize;
+    let mut failed = 0usize;
+    let mut paths: Vec<_> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL {}: read error: {e}", path.display());
+                failed += 1;
+                continue;
+            }
+        };
+        checked += 1;
+        match validate_chrome(&text) {
+            Ok(summary) => {
+                println!(
+                    "ok   {}: {} events, {} message flows",
+                    path.display(),
+                    summary.events,
+                    summary.flows
+                );
+            }
+            Err(e) => {
+                eprintln!("FAIL {}: {e}", path.display());
+                failed += 1;
+            }
+        }
+    }
+    if checked == 0 {
+        eprintln!("trace_check: no .json trace files found in {dir}");
+        std::process::exit(1);
+    }
+    if failed > 0 {
+        eprintln!("trace_check: {failed}/{checked} file(s) invalid");
+        std::process::exit(1);
+    }
+    println!("trace_check: {checked} file(s) valid");
+}

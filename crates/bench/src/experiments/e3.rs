@@ -1,5 +1,5 @@
 //! E3 — Detection probability of `Definitely(φ)` vs mean message delay
-//! (paper §3.3, importing the [17] smart-office result: "despite
+//! (paper §3.3, importing the \[17\] smart-office result: "despite
 //! increasing the average message delay over a wide range, the probability
 //! of correct detection is quite high").
 //!

@@ -20,6 +20,7 @@ use psn_world::scenarios::habitat::{self, HabitatParams};
 use crate::common::{delta_config, family_bytes};
 use crate::metrics_out;
 use crate::table::Table;
+use crate::trace_out;
 
 /// Run E7.
 pub fn run(quick: bool) -> Table {
@@ -49,16 +50,28 @@ pub fn run(quick: bool) -> Table {
             mean_dwell: SimDuration::from_secs(600),
             duration,
         };
+        let seed = 1u64;
         let scenario = habitat::generate(&params, 42);
-        // A live registry only when `--metrics-out` opened a sink; the trace
-        // is bit-identical either way (core's instrumentation test).
+        // A live registry only when `--metrics-out` opened a sink; engine
+        // trace recording only when `--trace-out` opened one. The run is
+        // bit-identical either way (core's instrumentation tests).
         let metrics = if metrics_out::is_enabled() { Metrics::new() } else { Metrics::disabled() };
-        let trace = run_execution_instrumented(
-            &scenario,
-            &delta_config(SimDuration::from_millis(300), 1),
-            &metrics,
+        let mut cfg = delta_config(SimDuration::from_millis(300), seed);
+        cfg.record_sim_trace = trace_out::is_enabled();
+        let trace = run_execution_instrumented(&scenario, &cfg, &metrics);
+        metrics_out::emit_cell(
+            "e7",
+            metrics_out::cell_object(
+                &format!("n={n}"),
+                &[
+                    ("n", serde::Value::UInt(n as u64)),
+                    ("delta_ms", serde::Value::UInt(300)),
+                    ("seed", serde::Value::UInt(seed)),
+                ],
+            ),
+            &metrics.snapshot(),
         );
-        metrics_out::emit_cell("e7", &format!("n={n}"), &metrics.snapshot());
+        trace_out::emit_cell_trace("e7", &format!("n={n}"), &trace.sim, trace.n);
         let fb = family_bytes(&trace);
         // Event-driven protocol energy: strobe broadcasts (scalar payload)
         // + reports.

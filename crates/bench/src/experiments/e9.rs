@@ -15,11 +15,12 @@ use psn_predicates::{detect_occurrences, score, BorderlinePolicy, Discipline, Pr
 use psn_sim::loss::LossModel;
 use psn_sim::sweep::run_sweep_auto;
 use psn_sim::time::{SimDuration, SimTime};
-use psn_sim::trace::TraceKind;
+use psn_sim::trace_analysis::TraceAnalysis;
 use psn_world::scenarios::exhibition::{self, ExhibitionParams};
 use psn_world::{truth_intervals, TruthInterval};
 
 use crate::table::Table;
+use crate::trace_out;
 
 /// Run E9.
 pub fn run(quick: bool) -> Table {
@@ -54,13 +55,16 @@ pub fn run(quick: bool) -> Table {
                     ..Default::default()
                 };
                 let trace = run_execution(&scenario, &cfg);
-                let loss_times: Vec<SimTime> = trace
-                    .sim
-                    .events()
-                    .iter()
-                    .filter(|e| matches!(e.kind, TraceKind::Lost { .. }))
-                    .map(|e| e.at)
-                    .collect();
+                trace_out::emit_cell_trace(
+                    "e9",
+                    &format!("p={p} seed={seed}"),
+                    &trace.sim,
+                    trace.n,
+                );
+                // The happened-before analysis indexes loss times once;
+                // its vicinity query is the loss-locality cross-check the
+                // table note appeals to.
+                let analysis = TraceAnalysis::build(&trace.sim);
                 let det = detect_occurrences(
                     &trace,
                     &pred,
@@ -74,15 +78,7 @@ pub fn run(quick: bool) -> Table {
                     .iter()
                     .copied()
                     .filter(|t| {
-                        !loss_times.iter().any(|&l| {
-                            let lo = t.start.as_nanos().saturating_sub(vicinity.as_nanos());
-                            let hi = t
-                                .end
-                                .unwrap_or(params.duration)
-                                .saturating_add(vicinity)
-                                .as_nanos();
-                            l.as_nanos() >= lo && l.as_nanos() <= hi
-                        })
+                        !analysis.near_any_loss(t.start, t.end.unwrap_or(params.duration), vicinity)
                     })
                     .collect();
                 let far_r = score(&det, &far, params.duration, tol, BorderlinePolicy::AsPositive);

@@ -6,8 +6,11 @@
 //! - [`common`] — shared scaffolding (controlled two-pulse scenarios,
 //!   strobe-stamp histories, per-clock-family byte accounting);
 //! - [`metrics_out`] — the `--metrics-out` JSONL sink: one line per
-//!   instrumented experiment cell, carrying a full
-//!   [`psn_sim::metrics::MetricsSnapshot`].
+//!   instrumented experiment cell, carrying the cell parameters and a full
+//!   [`psn_sim::metrics::MetricsSnapshot`];
+//! - [`trace_out`] — the `--trace-out` sink: one causally stamped
+//!   structured trace file per experiment cell (Chrome trace-event JSON
+//!   for Perfetto, or JSONL).
 //!
 //! Criterion micro-benchmarks live in `benches/` (clock operations,
 //! detectors, lattice enumeration, engine throughput, sweep scaling).
@@ -18,5 +21,6 @@ pub mod common;
 pub mod experiments;
 pub mod metrics_out;
 pub mod table;
+pub mod trace_out;
 
 pub use table::Table;

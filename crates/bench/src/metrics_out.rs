@@ -2,10 +2,13 @@
 //!
 //! `experiments --metrics-out <path>` opens a process-wide sink here; each
 //! instrumented experiment cell then calls [`emit_cell`] with the
-//! [`MetricsSnapshot`] of its run, producing **one JSON line per cell**:
+//! [`MetricsSnapshot`] of its run, producing **one JSON line per cell**.
+//! The `cell` field is a structured object carrying the human-readable
+//! label plus the sweep cell's parameters and seed, so downstream tools
+//! can group and join lines without parsing labels:
 //!
 //! ```json
-//! {"experiment":"e7","cell":"n=4","metrics":{"counters":[...],"gauges":[...],"timers":[...]}}
+//! {"experiment":"e7","cell":{"label":"n=4","n":4,"seed":42},"metrics":{"counters":[...],...}}
 //! ```
 //!
 //! When no sink is set (the default, and always in `cargo test`), the whole
@@ -47,15 +50,25 @@ pub fn is_enabled() -> bool {
     SINK.lock().expect("metrics sink lock").is_some()
 }
 
-/// Append one JSONL record for (`experiment`, `cell`). No-op without a sink.
-pub fn emit_cell(experiment: &str, cell: &str, metrics: &MetricsSnapshot) {
+/// Build the structured `cell` object for [`emit_cell`]: the label plus
+/// each `(name, value)` sweep parameter (the run's seed belongs here too).
+pub fn cell_object(label: &str, params: &[(&str, Value)]) -> Value {
+    let mut map = Vec::with_capacity(params.len() + 1);
+    map.push(("label".to_string(), Value::Str(label.to_string())));
+    map.extend(params.iter().map(|(k, v)| (k.to_string(), v.clone())));
+    Value::Map(map)
+}
+
+/// Append one JSONL record for (`experiment`, `cell`). Build `cell` with
+/// [`cell_object`]. No-op without a sink.
+pub fn emit_cell(experiment: &str, cell: Value, metrics: &MetricsSnapshot) {
     let mut guard = SINK.lock().expect("metrics sink lock");
     if let Some(sink) = guard.as_mut() {
         // Assemble the record as a borrowing Value tree — no snapshot
         // clone; `to_value` converts the snapshot directly.
         let record = Value::Map(vec![
             ("experiment".to_string(), Value::Str(experiment.to_string())),
-            ("cell".to_string(), Value::Str(cell.to_string())),
+            ("cell".to_string(), cell),
             ("metrics".to_string(), metrics.to_value()),
         ]);
         sink.line.clear();
@@ -91,14 +104,15 @@ mod tests {
         assert!(!is_enabled());
         let m = Metrics::new();
         m.counter("x.bytes").add(7);
-        emit_cell("e0", "n=1", &m.snapshot()); // no-op
+        let cell1 = || cell_object("n=1", &[("n", Value::UInt(1)), ("seed", Value::UInt(42))]);
+        emit_cell("e0", cell1(), &m.snapshot()); // no-op
 
         let path = std::env::temp_dir().join("psn_metrics_out_test.jsonl");
         let path = path.to_str().expect("utf-8 temp path");
         set_metrics_out(path).expect("open sink");
         assert!(is_enabled());
-        emit_cell("e0", "n=1", &m.snapshot());
-        emit_cell("e0", "n=2", &m.snapshot());
+        emit_cell("e0", cell1(), &m.snapshot());
+        emit_cell("e0", cell_object("n=2", &[("n", Value::UInt(2))]), &m.snapshot());
         finish();
         assert!(!is_enabled());
 
@@ -106,7 +120,7 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2, "one JSON line per cell");
         assert!(lines[0].contains("\"experiment\":\"e0\""));
-        assert!(lines[0].contains("\"cell\":\"n=1\""));
+        assert!(lines[0].contains("\"cell\":{\"label\":\"n=1\",\"n\":1,\"seed\":42}"));
         assert!(lines[0].contains("x.bytes"));
         std::fs::remove_file(path).ok();
     }

@@ -6,7 +6,7 @@
 //! sense (n), or actuate (a); a send event (s); a receive event (r)."
 //!
 //! Every event carries its ground-truth time for *scoring only* — protocol
-//! logic never reads it — plus the full [`StampSet`](crate::bundle::StampSet)
+//! logic never reads it — plus the full [`StampSet`]
 //! of timestamps every clock assigned to it.
 
 use serde::{Deserialize, Serialize};

@@ -25,7 +25,7 @@ use crate::bundle::ClockConfig;
 use crate::log::ExecutionLog;
 use crate::message::NetMsg;
 use crate::metrics::ExecMetrics;
-use crate::process::{SensorProcess, StrobePolicy};
+use crate::process::{SensorProcess, StrobePolicy, TraceStampMode};
 use crate::root::{ActuationRule, NoActuation, RootProcess};
 
 /// Full configuration of one execution.
@@ -48,9 +48,13 @@ pub struct ExecutionConfig {
     /// Master seed (drives delays, losses, and clock imperfections — the
     /// world timeline has its own seed at generation time).
     pub seed: u64,
-    /// Record the full network-plane trace (sent/delivered/lost messages)
+    /// Record the full network-plane trace (sent/delivered/lost messages
+    /// plus causally stamped sense/send/receive/actuate process events)
     /// into [`ExecutionTrace::sim`]. Off by default (memory).
     pub record_sim_trace: bool,
+    /// Which logical stamp to attach to structured trace records when
+    /// `record_sim_trace` is on (vector by default; ignored otherwise).
+    pub trace_stamp: TraceStampMode,
     /// Hard stop for the simulation. `None` runs to quiescence — which is
     /// correct for purely event-driven runs but would never terminate with
     /// heartbeat strobes; when heartbeats are enabled and no end time is
@@ -69,6 +73,7 @@ impl Default for ExecutionConfig {
             topology: None,
             seed: 0,
             record_sim_trace: false,
+            trace_stamp: TraceStampMode::default(),
             end_time: None,
         }
     }
@@ -173,13 +178,15 @@ pub fn run_execution_full(
                 cfg.strobes,
                 Arc::clone(&log),
             )
-            .with_metrics(exec_metrics.clone()),
+            .with_metrics(exec_metrics.clone())
+            .with_trace_stamp(cfg.trace_stamp),
         ));
     }
     engine.add_actor(Box::new(
         RootProcess::new(n, n, cfg.clocks.clone(), rule, Arc::clone(&log))
             .with_flood(cfg.strobes.flood)
-            .with_metrics(exec_metrics),
+            .with_metrics(exec_metrics)
+            .with_trace_stamp(cfg.trace_stamp),
     ));
 
     // Inject the world timeline: each event goes to its watching process at
@@ -265,6 +272,62 @@ mod tests {
             Some(inst.net.broadcasts * n * 8 * (n + 1))
         );
         assert_eq!(snap.counter("engine.messages_delivered"), Some(inst.net.messages_delivered));
+    }
+
+    #[test]
+    fn sim_trace_carries_stamped_process_events() {
+        let s = tiny_scenario();
+        let plain = run_execution(&s, &ExecutionConfig::default());
+        let cfg = ExecutionConfig { record_sim_trace: true, ..Default::default() };
+        let traced = run_execution(&s, &cfg);
+        // Tracing is observational: the run itself is bit-identical.
+        assert_eq!(plain.log.events, traced.log.events);
+        assert_eq!(plain.log.reports, traced.log.reports);
+        assert_eq!(plain.net, traced.net);
+        assert!(plain.sim.is_empty() && !traced.sim.is_empty());
+
+        use psn_sim::trace::{ProcessEventKind, TraceKind};
+        let count = |k: ProcessEventKind| {
+            traced
+                .sim
+                .records()
+                .iter()
+                .filter(|r| matches!(&r.kind, TraceKind::Process { kind, .. } if *kind == k))
+                .count()
+        };
+        let senses = plain.log.sense_events().len();
+        assert_eq!(count(ProcessEventKind::Sense), senses);
+        assert_eq!(count(ProcessEventKind::Send), senses, "one report send per sense");
+        assert_eq!(count(ProcessEventKind::Receive), plain.log.reports.len());
+        // Default mode stamps with the full vector clock, and every sense's
+        // stamp has the sensing process's own component set.
+        for r in traced.sim.records() {
+            if let TraceKind::Process { actor, kind: ProcessEventKind::Sense, stamp, .. } = &r.kind
+            {
+                let v = stamp.as_vector().expect("vector mode is the default");
+                assert!(v[*actor] >= 1, "own component ticked at the sense event");
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_trace_stamp_mode_records_lamport_values() {
+        let s = tiny_scenario();
+        let cfg = ExecutionConfig {
+            record_sim_trace: true,
+            trace_stamp: crate::process::TraceStampMode::Scalar,
+            ..Default::default()
+        };
+        let traced = run_execution(&s, &cfg);
+        use psn_sim::trace::{ClockStamp, TraceKind};
+        let mut saw = 0usize;
+        for r in traced.sim.records() {
+            if let TraceKind::Process { stamp, .. } = &r.kind {
+                assert!(matches!(stamp, ClockStamp::Scalar(v) if *v >= 1));
+                saw += 1;
+            }
+        }
+        assert!(saw > 0);
     }
 
     #[test]

@@ -53,6 +53,35 @@ impl Default for StrobePolicy {
     }
 }
 
+/// Which logical stamp the structured run trace carries on process events
+/// (sense/send/receive/actuate/detect).
+///
+/// The engine's structured trace ([`psn_sim::trace`]) records each semantic
+/// process event together with the acting process's logical timestamp. The
+/// vector stamp is the default: it is the stamp the offline
+/// happened-before analysis ([`psn_sim::trace_analysis`]) reconstructs the
+/// causal DAG from. The scalar mode records only the Lamport value —
+/// cheaper on the wire formats, but the trace then upper-bounds causality
+/// instead of capturing it exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum TraceStampMode {
+    /// Stamp trace records with the Lamport scalar clock value.
+    Scalar,
+    /// Stamp trace records with the Mattern/Fidge vector clock (default).
+    #[default]
+    Vector,
+}
+
+impl TraceStampMode {
+    /// Extract this mode's [`psn_sim::trace::ClockStamp`] from a stamp set.
+    pub fn stamp_of(self, stamps: &crate::bundle::StampSet) -> psn_sim::trace::ClockStamp {
+        match self {
+            TraceStampMode::Scalar => psn_sim::trace::ClockStamp::Scalar(stamps.lamport.value),
+            TraceStampMode::Vector => psn_sim::trace::ClockStamp::vector(stamps.vector.as_slice()),
+        }
+    }
+}
+
 /// A sensor/actuator process actor.
 pub struct SensorProcess {
     id: ProcessId,
@@ -69,6 +98,7 @@ pub struct SensorProcess {
     seen_strobes: Vec<u64>,
     log: Arc<Mutex<ExecutionLog>>,
     metrics: ExecMetrics,
+    trace_stamp: TraceStampMode,
 }
 
 impl SensorProcess {
@@ -94,6 +124,7 @@ impl SensorProcess {
             seen_strobes: vec![0; n + 1],
             log,
             metrics: ExecMetrics::disabled(),
+            trace_stamp: TraceStampMode::default(),
         }
     }
 
@@ -101,6 +132,13 @@ impl SensorProcess {
     /// `metrics` (builder style). Recording never changes behaviour.
     pub fn with_metrics(mut self, metrics: ExecMetrics) -> Self {
         self.metrics = metrics;
+        self
+    }
+
+    /// Which logical stamp to attach to structured trace records (builder
+    /// style). Only consulted when the engine trace is enabled.
+    pub fn with_trace_stamp(mut self, mode: TraceStampMode) -> Self {
+        self.trace_stamp = mode;
         self
     }
 
@@ -161,6 +199,13 @@ impl Actor<NetMsg> for SensorProcess {
                 self.sense_count += 1;
                 self.metrics.senses.inc();
                 self.record(now, EventKind::Sense { key, value, world_event }, stamps.clone());
+                if ctx.trace_enabled() {
+                    ctx.trace_process(
+                        psn_sim::trace::ProcessEventKind::Sense,
+                        self.trace_stamp.stamp_of(&stamps),
+                        world_event as u64,
+                    );
+                }
                 // Strobe broadcast per policy (SSC1/SVC1's
                 // System-wide_Broadcast).
                 if self.sense_count.is_multiple_of(self.policy.every) {
@@ -173,6 +218,13 @@ impl Actor<NetMsg> for SensorProcess {
                 let send_stamps = bundle.on_send(now);
                 self.metrics.on_report_sent();
                 self.record(now, EventKind::Send { to: self.root }, send_stamps.clone());
+                if ctx.trace_enabled() {
+                    ctx.trace_process(
+                        psn_sim::trace::ProcessEventKind::Send,
+                        self.trace_stamp.stamp_of(&send_stamps),
+                        self.root as u64,
+                    );
+                }
                 ctx.send(
                     self.root,
                     NetMsg::Report(Report {
@@ -208,6 +260,13 @@ impl Actor<NetMsg> for SensorProcess {
                 bundle.on_receive(&piggyback, now);
                 let stamps = bundle.on_internal(now);
                 self.metrics.actuates.inc();
+                if ctx.trace_enabled() {
+                    ctx.trace_process(
+                        psn_sim::trace::ProcessEventKind::Actuate,
+                        self.trace_stamp.stamp_of(&stamps),
+                        key.object as u64,
+                    );
+                }
                 self.record(now, EventKind::Actuate { key, command }, stamps);
                 ctx.note(format!("actuate {key:?} := {command:?}"));
             }

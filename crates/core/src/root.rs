@@ -54,6 +54,7 @@ pub struct RootProcess {
     seen_strobes: Vec<u64>,
     log: Arc<Mutex<ExecutionLog>>,
     metrics: ExecMetrics,
+    trace_stamp: crate::process::TraceStampMode,
 }
 
 impl RootProcess {
@@ -76,12 +77,20 @@ impl RootProcess {
             seen_strobes: vec![0; n + 1],
             log,
             metrics: ExecMetrics::disabled(),
+            trace_stamp: crate::process::TraceStampMode::default(),
         }
     }
 
     /// Enable strobe flood relay at the root (builder style).
     pub fn with_flood(mut self, flood: bool) -> Self {
         self.flood = flood;
+        self
+    }
+
+    /// Which logical stamp to attach to structured trace records (builder
+    /// style). Only consulted when the engine trace is enabled.
+    pub fn with_trace_stamp(mut self, mode: crate::process::TraceStampMode) -> Self {
+        self.trace_stamp = mode;
         self
     }
 
@@ -108,6 +117,13 @@ impl Actor<NetMsg> for RootProcess {
                 self.metrics.receives.inc();
                 self.event_seq += 1;
                 let root_vector = stamps.vector.clone();
+                if ctx.trace_enabled() {
+                    ctx.trace_process(
+                        psn_sim::trace::ProcessEventKind::Receive,
+                        self.trace_stamp.stamp_of(&stamps),
+                        from as u64,
+                    );
+                }
                 let mut log = self.log.lock();
                 log.events.push(ProcEvent {
                     process: self.id,
@@ -131,6 +147,13 @@ impl Actor<NetMsg> for RootProcess {
                     let send_stamps = bundle.on_send(now);
                     self.metrics.sends.inc();
                     self.event_seq += 1;
+                    if ctx.trace_enabled() {
+                        ctx.trace_process(
+                            psn_sim::trace::ProcessEventKind::Send,
+                            self.trace_stamp.stamp_of(&send_stamps),
+                            target as u64,
+                        );
+                    }
                     ctx.send(
                         target,
                         NetMsg::Actuate { key, command, stamps: Box::new(send_stamps.clone()) },

@@ -15,7 +15,7 @@
 //! - **strobe vector** stamps: the artificial strobe order relates
 //!   intervals across processes, making `Definitely`-style detection
 //!   meaningful — the paper's §4.2 "partial order as an implementation
-//!   tool" ([17]-style concurrent event detection).
+//!   tool" (\[17\]-style concurrent event detection).
 //!
 //! Every occurrence is reported (no "hanging" after the first).
 

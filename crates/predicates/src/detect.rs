@@ -18,7 +18,7 @@
 //! | `ScalarStrobe` | strobe scalar stamps | FN **and** FP under races within Δ |
 //! | `VectorStrobe` | linear extension of the strobe vector order | FN only, with races flagged into the **borderline bin** |
 //!
-//! The vector-strobe detector reproduces the consensus flavour of [24]:
+//! The vector-strobe detector reproduces the consensus flavour of \[24\]:
 //! besides ordering, it uses the vector stamps to recognize *races*
 //! (concurrent reports near an edge) — every detection involved in a race
 //! is placed in the borderline bin, and near-miss occurrences that exist
@@ -138,6 +138,69 @@ pub fn detect_occurrences_instrumented(
     discipline: Discipline,
     metrics: &DetectorMetrics,
 ) -> Vec<Detection> {
+    detect_impl(trace, predicate, initial, discipline, metrics, None)
+}
+
+/// [`detect_occurrences`], additionally appending a stamped
+/// [`psn_sim::trace::TraceKind::Process`] record (kind
+/// [`psn_sim::trace::ProcessEventKind::Detect`]) to `sink` for every
+/// occurrence the detector emits — at the root-local arrival time of the
+/// report that completed it, stamped with the root's vector clock at that
+/// receive, with `detail` naming the reporting process (`u64::MAX` for the
+/// trailing still-open interval, which no report completed). Passing the
+/// execution's own sealed [`psn_sim::trace::Trace`] (cloned) yields one
+/// merged causal trace: sense → send → receive → **detect**, ready for
+/// [`psn_sim::trace_analysis::TraceAnalysis::detection_chain`]. `sink` is
+/// re-sealed before returning. Detection output is identical to the
+/// untraced call.
+pub fn detect_occurrences_traced(
+    trace: &ExecutionTrace,
+    predicate: &Predicate,
+    initial: &WorldState,
+    discipline: Discipline,
+    sink: &mut psn_sim::trace::Trace,
+) -> Vec<Detection> {
+    let out = detect_impl(
+        trace,
+        predicate,
+        initial,
+        discipline,
+        &DetectorMetrics::disabled(),
+        Some(sink),
+    );
+    sink.seal();
+    out
+}
+
+fn detect_impl(
+    trace: &ExecutionTrace,
+    predicate: &Predicate,
+    initial: &WorldState,
+    discipline: Discipline,
+    metrics: &DetectorMetrics,
+    mut sink: Option<&mut psn_sim::trace::Trace>,
+) -> Vec<Detection> {
+    use psn_sim::trace::{ClockStamp, ProcessEventKind, TraceKind};
+    let root = trace.root_id();
+    // The verdict record for an occurrence completed by report `r`: emitted
+    // at the root, at r's arrival, stamped with the root's merged vector at
+    // that receive (so the verdict inherits the receive's causal past).
+    let emit = |sink: &mut Option<&mut psn_sim::trace::Trace>, r: Option<&ReceivedReport>| {
+        if let Some(sink) = sink.as_deref_mut() {
+            let (at, stamp, detail) = match r {
+                Some(r) => (
+                    r.arrived_at,
+                    ClockStamp::vector(r.root_vector.as_slice()),
+                    r.report.process as u64,
+                ),
+                None => (trace.ended_at, ClockStamp::None, u64::MAX),
+            };
+            sink.record(
+                at,
+                TraceKind::Process { actor: root, kind: ProcessEventKind::Detect, stamp, detail },
+            );
+        }
+    };
     // Order the observation stream per the discipline.
     let mut ordered: Vec<&ReceivedReport> = trace.log.reports.iter().collect();
     let keys: HashMap<*const ReceivedReport, (i128, usize, usize)> = trace
@@ -200,6 +263,7 @@ pub fn detect_occurrences_instrumented(
                     borderline: race_at_start || is_race,
                 };
                 metrics.on_occurrence(&d, seen_at);
+                emit(&mut sink, Some(r));
                 detections.push(d);
             }
             _ => {}
@@ -247,6 +311,7 @@ pub fn detect_occurrences_instrumented(
                         borderline: true,
                     };
                     metrics.on_occurrence(&d, Some(r.arrived_at));
+                    emit(&mut sink, Some(r));
                     detections.push(d);
                     break;
                 }
@@ -264,6 +329,7 @@ pub fn detect_occurrences_instrumented(
     if let Some((start, race, seen_at)) = open {
         let d = Detection { start, end: None, borderline: race };
         metrics.on_occurrence(&d, seen_at);
+        emit(&mut sink, None);
         detections.push(d);
     }
     detections
@@ -413,6 +479,45 @@ mod tests {
         let lat = snap.timer("detector.latency_ns").unwrap();
         assert!(lat.count >= 1, "report-triggered occurrences have a latency sample");
         assert!(lat.mean > 0.0, "Δ=1s delays give positive detection latency");
+    }
+
+    #[test]
+    fn traced_detection_appends_stamped_verdicts() {
+        let s = scenario(2.0, 40);
+        let trace =
+            run_execution(&s, &ExecutionConfig { record_sim_trace: true, ..Default::default() });
+        let pred = Predicate::occupancy_over(3, 40);
+        let init = s.timeline.initial_state();
+        let plain = detect_occurrences(&trace, &pred, &init, Discipline::Arrival);
+        let mut sink = trace.sim.clone();
+        let before = sink.len();
+        let traced =
+            detect_occurrences_traced(&trace, &pred, &init, Discipline::Arrival, &mut sink);
+        assert_eq!(plain, traced, "tracing must not change detection output");
+        use psn_sim::trace::{ProcessEventKind, TraceKind};
+        let verdicts: Vec<_> = sink
+            .records()
+            .iter()
+            .filter(|r| {
+                matches!(&r.kind, TraceKind::Process { kind: ProcessEventKind::Detect, .. })
+            })
+            .collect();
+        assert_eq!(sink.len(), before + verdicts.len(), "only Detect records were appended");
+        assert_eq!(verdicts.len(), traced.len(), "one verdict per occurrence");
+        for (v, d) in verdicts.iter().zip(&traced) {
+            if let TraceKind::Process { actor, stamp, detail, .. } = &v.kind {
+                assert_eq!(*actor, trace.root_id());
+                if d.end.is_some() {
+                    assert!(stamp.as_vector().is_some(), "report-completed verdicts are stamped");
+                    assert!(*detail < trace.n as u64);
+                } else {
+                    assert_eq!(*detail, u64::MAX, "trailing open interval has no reporter");
+                }
+            }
+        }
+        // The merged trace stays a valid total order: seal was called and
+        // the verdict sits at the completing report's arrival time.
+        assert!(sink.records().windows(2).all(|w| w[0].seq < w[1].seq));
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub mod timing;
 pub use accuracy::{score, AccuracyReport, BorderlinePolicy};
 pub use analytic::{expected_undetectable_rate, fn_probability_synced, race_probability};
 pub use causal::{detect_conjunctive, CausalOccurrence, StampFamily};
-pub use detect::{detect_occurrences, detect_occurrences_instrumented, Detection, Discipline};
+pub use detect::{
+    detect_occurrences, detect_occurrences_instrumented, detect_occurrences_traced, Detection,
+    Discipline,
+};
 pub use metrics::DetectorMetrics;
 pub use online::OnlineDetector;
 pub use spec::{Conjunct, Expr, Predicate};

@@ -4,7 +4,7 @@
 //! "Some attempts have been made at specifying such constraints for
 //! real-world observation … Examples are: X before Y, or X overlaps Y, or
 //! X before Y by real-time greater than 5 seconds. An example from secure
-//! banking is [22]: a biometric key is presented remotely after a password
+//! banking is \[22\]: a biometric key is presented remotely after a password
 //! is entered across the network."
 //!
 //! A [`TimingSpec`] relates the occurrence intervals of two sub-predicates

@@ -20,7 +20,7 @@ use crate::network::{ActorId, NetStats, NetworkConfig};
 use crate::queue::EventQueue;
 use crate::rng::{RngFactory, RngStream};
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{Trace, TraceKind};
+use crate::trace::{ClockStamp, MsgId, ProcessEventKind, Trace, TraceKind};
 
 use std::time::Instant;
 
@@ -51,7 +51,17 @@ enum Action<M> {
     Broadcast { msg: M },
     SetTimer { after: SimDuration, tag: u64 },
     Note { label: String },
+    // Boxed so the rarely-hot stamped payload (a ClockStamp is ~100 bytes
+    // inline) doesn't widen every Action the dispatch loop moves; the box
+    // is only ever allocated while tracing is enabled.
+    Trace(Box<ProcessTrace>),
     Halt,
+}
+
+struct ProcessTrace {
+    kind: ProcessEventKind,
+    stamp: ClockStamp,
+    detail: u64,
 }
 
 /// The per-callback view an actor has of the simulation.
@@ -62,6 +72,7 @@ pub struct Context<'a, M> {
     now: SimTime,
     id: ActorId,
     n: usize,
+    trace_on: bool,
     rng: &'a mut RngStream,
     actions: &'a mut Vec<Action<M>>,
 }
@@ -112,6 +123,21 @@ impl<M> Context<'_, M> {
         self.actions.push(Action::Note { label: label.into() });
     }
 
+    /// Is trace recording on for this run? Actors use this to skip building
+    /// stamps for [`Context::trace_process`] when nobody is listening.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_on
+    }
+
+    /// Record a logically stamped semantic process event
+    /// ([`TraceKind::Process`]) for this actor. No-op when tracing is off;
+    /// recording is observational and cannot change the run.
+    pub fn trace_process(&mut self, kind: ProcessEventKind, stamp: ClockStamp, detail: u64) {
+        if self.trace_on {
+            self.actions.push(Action::Trace(Box::new(ProcessTrace { kind, stamp, detail })));
+        }
+    }
+
     /// Stop the simulation after the current event is fully applied.
     pub fn halt(&mut self) {
         self.actions.push(Action::Halt);
@@ -122,7 +148,7 @@ impl<M> Context<'_, M> {
 /// entries small — every queue entry is moved O(log n) times per heap
 /// operation, so entry size is directly visible in engine throughput.
 enum Pending<M> {
-    Deliver { from: u32, to: u32, msg: M },
+    Deliver { from: u32, to: u32, msg: M, id: u64 },
     Timer { actor: u32, tag: u64 },
 }
 
@@ -180,6 +206,10 @@ pub struct Engine<M: Message> {
     end_time: SimTime,
     halted: bool,
     events_processed: u64,
+    /// Monotone per-run transmission id counter (see [`MsgId`]). Bumped on
+    /// every attempted transmission and every injected delivery, tracing on
+    /// or off, so ids never feed back into behaviour.
+    next_msg_id: u64,
     m: EngineMetrics,
     /// Messages scheduled for delivery but not yet delivered.
     in_flight: u64,
@@ -210,6 +240,7 @@ impl<M: Message> Engine<M> {
             end_time: SimTime::MAX,
             halted: false,
             events_processed: 0,
+            next_msg_id: 0,
             m: EngineMetrics::attach(&Metrics::disabled()),
             in_flight: 0,
             action_scratch: Vec::new(),
@@ -250,7 +281,9 @@ impl<M: Message> Engine<M> {
     /// precomputed world-plane timelines. `from` is a conventional source id
     /// (often the world actor's id).
     pub fn inject(&mut self, at: SimTime, to: ActorId, from: ActorId, msg: M) {
-        self.queue.schedule(at, Pending::Deliver { from: from as u32, to: to as u32, msg });
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
+        self.queue.schedule(at, Pending::Deliver { from: from as u32, to: to as u32, msg, id });
         self.in_flight += 1;
         self.m.in_flight.set(self.in_flight);
         self.m.queue_depth.set(self.queue.len() as u64);
@@ -268,6 +301,7 @@ impl<M: Message> Engine<M> {
     pub fn run(&mut self) -> SimTime {
         let wall_start = Instant::now();
         let events_before = self.events_processed;
+        self.trace.configure_actors(self.actors.len());
         for id in 0..self.actors.len() {
             if self.halted {
                 break;
@@ -286,9 +320,9 @@ impl<M: Message> Engine<M> {
             self.events_processed += 1;
             self.m.events.inc();
             match pending {
-                Pending::Deliver { from, to, msg } => {
+                Pending::Deliver { from, to, msg, id } => {
                     let (from, to) = (from as ActorId, to as ActorId);
-                    self.trace.record(self.now, TraceKind::Delivered { from, to });
+                    self.trace.record(self.now, TraceKind::Delivered { from, to, msg: MsgId(id) });
                     self.stats.messages_delivered += 1;
                     self.m.delivered.inc();
                     self.in_flight = self.in_flight.saturating_sub(1);
@@ -303,6 +337,7 @@ impl<M: Message> Engine<M> {
             }
             self.m.queue_depth.set(self.queue.len() as u64);
         }
+        self.trace.seal();
         let wall = wall_start.elapsed();
         self.m.run_wall.record_duration(wall);
         let secs = wall.as_secs_f64();
@@ -325,6 +360,7 @@ impl<M: Message> Engine<M> {
             now: self.now,
             id,
             n: self.actors.len(),
+            trace_on: self.trace.is_enabled(),
             rng: &mut self.rngs[id],
             actions: &mut actions,
         };
@@ -363,6 +399,11 @@ impl<M: Message> Engine<M> {
             Action::Note { label } => {
                 self.trace.record(self.now, TraceKind::Note { actor: from, label });
             }
+            Action::Trace(t) => {
+                let ProcessTrace { kind, stamp, detail } = *t;
+                self.trace
+                    .record(self.now, TraceKind::Process { actor: from, kind, stamp, detail });
+            }
             Action::Halt => self.halted = true,
         }
     }
@@ -375,11 +416,13 @@ impl<M: Message> Engine<M> {
         let bytes = msg.size_bytes();
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += bytes as u64;
-        self.trace.record(self.now, TraceKind::Sent { from, to, bytes });
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
+        self.trace.record(self.now, TraceKind::Sent { from, to, bytes, msg: MsgId(id) });
         if self.network.loss.is_lost(&mut self.net_rng) {
             self.stats.messages_lost += 1;
             self.m.dropped.inc();
-            self.trace.record(self.now, TraceKind::Lost { from, to });
+            self.trace.record(self.now, TraceKind::Lost { from, to, msg: MsgId(id) });
             return;
         }
         let delay = self.network.delay.sample(&mut self.net_rng);
@@ -397,7 +440,8 @@ impl<M: Message> Engine<M> {
             }
             *last = deliver_at;
         }
-        self.queue.schedule(deliver_at, Pending::Deliver { from: from as u32, to: to as u32, msg });
+        self.queue
+            .schedule(deliver_at, Pending::Deliver { from: from as u32, to: to as u32, msg, id });
         self.in_flight += 1;
         self.m.in_flight.set(self.in_flight);
     }

@@ -15,7 +15,10 @@
 //! - dynamic logical overlays with broadcast, FIFO/non-FIFO channels and
 //!   byte accounting ([`network`]),
 //! - an actor-based engine ([`engine`]),
-//! - run traces ([`trace`]), summary statistics ([`stats`]),
+//! - causally stamped structured run traces ([`trace`]) with Chrome
+//!   trace-event / JSONL exporters ([`trace_export`]) and offline
+//!   happened-before analysis ([`trace_analysis`]),
+//! - summary statistics ([`stats`]),
 //! - a deterministic parallel sweep runner ([`sweep`]), and
 //! - a run-wide metrics/instrumentation registry ([`metrics`]) whose
 //!   recording provably never perturbs simulation results.
@@ -65,6 +68,8 @@ pub mod stats;
 pub mod sweep;
 pub mod time;
 pub mod trace;
+pub mod trace_analysis;
+pub mod trace_export;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
@@ -77,5 +82,8 @@ pub mod prelude {
     pub use crate::stats::OnlineStats;
     pub use crate::sweep::{run_sweep, run_sweep_auto, run_sweep_instrumented};
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::trace::{Trace, TraceEvent, TraceKind};
+    pub use crate::trace::{
+        ClockStamp, MsgId, ProcessEventKind, Trace, TraceEvent, TraceKind, TraceRecord,
+    };
+    pub use crate::trace_analysis::TraceAnalysis;
 }

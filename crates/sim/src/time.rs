@@ -168,6 +168,11 @@ impl SubAssign for SimDuration {
         self.0 -= rhs.0;
     }
 }
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration(0), |a, d| a + d)
+    }
+}
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {

@@ -1,59 +1,319 @@
-//! Execution traces.
+//! Structured, causally stamped execution traces.
 //!
 //! When tracing is enabled, the engine records every network-plane action
-//! with its ground-truth time. Offline analyses (lattice construction,
-//! accuracy scoring) read these traces; they are also invaluable when
-//! debugging a protocol.
+//! (send / deliver / drop / timer / note) with its ground-truth time, and
+//! actors may additionally record **process events** (sense, send, receive,
+//! actuate, detector verdicts) carrying the acting process's *logical*
+//! timestamp — scalar or vector, per the run's clock discipline. A trace
+//! therefore exposes both time axes the paper contrasts: physical
+//! (simulation) time and causal time.
+//!
+//! The pipeline is designed to be observational and cheap:
+//!
+//! - **Per-actor ring buffers.** Records are staged in fixed-capacity
+//!   per-actor buffers (preallocated when tracing is enabled) and drained
+//!   into the central log in batches, so the engine hot path never grows a
+//!   shared `Vec` record-by-record. Every record carries a global monotone
+//!   sequence number assigned at record time; [`Trace::seal`] drains all
+//!   rings and restores the total recording order by sorting on it —
+//!   deterministic regardless of ring capacity or drain timing.
+//! - **Message identity.** Transmissions are numbered with a per-run
+//!   monotone [`MsgId`], so a `Sent` record pairs with exactly one
+//!   `Delivered` (or `Lost`) record even with many in-flight messages on
+//!   one channel. Exporters use the id to draw Perfetto flow arrows;
+//!   [`crate::trace_analysis`] uses it for latency attribution.
+//! - **Disabled = one branch.** A disabled trace discards everything.
+//!
+//! Offline consumers: [`crate::trace_export`] (Chrome trace-event JSON and
+//! JSONL) and [`crate::trace_analysis`] (happened-before DAG, critical
+//! paths, channel histograms, loss-vicinity windows).
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 use crate::network::ActorId;
 use crate::time::SimTime;
 
-/// One recorded event.
+/// Default capacity (in records) of each per-actor staging ring.
+pub const DEFAULT_RING_CAPACITY: usize = 256;
+
+/// Identity of one attempted transmission, monotone within a run.
+///
+/// Assigned by the engine at `Sent` time (and for injected external
+/// deliveries at injection time), never reused; a `Sent`/`Lost` pair and
+/// the matching `Delivered` share the id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId(pub u64);
+
+impl Serialize for MsgId {
+    fn to_value(&self) -> Value {
+        Value::UInt(self.0)
+    }
+}
+
+impl Deserialize for MsgId {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        u64::from_value(v).map(MsgId)
+    }
+}
+
+/// The semantic process events actors can stamp into the trace (the
+/// paper's event alphabet at trace granularity: `n`/`s`/`r`/`a` plus the
+/// detector's verdicts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProcessEventKind {
+    /// A sense event `n` (detail: the world event id).
+    Sense,
+    /// A semantic send event `s` (detail: the destination actor).
+    Send,
+    /// A semantic receive event `r` (detail: the source actor).
+    Receive,
+    /// An actuate event `a` (detail: the actuated object id).
+    Actuate,
+    /// A detector occurrence verdict (detail: the process whose report
+    /// completed the occurrence, or `u64::MAX` when none did).
+    Detect,
+}
+
+impl ProcessEventKind {
+    /// Stable lowercase label, used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProcessEventKind::Sense => "sense",
+            ProcessEventKind::Send => "send",
+            ProcessEventKind::Receive => "receive",
+            ProcessEventKind::Actuate => "actuate",
+            ProcessEventKind::Detect => "detect",
+        }
+    }
+}
+
+/// How many vector components a [`ClockStamp`] keeps in-struct before
+/// spilling to the heap (mirrors `psn-clocks`' inline small-vector stamps).
+pub const STAMP_INLINE: usize = 8;
+
+/// A logical timestamp attached to a process event.
+///
+/// `psn-sim` cannot depend on `psn-clocks` (the dependency points the other
+/// way), so the trace layer carries stamps in this self-contained form:
+/// scalar value or vector of components, with up to [`STAMP_INLINE`]
+/// components stored inline so stamping stays allocation-free for the
+/// paper-scale deployments.
+#[derive(Debug, Clone)]
+pub enum ClockStamp {
+    /// No logical stamp was available for this event.
+    None,
+    /// A scalar (Lamport-style) stamp.
+    Scalar(u64),
+    /// A vector (Mattern/Fidge-style) stamp.
+    Vector(StampVec),
+}
+
+impl ClockStamp {
+    /// Build a vector stamp from a component slice.
+    pub fn vector(components: &[u64]) -> Self {
+        ClockStamp::Vector(StampVec::from_slice(components))
+    }
+
+    /// The vector components, if this is a vector stamp.
+    pub fn as_vector(&self) -> Option<&[u64]> {
+        match self {
+            ClockStamp::Vector(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// Strict vector-clock order `self < other`: `Some(true/false)` when
+    /// both are vector stamps of equal length, `None` otherwise.
+    pub fn vector_lt(&self, other: &ClockStamp) -> Option<bool> {
+        let (a, b) = (self.as_vector()?, other.as_vector()?);
+        if a.len() != b.len() {
+            return None;
+        }
+        let mut le = true;
+        let mut ne = false;
+        for (x, y) in a.iter().zip(b) {
+            le &= x <= y;
+            ne |= x != y;
+        }
+        Some(le && ne)
+    }
+}
+
+impl PartialEq for ClockStamp {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ClockStamp::None, ClockStamp::None) => true,
+            (ClockStamp::Scalar(a), ClockStamp::Scalar(b)) => a == b,
+            (ClockStamp::Vector(a), ClockStamp::Vector(b)) => a.as_slice() == b.as_slice(),
+            _ => false,
+        }
+    }
+}
+
+impl Serialize for ClockStamp {
+    fn to_value(&self) -> Value {
+        match self {
+            ClockStamp::None => Value::Null,
+            ClockStamp::Scalar(v) => Value::Map(vec![("scalar".to_string(), Value::UInt(*v))]),
+            ClockStamp::Vector(v) => Value::Map(vec![(
+                "vector".to_string(),
+                Value::Seq(v.as_slice().iter().map(|&c| Value::UInt(c)).collect()),
+            )]),
+        }
+    }
+}
+
+impl Deserialize for ClockStamp {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(ClockStamp::None),
+            Value::Map(m) => match m.first() {
+                Some((k, Value::UInt(s))) if k == "scalar" => Ok(ClockStamp::Scalar(*s)),
+                Some((k, Value::Seq(seq))) if k == "vector" => {
+                    let mut comps = Vec::with_capacity(seq.len());
+                    for c in seq {
+                        comps.push(u64::from_value(c)?);
+                    }
+                    Ok(ClockStamp::Vector(StampVec::from_slice(&comps)))
+                }
+                _ => Err(Error::custom("ClockStamp: unknown map shape")),
+            },
+            _ => Err(Error::custom("ClockStamp: expected null or map")),
+        }
+    }
+}
+
+/// The component storage of [`ClockStamp::Vector`]: inline up to
+/// [`STAMP_INLINE`] components, heap spill above.
+#[derive(Debug, Clone)]
+pub struct StampVec {
+    len: u32,
+    inline: [u64; STAMP_INLINE],
+    spill: Vec<u64>,
+}
+
+impl StampVec {
+    /// Copy a component slice.
+    pub fn from_slice(components: &[u64]) -> Self {
+        let len = components.len();
+        if len <= STAMP_INLINE {
+            let mut inline = [0u64; STAMP_INLINE];
+            inline[..len].copy_from_slice(components);
+            StampVec { len: len as u32, inline, spill: Vec::new() }
+        } else {
+            StampVec { len: len as u32, inline: [0; STAMP_INLINE], spill: components.to_vec() }
+        }
+    }
+
+    /// The components.
+    pub fn as_slice(&self) -> &[u64] {
+        if self.len as usize <= STAMP_INLINE {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+/// One recorded trace record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct TraceEvent {
+pub struct TraceRecord {
+    /// Global recording order within the run (dense from 0).
+    pub seq: u64,
     /// Ground-truth simulation time of the event.
     pub at: SimTime,
     /// What happened.
     pub kind: TraceKind,
 }
 
-/// The kinds of events a trace can record.
+/// Backwards-compatible alias: records used to be called events.
+pub type TraceEvent = TraceRecord;
+
+/// The kinds of records a trace can hold.
 ///
-/// Fields are the obvious actor ids / payload sizes / timer tags.
+/// Fields are the obvious actor ids / payload sizes / timer tags; `msg` is
+/// the per-run transmission id (see [`MsgId`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum TraceKind {
     /// A point-to-point transmission was attempted.
-    Sent { from: ActorId, to: ActorId, bytes: usize },
+    Sent { from: ActorId, to: ActorId, bytes: usize, msg: MsgId },
     /// A message was delivered to its destination.
-    Delivered { from: ActorId, to: ActorId },
+    Delivered { from: ActorId, to: ActorId, msg: MsgId },
     /// A message was dropped by the loss model.
-    Lost { from: ActorId, to: ActorId },
+    Lost { from: ActorId, to: ActorId, msg: MsgId },
     /// A timer fired at an actor.
     TimerFired { actor: ActorId, tag: u64 },
     /// A free-form annotation emitted by an actor (protocol-level events:
     /// "sensed x=5", "detected φ", …).
     Note { actor: ActorId, label: String },
+    /// A logically stamped semantic process event (sense / send / receive /
+    /// actuate / detect). `detail` is a kind-specific payload — see
+    /// [`ProcessEventKind`].
+    Process { actor: ActorId, kind: ProcessEventKind, stamp: ClockStamp, detail: u64 },
 }
 
-/// A chronological record of a run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+impl TraceKind {
+    /// The actor this record belongs to (its staging ring): the acting /
+    /// observing side of each kind.
+    pub fn actor(&self) -> ActorId {
+        match self {
+            TraceKind::Sent { from, .. } | TraceKind::Lost { from, .. } => *from,
+            TraceKind::Delivered { to, .. } => *to,
+            TraceKind::TimerFired { actor, .. }
+            | TraceKind::Note { actor, .. }
+            | TraceKind::Process { actor, .. } => *actor,
+        }
+    }
+
+    /// The transmission id, for message records.
+    pub fn msg_id(&self) -> Option<MsgId> {
+        match self {
+            TraceKind::Sent { msg, .. }
+            | TraceKind::Delivered { msg, .. }
+            | TraceKind::Lost { msg, .. } => Some(*msg),
+            _ => None,
+        }
+    }
+}
+
+/// A structured record of a run.
+///
+/// Records are staged in per-actor rings and drained into the central log;
+/// call [`Trace::seal`] (the engine does, at the end of
+/// [`crate::engine::Engine::run`]) before reading. Sealing is idempotent
+/// and recording may resume after it — post-hoc analyses (e.g. detector
+/// verdicts) append and re-seal.
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
-    events: Vec<TraceEvent>,
+    records: Vec<TraceRecord>,
+    rings: Vec<Vec<TraceRecord>>,
+    ring_capacity: usize,
+    next_seq: u64,
     enabled: bool,
 }
 
 impl Trace {
     /// A trace that records events.
     pub fn enabled() -> Self {
-        Trace { events: Vec::new(), enabled: true }
+        Trace {
+            records: Vec::new(),
+            rings: Vec::new(),
+            ring_capacity: DEFAULT_RING_CAPACITY,
+            next_seq: 0,
+            enabled: true,
+        }
     }
 
     /// A trace that discards everything (zero overhead beyond the branch).
     pub fn disabled() -> Self {
-        Trace { events: Vec::new(), enabled: false }
+        Trace {
+            records: Vec::new(),
+            rings: Vec::new(),
+            ring_capacity: DEFAULT_RING_CAPACITY,
+            next_seq: 0,
+            enabled: false,
+        }
     }
 
     /// Is recording on?
@@ -61,32 +321,91 @@ impl Trace {
         self.enabled
     }
 
-    /// Record an event (no-op if disabled).
-    pub fn record(&mut self, at: SimTime, kind: TraceKind) {
-        if self.enabled {
-            self.events.push(TraceEvent { at, kind });
+    /// Preallocate staging rings for `n` actors (no-op when disabled). The
+    /// engine calls this at run start so steady-state recording never
+    /// allocates.
+    pub fn configure_actors(&mut self, n: usize) {
+        if !self.enabled {
+            return;
+        }
+        let cap = self.ring_capacity;
+        while self.rings.len() < n {
+            self.rings.push(Vec::with_capacity(cap));
         }
     }
 
-    /// All recorded events, in recording order (which is chronological,
-    /// since the engine advances time monotonically).
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// Override the per-actor staging ring capacity (records). Takes effect
+    /// for rings created after the call.
+    pub fn set_ring_capacity(&mut self, cap: usize) {
+        self.ring_capacity = cap.max(1);
     }
 
-    /// Number of recorded events.
+    /// Record an event (no-op if disabled).
+    pub fn record(&mut self, at: SimTime, kind: TraceKind) {
+        if !self.enabled {
+            return;
+        }
+        let actor = kind.actor();
+        if actor >= self.rings.len() {
+            let cap = self.ring_capacity;
+            self.rings.resize_with(actor + 1, || Vec::with_capacity(cap));
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let ring = &mut self.rings[actor];
+        ring.push(TraceRecord { seq, at, kind });
+        if ring.len() >= self.ring_capacity {
+            self.records.append(ring);
+        }
+    }
+
+    /// Drain every staging ring into the central log and restore the total
+    /// recording order. Idempotent; recording may continue afterwards.
+    pub fn seal(&mut self) {
+        let mut drained = false;
+        for ring in &mut self.rings {
+            if !ring.is_empty() {
+                self.records.append(ring);
+                drained = true;
+            }
+        }
+        if drained || !self.records.is_sorted_by_key(|r| r.seq) {
+            self.records.sort_unstable_by_key(|r| r.seq);
+        }
+    }
+
+    fn assert_sealed(&self) {
+        debug_assert!(
+            self.rings.iter().all(Vec::is_empty),
+            "Trace::seal() must run before reading (the engine seals at end of run)"
+        );
+    }
+
+    /// All records in recording order (which is chronological, since the
+    /// engine advances time monotonically). Requires [`Trace::seal`].
+    pub fn records(&self) -> &[TraceRecord] {
+        self.assert_sealed();
+        &self.records
+    }
+
+    /// Alias of [`Trace::records`] kept from the flat-event-list days.
+    pub fn events(&self) -> &[TraceRecord] {
+        self.records()
+    }
+
+    /// Number of recorded events (staged or sealed).
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.records.len() + self.rings.iter().map(Vec::len).sum::<usize>()
     }
 
     /// True if nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.len() == 0
     }
 
     /// All `Note` annotations from a given actor, with their times.
     pub fn notes_of(&self, actor: ActorId) -> Vec<(SimTime, &str)> {
-        self.events
+        self.records()
             .iter()
             .filter_map(|e| match &e.kind {
                 TraceKind::Note { actor: a, label } if *a == actor => Some((e.at, label.as_str())),
@@ -95,15 +414,52 @@ impl Trace {
             .collect()
     }
 
-    /// Count events matching a predicate.
+    /// Count records matching a predicate.
     pub fn count_matching(&self, f: impl Fn(&TraceKind) -> bool) -> usize {
-        self.events.iter().filter(|e| f(&e.kind)).count()
+        self.records().iter().filter(|e| f(&e.kind)).count()
+    }
+}
+
+impl Serialize for Trace {
+    fn to_value(&self) -> Value {
+        self.assert_sealed();
+        Value::Map(vec![
+            ("enabled".to_string(), Value::Bool(self.enabled)),
+            (
+                "records".to_string(),
+                Value::Seq(self.records.iter().map(|r| r.to_value()).collect()),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Trace {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = v.as_map().ok_or_else(|| Error::custom("Trace: expected map"))?;
+        let mut trace = Trace::disabled();
+        for (k, val) in m {
+            match k.as_str() {
+                "enabled" => trace.enabled = bool::from_value(val)?,
+                "records" => {
+                    let seq = val.as_seq().ok_or_else(|| Error::custom("Trace.records: seq"))?;
+                    trace.records =
+                        seq.iter().map(TraceRecord::from_value).collect::<Result<Vec<_>, _>>()?;
+                }
+                _ => {}
+            }
+        }
+        trace.next_seq = trace.records.iter().map(|r| r.seq + 1).max().unwrap_or(0);
+        Ok(trace)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn msg(i: u64) -> MsgId {
+        MsgId(i)
+    }
 
     #[test]
     fn disabled_trace_records_nothing() {
@@ -116,11 +472,61 @@ mod tests {
     #[test]
     fn enabled_trace_records_in_order() {
         let mut t = Trace::enabled();
-        t.record(SimTime::from_millis(1), TraceKind::Sent { from: 0, to: 1, bytes: 8 });
-        t.record(SimTime::from_millis(2), TraceKind::Delivered { from: 0, to: 1 });
+        t.record(
+            SimTime::from_millis(1),
+            TraceKind::Sent { from: 0, to: 1, bytes: 8, msg: msg(0) },
+        );
+        t.record(SimTime::from_millis(2), TraceKind::Delivered { from: 0, to: 1, msg: msg(0) });
+        t.seal();
         assert_eq!(t.len(), 2);
-        assert_eq!(t.events()[0].at, SimTime::from_millis(1));
-        assert!(matches!(t.events()[1].kind, TraceKind::Delivered { .. }));
+        assert_eq!(t.records()[0].at, SimTime::from_millis(1));
+        assert!(matches!(t.records()[1].kind, TraceKind::Delivered { .. }));
+    }
+
+    #[test]
+    fn seal_restores_recording_order_across_rings() {
+        // Tiny rings so several drains interleave: the sealed order must
+        // still be exactly the recording order.
+        let mut t = Trace::enabled();
+        t.set_ring_capacity(2);
+        for i in 0..20u64 {
+            let actor = (i % 3) as ActorId;
+            t.record(SimTime::from_millis(i), TraceKind::TimerFired { actor, tag: i });
+        }
+        t.seal();
+        let seqs: Vec<u64> = t.records().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (0..20).collect::<Vec<_>>());
+        let tags: Vec<u64> = t
+            .records()
+            .iter()
+            .map(|r| match r.kind {
+                TraceKind::TimerFired { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seal_is_idempotent_and_recording_resumes() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::from_millis(1), TraceKind::TimerFired { actor: 0, tag: 0 });
+        t.seal();
+        t.seal();
+        assert_eq!(t.len(), 1);
+        // Post-hoc append (the detector-verdict pattern), then re-seal.
+        t.record(
+            SimTime::from_millis(2),
+            TraceKind::Process {
+                actor: 1,
+                kind: ProcessEventKind::Detect,
+                stamp: ClockStamp::Scalar(7),
+                detail: 0,
+            },
+        );
+        t.seal();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.records()[1].seq, 1);
     }
 
     #[test]
@@ -129,6 +535,7 @@ mod tests {
         t.record(SimTime::from_millis(1), TraceKind::Note { actor: 3, label: "sensed".into() });
         t.record(SimTime::from_millis(2), TraceKind::Note { actor: 4, label: "other".into() });
         t.record(SimTime::from_millis(5), TraceKind::Note { actor: 3, label: "detected".into() });
+        t.seal();
         let notes = t.notes_of(3);
         assert_eq!(notes.len(), 2);
         assert_eq!(notes[0].1, "sensed");
@@ -139,10 +546,44 @@ mod tests {
     fn count_matching_counts() {
         let mut t = Trace::enabled();
         for i in 0..5 {
-            t.record(SimTime::from_millis(i), TraceKind::Lost { from: 0, to: 1 });
+            t.record(SimTime::from_millis(i), TraceKind::Lost { from: 0, to: 1, msg: msg(i) });
         }
-        t.record(SimTime::from_millis(9), TraceKind::Delivered { from: 0, to: 1 });
+        t.record(SimTime::from_millis(9), TraceKind::Delivered { from: 0, to: 1, msg: msg(5) });
+        t.seal();
         assert_eq!(t.count_matching(|k| matches!(k, TraceKind::Lost { .. })), 5);
         assert_eq!(t.count_matching(|k| matches!(k, TraceKind::Delivered { .. })), 1);
+    }
+
+    #[test]
+    fn stamp_vec_spills_above_inline_capacity() {
+        let small: Vec<u64> = (0..STAMP_INLINE as u64).collect();
+        let big: Vec<u64> = (0..(STAMP_INLINE as u64 + 5)).collect();
+        assert_eq!(StampVec::from_slice(&small).as_slice(), &small[..]);
+        assert_eq!(StampVec::from_slice(&big).as_slice(), &big[..]);
+    }
+
+    #[test]
+    fn vector_lt_is_strict_componentwise_order() {
+        let a = ClockStamp::vector(&[1, 0, 2]);
+        let b = ClockStamp::vector(&[1, 1, 2]);
+        let c = ClockStamp::vector(&[0, 5, 0]);
+        assert_eq!(a.vector_lt(&b), Some(true));
+        assert_eq!(b.vector_lt(&a), Some(false));
+        assert_eq!(a.vector_lt(&a), Some(false), "not reflexive: strict order");
+        assert_eq!(a.vector_lt(&c), Some(false));
+        assert_eq!(c.vector_lt(&a), Some(false), "concurrent either way");
+        assert_eq!(a.vector_lt(&ClockStamp::Scalar(3)), None);
+    }
+
+    #[test]
+    fn stamps_round_trip_through_values() {
+        for stamp in [
+            ClockStamp::None,
+            ClockStamp::Scalar(42),
+            ClockStamp::vector(&[3, 1, 4, 1, 5, 9, 2, 6, 5, 3]),
+        ] {
+            let back = ClockStamp::from_value(&stamp.to_value()).expect("round trip");
+            assert_eq!(back, stamp);
+        }
     }
 }

@@ -1,5 +1,5 @@
 //! On-demand synchronization for simultaneous task execution
-//! (paper §4.2, citing Baumgartner et al. [3]).
+//! (paper §4.2, citing Baumgartner et al. \[3\]).
 //!
 //! "The protocol performs on-demand clock synchronization and messages
 //! required for continuous synchronization are avoided. … The network

@@ -44,19 +44,81 @@ fn fnv1a(hash: &mut u64, bytes: &[u8]) {
     }
 }
 
-fn trace_hash(trace: &pervasive_time::sim::trace::Trace) -> u64 {
+/// FNV-1a over the *pre-PR-3 projection* of the trace: stamped process
+/// events are skipped and message ids dropped, reproducing byte-for-byte
+/// the encoding the original golden constant was recorded over. If the
+/// tracing pipeline ever perturbs what the network plane actually does,
+/// this hash moves.
+fn trace_projection_hash(trace: &pervasive_time::sim::trace::Trace) -> u64 {
     use pervasive_time::sim::trace::TraceKind;
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for e in trace.events() {
+        let (tag, a, b, c): (u8, u64, u64, u64) = match &e.kind {
+            TraceKind::Sent { from, to, bytes, .. } => (0, *from as u64, *to as u64, *bytes as u64),
+            TraceKind::Delivered { from, to, .. } => (1, *from as u64, *to as u64, 0),
+            TraceKind::Lost { from, to, .. } => (2, *from as u64, *to as u64, 0),
+            TraceKind::TimerFired { actor, tag } => (3, *actor as u64, *tag, 0),
+            TraceKind::Note { actor, label } => {
+                fnv1a(&mut h, &e.at.as_nanos().to_le_bytes());
+                fnv1a(&mut h, label.as_bytes());
+                (4, *actor as u64, label.len() as u64, 0)
+            }
+            TraceKind::Process { .. } => continue,
+        };
+        if tag != 4 {
+            fnv1a(&mut h, &e.at.as_nanos().to_le_bytes());
+        }
+        fnv1a(&mut h, &[tag]);
+        fnv1a(&mut h, &a.to_le_bytes());
+        fnv1a(&mut h, &b.to_le_bytes());
+        fnv1a(&mut h, &c.to_le_bytes());
+    }
+    h
+}
+
+/// FNV-1a over the full PR-3 trace format: every record including stamped
+/// process events, message ids, and clock stamps. Pins the complete
+/// structured-trace pipeline, not just the network plane.
+fn trace_full_hash(trace: &pervasive_time::sim::trace::Trace) -> u64 {
+    use pervasive_time::sim::trace::{ClockStamp, TraceKind};
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for e in trace.events() {
+        fnv1a(&mut h, &e.seq.to_le_bytes());
         fnv1a(&mut h, &e.at.as_nanos().to_le_bytes());
         let (tag, a, b, c): (u8, u64, u64, u64) = match &e.kind {
-            TraceKind::Sent { from, to, bytes } => (0, *from as u64, *to as u64, *bytes as u64),
-            TraceKind::Delivered { from, to } => (1, *from as u64, *to as u64, 0),
-            TraceKind::Lost { from, to } => (2, *from as u64, *to as u64, 0),
+            TraceKind::Sent { from, to, bytes, msg } => {
+                fnv1a(&mut h, &msg.0.to_le_bytes());
+                (0, *from as u64, *to as u64, *bytes as u64)
+            }
+            TraceKind::Delivered { from, to, msg } => {
+                fnv1a(&mut h, &msg.0.to_le_bytes());
+                (1, *from as u64, *to as u64, 0)
+            }
+            TraceKind::Lost { from, to, msg } => {
+                fnv1a(&mut h, &msg.0.to_le_bytes());
+                (2, *from as u64, *to as u64, 0)
+            }
             TraceKind::TimerFired { actor, tag } => (3, *actor as u64, *tag, 0),
             TraceKind::Note { actor, label } => {
                 fnv1a(&mut h, label.as_bytes());
                 (4, *actor as u64, label.len() as u64, 0)
+            }
+            TraceKind::Process { actor, kind, stamp, detail } => {
+                match stamp {
+                    ClockStamp::None => fnv1a(&mut h, &[0]),
+                    ClockStamp::Scalar(v) => {
+                        fnv1a(&mut h, &[1]);
+                        fnv1a(&mut h, &v.to_le_bytes());
+                    }
+                    ClockStamp::Vector(v) => {
+                        fnv1a(&mut h, &[2]);
+                        for x in v.as_slice() {
+                            fnv1a(&mut h, &x.to_le_bytes());
+                        }
+                    }
+                }
+                fnv1a(&mut h, kind.label().as_bytes());
+                (5, *actor as u64, kind.label().len() as u64, *detail)
             }
         };
         fnv1a(&mut h, &[tag]);
@@ -67,15 +129,7 @@ fn trace_hash(trace: &pervasive_time::sim::trace::Trace) -> u64 {
     h
 }
 
-/// Golden-trace regression: the exact event-for-event network trace of a
-/// fixed `(scenario, config, seed)` triple, hashed. The constant was
-/// recorded before the zero-allocation engine overhaul (PR 2); any
-/// optimization that reorders events, perturbs an RNG draw, or changes a
-/// delivery time will move this hash. Δ is variable (sampled) and loss is
-/// nonzero so the fifo clamp, the loss path, and the delay sampler all
-/// execute.
-#[test]
-fn golden_trace_hash_is_stable() {
+fn golden_trace() -> pervasive_time::core::execution::ExecutionTrace {
     let params = ExhibitionParams {
         doors: 4,
         arrival_rate_hz: 3.0,
@@ -91,13 +145,66 @@ fn golden_trace_hash_is_stable() {
         record_sim_trace: true,
         ..Default::default()
     };
-    let trace = run_execution(&scenario, &cfg);
+    run_execution(&scenario, &cfg)
+}
+
+/// Golden-trace regression: the exact event-for-event network trace of a
+/// fixed `(scenario, config, seed)` triple, hashed two ways. The projection
+/// constant was recorded before the zero-allocation engine overhaul (PR 2)
+/// and has survived both that and the structured-tracing pipeline (PR 3) —
+/// any change that reorders events, perturbs an RNG draw, or changes a
+/// delivery time will move it. The full-format constant additionally pins
+/// message ids and clock stamps. Δ is variable (sampled) and loss is
+/// nonzero so the fifo clamp, the loss path, and the delay sampler all
+/// execute.
+#[test]
+fn golden_trace_hash_is_stable() {
+    let trace = golden_trace();
     assert!(trace.sim.len() > 1_000, "trace must be non-trivial, got {}", trace.sim.len());
     assert_eq!(
-        trace_hash(&trace.sim),
+        trace_projection_hash(&trace.sim),
         9037720422308291165,
-        "engine trace diverged from the pre-optimization golden hash"
+        "network-plane trace diverged from the pre-optimization golden hash"
     );
+    assert_eq!(
+        trace_full_hash(&trace.sim),
+        FULL_TRACE_HASH,
+        "structured trace (stamps/msg ids) diverged from the golden hash"
+    );
+}
+
+/// Recorded when the structured tracing pipeline landed (PR 3); see
+/// `golden_trace_hash_is_stable`.
+const FULL_TRACE_HASH: u64 = 2738746027867686778;
+
+/// The tentpole's contract: tracing is purely observational. A run with the
+/// structured trace enabled must be bit-identical — events, reports,
+/// network counters, end time — to the same run with tracing off.
+#[test]
+fn tracing_on_is_bit_identical_to_tracing_off() {
+    let params = ExhibitionParams {
+        doors: 4,
+        arrival_rate_hz: 3.0,
+        mean_stay: SimDuration::from_secs(40),
+        duration: SimTime::from_secs(200),
+        capacity: 90,
+    };
+    let scenario = exhibition::generate(&params, 13);
+    let base = ExecutionConfig {
+        delay: DelayModel::delta(SimDuration::from_millis(150)),
+        loss: LossModel::Bernoulli { p: 0.02 },
+        seed: 13,
+        ..Default::default()
+    };
+    let off = run_execution(&scenario, &base);
+    let on = run_execution(&scenario, &ExecutionConfig { record_sim_trace: true, ..base.clone() });
+    assert_eq!(off.log.events, on.log.events, "process events must not move");
+    assert_eq!(off.log.reports, on.log.reports, "report stream must not move");
+    assert_eq!(off.log.actuations, on.log.actuations);
+    assert_eq!(off.net, on.net, "network counters must not move");
+    assert_eq!(off.ended_at, on.ended_at, "end time must not move");
+    assert!(off.sim.is_empty(), "tracing off records nothing");
+    assert!(!on.sim.is_empty(), "tracing on records the run");
 }
 
 #[test]
@@ -136,6 +243,76 @@ fn scenario_generation_isolated_from_execution_seed() {
         let _ = run_execution(&s, &cfg);
     }
     assert_eq!(s.timeline.events, before);
+}
+
+mod hb_dag {
+    use super::*;
+    use pervasive_time::sim::trace_analysis::TraceAnalysis;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The happened-before DAG `TraceAnalysis` reconstructs from the
+        /// vector stamps must be *isomorphic* to the stamp order: for any
+        /// two stamped process events, `f` is reachable from `e` through
+        /// the covering edges ⇔ `V(e) < V(f)`. Exercised over real
+        /// executions (random world seed and delay) rather than synthetic
+        /// stamp sets, so the whole pipeline — clock bundle, engine trace
+        /// actions, ring drain, analysis — is under the property.
+        #[test]
+        fn hb_dag_is_isomorphic_to_vector_stamps(
+            seed in 0u64..500,
+            delta_ms in 0u64..400,
+        ) {
+            let params = ExhibitionParams {
+                doors: 2,
+                arrival_rate_hz: 1.0,
+                mean_stay: SimDuration::from_secs(20),
+                duration: SimTime::from_secs(30),
+                capacity: 8,
+            };
+            let scenario = exhibition::generate(&params, seed);
+            let cfg = ExecutionConfig {
+                delay: DelayModel::delta(SimDuration::from_millis(delta_ms)),
+                seed,
+                record_sim_trace: true,
+                ..Default::default()
+            };
+            let trace = run_execution(&scenario, &cfg);
+            let a = TraceAnalysis::build(&trace.sim);
+            let nodes = a.hb_nodes();
+            prop_assert!(!nodes.is_empty(), "scenario produced no stamped events");
+            let index: HashMap<usize, usize> =
+                nodes.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+            let mut adj = vec![Vec::new(); nodes.len()];
+            for (u, v) in a.hb_edges() {
+                adj[index[&u]].push(index[&v]);
+            }
+            for i in 0..nodes.len() {
+                let mut reach = vec![false; nodes.len()];
+                let mut stack = vec![i];
+                while let Some(u) = stack.pop() {
+                    for &v in &adj[u] {
+                        if !reach[v] {
+                            reach[v] = true;
+                            stack.push(v);
+                        }
+                    }
+                }
+                for j in 0..nodes.len() {
+                    prop_assert_eq!(
+                        reach[j],
+                        a.happened_before(nodes[i], nodes[j]),
+                        "edge closure and stamp order disagree at ({}, {})",
+                        i,
+                        j
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]
