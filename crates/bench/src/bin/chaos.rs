@@ -1,0 +1,180 @@
+//! Chaos soak: seeded, generated fault scripts against a live execution,
+//! with system invariants checked on every run.
+//!
+//! For each seed a [`FaultScript::generate`] schedule (crashes with and
+//! without recovery, partitions with drop/park policies, channel
+//! drop/duplicate/reorder/corrupt rules, clock faults) is installed over
+//! the exhibition scenario, and the run must satisfy:
+//!
+//! 1. **Determinism** — re-running the same `(scenario, script, seed)`
+//!    reproduces the structured trace, net stats, fault stats, and end
+//!    time bit for bit.
+//! 2. **Message conservation** — every transmission is accounted for:
+//!    `sent == delivered + lost + parked_leftover` (duplicates count as
+//!    sent; all fault-plane removals count as lost).
+//! 3. **Detection confinement** — every non-borderline detection that
+//!    matches no ground-truth occurrence lies in the temporal vicinity of
+//!    an injected fault or a lost message (the E9/E11–E13 locality
+//!    claims, enforced as an invariant instead of a table).
+//!
+//! Any violation prints the offending seed and the process exits
+//! non-zero, so the same binary serves as a CI smoke job (`--quick
+//! --seeds 3`) and a longer soak (default 20 seeds).
+//!
+//! ```sh
+//! cargo run --release -p psn-bench --bin chaos                # 20 seeds
+//! cargo run --release -p psn-bench --bin chaos -- --seeds 50
+//! cargo run --release -p psn-bench --bin chaos -- --quick --seeds 3
+//! ```
+
+use psn_core::{run_execution, ExecutionConfig, ExecutionTrace};
+use psn_predicates::{detect_occurrences, detection_matches, Discipline, Predicate};
+use psn_sim::fault::{ChaosConfig, FaultScript};
+use psn_sim::time::{SimDuration, SimTime};
+use psn_sim::trace_analysis::TraceAnalysis;
+use psn_world::scenarios::exhibition::{self, ExhibitionParams};
+use psn_world::truth_intervals;
+
+fn params(quick: bool) -> ExhibitionParams {
+    ExhibitionParams {
+        doors: 4,
+        arrival_rate_hz: 3.0,
+        mean_stay: SimDuration::from_secs(20),
+        duration: SimTime::from_secs(if quick { 300 } else { 600 }),
+        capacity: 60,
+    }
+}
+
+fn run_seed(seed: u64, quick: bool) -> Result<String, String> {
+    let params = params(quick);
+    let scenario = exhibition::generate(&params, 9100 + seed);
+    let pred = Predicate::occupancy_over(params.doors, params.capacity);
+    let truth = truth_intervals(&scenario.timeline, |s| pred.eval_state(s));
+    let script = FaultScript::generate(
+        &ChaosConfig::new((0..params.doors).collect(), params.duration),
+        seed,
+    );
+    let n_faults = script.faults.len();
+    let cfg = ExecutionConfig {
+        delay: psn_sim::delay::DelayModel::delta(SimDuration::from_millis(300)),
+        seed,
+        record_sim_trace: true,
+        faults: Some(script),
+        ..Default::default()
+    };
+    let trace: ExecutionTrace = run_execution(&scenario, &cfg);
+
+    // 1. Determinism: same (scenario, script, seed) ⇒ identical run.
+    let replay = run_execution(&scenario, &cfg);
+    if replay.sim.records() != trace.sim.records() {
+        return Err(format!("seed {seed}: replay diverged (structured trace records differ)"));
+    }
+    if replay.net != trace.net || replay.faults != trace.faults || replay.ended_at != trace.ended_at
+    {
+        return Err(format!("seed {seed}: replay diverged (stats or end time differ)"));
+    }
+
+    // 2. Message conservation. The run quiesces (no heartbeats), so
+    // nothing is still in flight at the end; parked messages of a
+    // never-healed partition are the only legitimate remainder. World
+    // sense events are injected deliveries (they bypass the network and
+    // never count as sent), so they join the sent side of the ledger.
+    let fs = trace.faults.clone().unwrap_or_default();
+    let injected: u64 = scenario
+        .timeline
+        .events
+        .iter()
+        .filter(|e| scenario.sensing.process_for(e.key).is_some())
+        .count() as u64;
+    let accounted = trace.net.messages_delivered + trace.net.messages_lost + fs.parked_leftover;
+    if trace.net.messages_sent + injected != accounted {
+        return Err(format!(
+            "seed {seed}: conservation violated: sent {} + injected {injected} != \
+             delivered {} + lost {} + parked {}",
+            trace.net.messages_sent,
+            trace.net.messages_delivered,
+            trace.net.messages_lost,
+            fs.parked_leftover,
+        ));
+    }
+
+    // 3. Detection confinement: a non-borderline detection matching no
+    // truth occurrence must sit near an injected fault or a lost message.
+    let tol = SimDuration::from_millis(1_000);
+    let vicinity = SimDuration::from_secs(15);
+    let analysis = TraceAnalysis::build(&trace.sim);
+    let det = detect_occurrences(
+        &trace,
+        &pred,
+        &scenario.timeline.initial_state(),
+        Discipline::VectorStrobe,
+    );
+    let mut unexplained = 0usize;
+    for d in det.iter().filter(|d| !d.borderline) {
+        if detection_matches(d, &truth, params.duration, tol) {
+            continue;
+        }
+        let end = d.end.unwrap_or(trace.ended_at);
+        if !analysis.near_any_fault(d.start, end, vicinity)
+            && !analysis.near_any_loss(d.start, end, vicinity)
+        {
+            unexplained += 1;
+        }
+    }
+    if unexplained > 0 {
+        return Err(format!(
+            "seed {seed}: {unexplained} detection(s) match no truth occurrence and are not \
+             near any fault or loss"
+        ));
+    }
+
+    Ok(format!(
+        "seed {seed}: ok — {} faults scripted (crashes {} recoveries {} cuts {} heals {} \
+         clock {}), {} msgs ({} lost, {} corrupted, {} duplicated, {} reordered, {} parked), \
+         {} detections / {} truth",
+        n_faults,
+        fs.crashes,
+        fs.recoveries,
+        fs.cuts,
+        fs.heals,
+        fs.clock_faults,
+        trace.net.messages_sent,
+        trace.net.messages_lost,
+        fs.corrupted,
+        fs.duplicated,
+        fs.reordered,
+        fs.parked,
+        det.len(),
+        truth.len(),
+    ))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seeds: u64 = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|p| args.get(p + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: chaos [--seeds N] [--quick]");
+        return;
+    }
+    let mut failures = 0u64;
+    for seed in 0..seeds {
+        match run_seed(seed, quick) {
+            Ok(line) => println!("{line}"),
+            Err(line) => {
+                eprintln!("VIOLATION {line}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("chaos: {failures}/{seeds} seed(s) violated an invariant");
+        std::process::exit(1);
+    }
+    println!("chaos: all {seeds} seeded fault scripts clean");
+}

@@ -4,6 +4,7 @@
 //! cargo run --release -p psn-bench --bin experiments            # all, full size
 //! cargo run --release -p psn-bench --bin experiments -- --quick # all, small
 //! cargo run --release -p psn-bench --bin experiments -- --only e2 e5
+//! cargo run --release -p psn-bench --bin experiments -- --only e9,e11,e12
 //! cargo run --release -p psn-bench --bin experiments -- --csv --only e8
 //! cargo run --release -p psn-bench --bin experiments -- --only e7 --metrics-out /tmp/m.jsonl
 //! cargo run --release -p psn-bench --bin experiments -- --only e7 e9 --trace-out /tmp/traces
@@ -25,18 +26,25 @@ fn main() {
         args.iter().position(|a| a == "--trace-out").and_then(|p| args.get(p + 1));
     let trace_format: Option<&String> =
         args.iter().position(|a| a == "--trace-format").and_then(|p| args.get(p + 1));
+    // Ids may be space-separated, comma-separated, or a mix:
+    // `--only e9 e11`, `--only e9,e11,e12`, `--only e9, e11`.
     let only: Vec<String> = match args.iter().position(|a| a == "--only") {
         Some(pos) => args[pos + 1..]
             .iter()
             .take_while(|a| !a.starts_with("--"))
-            .map(|a| a.to_lowercase())
+            .flat_map(|a| a.split(','))
+            .map(|a| a.trim().to_lowercase())
+            .filter(|s| !s.is_empty())
             .collect(),
         None => ALL.iter().map(|s| s.to_string()).collect(),
     };
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: experiments [--quick] [--csv] [--only e1 e2 ...] [--list] \
-             [--metrics-out <path.jsonl>] [--trace-out <dir>] [--trace-format chrome|jsonl]"
+            "usage: experiments [--quick] [--csv] [--only e1 e2,e3 ...] [--list] \
+             [--metrics-out <path.jsonl>] [--trace-out <dir>] [--trace-format chrome|jsonl]\n\
+             \n\
+             --only accepts experiment ids separated by spaces, commas, or both\n\
+             (e.g. `--only e9,e11,e12`); see --list for the known ids."
         );
         return;
     }

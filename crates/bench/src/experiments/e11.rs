@@ -1,0 +1,149 @@
+//! E11 — crash/recover confinement: a sensor that crashes and later
+//! recovers should corrupt detection only inside the outage window. The
+//! recovery protocol (durable-log replay, strobe-clock re-priming, ε
+//! resync — `RecoveryPolicy`) is what makes that true: with replay the
+//! restarted process resumes its stamp sequences past the last value it
+//! assigned, so post-recovery reports interleave correctly under every
+//! discipline. The ablation row restarts the process *amnesiac* (no log
+//! replay): its counters restart at zero, post-crash stamps collide with
+//! pre-crash ones, and the strobe disciplines pay extra false positives
+//! around the recovery point until the first incoming strobe max-merges
+//! the reborn clocks back up to the system frontier.
+//!
+//! Setup: exhibition hall, sensor 0 crashes at 300 s and recovers at
+//! 420 s. We score every discipline over *all* truth occurrences and over
+//! only the occurrences **far** from the outage window (±5 s vicinity,
+//! which covers the post-recovery ε-resync round).
+
+use psn_core::{run_execution, ExecutionConfig, RecoveryPolicy};
+use psn_predicates::{detect_occurrences, score, BorderlinePolicy, Discipline, Predicate};
+use psn_sim::fault::{FaultScript, FaultSpec};
+use psn_sim::sweep::run_sweep_auto;
+use psn_sim::time::{SimDuration, SimTime};
+use psn_world::scenarios::exhibition::{self, ExhibitionParams};
+use psn_world::{truth_intervals, TruthInterval};
+
+use crate::table::Table;
+use crate::trace_out;
+
+/// One discipline's counts for one seed:
+/// (truth, tp_all, truth_far, tp_far, fp_all, fp_far).
+type Cell = (usize, usize, usize, usize, usize, usize);
+
+/// Run E11.
+pub fn run(quick: bool) -> Table {
+    let seeds: Vec<u64> = (0..if quick { 3 } else { 8 }).collect();
+    let delta = SimDuration::from_millis(300);
+    let vicinity = SimDuration::from_secs(5);
+    let crash_at = SimTime::from_secs(300);
+    let downtime = SimDuration::from_secs(120);
+    let recover_at = crash_at.saturating_add(downtime);
+    let tol = SimDuration::from_millis(800);
+    let params = ExhibitionParams {
+        doors: 4,
+        arrival_rate_hz: 3.0,
+        mean_stay: SimDuration::from_secs(60),
+        duration: SimTime::from_secs(900),
+        capacity: 180,
+    };
+
+    let mut table = Table::new(
+        "E11 — crash/recover (sensor 0 down 300–420 s): error confined to the outage \
+         (vicinity = 5 s)",
+        &["recovery", "discipline", "truth", "recall (all)", "recall (far)", "FP", "FP far"],
+    );
+
+    for &(mode, crash, replay) in
+        &[("no-fault", false, true), ("replay-log", true, true), ("amnesiac", true, false)]
+    {
+        let cells: Vec<Vec<Cell>> = run_sweep_auto(&seeds, |_, &seed| {
+            let scenario = exhibition::generate(&params, 7600 + seed);
+            let pred = Predicate::occupancy_over(params.doors, params.capacity);
+            let truth = truth_intervals(&scenario.timeline, |s| pred.eval_state(s));
+            let script = if crash {
+                FaultScript::new()
+                    .with(crash_at, FaultSpec::Crash { actor: 0, recover_after: Some(downtime) })
+            } else {
+                FaultScript::new()
+            };
+            let cfg = ExecutionConfig {
+                delay: psn_sim::delay::DelayModel::delta(delta),
+                seed,
+                record_sim_trace: true,
+                faults: Some(script),
+                recovery: RecoveryPolicy { replay_log: replay, ..Default::default() },
+                ..Default::default()
+            };
+            let trace = run_execution(&scenario, &cfg);
+            trace_out::emit_cell_trace("e11", &format!("{mode} seed={seed}"), &trace.sim, trace.n);
+            let window_lo =
+                SimTime::from_nanos(crash_at.as_nanos().saturating_sub(vicinity.as_nanos()));
+            let window_hi = recover_at.saturating_add(vicinity);
+            // Occurrences that never touch the outage window.
+            let far: Vec<TruthInterval> = truth
+                .iter()
+                .copied()
+                .filter(|t| t.end.unwrap_or(params.duration) < window_lo || t.start > window_hi)
+                .collect();
+            Discipline::ALL
+                .iter()
+                .map(|&d| {
+                    let det =
+                        detect_occurrences(&trace, &pred, &scenario.timeline.initial_state(), d);
+                    let all =
+                        score(&det, &truth, params.duration, tol, BorderlinePolicy::AsPositive);
+                    let far_r =
+                        score(&det, &far, params.duration, tol, BorderlinePolicy::AsPositive);
+                    // False positives raised *outside* the outage
+                    // window: the leak the recovery protocol prevents.
+                    let det_far: Vec<psn_predicates::Detection> = det
+                        .iter()
+                        .cloned()
+                        .filter(|dd| {
+                            dd.end.unwrap_or(params.duration) < window_lo || dd.start > window_hi
+                        })
+                        .collect();
+                    let fp_far =
+                        score(&det_far, &truth, params.duration, tol, BorderlinePolicy::AsPositive)
+                            .false_positives;
+                    (
+                        truth.len(),
+                        all.true_positives,
+                        far.len(),
+                        far_r.true_positives,
+                        all.false_positives,
+                        fp_far,
+                    )
+                })
+                .collect()
+        });
+        for (i, &d) in Discipline::ALL.iter().enumerate() {
+            let s = cells.iter().fold((0, 0, 0, 0, 0, 0), |a, c| {
+                let c = c[i];
+                (a.0 + c.0, a.1 + c.1, a.2 + c.2, a.3 + c.3, a.4 + c.4, a.5 + c.5)
+            });
+            let recall_all = if s.0 == 0 { 1.0 } else { s.1 as f64 / s.0 as f64 };
+            let recall_far = if s.2 == 0 { 1.0 } else { s.3 as f64 / s.2 as f64 };
+            table.row(vec![
+                mode.to_string(),
+                d.label().to_string(),
+                s.0.to_string(),
+                format!("{recall_all:.3}"),
+                format!("{recall_far:.3}"),
+                s.4.to_string(),
+                s.5.to_string(),
+            ]);
+        }
+    }
+    table.note(
+        "Claim: a crash/recover cycle degrades detection only near the outage — with the \
+         recovery protocol (log replay + clock re-priming + ε resync), recall(far) and \
+         FP(far) match the no-fault baseline for every discipline; all the extra error sits \
+         inside the outage window. The amnesiac ablation (no log replay) restarts the \
+         process's stamp sequences at zero: its first post-restart reports collide with \
+         pre-crash stamps and the strobe disciplines pay extra false positives around the \
+         recovery point, until the first incoming strobe max-merges the reborn clocks back \
+         up to the system's frontier.",
+    );
+    table
+}

@@ -1,0 +1,174 @@
+//! E13 — strobe corruption: what a garbled stamp does to each family.
+//! The feared failure mode is a cascade: a corrupted scalar strobe value
+//! is max-merged by its receiver, re-broadcast, and within one strobe
+//! round the *entire system* has ratcheted up to the bogus maximum. The
+//! measured result is two-sided. The ratchet itself is what keeps
+//! *ordering* damage local: values 1..bump below the bogus maximum are
+//! simply never assigned again, so only reports stamped inside the one
+//! propagation round (≈ Δ) interleave wrongly — detection accuracy stays
+//! near baseline even under heavy corruption, the same temporal locality
+//! as message loss (E9). What corruption permanently destroys is
+//! *calibration*: every accepted bump inflates the stamp scale for the
+//! rest of the run (monotone clocks never come back down), voiding the
+//! stamp ≈ event-count reading that the wire-size and lattice-depth
+//! analyses rest on — and a scalar bump lands in the single global
+//! ordering coordinate, where a vector bump lands in one of n
+//! components. Because strobes carry an integrity checksum, a receiver
+//! can instead *quarantine* (drop) garbled strobes: corruption then
+//! degrades into plain strobe loss and the stamp scale stays exact.
+//!
+//! Setup: exhibition hall with a global `ChannelEffect::Corrupt` rule at
+//! a sweep of per-message probabilities, with strobe quarantine off/on.
+//! Inflation× = max strobe-scalar stamp seen at the root / total sense
+//! events (≈ 1 when stamps still count events).
+
+use psn_core::process::StrobePolicy;
+use psn_core::{run_execution, ExecutionConfig};
+use psn_predicates::{detect_occurrences, score, BorderlinePolicy, Discipline, Predicate};
+use psn_sim::fault::{ChannelEffect, ChannelFaultRule, FaultScript, FaultSpec};
+use psn_sim::sweep::run_sweep_auto;
+use psn_sim::time::{SimDuration, SimTime};
+use psn_world::scenarios::exhibition::{self, ExhibitionParams};
+use psn_world::truth_intervals;
+
+use crate::table::Table;
+use crate::trace_out;
+
+/// Run E13.
+pub fn run(quick: bool) -> Table {
+    let seeds: Vec<u64> = (0..if quick { 3 } else { 8 }).collect();
+    let corrupt_probs: &[f64] = &[0.0, 0.02, 0.1];
+    let delta = SimDuration::from_millis(300);
+    let tol = SimDuration::from_millis(800);
+    let params = ExhibitionParams {
+        doors: 4,
+        arrival_rate_hz: 3.0,
+        mean_stay: SimDuration::from_secs(60),
+        duration: SimTime::from_secs(900),
+        capacity: 180,
+    };
+
+    let mut table = Table::new(
+        "E13 — strobe corruption: ordering stays local (max-merge ratchet), stamp scale \
+         inflates; checksum quarantine restores calibration",
+        &[
+            "corrupt p",
+            "quarantine",
+            "corrupted",
+            "truth",
+            "scalar recall / FP",
+            "vector recall / FP",
+            "stamp inflation (×)",
+        ],
+    );
+
+    for &p in corrupt_probs {
+        for &quarantine in &[false, true] {
+            if p == 0.0 && quarantine {
+                continue; // nothing to quarantine: identical to the row above
+            }
+            // (corrupted, truth, s_tp, s_fp, v_tp, v_fp, inflation)
+            let cells: Vec<(u64, usize, usize, usize, usize, usize, f64)> =
+                run_sweep_auto(&seeds, |_, &seed| {
+                    let scenario = exhibition::generate(&params, 8800 + seed);
+                    let pred = Predicate::occupancy_over(params.doors, params.capacity);
+                    let truth = truth_intervals(&scenario.timeline, |s| pred.eval_state(s));
+                    let script = if p == 0.0 {
+                        FaultScript::new()
+                    } else {
+                        FaultScript::new().with(
+                            SimTime::from_secs(0),
+                            FaultSpec::Channel(ChannelFaultRule {
+                                from: None,
+                                to: None,
+                                prob: p,
+                                effect: ChannelEffect::Corrupt,
+                                duration: None,
+                            }),
+                        )
+                    };
+                    let cfg = ExecutionConfig {
+                        delay: psn_sim::delay::DelayModel::delta(delta),
+                        strobes: StrobePolicy { quarantine, ..StrobePolicy::default() },
+                        seed,
+                        record_sim_trace: true,
+                        faults: Some(script),
+                        ..Default::default()
+                    };
+                    let trace = run_execution(&scenario, &cfg);
+                    trace_out::emit_cell_trace(
+                        "e13",
+                        &format!("p={p} quarantine={quarantine} seed={seed}"),
+                        &trace.sim,
+                        trace.n,
+                    );
+                    let corrupted = trace.faults.as_ref().map(|f| f.corrupted).unwrap_or_default();
+                    // Stamp-scale calibration: without corruption the
+                    // largest scalar strobe value tracks the system-wide
+                    // sense-event count; every accepted bump inflates it.
+                    let total_sense: u64 = (0..trace.n)
+                        .map(|pr| {
+                            trace
+                                .log
+                                .reports
+                                .iter()
+                                .filter(|r| r.report.process == pr)
+                                .map(|r| r.report.sense_seq as u64)
+                                .max()
+                                .unwrap_or(0)
+                        })
+                        .sum();
+                    let max_scalar: u64 = trace
+                        .log
+                        .reports
+                        .iter()
+                        .map(|r| r.report.stamps.strobe_scalar.value)
+                        .max()
+                        .unwrap_or(0);
+                    let inflation = max_scalar as f64 / total_sense.max(1) as f64;
+                    let initial = scenario.timeline.initial_state();
+                    let s_det =
+                        detect_occurrences(&trace, &pred, &initial, Discipline::ScalarStrobe);
+                    let v_det =
+                        detect_occurrences(&trace, &pred, &initial, Discipline::VectorStrobe);
+                    let pol = BorderlinePolicy::AsPositive;
+                    let s = score(&s_det, &truth, params.duration, tol, pol);
+                    let v = score(&v_det, &truth, params.duration, tol, pol);
+                    (
+                        corrupted,
+                        truth.len(),
+                        s.true_positives,
+                        s.false_positives,
+                        v.true_positives,
+                        v.false_positives,
+                        inflation,
+                    )
+                });
+            let s = cells.iter().fold((0, 0, 0, 0, 0, 0, 0.0), |a, c| {
+                (a.0 + c.0, a.1 + c.1, a.2 + c.2, a.3 + c.3, a.4 + c.4, a.5 + c.5, a.6 + c.6)
+            });
+            let rec = |tp: usize| if s.1 == 0 { 1.0 } else { tp as f64 / s.1 as f64 };
+            table.row(vec![
+                format!("{p}"),
+                if quarantine { "on" } else { "off" }.to_string(),
+                s.0.to_string(),
+                s.1.to_string(),
+                format!("{:.3} / {}", rec(s.2), s.3),
+                format!("{:.3} / {}", rec(s.4), s.5),
+                format!("{:.1}", s.6 / cells.len() as f64),
+            ]);
+        }
+    }
+    table.note(
+        "Claim: corruption does not cascade into detection errors — the max-merge ratchet \
+         re-converges every clock onto the inflated scale within one strobe round, so \
+         mis-ordering is confined to the corruption's temporal vicinity and recall/FP stay \
+         near the clean run for both strobe families (the E9 locality argument, replayed \
+         for corruption). The lasting damage is the stamp scale itself: accepted bumps \
+         inflate the strobe clocks by orders of magnitude (inflation ×), breaking the \
+         stamp ≈ event-count calibration — globally for the scalar family, per hit \
+         component for vectors. Checksum quarantine drops garbled strobes instead, keeping \
+         inflation at ≈ 1 while paying only a p-rate strobe loss.",
+    );
+    table
+}

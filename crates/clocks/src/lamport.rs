@@ -69,6 +69,14 @@ impl LamportClock {
     pub fn value(&self) -> u64 {
         self.value
     }
+
+    /// Jump the clock forward to at least `to` without ticking — the
+    /// crash-recovery re-prime path: a restarted process replays its durable
+    /// log and fast-forwards to the largest value it had assigned, so new
+    /// stamps never reuse pre-crash values.
+    pub fn fast_forward(&mut self, to: u64) {
+        self.value = self.value.max(to);
+    }
 }
 
 impl LogicalClock for LamportClock {
@@ -166,6 +174,16 @@ mod tests {
         let f2 = p1.on_local_event();
         assert_ne!(e.causality(&f), Causality::Concurrent);
         assert_eq!(e.causality(&f2), Causality::Before, "ordered though concurrent");
+    }
+
+    #[test]
+    fn fast_forward_never_goes_backwards() {
+        let mut c = LamportClock::new(0);
+        c.fast_forward(10);
+        assert_eq!(c.value(), 10);
+        c.fast_forward(3);
+        assert_eq!(c.value(), 10, "fast-forward is max, not assignment");
+        assert_eq!(c.on_local_event().value, 11, "next event stamps past the replayed value");
     }
 
     #[test]

@@ -140,6 +140,26 @@ impl SyncedClock {
     pub fn read(&self, t: SimTime) -> PhysReading {
         self.osc.read(t)
     }
+
+    /// Break the ε guarantee: redraw the residual offset uniformly from
+    /// `[-max_offset, +max_offset]`, as after a crash, reboot or clock
+    /// fault, before the sync protocol has run again. Until [`Self::resync`]
+    /// the reading error may exceed ε and ε-based predicate windows are
+    /// unsound for this process.
+    pub fn desync(&mut self, rng: &mut RngStream, max_offset: SimDuration) {
+        let span = max_offset.as_nanos() as i64;
+        self.osc.offset_ns =
+            if span == 0 { 0 } else { rng.uniform_u64(0, 2 * span as u64) as i64 - span };
+    }
+
+    /// Restore the ε guarantee: redraw the residual offset from
+    /// `[-ε/2, +ε/2]` — the same recipe as [`SyncedClock::new`], modelling a
+    /// completed resynchronization round.
+    pub fn resync(&mut self, rng: &mut RngStream) {
+        let half = (self.epsilon.as_nanos() / 2) as i64;
+        self.osc.offset_ns =
+            if half == 0 { 0 } else { rng.uniform_u64(0, 2 * half as u64) as i64 - half };
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +244,25 @@ mod tests {
         assert_eq!(a.causality(&b), Causality::Before);
         assert_eq!(b.causality(&a), Causality::After);
         assert_eq!(a.causality(&a), Causality::Equal);
+    }
+
+    #[test]
+    fn desync_breaks_and_resync_restores_the_bound() {
+        let mut rng = RngFactory::new(11).stream(0);
+        let eps = SimDuration::from_micros(10);
+        let t = SimTime::from_secs(1);
+        let truth = PhysReading(t.as_nanos() as i64);
+        let mut c = SyncedClock::new(&mut rng, eps);
+        let mut saw_violation = false;
+        for _ in 0..100 {
+            c.desync(&mut rng, SimDuration::from_millis(50));
+            saw_violation |= c.read(t).abs_diff(truth).as_nanos() > eps.as_nanos() / 2;
+        }
+        assert!(saw_violation, "a 50 ms offset span must exceed ε/2 = 5 µs sometimes");
+        for _ in 0..100 {
+            c.resync(&mut rng);
+            assert!(c.read(t).abs_diff(truth).as_nanos() <= eps.as_nanos() / 2);
+        }
     }
 
     #[test]

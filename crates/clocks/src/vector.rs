@@ -377,6 +377,14 @@ impl VectorClock {
     pub fn id(&self) -> ProcessId {
         self.id
     }
+
+    /// Merge `stamp` into the clock **without ticking** — the
+    /// crash-recovery re-prime path (vector merge-catch-up): a restarted
+    /// process replays its durable log and absorbs the last stamp it had
+    /// assigned, so post-recovery events stay causally after pre-crash ones.
+    pub fn prime(&mut self, stamp: &VectorStamp) {
+        self.v.merge_from(stamp);
+    }
 }
 
 impl LogicalClock for VectorClock {
@@ -426,6 +434,15 @@ mod tests {
         let incoming = VectorStamp::from_slice(&[5, 2, 0]);
         let s = c.on_receive(&incoming);
         assert_eq!(s.as_slice(), [5, 2, 2], "max componentwise, then own +1");
+    }
+
+    #[test]
+    fn prime_merges_without_ticking() {
+        let mut c = VectorClock::new(1, 3);
+        c.prime(&VectorStamp::from_slice(&[4, 7, 2]));
+        assert_eq!(c.current().as_slice(), [4, 7, 2], "no tick on prime");
+        let s = c.on_local_event();
+        assert_eq!(s.as_slice(), [4, 8, 2], "next event is causally after the replayed stamp");
     }
 
     #[test]

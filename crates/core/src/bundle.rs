@@ -15,6 +15,7 @@ use psn_clocks::{
     LamportClock, LogicalClock, Oscillator, PhysReading, ProcessId, ScalarStamp, StrobeScalarClock,
     StrobeVectorClock, SyncedClock, VectorClock, VectorStamp,
 };
+use psn_sim::fault::ClockFaultKind;
 use psn_sim::rng::RngStream;
 use psn_sim::time::{SimDuration, SimTime};
 
@@ -54,6 +55,10 @@ pub struct ClockBundle {
     pub oscillator: Oscillator,
     /// ε-synchronized physical clock service view.
     pub synced: SyncedClock,
+    /// When set, the physical clocks are stuck at these
+    /// `(physical, synced)` readings (the `Freeze` clock fault); logical
+    /// clocks are unaffected.
+    pub frozen: Option<(PhysReading, PhysReading)>,
 }
 
 impl ClockBundle {
@@ -67,19 +72,49 @@ impl ClockBundle {
             strobe_vector: StrobeVectorClock::new(id, n),
             oscillator: Oscillator::random(rng, cfg.max_offset, cfg.max_drift_ppm, 1),
             synced: SyncedClock::new(rng, cfg.epsilon),
+            frozen: None,
         }
     }
 
     /// Read every clock *without ticking* at ground-truth time `now`.
     pub fn snapshot(&self, now: SimTime) -> StampSet {
+        let (physical, synced) = match self.frozen {
+            Some(readings) => readings,
+            None => (self.oscillator.read(now), self.synced.read(now)),
+        };
         StampSet {
             lamport: self.lamport.current(),
             vector: self.vector.current(),
             strobe_scalar: self.strobe_scalar.current(),
             strobe_vector: self.strobe_vector.current(),
-            physical: self.oscillator.read(now),
-            synced: self.synced.read(now),
+            physical,
+            synced,
             truth: now,
+        }
+    }
+
+    /// Apply a fault-plane clock fault to the physical clock hardware at
+    /// ground-truth time `now`. Logical and strobe clocks have no hardware
+    /// and are never affected.
+    pub fn apply_clock_fault(
+        &mut self,
+        kind: ClockFaultKind,
+        now: SimTime,
+        rng: &mut RngStream,
+        cfg: &ClockConfig,
+    ) {
+        match kind {
+            ClockFaultKind::DriftSpike { add_ppm } => self.oscillator.drift_ppm += add_ppm,
+            // A reset zeroes the reading: the offset swallows all elapsed
+            // ground truth, as when a node reboots without battery-backed
+            // time.
+            ClockFaultKind::Reset => self.oscillator.offset_ns = -(now.as_nanos() as i64),
+            ClockFaultKind::Freeze => {
+                self.frozen = Some((self.oscillator.read(now), self.synced.read(now)));
+            }
+            ClockFaultKind::Unfreeze => self.frozen = None,
+            ClockFaultKind::Desync => self.synced.desync(rng, cfg.max_offset),
+            ClockFaultKind::Resync => self.synced.resync(rng),
         }
     }
 
@@ -92,8 +127,7 @@ impl ClockBundle {
         self.strobe_scalar.on_local_event();
         self.strobe_vector.on_local_event();
         let stamps = self.snapshot(now);
-        let strobe =
-            StrobePayload { scalar: stamps.strobe_scalar, vector: stamps.strobe_vector.clone() };
+        let strobe = StrobePayload::new(stamps.strobe_scalar, stamps.strobe_vector.clone());
         (stamps, strobe)
     }
 
@@ -136,6 +170,41 @@ pub struct StrobePayload {
     pub scalar: ScalarStamp,
     /// The vector strobe (SVC1 broadcast value).
     pub vector: VectorStamp,
+    /// Integrity checksum over both stamps, computed at construction. A
+    /// channel-fault corruption mutates the stamps but not the checksum, so
+    /// [`StrobePayload::verify`] detects it — receivers with
+    /// [`crate::process::StrobePolicy::quarantine`] enabled drop such
+    /// strobes instead of merging garbage. Modelled as part of the link
+    /// layer's existing CRC, so it does not enter the wire-size accounting.
+    pub checksum: u64,
+}
+
+impl StrobePayload {
+    /// A payload with a valid checksum over `scalar` and `vector`.
+    pub fn new(scalar: ScalarStamp, vector: VectorStamp) -> Self {
+        let checksum = Self::compute_checksum(&scalar, &vector);
+        StrobePayload { scalar, vector, checksum }
+    }
+
+    /// True iff the stamps still match the checksum.
+    pub fn verify(&self) -> bool {
+        self.checksum == Self::compute_checksum(&self.scalar, &self.vector)
+    }
+
+    fn compute_checksum(scalar: &ScalarStamp, vector: &VectorStamp) -> u64 {
+        // FNV-1a over the stamp words (the repo's standard content hash).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        mix(scalar.value);
+        mix(scalar.process as u64);
+        for &c in vector.iter() {
+            mix(c);
+        }
+        h
+    }
 }
 
 /// The timestamps every clock assigned to one event.
@@ -231,5 +300,73 @@ mod tests {
         let b = bundle(1, 2);
         // Different RNG draws: virtually certain to differ.
         assert_ne!(a.oscillator, b.oscillator);
+    }
+
+    #[test]
+    fn strobe_checksum_verifies_until_tampered() {
+        let p = StrobePayload::new(
+            ScalarStamp { value: 7, process: 2 },
+            VectorStamp::from_slice(&[3, 0, 7]),
+        );
+        assert!(p.verify());
+        let mut garbled = p.clone();
+        garbled.scalar.value += 1;
+        assert!(!garbled.verify(), "scalar tamper detected");
+        let mut garbled = p.clone();
+        garbled.vector.as_mut_slice()[1] += 1;
+        assert!(!garbled.verify(), "vector tamper detected");
+    }
+
+    #[test]
+    fn freeze_pins_physical_clocks_only() {
+        let mut rng = RngFactory::new(77).stream(9);
+        let mut b = bundle(0, 2);
+        let t1 = SimTime::from_secs(1);
+        b.apply_clock_fault(ClockFaultKind::Freeze, t1, &mut rng, &ClockConfig::default());
+        let frozen = b.snapshot(SimTime::from_secs(5));
+        assert_eq!(frozen.physical, b.oscillator.read(t1), "physical stuck at freeze time");
+        assert_eq!(frozen.synced, b.synced.read(t1));
+        let _ = b.on_sense(SimTime::from_secs(5));
+        assert_eq!(b.lamport.current().value, 1, "logical clocks keep ticking");
+        b.apply_clock_fault(ClockFaultKind::Unfreeze, t1, &mut rng, &ClockConfig::default());
+        let thawed = b.snapshot(SimTime::from_secs(5));
+        assert!(thawed.physical > frozen.physical, "unfrozen clock catches up with truth");
+    }
+
+    #[test]
+    fn reset_zeroes_the_oscillator_reading() {
+        let mut rng = RngFactory::new(77).stream(9);
+        let mut b = bundle(0, 2);
+        let t = SimTime::from_secs(10);
+        b.apply_clock_fault(ClockFaultKind::Reset, t, &mut rng, &ClockConfig::default());
+        let r = b.oscillator.read(t);
+        // Only residual drift remains: |r| ≤ drift_ppm·10s ≤ 50ppm·10s.
+        assert!(r.0.abs() <= 500_000 + 1, "post-reset reading {}ns", r.0);
+    }
+
+    #[test]
+    fn drift_spike_accelerates_the_oscillator() {
+        let mut rng = RngFactory::new(77).stream(9);
+        let mut b = bundle(0, 2);
+        let before = b.oscillator.drift_ppm;
+        b.apply_clock_fault(
+            ClockFaultKind::DriftSpike { add_ppm: 500.0 },
+            SimTime::ZERO,
+            &mut rng,
+            &ClockConfig::default(),
+        );
+        assert_eq!(b.oscillator.drift_ppm, before + 500.0);
+    }
+
+    #[test]
+    fn desync_then_resync_restores_the_epsilon_bound() {
+        let mut rng = RngFactory::new(77).stream(9);
+        let cfg = ClockConfig::default();
+        let mut b = bundle(0, 2);
+        let t = SimTime::from_secs(3);
+        b.apply_clock_fault(ClockFaultKind::Desync, t, &mut rng, &cfg);
+        b.apply_clock_fault(ClockFaultKind::Resync, t, &mut rng, &cfg);
+        let err = (b.synced.read(t).0 - t.as_nanos() as i64).abs();
+        assert!(err <= cfg.epsilon.as_nanos() as i64 / 2, "resynced within ε/2: {err}ns");
     }
 }

@@ -25,7 +25,7 @@ use crate::bundle::ClockConfig;
 use crate::log::ExecutionLog;
 use crate::message::NetMsg;
 use crate::metrics::ExecMetrics;
-use crate::process::{SensorProcess, StrobePolicy, TraceStampMode};
+use crate::process::{RecoveryPolicy, SensorProcess, StrobePolicy, TraceStampMode};
 use crate::root::{ActuationRule, NoActuation, RootProcess};
 
 /// Full configuration of one execution.
@@ -60,6 +60,14 @@ pub struct ExecutionConfig {
     /// heartbeat strobes; when heartbeats are enabled and no end time is
     /// given, the run stops 30 s (sim time) after the last world event.
     pub end_time: Option<SimTime>,
+    /// Fault script to install into the engine's fault plane (crashes,
+    /// partitions, channel faults, clock faults). `None` (default) leaves
+    /// the fault plane uninstalled — the hot path is untouched and the run
+    /// is bit-identical to a faults-unaware build.
+    pub faults: Option<psn_sim::fault::FaultScript>,
+    /// How sensors come back from a crash (log replay, clock re-priming,
+    /// ε-resync). Only consulted when `faults` crash-recovers a process.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for ExecutionConfig {
@@ -75,6 +83,8 @@ impl Default for ExecutionConfig {
             record_sim_trace: false,
             trace_stamp: TraceStampMode::default(),
             end_time: None,
+            faults: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -93,6 +103,9 @@ pub struct ExecutionTrace {
     pub sim: psn_sim::trace::Trace,
     /// Ground-truth end time of the run.
     pub ended_at: SimTime,
+    /// Fault-plane counters (`None` when [`ExecutionConfig::faults`] was
+    /// `None`, i.e. no plane was installed).
+    pub faults: Option<psn_sim::fault::FaultStats>,
 }
 
 impl ExecutionTrace {
@@ -179,15 +192,20 @@ pub fn run_execution_full(
                 Arc::clone(&log),
             )
             .with_metrics(exec_metrics.clone())
-            .with_trace_stamp(cfg.trace_stamp),
+            .with_trace_stamp(cfg.trace_stamp)
+            .with_recovery(cfg.recovery.clone()),
         ));
     }
     engine.add_actor(Box::new(
         RootProcess::new(n, n, cfg.clocks.clone(), rule, Arc::clone(&log))
             .with_flood(cfg.strobes.flood)
+            .with_quarantine(cfg.strobes.quarantine)
             .with_metrics(exec_metrics)
             .with_trace_stamp(cfg.trace_stamp),
     ));
+    if let Some(script) = &cfg.faults {
+        engine.install_faults(script);
+    }
 
     // Inject the world timeline: each event goes to its watching process at
     // its ground-truth time (sensing itself is immediate; only the network
@@ -205,9 +223,17 @@ pub fn run_execution_full(
     }
 
     let ended_at = engine.run();
+    let fault_stats = engine.fault_stats();
     let log =
         Arc::try_unwrap(log).map(Mutex::into_inner).unwrap_or_else(|shared| shared.lock().clone());
-    ExecutionTrace { n, log, net: engine.stats().clone(), sim: engine.trace().clone(), ended_at }
+    ExecutionTrace {
+        n,
+        log,
+        net: engine.stats().clone(),
+        sim: engine.trace().clone(),
+        ended_at,
+        faults: fault_stats,
+    }
 }
 
 #[cfg(test)]
@@ -380,6 +406,104 @@ mod tests {
         for r in &t.log.reports {
             assert_eq!(r.arrived_at, r.report.stamps.truth, "Δ=0: report arrives at sense time");
         }
+    }
+
+    #[test]
+    fn faults_none_and_empty_script_agree() {
+        let s = tiny_scenario();
+        let off = run_execution(&s, &ExecutionConfig::default());
+        let empty = run_execution(
+            &s,
+            &ExecutionConfig {
+                faults: Some(psn_sim::fault::FaultScript::new()),
+                ..Default::default()
+            },
+        );
+        assert_eq!(off.log.events, empty.log.events, "an empty plane is observational");
+        assert_eq!(off.log.reports, empty.log.reports);
+        assert_eq!(off.net, empty.net);
+        assert!(off.faults.is_none());
+        assert_eq!(empty.faults, Some(psn_sim::fault::FaultStats::default()));
+    }
+
+    #[test]
+    fn crash_recover_replays_log_and_rejoins() {
+        use psn_sim::fault::{FaultScript, FaultSpec};
+        let s = tiny_scenario();
+        let crash_at = SimTime::from_secs(30);
+        let back_at = SimTime::from_secs(60);
+        let cfg = ExecutionConfig {
+            faults: Some(FaultScript::new().with(
+                crash_at,
+                FaultSpec::Crash { actor: 0, recover_after: Some(SimDuration::from_secs(30)) },
+            )),
+            ..Default::default()
+        };
+        let t = run_execution(&s, &cfg);
+        let stats = t.faults.as_ref().expect("plane installed");
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.recoveries, 1);
+
+        let p0: Vec<_> = t.log.events_of(0).into_iter().filter(|e| e.kind.tag() == 'n').collect();
+        assert!(p0.iter().any(|e| e.at < crash_at), "sensed before the crash");
+        assert!(
+            !p0.iter().any(|e| e.at >= crash_at && e.at < back_at),
+            "no sense events while down"
+        );
+        assert!(p0.iter().any(|e| e.at >= back_at), "resumed sensing after recovery");
+
+        // Log replay re-primed the counters: event seqs stay strictly
+        // monotone across the crash instead of restarting from zero.
+        let all0 = t.log.events_of(0);
+        for w in all0.windows(2) {
+            assert!(w[0].seq < w[1].seq, "seq restarted: {} then {}", w[0].seq, w[1].seq);
+        }
+        // ... and the vector clock kept its pre-crash knowledge.
+        let last = all0.last().unwrap();
+        assert!(last.stamps.vector[0] as usize >= p0.len());
+
+        // Deterministic: the same script replays byte-for-byte.
+        let again = run_execution(&s, &cfg);
+        assert_eq!(t.log.events, again.log.events);
+        assert_eq!(t.faults, again.faults);
+    }
+
+    #[test]
+    fn quarantine_confines_corrupted_strobes() {
+        use psn_sim::fault::{ChannelEffect, ChannelFaultRule, FaultScript, FaultSpec};
+        let s = tiny_scenario();
+        let script = FaultScript::new().with(
+            SimTime::ZERO,
+            FaultSpec::Channel(ChannelFaultRule {
+                from: Some(0),
+                to: None,
+                prob: 1.0,
+                effect: ChannelEffect::Corrupt,
+                duration: None,
+            }),
+        );
+        let max_strobe = |t: &ExecutionTrace| {
+            t.log.events.iter().map(|e| e.stamps.strobe_scalar.value).max().unwrap_or(0)
+        };
+        let open = run_execution(
+            &s,
+            &ExecutionConfig { faults: Some(script.clone()), ..Default::default() },
+        );
+        assert!(open.faults.as_ref().unwrap().corrupted > 0);
+        assert!(
+            max_strobe(&open) >= 1_000,
+            "without quarantine the garbled stamp infects receivers"
+        );
+        let guarded = run_execution(
+            &s,
+            &ExecutionConfig {
+                faults: Some(script),
+                strobes: StrobePolicy { quarantine: true, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        assert!(guarded.faults.as_ref().unwrap().corrupted > 0);
+        assert!(max_strobe(&guarded) < 1_000, "quarantine drops garbled strobes at ingest");
     }
 
     #[test]

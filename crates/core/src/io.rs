@@ -57,6 +57,7 @@ impl TraceFile {
             net: self.net,
             sim: psn_sim::trace::Trace::disabled(),
             ended_at: self.ended_at,
+            faults: None,
         }
     }
 

@@ -65,5 +65,5 @@ pub use io::TraceFile;
 pub use log::{ActuationRecord, ExecutionLog, ReceivedReport};
 pub use message::{NetMsg, Report};
 pub use metrics::ExecMetrics;
-pub use process::{SensorProcess, StrobePolicy, TraceStampMode};
+pub use process::{RecoveryPolicy, SensorProcess, StrobePolicy, TraceStampMode};
 pub use root::{ActuationRule, NoActuation, RootProcess};

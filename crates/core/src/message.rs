@@ -93,13 +93,36 @@ impl Message for NetMsg {
         match self {
             NetMsg::WorldSense { .. } => 0, // not a network message
             // Scalar strobe (8) + vector strobe (8n): both variants on one
-            // simulated message.
+            // simulated message. The integrity checksum rides in the link
+            // layer's CRC and is not counted.
             NetMsg::Strobe { payload, .. } => 8 + 8 * payload.vector.len(),
             // Key + value + the two stamp sets (each: lamport 8 + vector 8n
             // + strobe scalar 8 + strobe vector 8n + physical 8 + synced 8).
             NetMsg::Report(r) => 16 + 2 * (32 + 16 * r.stamps.vector.len()),
             NetMsg::Actuate { stamps, .. } => 16 + 32 + 16 * stamps.vector.len(),
         }
+    }
+
+    /// Channel-fault corruption: garble a strobe's clock stamps, leaving
+    /// its checksum stale so quarantining receivers can detect the damage.
+    /// Other message kinds are assumed protected end-to-end (reports and
+    /// actuation commands would be retransmitted by a real transport) and
+    /// pass through unharmed.
+    fn corrupt(&mut self, rng: &mut psn_sim::rng::RngStream) -> bool {
+        let NetMsg::Strobe { payload, .. } = self else {
+            return false;
+        };
+        // A large bit-flip-style bump: big enough to drag scalar-strobe
+        // receivers far into the future (the E13 cascade), and to set one
+        // vector component beyond anything legitimately assigned.
+        let bump = rng.uniform_u64(1_000, 10_000);
+        if payload.vector.is_empty() || rng.bernoulli(0.5) {
+            payload.scalar.value += bump;
+        } else {
+            let k = rng.index(payload.vector.len());
+            payload.vector.as_mut_slice()[k] += bump;
+        }
+        true
     }
 }
 
@@ -126,21 +149,44 @@ mod tests {
         let s4 = NetMsg::Strobe {
             origin: 0,
             seq: 1,
-            payload: StrobePayload {
-                scalar: ScalarStamp { value: 1, process: 0 },
-                vector: VectorStamp::zero(4),
-            },
+            payload: StrobePayload::new(ScalarStamp { value: 1, process: 0 }, VectorStamp::zero(4)),
         };
         let s8 = NetMsg::Strobe {
             origin: 0,
             seq: 1,
-            payload: StrobePayload {
-                scalar: ScalarStamp { value: 1, process: 0 },
-                vector: VectorStamp::zero(8),
-            },
+            payload: StrobePayload::new(ScalarStamp { value: 1, process: 0 }, VectorStamp::zero(8)),
         };
         assert_eq!(s4.size_bytes(), 8 + 32);
         assert_eq!(s8.size_bytes(), 8 + 64);
+    }
+
+    #[test]
+    fn corruption_garbles_strobes_detectably_and_spares_the_rest() {
+        use psn_sim::engine::Message as _;
+        let mut rng = psn_sim::rng::RngFactory::new(5).stream(0);
+        for _ in 0..20 {
+            let mut m = NetMsg::Strobe {
+                origin: 0,
+                seq: 1,
+                payload: StrobePayload::new(
+                    ScalarStamp { value: 3, process: 0 },
+                    VectorStamp::from_slice(&[3, 1]),
+                ),
+            };
+            assert!(m.corrupt(&mut rng));
+            let NetMsg::Strobe { payload, .. } = &m else { unreachable!() };
+            assert!(!payload.verify(), "checksum catches the garbled stamp");
+            assert!(
+                payload.scalar.value >= 1_000 || payload.vector.iter().any(|&c| c >= 1_000),
+                "exactly one stamp took a large bump"
+            );
+        }
+        let mut report = NetMsg::WorldSense {
+            key: AttrKey::new(0, 0),
+            value: AttrValue::Int(1),
+            world_event: 0,
+        };
+        assert!(!report.corrupt(&mut rng), "only strobes are corruptible");
     }
 
     #[test]

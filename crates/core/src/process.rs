@@ -16,12 +16,13 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use psn_clocks::ProcessId;
+use psn_clocks::{LogicalClock, ProcessId};
 use psn_sim::engine::{Actor, Context};
+use psn_sim::fault::FaultEvent;
 use psn_sim::network::ActorId;
 use psn_world::AttrValue;
 
-use crate::bundle::{ClockBundle, ClockConfig};
+use crate::bundle::{ClockBundle, ClockConfig, StrobePayload};
 use crate::event::{EventKind, ProcEvent};
 use crate::log::ExecutionLog;
 use crate::message::{NetMsg, Report};
@@ -45,13 +46,50 @@ pub struct StrobePolicy {
     pub heartbeat: Option<psn_sim::time::SimDuration>,
     /// Relay strobes not seen before to neighbours (multi-hop overlays).
     pub flood: bool,
+    /// Drop strobes whose integrity checksum fails (corrupted in transit by
+    /// the fault plane) instead of merging the garbled stamps. Off by
+    /// default: the paper's protocol trusts the channel, and E13 measures
+    /// exactly what that trust costs per discipline.
+    pub quarantine: bool,
 }
 
 impl Default for StrobePolicy {
     fn default() -> Self {
-        StrobePolicy { every: 1, heartbeat: None, flood: false }
+        StrobePolicy { every: 1, heartbeat: None, flood: false, quarantine: false }
     }
 }
+
+/// How a sensor process restores its state when the fault plane recovers it
+/// after a crash (the crash-recover model; crash-stop is simply a script
+/// with no recovery entry).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RecoveryPolicy {
+    /// Replay the durable [`ExecutionLog`] on restart: fast-forward the
+    /// Lamport clock, merge-catch-up the vector clocks past the last stamp
+    /// this process assigned, and restore the sense/event counters. With
+    /// `false` the process restarts amnesiac at zero — its new stamps may
+    /// collide with pre-crash ones (what E11 measures).
+    pub replay_log: bool,
+    /// Run a post-recovery resync round for the ε-synced physical clock
+    /// (planned by [`psn_sync::plan_resync`]); until it completes the clock
+    /// is desynced and ε-based detection windows are unsound for this
+    /// process. `None` never resyncs.
+    pub resync: Option<psn_sync::ResyncParams>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy { replay_log: true, resync: Some(psn_sync::ResyncParams::default()) }
+    }
+}
+
+/// Timer tag of the post-recovery resync completion.
+const TIMER_RESYNC: u64 = 1;
+/// Heartbeat timer tags are `TIMER_HEARTBEAT_BASE + generation`; the
+/// generation bumps on every recovery so a pre-crash heartbeat chain that
+/// survived the outage (its timer fired after the recovery) is recognised
+/// as stale and dropped instead of doubling the heartbeat rate.
+const TIMER_HEARTBEAT_BASE: u64 = 8;
 
 /// Which logical stamp the structured run trace carries on process events
 /// (sense/send/receive/actuate/detect).
@@ -99,6 +137,9 @@ pub struct SensorProcess {
     log: Arc<Mutex<ExecutionLog>>,
     metrics: ExecMetrics,
     trace_stamp: TraceStampMode,
+    recovery: RecoveryPolicy,
+    /// Current heartbeat chain generation (see [`TIMER_HEARTBEAT_BASE`]).
+    heartbeat_gen: u64,
 }
 
 impl SensorProcess {
@@ -125,7 +166,16 @@ impl SensorProcess {
             log,
             metrics: ExecMetrics::disabled(),
             trace_stamp: TraceStampMode::default(),
+            recovery: RecoveryPolicy::default(),
+            heartbeat_gen: 0,
         }
+    }
+
+    /// How to restore state when the fault plane recovers this process
+    /// after a crash (builder style).
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
     }
 
     /// Record semantic event counts and strobe byte accounting into
@@ -162,6 +212,61 @@ impl SensorProcess {
             stamps,
         });
     }
+
+    /// Broadcast the current clocks without ticking (heartbeat / recovery
+    /// announce — the §4.2 synchronize-at-any-time strobe).
+    fn broadcast_current_strobe(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        let snap = self.bundle.as_ref().expect("started").snapshot(ctx.now());
+        let payload = StrobePayload::new(snap.strobe_scalar, snap.strobe_vector);
+        let seq = self.next_strobe_seq();
+        ctx.broadcast(NetMsg::Strobe { origin: self.id, seq, payload });
+        self.metrics.on_strobe_broadcast();
+    }
+
+    /// The crash-recover protocol. The engine delivers this after the
+    /// scripted downtime: rebuild volatile clock state (fresh hardware
+    /// imperfections — a reboot), replay the durable log per the
+    /// [`RecoveryPolicy`] to re-prime the logical clocks (Lamport
+    /// fast-forward, vector merge-catch-up), desync the ε-clock until the
+    /// planned resync round completes, restart the heartbeat chain, and
+    /// announce a catch-up strobe so peers re-merge quickly.
+    fn recover(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        let mut bundle = ClockBundle::new(self.id, self.n + 1, &self.cfg, ctx.rng());
+        if self.recovery.replay_log {
+            let log = self.log.lock();
+            let mine = log.events_of(self.id);
+            if let Some(last) = mine.last() {
+                bundle.lamport.fast_forward(last.stamps.lamport.value);
+                bundle.vector.prime(&last.stamps.vector);
+                // Strobe clocks re-prime via their merge rules (SSC2/SVC2):
+                // absorbing our own last stamp never ticks.
+                bundle.strobe_scalar.on_strobe(&last.stamps.strobe_scalar);
+                bundle.strobe_vector.on_strobe(&last.stamps.strobe_vector);
+                self.event_seq = last.seq;
+            } else {
+                self.event_seq = 0;
+            }
+            self.sense_count = mine.iter().filter(|e| e.kind.tag() == 'n').count();
+        } else {
+            // Amnesiac restart: counters at zero, clocks at zero — new
+            // stamps may collide with pre-crash ones (E11 measures this).
+            self.sense_count = 0;
+            self.event_seq = 0;
+        }
+        // strobe_seq intentionally survives the crash conceptually: it is
+        // monotone across incarnations (this object persists), so flood
+        // dedup at peers stays sound.
+        bundle.synced.desync(ctx.rng(), self.cfg.max_offset);
+        self.bundle = Some(bundle);
+        if let Some(params) = &self.recovery.resync {
+            ctx.set_timer(psn_sync::plan_resync(params).completes_after, TIMER_RESYNC);
+        }
+        if let Some(period) = self.policy.heartbeat {
+            self.heartbeat_gen += 1;
+            ctx.set_timer(period, TIMER_HEARTBEAT_BASE + self.heartbeat_gen);
+        }
+        self.broadcast_current_strobe(ctx);
+    }
 }
 
 impl Actor<NetMsg> for SensorProcess {
@@ -170,22 +275,37 @@ impl Actor<NetMsg> for SensorProcess {
         // so the bundle is built here rather than in `new`.
         self.bundle = Some(ClockBundle::new(self.id, self.n + 1, &self.cfg, ctx.rng()));
         if let Some(period) = self.policy.heartbeat {
-            ctx.set_timer(period, 0);
+            ctx.set_timer(period, TIMER_HEARTBEAT_BASE + self.heartbeat_gen);
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, NetMsg>, _tag: u64) {
+    fn on_timer(&mut self, ctx: &mut Context<'_, NetMsg>, tag: u64) {
+        if tag == TIMER_RESYNC {
+            // The post-recovery sync round completed: the ε bound holds
+            // again (see psn_sync::recovery for what the round costs).
+            self.bundle.as_mut().expect("started").synced.resync(ctx.rng());
+            return;
+        }
+        if tag != TIMER_HEARTBEAT_BASE + self.heartbeat_gen {
+            return; // stale heartbeat chain from before a recovery
+        }
         // Heartbeat strobe: broadcast the *current* clocks without ticking
         // (a pure "catch up" message — the §4.2 synchronize-at-any-time).
-        let bundle = self.bundle.as_ref().expect("started");
-        let snap = bundle.snapshot(ctx.now());
-        let payload =
-            crate::bundle::StrobePayload { scalar: snap.strobe_scalar, vector: snap.strobe_vector };
-        let seq = self.next_strobe_seq();
-        ctx.broadcast(NetMsg::Strobe { origin: self.id, seq, payload });
-        self.metrics.on_strobe_broadcast();
+        self.broadcast_current_strobe(ctx);
         if let Some(period) = self.policy.heartbeat {
-            ctx.set_timer(period, 0);
+            ctx.set_timer(period, TIMER_HEARTBEAT_BASE + self.heartbeat_gen);
+        }
+    }
+
+    fn on_fault(&mut self, ctx: &mut Context<'_, NetMsg>, event: &FaultEvent) {
+        match event {
+            FaultEvent::Recover => self.recover(ctx),
+            FaultEvent::Clock(kind) => {
+                let now = ctx.now();
+                let bundle = self.bundle.as_mut().expect("started");
+                bundle.apply_clock_fault(*kind, now, ctx.rng(), &self.cfg);
+            }
+            FaultEvent::Crash => {}
         }
     }
 
@@ -239,6 +359,11 @@ impl Actor<NetMsg> for SensorProcess {
                 );
             }
             NetMsg::Strobe { origin, seq, payload } => {
+                if self.policy.quarantine && !payload.verify() {
+                    // Corrupted in transit: drop instead of merging garbage
+                    // (and never relay it).
+                    return;
+                }
                 // SSC2/SVC2: merge, no tick, no logged event (control
                 // message).
                 self.bundle.as_mut().expect("started").on_strobe(&payload);

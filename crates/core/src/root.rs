@@ -51,6 +51,9 @@ pub struct RootProcess {
     rule: Box<dyn ActuationRule>,
     /// Relay unseen strobes (multi-hop overlays where the root is a hub).
     flood: bool,
+    /// Drop strobes whose integrity checksum fails (see
+    /// [`crate::process::StrobePolicy::quarantine`]).
+    quarantine: bool,
     seen_strobes: Vec<u64>,
     log: Arc<Mutex<ExecutionLog>>,
     metrics: ExecMetrics,
@@ -74,6 +77,7 @@ impl RootProcess {
             event_seq: 0,
             rule,
             flood: false,
+            quarantine: false,
             seen_strobes: vec![0; n + 1],
             log,
             metrics: ExecMetrics::disabled(),
@@ -84,6 +88,12 @@ impl RootProcess {
     /// Enable strobe flood relay at the root (builder style).
     pub fn with_flood(mut self, flood: bool) -> Self {
         self.flood = flood;
+        self
+    }
+
+    /// Drop corrupted strobes instead of merging them (builder style).
+    pub fn with_quarantine(mut self, quarantine: bool) -> Self {
+        self.quarantine = quarantine;
         self
     }
 
@@ -169,6 +179,9 @@ impl Actor<NetMsg> for RootProcess {
                 }
             }
             NetMsg::Strobe { origin, seq, payload } => {
+                if self.quarantine && !payload.verify() {
+                    return; // corrupted in transit: drop, never relay
+                }
                 // The root participates in the strobe protocol as a
                 // listener (it is in P, so system-wide broadcasts reach it).
                 self.bundle.as_mut().expect("started").on_strobe(&payload);

@@ -1,0 +1,67 @@
+//! # psn-faults
+//!
+//! The **fault plane**: deterministic, seeded fault injection for the
+//! pervasive-sensor-network simulator.
+//!
+//! The implementation lives in [`psn_sim::fault`] (it must sit next to the
+//! engine to intercept the transmit path without widening the hot loop);
+//! this crate is the stable public face for consumers that want fault
+//! scripting without depending on simulator internals. Everything here is
+//! a re-export — `psn_faults::FaultScript` *is* `psn_sim::fault::FaultScript`.
+//!
+//! ## What the plane can do
+//!
+//! - **Crash / recover** ([`FaultSpec::Crash`]) — a process stops receiving
+//!   deliveries and timers; with `recover_after` it restarts and its actor
+//!   receives [`FaultEvent::Recover`] to replay its log and re-prime its
+//!   clocks (see `psn_core::RecoveryPolicy`).
+//! - **Partitions** ([`FaultSpec::Partition`]) — a node set is cut off;
+//!   in-flight and crossing messages are dropped or parked per
+//!   [`CutPolicy`], and parked messages release in order at heal time.
+//! - **Channel faults** ([`FaultSpec::Channel`]) — probabilistic per-message
+//!   drop, duplication, reordering, or payload corruption on matching
+//!   channels ([`ChannelEffect`]).
+//! - **Clock faults** ([`FaultSpec::Clock`]) — drift spikes, resets,
+//!   freezes, and ε-sync loss on the physical clock hardware
+//!   ([`ClockFaultKind`]).
+//!
+//! Faults are scheduled by a serializable [`FaultScript`] — written
+//! explicitly with [`FaultScript::with`] or generated from a seed with
+//! [`FaultScript::generate`] — and the whole faulted run remains a pure
+//! function of `(actors, network, script, seed)`: the same inputs replay
+//! byte-for-byte. An installed-but-empty script is observationally
+//! invisible (bit-identical traces to a run with no plane at all).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use psn_sim::fault::{
+    ChannelEffect, ChannelFaultRule, ChaosConfig, ClockFaultKind, CutPolicy, FaultEvent,
+    FaultRecordKind, FaultScript, FaultSpec, FaultStats, ScriptedFault,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psn_sim::time::{SimDuration, SimTime};
+
+    #[test]
+    fn reexports_are_the_sim_types() {
+        let script: psn_sim::fault::FaultScript = FaultScript::new().with(
+            SimTime::from_secs(1),
+            FaultSpec::Crash { actor: 0, recover_after: Some(SimDuration::from_secs(2)) },
+        );
+        assert!(!script.is_empty());
+    }
+
+    #[test]
+    fn generated_scripts_are_deterministic() {
+        let cfg = ChaosConfig::new(vec![0, 1, 2, 3], SimTime::from_secs(100));
+        let a = FaultScript::generate(&cfg, 7);
+        let b = FaultScript::generate(&cfg, 7);
+        assert_eq!(a, b, "same (cfg, seed) ⇒ same script");
+        assert!(!a.is_empty());
+        let c = FaultScript::generate(&cfg, 8);
+        assert_ne!(a, c, "different seed ⇒ different script");
+    }
+}

@@ -74,6 +74,31 @@ impl AccuracyReport {
     }
 }
 
+/// Does `d` overlap truth interval `t` once `t` is expanded by
+/// `tolerance` on both sides? Races within the detector's resolution
+/// shift edges by up to Δ or 2ε, so a detection within tolerance of a
+/// truth interval counts. Point detections (start == end) count via `<=`.
+fn overlaps(d: &Detection, t: &TruthInterval, horizon: SimTime, tolerance: SimDuration) -> bool {
+    let d_start = d.start;
+    let d_end = d.end.unwrap_or(horizon);
+    let t_start = SimTime::from_nanos(t.start.as_nanos().saturating_sub(tolerance.as_nanos()));
+    let t_end = t.end.unwrap_or(horizon).saturating_add(tolerance);
+    d_start <= t_end && t_start <= d_end
+}
+
+/// Does `d` match *any* truth occurrence within `tolerance`? The same
+/// overlap rule [`score`] applies per detection, exposed for invariant
+/// checks (the chaos soak asserts every unmatched detection is near an
+/// injected fault).
+pub fn detection_matches(
+    d: &Detection,
+    truth: &[TruthInterval],
+    horizon: SimTime,
+    tolerance: SimDuration,
+) -> bool {
+    truth.iter().any(|t| overlaps(d, t, horizon, tolerance))
+}
+
 /// Match `detections` against `truth` with a symmetric time `tolerance`
 /// (races within the detector's resolution shift edges by up to Δ or 2ε —
 /// a detection within tolerance of a truth interval counts).
@@ -93,15 +118,8 @@ pub fn score(
         })
         .collect();
 
-    let overlaps = |d: &Detection, t: &TruthInterval| -> bool {
-        let d_start = d.start;
-        let d_end = d.end.unwrap_or(horizon);
-        let t_start = SimTime::from_nanos(t.start.as_nanos().saturating_sub(tolerance.as_nanos()));
-        let t_end = t.end.unwrap_or(horizon).saturating_add(tolerance);
-        // Half-open overlap with the tolerance-expanded truth interval;
-        // point detections (start == end) still count via <=.
-        d_start <= t_end && t_start <= d_end
-    };
+    let overlaps =
+        |d: &Detection, t: &TruthInterval| -> bool { overlaps(d, t, horizon, tolerance) };
 
     let mut matched_truth = vec![false; truth.len()];
     let mut fp = 0usize;

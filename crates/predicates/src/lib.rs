@@ -30,7 +30,7 @@ pub mod online;
 pub mod spec;
 pub mod timing;
 
-pub use accuracy::{score, AccuracyReport, BorderlinePolicy};
+pub use accuracy::{detection_matches, score, AccuracyReport, BorderlinePolicy};
 pub use analytic::{expected_undetectable_rate, fn_probability_synced, race_probability};
 pub use causal::{detect_conjunctive, CausalOccurrence, StampFamily};
 pub use detect::{

@@ -287,6 +287,106 @@ mod tests {
         assert!(buf_high >= 1, "hold-back keeps at least one report buffered");
     }
 
+    /// Like [`fixture`] but with a fault-plane channel script installed:
+    /// reports toward the root are probabilistically reordered (and
+    /// optionally dropped via the loss model), exercising the late-arrival
+    /// path with *real* out-of-order deliveries rather than synthetic ones.
+    /// Loss is injected as a channel-fault rule on the root-bound channel
+    /// (not the global loss model): losing inter-sensor *strobes* makes a
+    /// sensor's scalar clock lag unboundedly behind real time, and no
+    /// finite hold-back restores strobe order — the paper's 2Δ bound
+    /// assumes the strobe dissemination itself is intact.
+    fn faulted_fixture(
+        delta_ms: u64,
+        seed: u64,
+        reorder_extra_ms: u64,
+        drop_prob: f64,
+    ) -> (psn_world::Scenario, psn_core::ExecutionTrace) {
+        use psn_sim::fault::{ChannelEffect, ChannelFaultRule, FaultScript, FaultSpec};
+        let params = ExhibitionParams {
+            doors: 3,
+            arrival_rate_hz: 2.0,
+            mean_stay: psn_sim::time::SimDuration::from_secs(45),
+            duration: SimTime::from_secs(400),
+            capacity: 70,
+        };
+        let scenario = exhibition::generate(&params, seed);
+        let to_root = |prob: f64, effect: ChannelEffect| {
+            FaultSpec::Channel(ChannelFaultRule {
+                from: None,
+                to: Some(3), // the root
+                prob,
+                effect,
+                duration: None,
+            })
+        };
+        let mut script = FaultScript::new().with(
+            SimTime::ZERO,
+            to_root(
+                0.3,
+                ChannelEffect::Reorder { extra: SimDuration::from_millis(reorder_extra_ms) },
+            ),
+        );
+        if drop_prob > 0.0 {
+            script = script.with(SimTime::ZERO, to_root(drop_prob, ChannelEffect::Drop));
+        }
+        let cfg = ExecutionConfig {
+            delay: DelayModel::delta(SimDuration::from_millis(delta_ms)),
+            seed,
+            faults: Some(script),
+            ..Default::default()
+        };
+        let trace = run_execution(&scenario, &cfg);
+        (scenario, trace)
+    }
+
+    #[test]
+    fn injected_reordering_hits_the_late_arrival_path() {
+        // Reordered reports overtake each other on the wire; with zero
+        // hold-back every overtaken report is applied late — and counted.
+        let (scenario, trace) = faulted_fixture(150, 11, 600, 0.0);
+        assert!(trace.faults.as_ref().unwrap().reordered > 0, "the script must actually fire");
+        let pred = Predicate::occupancy_over(3, 70);
+        let mut online =
+            OnlineDetector::new(pred, &scenario.timeline.initial_state(), SimDuration::ZERO);
+        for r in &trace.log.reports {
+            online.offer(r);
+        }
+        assert!(online.late_reports() > 0, "overtaken reports must be counted as late");
+        assert!(!online.finish().is_empty(), "late application still detects occurrences");
+    }
+
+    #[test]
+    fn online_matches_offline_under_loss_and_reorder_when_holdback_suffices() {
+        // Hold-back ≥ 2Δ + reorder extra restores strobe order at release
+        // time, so even on a faulted, lossy channel the streaming verdict
+        // set equals the offline sweep over the same (loss-thinned) log.
+        for seed in [1u64, 6, 12] {
+            let (scenario, trace) = faulted_fixture(150, seed, 300, 0.05);
+            let stats = trace.faults.as_ref().unwrap();
+            assert!(stats.reordered > 0, "seed {seed}: reordering must fire");
+            assert!(stats.dropped_by_channel > 0, "seed {seed}: loss must fire");
+            let pred = Predicate::occupancy_over(3, 70);
+            let init = scenario.timeline.initial_state();
+            let mut online = OnlineDetector::new(
+                pred.clone(),
+                &init,
+                SimDuration::from_millis(2 * 150 + 300 + 50),
+            );
+            for r in &trace.log.reports {
+                online.offer(r);
+            }
+            assert_eq!(online.late_reports(), 0, "seed {seed}: hold-back must suffice");
+            let online_out = online.finish();
+            let offline: Vec<Detection> =
+                detect_occurrences(&trace, &pred, &init, Discipline::ScalarStrobe)
+                    .into_iter()
+                    .map(|d| Detection { borderline: false, ..d })
+                    .collect();
+            assert_eq!(online_out, offline, "seed {seed}");
+        }
+    }
+
     #[test]
     fn detections_stream_incrementally() {
         let (scenario, trace) = fixture(100, 7);

@@ -15,12 +15,15 @@
 //!   [`crate::queue::EventQueue`]), so even the synchronous Δ = 0 model is
 //!   fully deterministic.
 
+use crate::fault::{
+    ChannelEffect, CutPolicy, FaultEvent, FaultPlane, FaultScript, FaultStats, Parked, PlaneOp,
+};
 use crate::metrics::{Counter, Gauge, Metrics, Timer};
 use crate::network::{ActorId, NetStats, NetworkConfig};
 use crate::queue::EventQueue;
 use crate::rng::{RngFactory, RngStream};
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{ClockStamp, MsgId, ProcessEventKind, Trace, TraceKind};
+use crate::trace::{ClockStamp, FaultRecordKind, MsgId, ProcessEventKind, Trace, TraceKind};
 
 use std::time::Instant;
 
@@ -29,6 +32,15 @@ use std::time::Instant;
 pub trait Message: Clone {
     /// The on-the-wire size of this payload, in bytes.
     fn size_bytes(&self) -> usize;
+
+    /// Mutate the payload to model in-flight corruption (fault plane,
+    /// [`ChannelEffect::Corrupt`]); return `true` if anything changed.
+    /// All randomness must come from `rng` (the plane's private stream).
+    /// The default is incorruptible, so existing message types are
+    /// unaffected until they opt in.
+    fn corrupt(&mut self, _rng: &mut RngStream) -> bool {
+        false
+    }
 }
 
 /// Behaviour of one simulated entity.
@@ -43,6 +55,10 @@ pub trait Actor<M: Message> {
     fn on_message(&mut self, ctx: &mut Context<'_, M>, from: ActorId, msg: M);
     /// A timer set with [`Context::set_timer`] has fired.
     fn on_timer(&mut self, _ctx: &mut Context<'_, M>, _tag: u64) {}
+    /// A fault-plane event hit this actor (see [`FaultEvent`]): recovery
+    /// after a crash, or a clock fault. Default: ignore faults entirely —
+    /// actors that model no recoverable state need no changes.
+    fn on_fault(&mut self, _ctx: &mut Context<'_, M>, _event: &FaultEvent) {}
 }
 
 /// Buffered actions produced by an actor callback.
@@ -150,12 +166,16 @@ impl<M> Context<'_, M> {
 enum Pending<M> {
     Deliver { from: u32, to: u32, msg: M, id: u64 },
     Timer { actor: u32, tag: u64 },
+    // Index into the installed fault plane's expanded operation list.
+    // Smaller than Deliver, so the fault plane never widens queue entries.
+    Fault { idx: u32 },
 }
 
 enum Dispatch<M> {
     Start,
     Message { from: ActorId, msg: M },
     Timer { tag: u64 },
+    Fault { event: FaultEvent },
 }
 
 /// Pre-registered engine metric handles (see [`crate::metrics`]). Recording
@@ -217,6 +237,9 @@ pub struct Engine<M: Message> {
     action_scratch: Vec<Action<M>>,
     /// Reusable buffer for a broadcast's neighbor list.
     peer_scratch: Vec<ActorId>,
+    /// The installed fault plane, if any. `None` on the hot path costs one
+    /// predictable branch per event; see [`Engine::install_faults`].
+    fault: Option<Box<FaultPlane<M>>>,
 }
 
 impl<M: Message> Engine<M> {
@@ -245,7 +268,37 @@ impl<M: Message> Engine<M> {
             in_flight: 0,
             action_scratch: Vec::new(),
             peer_scratch: Vec::new(),
+            fault: None,
         }
+    }
+
+    /// Install a [`FaultScript`]: every scripted fault is expanded and
+    /// scheduled on the event queue. Call after [`Engine::add_actor`] (the
+    /// plane sizes its crash mask from the actor count) and before
+    /// [`Engine::run`]. The plane draws from its own stream (label
+    /// `"engine.faults"`, derived statelessly from the master seed), never
+    /// from the network RNG — an **empty** script is observationally
+    /// identical to not installing one at all.
+    pub fn install_faults(&mut self, script: &FaultScript) {
+        let rng = self.factory.labeled_stream("engine.faults");
+        let plane = FaultPlane::new(script, rng, self.actors.len());
+        for (idx, &(at, _)) in plane.ops.iter().enumerate() {
+            self.queue.schedule(at, Pending::Fault { idx: idx as u32 });
+        }
+        self.fault = Some(Box::new(plane));
+    }
+
+    /// The fault plane's counters, if a script is installed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault.as_ref().map(|p| p.stats())
+    }
+
+    /// Messages scheduled (or parked by a partition) but not yet delivered.
+    /// After a run this is the undelivered backlog; together with the
+    /// delivered/lost counters it closes the queue-conservation identity
+    /// the chaos soak asserts.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
     }
 
     /// Record engine metrics (events processed, delivered vs dropped
@@ -322,18 +375,47 @@ impl<M: Message> Engine<M> {
             match pending {
                 Pending::Deliver { from, to, msg, id } => {
                     let (from, to) = (from as ActorId, to as ActorId);
-                    self.trace.record(self.now, TraceKind::Delivered { from, to, msg: MsgId(id) });
-                    self.stats.messages_delivered += 1;
-                    self.m.delivered.inc();
-                    self.in_flight = self.in_flight.saturating_sub(1);
-                    self.m.in_flight.set(self.in_flight);
-                    self.dispatch(to, Dispatch::Message { from, msg });
+                    // One predictable branch when no fault plane is
+                    // installed; a delivery to a crashed node is lost.
+                    match self.fault.as_mut() {
+                        Some(plane) if plane.is_down(to) => {
+                            plane.stats.dropped_at_down += 1;
+                            self.trace
+                                .record(self.now, TraceKind::Lost { from, to, msg: MsgId(id) });
+                            self.stats.messages_lost += 1;
+                            self.stats.messages_faulted += 1;
+                            self.m.dropped.inc();
+                            self.in_flight = self.in_flight.saturating_sub(1);
+                            self.m.in_flight.set(self.in_flight);
+                        }
+                        _ => {
+                            self.trace.record(
+                                self.now,
+                                TraceKind::Delivered { from, to, msg: MsgId(id) },
+                            );
+                            self.stats.messages_delivered += 1;
+                            self.m.delivered.inc();
+                            self.in_flight = self.in_flight.saturating_sub(1);
+                            self.m.in_flight.set(self.in_flight);
+                            self.dispatch(to, Dispatch::Message { from, msg });
+                        }
+                    }
                 }
                 Pending::Timer { actor, tag } => {
                     let actor = actor as ActorId;
-                    self.trace.record(self.now, TraceKind::TimerFired { actor, tag });
-                    self.dispatch(actor, Dispatch::Timer { tag });
+                    // A crashed node's timers are silently discarded (the
+                    // process re-arms what it needs on recovery).
+                    match self.fault.as_mut() {
+                        Some(plane) if plane.is_down(actor) => {
+                            plane.stats.timers_suppressed += 1;
+                        }
+                        _ => {
+                            self.trace.record(self.now, TraceKind::TimerFired { actor, tag });
+                            self.dispatch(actor, Dispatch::Timer { tag });
+                        }
+                    }
                 }
+                Pending::Fault { idx } => self.apply_fault(idx as usize),
             }
             self.m.queue_depth.set(self.queue.len() as u64);
         }
@@ -368,6 +450,7 @@ impl<M: Message> Engine<M> {
             Dispatch::Start => actor.on_start(&mut ctx),
             Dispatch::Message { from, msg } => actor.on_message(&mut ctx, from, msg),
             Dispatch::Timer { tag } => actor.on_timer(&mut ctx, tag),
+            Dispatch::Fault { event } => actor.on_fault(&mut ctx, &event),
         }
         self.actors[id] = Some(actor);
         for a in actions.drain(..) {
@@ -413,6 +496,12 @@ impl<M: Message> Engine<M> {
             self.m.dropped.inc();
             return; // no link: silently dropped
         }
+        // One predictable branch: with a fault plane installed the
+        // transmission goes through the partition/channel-fault pipeline,
+        // which replicates this hot path exactly when no fault applies.
+        if self.fault.is_some() {
+            return self.transmit_faulted(from, to, msg);
+        }
         let bytes = msg.size_bytes();
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += bytes as u64;
@@ -444,6 +533,321 @@ impl<M: Message> Engine<M> {
             .schedule(deliver_at, Pending::Deliver { from: from as u32, to: to as u32, msg, id });
         self.in_flight += 1;
         self.m.in_flight.set(self.in_flight);
+    }
+
+    /// [`Engine::transmit`] with the fault plane interposed: partitions
+    /// block or park, channel-fault rules drop/duplicate/reorder/corrupt,
+    /// then the normal loss/delay/FIFO pipeline runs. When nothing in the
+    /// plane applies, this performs exactly the same accounting, records,
+    /// and RNG draws as the plain path (the faults-off determinism test
+    /// relies on it).
+    fn transmit_faulted(&mut self, from: ActorId, to: ActorId, mut msg: M) {
+        let mut plane = self.fault.take().expect("caller checked");
+        let bytes = msg.size_bytes();
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
+        self.trace.record(self.now, TraceKind::Sent { from, to, bytes, msg: MsgId(id) });
+
+        // 1. Partitions sever the channel before anything else.
+        if plane.active_cuts > 0 && plane.blocked(from, to) {
+            match plane.cut_policy(from, to) {
+                CutPolicy::Drop => {
+                    self.stats.messages_lost += 1;
+                    self.stats.messages_faulted += 1;
+                    self.m.dropped.inc();
+                    self.trace.record(self.now, TraceKind::Lost { from, to, msg: MsgId(id) });
+                    plane.stats.dropped_by_partition += 1;
+                }
+                CutPolicy::Park => {
+                    self.trace.record(
+                        self.now,
+                        TraceKind::Fault { actor: from, kind: FaultRecordKind::Parked, detail: id },
+                    );
+                    plane.parked.push(Parked { from, to, msg, id, deliver_at: self.now });
+                    plane.stats.parked += 1;
+                    self.in_flight += 1; // parked still counts as in flight
+                    self.m.in_flight.set(self.in_flight);
+                }
+            }
+            self.fault = Some(plane);
+            return;
+        }
+
+        // 2. Channel-fault pipeline (draws only from the plane's stream).
+        let mut duplicate = false;
+        let mut extra_delay = None;
+        if plane.active_rules > 0 {
+            match plane.channel_effect(from, to) {
+                Some(ChannelEffect::Drop) => {
+                    self.stats.messages_lost += 1;
+                    self.stats.messages_faulted += 1;
+                    self.m.dropped.inc();
+                    self.trace.record(self.now, TraceKind::Lost { from, to, msg: MsgId(id) });
+                    self.trace.record(
+                        self.now,
+                        TraceKind::Fault {
+                            actor: from,
+                            kind: FaultRecordKind::ChannelDrop,
+                            detail: id,
+                        },
+                    );
+                    plane.stats.dropped_by_channel += 1;
+                    self.fault = Some(plane);
+                    return;
+                }
+                // Not a match guard: corrupt() both decides and mutates,
+                // and a failed guard would fall through to other arms.
+                #[allow(clippy::collapsible_match)]
+                Some(ChannelEffect::Corrupt) => {
+                    if msg.corrupt(&mut plane.rng) {
+                        plane.stats.corrupted += 1;
+                        self.trace.record(
+                            self.now,
+                            TraceKind::Fault {
+                                actor: from,
+                                kind: FaultRecordKind::Corrupted,
+                                detail: id,
+                            },
+                        );
+                    }
+                }
+                Some(ChannelEffect::Duplicate) => duplicate = true,
+                Some(ChannelEffect::Reorder { extra }) => extra_delay = Some(extra),
+                None => {}
+            }
+        }
+
+        // 3. The normal loss/delay/FIFO pipeline, identical to the plain
+        // path (same net_rng draw order).
+        if self.network.loss.is_lost(&mut self.net_rng) {
+            self.stats.messages_lost += 1;
+            self.m.dropped.inc();
+            self.trace.record(self.now, TraceKind::Lost { from, to, msg: MsgId(id) });
+            self.fault = Some(plane);
+            return;
+        }
+        let delay = self.network.delay.sample(&mut self.net_rng);
+        let mut deliver_at = self.now + delay;
+        if let Some(extra) = extra_delay {
+            // Reorder: extra delay and no FIFO clamp (and no fifo_last
+            // update), so later sends on this channel may overtake.
+            deliver_at += extra;
+            plane.stats.reordered += 1;
+            self.trace.record(
+                self.now,
+                TraceKind::Fault { actor: from, kind: FaultRecordKind::Reordered, detail: id },
+            );
+        } else if self.network.fifo {
+            let n = self.network.topology.len();
+            if self.fifo_stride < n {
+                self.grow_fifo(n);
+            }
+            let last = &mut self.fifo_last[from * self.fifo_stride + to];
+            if deliver_at < *last {
+                deliver_at = *last;
+            }
+            *last = deliver_at;
+        }
+        let copy = if duplicate { Some(msg.clone()) } else { None };
+        self.queue
+            .schedule(deliver_at, Pending::Deliver { from: from as u32, to: to as u32, msg, id });
+        self.in_flight += 1;
+        self.m.in_flight.set(self.in_flight);
+
+        // 4. The duplicate copy: its own message id, its own delay (from
+        // the plane's stream), no FIFO clamp.
+        if let Some(copy) = copy {
+            let dup_id = self.next_msg_id;
+            self.next_msg_id += 1;
+            self.stats.messages_sent += 1;
+            self.stats.bytes_sent += bytes as u64;
+            self.stats.messages_duplicated += 1;
+            plane.stats.duplicated += 1;
+            self.trace.record(self.now, TraceKind::Sent { from, to, bytes, msg: MsgId(dup_id) });
+            self.trace.record(
+                self.now,
+                TraceKind::Fault { actor: from, kind: FaultRecordKind::Duplicated, detail: dup_id },
+            );
+            let dup_delay = self.network.delay.sample(&mut plane.rng);
+            self.queue.schedule(
+                self.now + dup_delay,
+                Pending::Deliver { from: from as u32, to: to as u32, msg: copy, id: dup_id },
+            );
+            self.in_flight += 1;
+            self.m.in_flight.set(self.in_flight);
+        }
+        self.fault = Some(plane);
+    }
+
+    /// Execute one expanded fault-plane operation (scheduled by
+    /// [`Engine::install_faults`]).
+    fn apply_fault(&mut self, idx: usize) {
+        let mut plane = self.fault.take().expect("fault event implies a plane");
+        let (_, op) = plane.ops[idx].clone();
+        match op {
+            PlaneOp::Crash { actor } => {
+                if !plane.is_down(actor) {
+                    plane.down[actor] = true;
+                    plane.stats.crashes += 1;
+                    self.trace.record(
+                        self.now,
+                        TraceKind::Fault { actor, kind: FaultRecordKind::Crash, detail: 0 },
+                    );
+                }
+            }
+            PlaneOp::Recover { actor } => {
+                if plane.is_down(actor) {
+                    plane.down[actor] = false;
+                    plane.stats.recoveries += 1;
+                    self.trace.record(
+                        self.now,
+                        TraceKind::Fault { actor, kind: FaultRecordKind::Recover, detail: 0 },
+                    );
+                    // Restore the plane before dispatching so everything
+                    // the recovering actor sends goes through the fault
+                    // pipeline again.
+                    self.fault = Some(plane);
+                    self.dispatch(actor, Dispatch::Fault { event: FaultEvent::Recover });
+                    return;
+                }
+            }
+            PlaneOp::Cut { idx } => {
+                plane.cuts[idx].active = true;
+                plane.active_cuts += 1;
+                plane.stats.cuts += 1;
+                let policy = plane.cuts[idx].policy;
+                // Intercept in-flight messages crossing the new cut. The
+                // closure only sees the plane (already taken out of self),
+                // so the queue borrow is clean.
+                let crossing = {
+                    let plane_ref = &plane;
+                    self.queue.drain_matching(|p| match p {
+                        Pending::Deliver { from, to, .. } => {
+                            plane_ref.cuts[idx].group.contains(&(*from as ActorId))
+                                != plane_ref.cuts[idx].group.contains(&(*to as ActorId))
+                        }
+                        _ => false,
+                    })
+                };
+                for (at, pending) in crossing {
+                    let Pending::Deliver { from, to, msg, id } = pending else { unreachable!() };
+                    let (from, to) = (from as ActorId, to as ActorId);
+                    match policy {
+                        CutPolicy::Drop => {
+                            self.stats.messages_lost += 1;
+                            self.stats.messages_faulted += 1;
+                            self.m.dropped.inc();
+                            self.in_flight = self.in_flight.saturating_sub(1);
+                            self.trace
+                                .record(self.now, TraceKind::Lost { from, to, msg: MsgId(id) });
+                            plane.stats.dropped_in_flight += 1;
+                        }
+                        CutPolicy::Park => {
+                            self.trace.record(
+                                self.now,
+                                TraceKind::Fault {
+                                    actor: from,
+                                    kind: FaultRecordKind::Parked,
+                                    detail: id,
+                                },
+                            );
+                            plane.parked.push(Parked { from, to, msg, id, deliver_at: at });
+                            plane.stats.parked += 1;
+                            // stays in flight
+                        }
+                    }
+                }
+                self.m.in_flight.set(self.in_flight);
+                for i in 0..plane.cuts[idx].group.len() {
+                    let actor = plane.cuts[idx].group[i];
+                    self.trace.record(
+                        self.now,
+                        TraceKind::Fault {
+                            actor,
+                            kind: FaultRecordKind::PartitionCut,
+                            detail: idx as u64,
+                        },
+                    );
+                }
+            }
+            PlaneOp::Heal { idx } => {
+                if plane.cuts[idx].active {
+                    plane.cuts[idx].active = false;
+                    plane.active_cuts -= 1;
+                    plane.stats.heals += 1;
+                    // Release parked messages no active cut still blocks,
+                    // in original delivery order, at/after heal time.
+                    let parked = std::mem::take(&mut plane.parked);
+                    for p in parked {
+                        if plane.blocked(p.from, p.to) {
+                            plane.parked.push(p);
+                        } else {
+                            let at = if p.deliver_at > self.now { p.deliver_at } else { self.now };
+                            self.trace.record(
+                                self.now,
+                                TraceKind::Fault {
+                                    actor: p.from,
+                                    kind: FaultRecordKind::Unparked,
+                                    detail: p.id,
+                                },
+                            );
+                            self.queue.schedule(
+                                at,
+                                Pending::Deliver {
+                                    from: p.from as u32,
+                                    to: p.to as u32,
+                                    msg: p.msg,
+                                    id: p.id,
+                                },
+                            );
+                            plane.stats.unparked += 1;
+                        }
+                    }
+                    for i in 0..plane.cuts[idx].group.len() {
+                        let actor = plane.cuts[idx].group[i];
+                        self.trace.record(
+                            self.now,
+                            TraceKind::Fault {
+                                actor,
+                                kind: FaultRecordKind::PartitionHeal,
+                                detail: idx as u64,
+                            },
+                        );
+                    }
+                }
+            }
+            PlaneOp::ChannelOn { idx } => {
+                if !plane.rules[idx].active {
+                    plane.rules[idx].active = true;
+                    plane.active_rules += 1;
+                }
+            }
+            PlaneOp::ChannelOff { idx } => {
+                if plane.rules[idx].active {
+                    plane.rules[idx].active = false;
+                    plane.active_rules -= 1;
+                }
+            }
+            PlaneOp::Clock { actor, kind } => {
+                plane.stats.clock_faults += 1;
+                self.trace.record(
+                    self.now,
+                    TraceKind::Fault {
+                        actor,
+                        kind: FaultRecordKind::ClockFault,
+                        detail: kind.code(),
+                    },
+                );
+                if !plane.is_down(actor) {
+                    self.fault = Some(plane);
+                    self.dispatch(actor, Dispatch::Fault { event: FaultEvent::Clock(kind) });
+                    return;
+                }
+            }
+        }
+        self.fault = Some(plane);
     }
 
     /// Resize the FIFO matrix to stride `n`, remapping existing channel
@@ -832,5 +1236,266 @@ mod tests {
         let delivered = e.trace().count_matching(|k| matches!(k, TraceKind::Delivered { .. }));
         assert_eq!(sent, 10);
         assert_eq!(delivered, 10);
+    }
+
+    // ---- fault plane -----------------------------------------------------
+
+    use crate::fault::{ChannelFaultRule, ClockFaultKind, FaultSpec};
+
+    impl TestMsg {
+        fn value(&self) -> u32 {
+            match self {
+                TestMsg::Ping(k) | TestMsg::Pong(k) => *k,
+            }
+        }
+    }
+
+    /// Sends `count` pings to `to` after 5 ms (past any t=0 fault ops).
+    struct DelayedSpray {
+        to: ActorId,
+        count: u32,
+    }
+    impl Actor<TestMsg> for DelayedSpray {
+        fn on_start(&mut self, ctx: &mut Context<'_, TestMsg>) {
+            ctx.set_timer(SimDuration::from_millis(5), 0);
+        }
+        fn on_message(&mut self, _: &mut Context<'_, TestMsg>, _: ActorId, _: TestMsg) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_, TestMsg>, _tag: u64) {
+            for k in 0..self.count {
+                ctx.send(self.to, TestMsg::Ping(k));
+            }
+        }
+    }
+
+    use std::sync::{Arc, Mutex};
+    type Shared<T> = Arc<Mutex<Vec<T>>>;
+    struct Collector {
+        got: Shared<(SimTime, u32)>,
+        faults: Shared<FaultEvent>,
+    }
+    impl Collector {
+        fn pair() -> (Self, Shared<(SimTime, u32)>, Shared<FaultEvent>) {
+            let got = Arc::new(Mutex::new(Vec::new()));
+            let faults = Arc::new(Mutex::new(Vec::new()));
+            (Collector { got: Arc::clone(&got), faults: Arc::clone(&faults) }, got, faults)
+        }
+    }
+    impl Actor<TestMsg> for Collector {
+        fn on_message(&mut self, ctx: &mut Context<'_, TestMsg>, _: ActorId, msg: TestMsg) {
+            self.got.lock().unwrap().push((ctx.now(), msg.value()));
+        }
+        fn on_fault(&mut self, _ctx: &mut Context<'_, TestMsg>, event: &FaultEvent) {
+            self.faults.lock().unwrap().push(event.clone());
+        }
+    }
+
+    #[test]
+    fn crash_drops_deliveries_and_suppresses_timers() {
+        // Ping at t=0 delivers at 10 ms, but actor 1 crashes at 5 ms.
+        let net = NetworkConfig::full_mesh(2, DelayModel::Fixed(SimDuration::from_millis(10)));
+        let mut e = Engine::new(net, 42);
+        e.add_actor(Box::new(PingPong { peer: 1, max: 5, log: vec![], initiator: true }));
+        e.add_actor(Box::new(PingPong { peer: 0, max: 5, log: vec![], initiator: false }));
+        let script = FaultScript::new()
+            .with(SimTime::from_millis(5), FaultSpec::Crash { actor: 1, recover_after: None });
+        e.install_faults(&script);
+        e.run();
+        assert_eq!(e.stats().messages_delivered, 0);
+        assert_eq!(e.stats().messages_lost, 1);
+        assert_eq!(e.stats().messages_faulted, 1);
+        let fs = e.fault_stats().unwrap();
+        assert_eq!(fs.crashes, 1);
+        assert_eq!(fs.recoveries, 0);
+        assert_eq!(fs.dropped_at_down, 1);
+
+        // A crashed Ticker's pending timer is swallowed, ending the chain.
+        let net = NetworkConfig::full_mesh(1, DelayModel::Synchronous);
+        let mut e = Engine::new(net, 42);
+        e.add_actor(Box::new(Ticker {
+            fired: vec![],
+            period: SimDuration::from_millis(100),
+            remaining: 4,
+        }));
+        let script = FaultScript::new()
+            .with(SimTime::from_millis(150), FaultSpec::Crash { actor: 0, recover_after: None });
+        e.install_faults(&script);
+        let end = e.run();
+        assert_eq!(end, SimTime::from_millis(200), "timer 2 is swallowed at 200 ms");
+        assert_eq!(e.fault_stats().unwrap().timers_suppressed, 1);
+    }
+
+    #[test]
+    fn recover_dispatches_on_fault() {
+        let (collector, _got, faults) = Collector::pair();
+        let net = NetworkConfig::full_mesh(2, DelayModel::Synchronous);
+        let mut e = Engine::new(net, 7);
+        e.add_actor(Box::new(collector));
+        e.add_actor(Box::new(Beacon { fire: false, received: 0 }));
+        let script = FaultScript::new()
+            .with(
+                SimTime::from_millis(10),
+                FaultSpec::Crash { actor: 0, recover_after: Some(SimDuration::from_millis(20)) },
+            )
+            .with(
+                SimTime::from_millis(50),
+                FaultSpec::Clock { actor: 0, kind: ClockFaultKind::Reset },
+            );
+        e.install_faults(&script);
+        e.run();
+        let faults = faults.lock().unwrap().clone();
+        assert_eq!(faults, vec![FaultEvent::Recover, FaultEvent::Clock(ClockFaultKind::Reset)]);
+        let fs = e.fault_stats().unwrap();
+        assert_eq!((fs.crashes, fs.recoveries, fs.clock_faults), (1, 1, 1));
+    }
+
+    #[test]
+    fn partition_cut_drops_in_flight_and_blocks_sends() {
+        // Pings sent at 5 ms (in flight until 50 ms) plus more at 20 ms;
+        // a Drop-policy cut at 10 ms isolates the receiver for 1 s.
+        struct TwoWaves {
+            to: ActorId,
+        }
+        impl Actor<TestMsg> for TwoWaves {
+            fn on_start(&mut self, ctx: &mut Context<'_, TestMsg>) {
+                ctx.set_timer(SimDuration::from_millis(5), 0);
+                ctx.set_timer(SimDuration::from_millis(20), 1);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, TestMsg>, _: ActorId, _: TestMsg) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, TestMsg>, tag: u64) {
+                for k in 0..3 {
+                    ctx.send(self.to, TestMsg::Ping(tag as u32 * 10 + k));
+                }
+            }
+        }
+        let (collector, got, _faults) = Collector::pair();
+        let net = NetworkConfig::full_mesh(2, DelayModel::Fixed(SimDuration::from_millis(45)));
+        let mut e = Engine::new(net, 3);
+        e.add_actor(Box::new(TwoWaves { to: 1 }));
+        e.add_actor(Box::new(collector));
+        let script = FaultScript::new().with(
+            SimTime::from_millis(10),
+            FaultSpec::Partition {
+                group: vec![1],
+                heal_after: SimDuration::from_secs(1),
+                policy: CutPolicy::Drop,
+            },
+        );
+        e.install_faults(&script);
+        e.run();
+        assert!(got.lock().unwrap().is_empty(), "no wave crosses the cut");
+        let fs = e.fault_stats().unwrap();
+        assert_eq!(fs.dropped_in_flight, 3, "wave 0 was in flight at cut time");
+        assert_eq!(fs.dropped_by_partition, 3, "wave 1 was blocked at transmit");
+        assert_eq!((fs.cuts, fs.heals), (1, 1));
+        assert_eq!(e.in_flight(), 0);
+    }
+
+    #[test]
+    fn partition_park_releases_messages_at_heal() {
+        let (collector, got, _faults) = Collector::pair();
+        let net = NetworkConfig::full_mesh(2, DelayModel::Fixed(SimDuration::from_millis(45)));
+        let mut e = Engine::new(net, 3);
+        e.add_actor(Box::new(DelayedSpray { to: 1, count: 4 }));
+        e.add_actor(Box::new(collector));
+        // Cut at 10 ms (wave in flight since 5 ms), heal at 110 ms.
+        let script = FaultScript::new().with(
+            SimTime::from_millis(10),
+            FaultSpec::Partition {
+                group: vec![1],
+                heal_after: SimDuration::from_millis(100),
+                policy: CutPolicy::Park,
+            },
+        );
+        e.install_faults(&script);
+        e.run();
+        let got = got.lock().unwrap().clone();
+        assert_eq!(got.len(), 4, "parked messages are delivered after heal");
+        assert!(got.iter().all(|&(at, _)| at == SimTime::from_millis(110)));
+        assert_eq!(got.iter().map(|&(_, k)| k).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        let fs = e.fault_stats().unwrap();
+        assert_eq!((fs.parked, fs.unparked, fs.parked_leftover), (4, 4, 0));
+        assert_eq!(e.stats().messages_delivered, 4);
+        assert_eq!(e.stats().messages_lost, 0);
+    }
+
+    #[test]
+    fn channel_rules_duplicate_and_drop() {
+        let run = |effect: ChannelEffect| {
+            let (collector, got, _faults) = Collector::pair();
+            let net = NetworkConfig::full_mesh(2, DelayModel::Synchronous);
+            let mut e = Engine::new(net, 5);
+            e.add_actor(Box::new(DelayedSpray { to: 1, count: 10 }));
+            e.add_actor(Box::new(collector));
+            let script = FaultScript::new().with(
+                SimTime::ZERO,
+                FaultSpec::Channel(ChannelFaultRule {
+                    from: Some(0),
+                    to: None,
+                    prob: 1.0,
+                    effect,
+                    duration: None,
+                }),
+            );
+            e.install_faults(&script);
+            e.run();
+            let n = got.lock().unwrap().len();
+            (n, e.stats().clone(), e.fault_stats().unwrap())
+        };
+        let (n, stats, fs) = run(ChannelEffect::Duplicate);
+        assert_eq!(n, 20, "every message is delivered twice");
+        assert_eq!(stats.messages_sent, 20);
+        assert_eq!(stats.messages_duplicated, 10);
+        assert_eq!(fs.duplicated, 10);
+        let (n, stats, fs) = run(ChannelEffect::Drop);
+        assert_eq!(n, 0);
+        assert_eq!(stats.messages_lost, 10);
+        assert_eq!(stats.messages_faulted, 10);
+        assert_eq!(fs.dropped_by_channel, 10);
+    }
+
+    #[test]
+    fn reorder_rule_lets_messages_overtake() {
+        let (collector, got, _faults) = Collector::pair();
+        let net = NetworkConfig::full_mesh(2, DelayModel::Fixed(SimDuration::from_millis(10)));
+        let mut e = Engine::new(net, 17);
+        e.add_actor(Box::new(DelayedSpray { to: 1, count: 20 }));
+        e.add_actor(Box::new(collector));
+        let script = FaultScript::new().with(
+            SimTime::ZERO,
+            FaultSpec::Channel(ChannelFaultRule {
+                from: Some(0),
+                to: Some(1),
+                prob: 0.5,
+                effect: ChannelEffect::Reorder { extra: SimDuration::from_millis(100) },
+                duration: None,
+            }),
+        );
+        e.install_faults(&script);
+        e.run();
+        let got: Vec<u32> = got.lock().unwrap().iter().map(|&(_, k)| k).collect();
+        assert_eq!(got.len(), 20, "reordering never loses messages");
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_ne!(got, sorted, "delayed messages are overtaken despite FIFO");
+        let fs = e.fault_stats().unwrap();
+        assert!(fs.reordered > 0 && fs.reordered < 20);
+    }
+
+    #[test]
+    fn empty_script_is_bit_identical_to_no_plane() {
+        let run = |install: bool| {
+            let mut e = ping_pong_engine(DelayModel::delta(SimDuration::from_millis(25)));
+            e.enable_trace();
+            if install {
+                e.install_faults(&FaultScript::new());
+            }
+            let end = e.run();
+            (end, e.stats().clone(), crate::trace_export::jsonl(e.trace()))
+        };
+        let (end_plain, stats_plain, trace_plain) = run(false);
+        let (end_fault, stats_fault, trace_fault) = run(true);
+        assert_eq!(end_plain, end_fault);
+        assert_eq!(stats_plain, stats_fault);
+        assert_eq!(trace_plain, trace_fault, "empty plane must be observationally silent");
     }
 }

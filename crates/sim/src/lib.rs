@@ -59,6 +59,7 @@
 
 pub mod delay;
 pub mod engine;
+pub mod fault;
 pub mod loss;
 pub mod metrics;
 pub mod network;
@@ -75,6 +76,10 @@ pub mod trace_export;
 pub mod prelude {
     pub use crate::delay::DelayModel;
     pub use crate::engine::{Actor, Context, Engine, Message};
+    pub use crate::fault::{
+        ChannelEffect, ChannelFaultRule, ChaosConfig, ClockFaultKind, CutPolicy, FaultEvent,
+        FaultScript, FaultSpec, FaultStats, ScriptedFault,
+    };
     pub use crate::loss::LossModel;
     pub use crate::metrics::{Counter, Gauge, Metrics, MetricsSnapshot, Timer};
     pub use crate::network::{ActorId, NetStats, NetworkConfig, Topology};

@@ -144,6 +144,66 @@ mod tests {
         );
     }
 
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// The empirical long-run loss rate of any Gilbert–Elliott
+            /// chain matches the analytic stationary loss probability
+            /// π_bad·loss_bad + (1−π_bad)·loss_good. Transition
+            /// probabilities are bounded away from 0 so the chain mixes
+            /// within the sample budget.
+            #[test]
+            fn gilbert_elliott_empirical_rate_matches_stationary(
+                p_gb in 0.02f64..0.5,
+                p_bg in 0.02f64..0.5,
+                loss_good in 0.0f64..0.2,
+                loss_bad in 0.3f64..1.0,
+                start_bad in 0u8..2,
+                seed in 0u64..1_000,
+            ) {
+                let mut m = LossModel::GilbertElliott {
+                    p_gb, p_bg, loss_good, loss_bad, in_bad: start_bad == 1,
+                };
+                let expected = m.steady_state_loss();
+                let mut r = RngFactory::new(seed).stream(1);
+                let n = 200_000u32;
+                let lost = (0..n).filter(|_| m.is_lost(&mut r)).count();
+                let rate = lost as f64 / n as f64;
+                // Chebyshev-ish slack: burstier chains (small transition
+                // probabilities) have higher variance in the sample mean.
+                let tol = 0.015 + 0.03 * (0.02 / p_gb.min(p_bg));
+                prop_assert!(
+                    (rate - expected).abs() < tol,
+                    "rate {} vs stationary {} (tol {})", rate, expected, tol
+                );
+            }
+
+            /// A fixed `(model, stream)` pair replays the identical loss
+            /// sequence — burst state and RNG advance in lock-step, which
+            /// the engine's replayability depends on.
+            #[test]
+            fn gilbert_elliott_is_deterministic_under_a_fixed_stream(
+                p_gb in 0.0f64..1.0,
+                p_bg in 0.0f64..1.0,
+                loss_good in 0.0f64..1.0,
+                loss_bad in 0.0f64..1.0,
+                seed in 0u64..1_000,
+            ) {
+                let run = || {
+                    let mut m = LossModel::bursty(p_gb, p_bg, loss_good, loss_bad);
+                    let mut r = RngFactory::new(seed).labeled_stream("engine.network");
+                    (0..2_000).map(|_| m.is_lost(&mut r)).collect::<Vec<bool>>()
+                };
+                let (a, b) = (run(), run());
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
     #[test]
     fn steady_state_handles_degenerate_chain() {
         let m = LossModel::GilbertElliott {

@@ -179,6 +179,12 @@ pub struct NetStats {
     pub bytes_sent: u64,
     /// Number of broadcast operations performed.
     pub broadcasts: u64,
+    /// Messages removed by the fault plane (down-node drops, partition
+    /// drops, channel-fault drops). Always a subset of `messages_lost`.
+    pub messages_faulted: u64,
+    /// Extra copies injected by channel-fault duplication (each also counts
+    /// in `messages_sent`).
+    pub messages_duplicated: u64,
 }
 
 #[cfg(test)]

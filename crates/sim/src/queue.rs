@@ -95,6 +95,26 @@ impl<E> EventQueue<E> {
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
     }
+
+    /// Remove every pending event matching `pred` and return them in
+    /// `(time, seq)` order (i.e. the order they would have fired). Rebuilds
+    /// the heap — a cold operation, used by the fault plane to intercept
+    /// in-flight messages when a partition cut activates.
+    pub fn drain_matching(&mut self, mut pred: impl FnMut(&E) -> bool) -> Vec<(SimTime, E)> {
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        let mut kept = Vec::with_capacity(entries.len());
+        let mut out = Vec::new();
+        for e in entries {
+            if pred(&e.payload) {
+                out.push(e);
+            } else {
+                kept.push(e);
+            }
+        }
+        self.heap = BinaryHeap::from(kept);
+        out.sort_unstable_by_key(|e| (e.at, e.seq));
+        out.into_iter().map(|e| (e.at, e.payload)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +162,32 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn drain_matching_removes_and_orders_matches() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), 30);
+        q.schedule(SimTime::from_millis(10), 10);
+        q.schedule(SimTime::from_millis(20), 21);
+        q.schedule(SimTime::from_millis(20), 20);
+        let odd = q.drain_matching(|&p| p % 2 == 1);
+        assert_eq!(odd, vec![(SimTime::from_millis(20), 21)]);
+        assert_eq!(q.len(), 3, "non-matching events stay");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec![10, 20, 30], "heap order survives the rebuild");
+    }
+
+    #[test]
+    fn drain_matching_preserves_fire_order_among_matches() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let all = q.drain_matching(|_| true);
+        assert!(q.is_empty());
+        assert_eq!(all.iter().map(|&(_, p)| p).collect::<Vec<_>>(), (0..10).collect::<Vec<_>>());
     }
 
     #[test]

@@ -87,6 +87,55 @@ impl ProcessEventKind {
     }
 }
 
+/// The kinds of fault-plane events a [`TraceKind::Fault`] record can
+/// carry (see [`crate::fault`]). `detail` on the record disambiguates:
+/// message id for channel effects, cut index for partitions, the
+/// [`crate::fault::ClockFaultKind::code`] for clock faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultRecordKind {
+    /// The actor crashed.
+    Crash,
+    /// The actor recovered from a crash.
+    Recover,
+    /// The actor was isolated by a partition cut.
+    PartitionCut,
+    /// The partition isolating the actor healed.
+    PartitionHeal,
+    /// A clock fault hit the actor.
+    ClockFault,
+    /// A message from the actor was corrupted in flight.
+    Corrupted,
+    /// A message from the actor was duplicated in flight.
+    Duplicated,
+    /// A message from the actor was delayed past the FIFO order.
+    Reordered,
+    /// A message from the actor was dropped by a channel-fault rule.
+    ChannelDrop,
+    /// A message from the actor was parked at a partition cut.
+    Parked,
+    /// A parked message from the actor was released at heal time.
+    Unparked,
+}
+
+impl FaultRecordKind {
+    /// Stable lowercase label, used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultRecordKind::Crash => "crash",
+            FaultRecordKind::Recover => "recover",
+            FaultRecordKind::PartitionCut => "partition_cut",
+            FaultRecordKind::PartitionHeal => "partition_heal",
+            FaultRecordKind::ClockFault => "clock_fault",
+            FaultRecordKind::Corrupted => "corrupted",
+            FaultRecordKind::Duplicated => "duplicated",
+            FaultRecordKind::Reordered => "reordered",
+            FaultRecordKind::ChannelDrop => "channel_drop",
+            FaultRecordKind::Parked => "parked",
+            FaultRecordKind::Unparked => "unparked",
+        }
+    }
+}
+
 /// How many vector components a [`ClockStamp`] keeps in-struct before
 /// spilling to the heap (mirrors `psn-clocks`' inline small-vector stamps).
 pub const STAMP_INLINE: usize = 8;
@@ -251,6 +300,12 @@ pub enum TraceKind {
     /// actuate / detect). `detail` is a kind-specific payload — see
     /// [`ProcessEventKind`].
     Process { actor: ActorId, kind: ProcessEventKind, stamp: ClockStamp, detail: u64 },
+    /// A fault-plane event (crash, recovery, partition cut/heal, channel
+    /// effect, clock fault). Only ever recorded when a non-empty
+    /// [`crate::fault::FaultScript`] is installed, so fault-free golden
+    /// traces never contain this kind. `detail` is kind-specific — see
+    /// [`FaultRecordKind`].
+    Fault { actor: ActorId, kind: FaultRecordKind, detail: u64 },
 }
 
 impl TraceKind {
@@ -262,7 +317,8 @@ impl TraceKind {
             TraceKind::Delivered { to, .. } => *to,
             TraceKind::TimerFired { actor, .. }
             | TraceKind::Note { actor, .. }
-            | TraceKind::Process { actor, .. } => *actor,
+            | TraceKind::Process { actor, .. }
+            | TraceKind::Fault { actor, .. } => *actor,
         }
     }
 

@@ -149,6 +149,16 @@ pub fn chrome_trace_json(trace: &Trace, actor_name: impl Fn(ActorId) -> String) 
                 ));
                 events.push(Value::Map(e));
             }
+            TraceKind::Fault { actor, kind, detail } => {
+                let mut e = event("i", *actor, r.at, format!("fault: {}", kind.label()));
+                e.push(("cat".to_string(), Value::Str("fault".to_string())));
+                e.push(("s".to_string(), Value::Str("t".to_string())));
+                e.push((
+                    "args".to_string(),
+                    Value::Map(vec![("detail".to_string(), Value::UInt(*detail))]),
+                ));
+                events.push(Value::Map(e));
+            }
         }
     }
 
@@ -207,6 +217,12 @@ pub fn jsonl(trace: &Trace) -> String {
                 m.push(("kind".to_string(), Value::Str(kind.label().to_string())));
                 m.push(("detail".to_string(), Value::UInt(*detail)));
                 m.push(("stamp".to_string(), stamp.to_value()));
+            }
+            TraceKind::Fault { actor, kind, detail } => {
+                m.push(("event".to_string(), Value::Str("fault".to_string())));
+                m.push(("actor".to_string(), Value::UInt(*actor as u64)));
+                m.push(("kind".to_string(), Value::Str(kind.label().to_string())));
+                m.push(("detail".to_string(), Value::UInt(*detail)));
             }
         }
         serde_json::write_value_to(&Value::Map(m), &mut out);
@@ -303,6 +319,10 @@ mod tests {
         t.record(SimTime::from_millis(5), TraceKind::Lost { from: 1, to: 0, msg: MsgId(8) });
         t.record(SimTime::from_millis(6), TraceKind::TimerFired { actor: 1, tag: 2 });
         t.record(SimTime::from_millis(7), TraceKind::Note { actor: 1, label: "hi".into() });
+        t.record(
+            SimTime::from_millis(7),
+            TraceKind::Fault { actor: 0, kind: crate::trace::FaultRecordKind::Crash, detail: 0 },
+        );
         // An injected delivery: no Sent with this id → no flow finish.
         t.record(SimTime::from_millis(8), TraceKind::Delivered { from: 2, to: 1, msg: MsgId(99) });
         t.seal();

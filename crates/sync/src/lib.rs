@@ -10,20 +10,24 @@
 //!   protocol, and
 //! - [`tpsn`] — a TPSN-like two-way sender-receiver exchange over a tree,
 //!
-//! with [`skew`] measuring the achieved ε and [`cost`] pricing the
-//! messages in radio energy. Experiments E1 (ε → detection accuracy) and
-//! E7 ("sync is not free") consume these.
+//! with [`skew`] measuring the achieved ε, [`cost`] pricing the messages
+//! in radio energy, and [`recovery`] planning the post-crash resync round
+//! (when the ε bound holds again, and what the repair costs). Experiments
+//! E1 (ε → detection accuracy), E7 ("sync is not free") and E11/E12
+//! (crash/partition resilience) consume these.
 
 #![warn(missing_docs)]
 
 pub mod cost;
 pub mod on_demand;
 pub mod rbs;
+pub mod recovery;
 pub mod skew;
 pub mod tpsn;
 
 pub use cost::CostModel;
 pub use on_demand::{run_on_demand, OnDemandOutcome, OnDemandParams};
 pub use rbs::{run_rbs, RbsParams, SyncOutcome};
+pub use recovery::{plan_resync, ResyncParams, ResyncPlan};
 pub use skew::{max_pairwise_skew, max_truth_error, mean_pairwise_skew};
 pub use tpsn::{run_tpsn, run_tpsn_chain, ChainOutcome, TpsnChainParams, TpsnParams};

@@ -23,6 +23,7 @@
 //! | [`predicates`] | predicate language + detectors + accuracy scoring |
 //! | [`lattice`] | consistent cuts, lattice enumeration, interval algebra |
 //! | [`sync`] | RBS/TPSN sync protocols, skew and energy accounting |
+//! | [`faults`] | fault plane: scripted crashes, partitions, channel + clock faults |
 //!
 //! ## Quickstart
 //!
@@ -69,6 +70,7 @@
 
 pub use psn_clocks as clocks;
 pub use psn_core as core;
+pub use psn_faults as faults;
 pub use psn_lattice as lattice;
 pub use psn_predicates as predicates;
 pub use psn_sim as sim;
@@ -85,6 +87,10 @@ pub mod prelude {
     pub use psn_core::{
         run_execution, run_execution_instrumented, run_execution_with_rule, ActuationRule,
         ClockConfig, ExecMetrics, ExecutionConfig, ExecutionTrace, StrobePolicy,
+    };
+    pub use psn_faults::{
+        ChannelEffect, ChannelFaultRule, ChaosConfig, ClockFaultKind, CutPolicy, FaultScript,
+        FaultSpec, FaultStats,
     };
     pub use psn_predicates::{
         detect_conjunctive, detect_occurrences, detect_occurrences_instrumented, score,

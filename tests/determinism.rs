@@ -64,6 +64,12 @@ fn trace_projection_hash(trace: &pervasive_time::sim::trace::Trace) -> u64 {
                 (4, *actor as u64, label.len() as u64, 0)
             }
             TraceKind::Process { .. } => continue,
+            // Fault records cannot appear in the golden (fault-free) trace;
+            // hashing them keeps the projection total over TraceKind.
+            TraceKind::Fault { actor, kind, detail } => {
+                fnv1a(&mut h, kind.label().as_bytes());
+                (6, *actor as u64, kind.label().len() as u64, *detail)
+            }
         };
         if tag != 4 {
             fnv1a(&mut h, &e.at.as_nanos().to_le_bytes());
@@ -119,6 +125,10 @@ fn trace_full_hash(trace: &pervasive_time::sim::trace::Trace) -> u64 {
                 }
                 fnv1a(&mut h, kind.label().as_bytes());
                 (5, *actor as u64, kind.label().len() as u64, *detail)
+            }
+            TraceKind::Fault { actor, kind, detail } => {
+                fnv1a(&mut h, kind.label().as_bytes());
+                (6, *actor as u64, kind.label().len() as u64, *detail)
             }
         };
         fnv1a(&mut h, &[tag]);
@@ -176,6 +186,49 @@ fn golden_trace_hash_is_stable() {
 /// Recorded when the structured tracing pipeline landed (PR 3); see
 /// `golden_trace_hash_is_stable`.
 const FULL_TRACE_HASH: u64 = 2738746027867686778;
+
+/// The fault plane's contract: faults off is provably observational. A run
+/// with the plane **installed but empty** must reproduce the golden hashes
+/// byte-for-byte — both the network-plane projection and the full
+/// structured trace — and be bit-identical in every other observable to a
+/// run with no plane at all. Installing an empty script therefore draws
+/// zero extra RNG values and perturbs no event.
+#[test]
+fn empty_fault_plane_reproduces_the_golden_hashes() {
+    let params = ExhibitionParams {
+        doors: 4,
+        arrival_rate_hz: 3.0,
+        mean_stay: SimDuration::from_secs(40),
+        duration: SimTime::from_secs(200),
+        capacity: 90,
+    };
+    let scenario = exhibition::generate(&params, 13);
+    let cfg = ExecutionConfig {
+        delay: DelayModel::delta(SimDuration::from_millis(150)),
+        loss: LossModel::Bernoulli { p: 0.02 },
+        seed: 13,
+        record_sim_trace: true,
+        faults: Some(FaultScript::new()),
+        ..Default::default()
+    };
+    let trace = run_execution(&scenario, &cfg);
+    assert_eq!(
+        trace_projection_hash(&trace.sim),
+        9037720422308291165,
+        "an empty fault plane perturbed the network-plane trace"
+    );
+    assert_eq!(
+        trace_full_hash(&trace.sim),
+        FULL_TRACE_HASH,
+        "an empty fault plane perturbed the structured trace"
+    );
+    let off = golden_trace();
+    assert_eq!(off.log.events, trace.log.events);
+    assert_eq!(off.log.reports, trace.log.reports);
+    assert_eq!(off.net, trace.net, "fault counters aside, the network counters must not move");
+    assert_eq!(off.ended_at, trace.ended_at);
+    assert_eq!(trace.faults, Some(FaultStats::default()), "plane installed, nothing fired");
+}
 
 /// The tentpole's contract: tracing is purely observational. A run with the
 /// structured trace enabled must be bit-identical — events, reports,
