@@ -27,6 +27,12 @@ use serde::Serialize;
 struct Baseline {
     note: String,
     engine_events_per_sec: f64,
+    /// Sharded-engine throughput on a large-n (1025-actor) workload, at
+    /// the best shard count tried (see the note for which).
+    engine_par_events_per_sec: f64,
+    /// The sequential engine on the *same* large-n workload — the
+    /// denominator of the sharding speedup.
+    engine_par_seq_events_per_sec: f64,
     scalar_tick_ops_per_sec: f64,
     vector64_merge_ops_per_sec: f64,
     detector_reports_per_sec: f64,
@@ -56,6 +62,47 @@ fn engine_events_per_sec() -> f64 {
     let secs = t0.elapsed().as_secs_f64();
     let events = metrics.snapshot().counter("engine.events_processed").unwrap_or(0);
     events as f64 / secs
+}
+
+/// Sequential vs sharded throughput on a large-n workload: 1024 doors
+/// (1025 actors) under a Δ-bounded delay with a 40 ms floor — the floor is
+/// the sharded engine's lookahead. Returns `(seq, best_par, best_shards)`.
+fn engine_par_events_per_sec(shard_counts: &[usize]) -> (f64, f64, usize) {
+    let params = ExhibitionParams {
+        doors: 1024,
+        arrival_rate_hz: 20.0,
+        mean_stay: SimDuration::from_secs(60),
+        duration: SimTime::from_secs(60),
+        capacity: 240,
+    };
+    let scenario = exhibition::generate(&params, 11);
+    let measure = |shards: usize| {
+        let cfg = ExecutionConfig {
+            delay: DelayModel::DeltaBounded {
+                min: SimDuration::from_millis(40),
+                max: SimDuration::from_millis(240),
+            },
+            shards,
+            ..Default::default()
+        };
+        let metrics = Metrics::new();
+        let t0 = Instant::now();
+        black_box(run_execution_instrumented(&scenario, &cfg, &metrics));
+        let secs = t0.elapsed().as_secs_f64();
+        let events = metrics.snapshot().counter("engine.events_processed").unwrap_or(0);
+        events as f64 / secs
+    };
+    let _warm = measure(1);
+    let seq = measure(1);
+    let (mut best, mut best_k) = (0.0f64, 1usize);
+    for &k in shard_counts {
+        let rate = measure(k);
+        if rate > best {
+            best = rate;
+            best_k = k;
+        }
+    }
+    (seq, best, best_k)
 }
 
 fn scalar_tick_ops_per_sec() -> f64 {
@@ -169,11 +216,21 @@ fn trace_records_per_sec() -> f64 {
 
 fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let threads = psn_sim::sweep::default_threads();
+    let shard_counts = [2usize, 4, 8];
+    let (par_seq, par_best, par_k) = engine_par_events_per_sec(&shard_counts);
     let baseline = Baseline {
-        note: "wall-clock throughput snapshot; regenerate with `cargo run --release -p \
-               psn-bench --bin baseline` on the machine under comparison"
-            .to_string(),
+        note: format!(
+            "wall-clock throughput snapshot; regenerate with `cargo run --release -p \
+             psn-bench --bin baseline` on the machine under comparison. \
+             threads={threads} (PSN_THREADS honored); engine_par = 1025-actor \
+             exhibition workload, shards tried {shard_counts:?}, best={par_k}, \
+             speedup {:.2}x over sequential on the same workload",
+            par_best / par_seq.max(1.0)
+        ),
         engine_events_per_sec: engine_events_per_sec(),
+        engine_par_events_per_sec: par_best,
+        engine_par_seq_events_per_sec: par_seq,
         scalar_tick_ops_per_sec: scalar_tick_ops_per_sec(),
         vector64_merge_ops_per_sec: vector64_merge_ops_per_sec(),
         detector_reports_per_sec: detector_reports_per_sec(),

@@ -25,7 +25,15 @@
 //! cargo run --release -p psn-bench --bin chaos                # 20 seeds
 //! cargo run --release -p psn-bench --bin chaos -- --seeds 50
 //! cargo run --release -p psn-bench --bin chaos -- --quick --seeds 3
+//! cargo run --release -p psn-bench --bin chaos -- --quick --seeds 3 --shards 4
 //! ```
+//!
+//! With `--shards N` the primary run executes on the sharded engine while
+//! the replay leg stays sequential, so invariant 1 sharpens into a
+//! sharded-vs-sequential bit-equivalence check under live fault scripts.
+//! Sharding needs lookahead, so this mode swaps the pure Δ-bounded delay
+//! (minimum 0) for a `[50 ms, 300 ms]` band — same Δ ceiling, nonzero
+//! floor.
 
 use psn_core::{run_execution, ExecutionConfig, ExecutionTrace};
 use psn_predicates::{detect_occurrences, detection_matches, Discipline, Predicate};
@@ -45,7 +53,7 @@ fn params(quick: bool) -> ExhibitionParams {
     }
 }
 
-fn run_seed(seed: u64, quick: bool) -> Result<String, String> {
+fn run_seed(seed: u64, quick: bool, shards: usize) -> Result<String, String> {
     let params = params(quick);
     let scenario = exhibition::generate(&params, 9100 + seed);
     let pred = Predicate::occupancy_over(params.doors, params.capacity);
@@ -55,17 +63,31 @@ fn run_seed(seed: u64, quick: bool) -> Result<String, String> {
         seed,
     );
     let n_faults = script.faults.len();
+    let delay = if shards > 1 {
+        // Sharded mode needs a nonzero minimum delay (lookahead).
+        psn_sim::delay::DelayModel::DeltaBounded {
+            min: SimDuration::from_millis(50),
+            max: SimDuration::from_millis(300),
+        }
+    } else {
+        psn_sim::delay::DelayModel::delta(SimDuration::from_millis(300))
+    };
     let cfg = ExecutionConfig {
-        delay: psn_sim::delay::DelayModel::delta(SimDuration::from_millis(300)),
+        delay,
         seed,
         record_sim_trace: true,
         faults: Some(script),
+        shards,
         ..Default::default()
     };
     let trace: ExecutionTrace = run_execution(&scenario, &cfg);
 
-    // 1. Determinism: same (scenario, script, seed) ⇒ identical run.
-    let replay = run_execution(&scenario, &cfg);
+    // 1. Determinism: same (scenario, script, seed) ⇒ identical run. When
+    // the primary run is sharded, the replay runs sequentially — the same
+    // invariant then proves the sharded engine bit-identical to the
+    // sequential one under this fault script.
+    let replay_cfg = ExecutionConfig { shards: 1, ..cfg.clone() };
+    let replay = run_execution(&scenario, &replay_cfg);
     if replay.sim.records() != trace.sim.records() {
         return Err(format!("seed {seed}: replay diverged (structured trace records differ)"));
     }
@@ -158,13 +180,22 @@ fn main() {
         .and_then(|p| args.get(p + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(20);
+    let shards: usize = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|p| args.get(p + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: chaos [--seeds N] [--quick]");
+        eprintln!("usage: chaos [--seeds N] [--quick] [--shards K]");
         return;
+    }
+    if shards > 1 {
+        println!("chaos: sharded mode ({shards} shards; replay leg runs sequentially)");
     }
     let mut failures = 0u64;
     for seed in 0..seeds {
-        match run_seed(seed, quick) {
+        match run_seed(seed, quick, shards) {
             Ok(line) => println!("{line}"),
             Err(line) => {
                 eprintln!("VIOLATION {line}");

@@ -8,7 +8,14 @@
 //! cargo run --release -p psn-bench --bin experiments -- --csv --only e8
 //! cargo run --release -p psn-bench --bin experiments -- --only e7 --metrics-out /tmp/m.jsonl
 //! cargo run --release -p psn-bench --bin experiments -- --only e7 e9 --trace-out /tmp/traces
+//! cargo run --release -p psn-bench --bin experiments -- --only e7 --shards 4 --delay-floor-ms 50
 //! ```
+//!
+//! `--shards N` runs every cell on the sharded engine (bit-identical to
+//! sequential); `--delay-floor-ms X` raises the minimum network delay so
+//! the conservative scheduler has lookahead — the CI shard-equivalence job
+//! runs the same cells with and without `--shards` at the same floor and
+//! diffs the trace files.
 
 use std::time::Instant;
 
@@ -26,6 +33,16 @@ fn main() {
         args.iter().position(|a| a == "--trace-out").and_then(|p| args.get(p + 1));
     let trace_format: Option<&String> =
         args.iter().position(|a| a == "--trace-format").and_then(|p| args.get(p + 1));
+    let shards: Option<usize> = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|p| args.get(p + 1))
+        .and_then(|v| v.parse().ok());
+    let delay_floor_ms: Option<u64> = args
+        .iter()
+        .position(|a| a == "--delay-floor-ms")
+        .and_then(|p| args.get(p + 1))
+        .and_then(|v| v.parse().ok());
     // Ids may be space-separated, comma-separated, or a mix:
     // `--only e9 e11`, `--only e9,e11,e12`, `--only e9, e11`.
     let only: Vec<String> = match args.iter().position(|a| a == "--only") {
@@ -41,12 +58,21 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: experiments [--quick] [--csv] [--only e1 e2,e3 ...] [--list] \
-             [--metrics-out <path.jsonl>] [--trace-out <dir>] [--trace-format chrome|jsonl]\n\
+             [--metrics-out <path.jsonl>] [--trace-out <dir>] [--trace-format chrome|jsonl] \
+             [--shards N] [--delay-floor-ms X]\n\
              \n\
              --only accepts experiment ids separated by spaces, commas, or both\n\
-             (e.g. `--only e9,e11,e12`); see --list for the known ids."
+             (e.g. `--only e9,e11,e12`); see --list for the known ids.\n\
+             --shards runs cells on the sharded engine (bit-identical);\n\
+             --delay-floor-ms raises the minimum network delay (lookahead)."
         );
         return;
+    }
+    if let Some(k) = shards {
+        psn_bench::common::set_shards(k);
+    }
+    if let Some(ms) = delay_floor_ms {
+        psn_bench::common::set_delay_floor_ms(ms);
     }
     if let Some(path) = metrics_path {
         if let Err(e) = metrics_out::set_metrics_out(path) {

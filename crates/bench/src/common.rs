@@ -1,5 +1,7 @@
 //! Shared scaffolding for the experiments.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
 use psn_clocks::VectorStamp;
 use psn_core::{ExecutionConfig, ExecutionTrace};
 use psn_lattice::History;
@@ -65,13 +67,49 @@ pub fn strobe_history(trace: &ExecutionTrace) -> History {
     History::new(stamps)
 }
 
-/// A Δ-bounded execution config with the given Δ and seed.
+/// Process-wide engine shard count for experiment cells (`experiments
+/// --shards N`). `1` (default) runs the sequential loop.
+static SHARDS: AtomicUsize = AtomicUsize::new(1);
+
+/// Process-wide delay floor in ms (`experiments --delay-floor-ms X`).
+/// Raising the floor gives the conservative sharded engine a nonzero
+/// lookahead — a pure Δ-bounded model draws from `[0, Δ]`, whose zero
+/// minimum forces the sequential fallback.
+static DELAY_FLOOR_MS: AtomicU64 = AtomicU64::new(0);
+
+/// Set the shard count every subsequent [`delta_config`] cell runs on.
+pub fn set_shards(k: usize) {
+    SHARDS.store(k.max(1), Ordering::Relaxed);
+}
+
+/// The configured shard count.
+pub fn shards() -> usize {
+    SHARDS.load(Ordering::Relaxed)
+}
+
+/// Set the delay floor (minimum network delay, ms) for subsequent
+/// [`delta_config`] cells. The CI shard-equivalence job raises this for
+/// *both* the sequential and the sharded leg, so the two runs stay
+/// comparable while the sharded one has real lookahead.
+pub fn set_delay_floor_ms(ms: u64) {
+    DELAY_FLOOR_MS.store(ms, Ordering::Relaxed);
+}
+
+/// The configured delay floor.
+pub fn delay_floor() -> SimDuration {
+    SimDuration::from_millis(DELAY_FLOOR_MS.load(Ordering::Relaxed))
+}
+
+/// A Δ-bounded execution config with the given Δ and seed, honoring the
+/// process-wide [`set_shards`] / [`set_delay_floor_ms`] overrides.
 pub fn delta_config(delta: SimDuration, seed: u64) -> ExecutionConfig {
-    ExecutionConfig {
-        delay: if delta.is_zero() { DelayModel::Synchronous } else { DelayModel::delta(delta) },
-        seed,
-        ..Default::default()
-    }
+    let floor = delay_floor();
+    let delay = if delta.is_zero() && floor.is_zero() {
+        DelayModel::Synchronous
+    } else {
+        DelayModel::DeltaBounded { min: floor, max: delta.max(floor) }
+    };
+    ExecutionConfig { delay, seed, shards: shards(), ..Default::default() }
 }
 
 /// Analytic per-family wire bytes for one execution (the strobe payloads

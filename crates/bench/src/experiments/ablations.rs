@@ -50,6 +50,7 @@ pub fn a1(quick: bool) -> Table {
                     delay: DelayModel::delta(SimDuration::from_millis(500)),
                     strobes: StrobePolicy { every: k, ..Default::default() },
                     seed,
+                    shards: crate::common::shards(),
                     ..Default::default()
                 };
                 let trace = run_execution(&scenario, &cfg);
@@ -128,6 +129,7 @@ pub fn a2(quick: bool) -> Table {
             let cfg = ExecutionConfig {
                 delay: DelayModel::delta(SimDuration::from_millis(800)),
                 seed,
+                shards: crate::common::shards(),
                 ..Default::default()
             };
             let trace = run_execution(&scenario, &cfg);
@@ -256,6 +258,7 @@ pub fn a4(quick: bool) -> Table {
                 let cfg = ExecutionConfig {
                     delay: DelayModel::delta(SimDuration::from_millis(delta_ms)),
                     seed,
+                    shards: crate::common::shards(),
                     ..Default::default()
                 };
                 let trace = run_execution(&scenario, &cfg);

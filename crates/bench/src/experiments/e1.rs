@@ -45,6 +45,7 @@ pub fn run(quick: bool) -> Table {
                 delay: DelayModel::delta(SimDuration::from_millis(5)),
                 clocks: ClockConfig { epsilon, ..Default::default() },
                 seed,
+                shards: crate::common::shards(),
                 ..Default::default()
             };
             let trace = run_execution(&s, &cfg);

@@ -72,6 +72,7 @@ pub fn run(quick: bool) -> Table {
                 record_sim_trace: true,
                 faults: Some(script),
                 recovery: RecoveryPolicy { replay_log: replay, ..Default::default() },
+                shards: crate::common::shards(),
                 ..Default::default()
             };
             let trace = run_execution(&scenario, &cfg);

@@ -115,6 +115,7 @@ pub fn run(quick: bool) -> Table {
                 seed,
                 record_sim_trace: true,
                 faults: Some(script),
+                shards: crate::common::shards(),
                 ..Default::default()
             };
             let trace = run_execution(&scenario, &cfg);

@@ -57,6 +57,7 @@ pub fn run(quick: bool) -> Table {
                 },
                 fifo: false,
                 seed,
+                shards: crate::common::shards(),
                 ..Default::default()
             };
             let trace = run_execution(&scenario, &cfg);

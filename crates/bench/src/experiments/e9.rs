@@ -52,6 +52,7 @@ pub fn run(quick: bool) -> Table {
                     loss: if p == 0.0 { LossModel::None } else { LossModel::Bernoulli { p } },
                     seed,
                     record_sim_trace: true,
+                    shards: crate::common::shards(),
                     ..Default::default()
                 };
                 let trace = run_execution(&scenario, &cfg);

@@ -68,6 +68,19 @@ pub struct ExecutionConfig {
     /// How sensors come back from a crash (log replay, clock re-priming,
     /// ε-resync). Only consulted when `faults` crash-recovers a process.
     pub recovery: RecoveryPolicy,
+    /// Number of engine shards to run on (see [`psn_sim::engine::Engine::run_sharded`]).
+    /// `1` (default) runs the sequential loop. More shards execute the run
+    /// in parallel but **bit-identically**: the result is the same for
+    /// every shard count. Requires a delay model with a nonzero minimum
+    /// (lookahead); zero-lookahead models fall back to sequential.
+    pub shards: usize,
+    /// Override the engine's dense-FIFO actor limit
+    /// ([`psn_sim::engine::DENSE_ACTOR_LIMIT`]). `None` (default) keeps the
+    /// built-in threshold: runs with more actors use the sparse channel
+    /// store, smaller runs the dense matrix. `Some(0)` forces the sparse
+    /// path — the dense-vs-sparse cross-validation tests run the same cell
+    /// both ways and require bit-identical results.
+    pub fifo_dense_limit: Option<usize>,
 }
 
 impl Default for ExecutionConfig {
@@ -85,6 +98,8 @@ impl Default for ExecutionConfig {
             end_time: None,
             faults: None,
             recovery: RecoveryPolicy::default(),
+            shards: 1,
+            fifo_dense_limit: None,
         }
     }
 }
@@ -165,6 +180,9 @@ pub fn run_execution_full(
         fifo: cfg.fifo,
     };
     let mut engine: Engine<NetMsg> = Engine::new(net, cfg.seed);
+    if let Some(limit) = cfg.fifo_dense_limit {
+        engine.set_fifo_dense_limit(limit);
+    }
     engine.set_metrics(metrics);
     let exec_metrics = ExecMetrics::attach(metrics, n);
     if cfg.record_sim_trace {
@@ -222,10 +240,17 @@ pub fn run_execution_full(
         }
     }
 
-    let ended_at = engine.run();
+    let ended_at = if cfg.shards > 1 { engine.run_sharded(cfg.shards) } else { engine.run() };
     let fault_stats = engine.fault_stats();
-    let log =
+    let mut log =
         Arc::try_unwrap(log).map(Mutex::into_inner).unwrap_or_else(|shared| shared.lock().clone());
+    // Canonicalise the merged event stream: shard lanes append to the
+    // shared log in nondeterministic lock order, and the sequential engine
+    // appends in dispatch order. `(at, process, seq)` is a total key over
+    // the identical event *set* both modes produce, so sorting makes the
+    // log bit-identical for every shard count. Reports and actuations are
+    // appended only by the root (one lane) and are already canonical.
+    log.events.sort_by_key(|e| (e.at, e.process, e.seq));
     ExecutionTrace {
         n,
         log,

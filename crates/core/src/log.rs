@@ -1,8 +1,12 @@
 //! The shared execution log.
 //!
-//! Actors append to an [`ExecutionLog`] behind an `Arc<Mutex<…>>` (the
-//! engine is single-threaded, so the lock is uncontended; it exists only to
-//! satisfy ownership). After the run, the log *is* the observable history:
+//! Actors append to an [`ExecutionLog`] behind an `Arc<Mutex<…>>`. Under
+//! the sequential engine the lock is uncontended; under the sharded engine
+//! (`ExecutionConfig::shards > 1`) lanes append concurrently and the
+//! append order is not deterministic — `run_execution_full` therefore
+//! sorts `events` by `(at, process, seq)` after every run, which is a
+//! total key over the event set and makes the log bit-identical across
+//! shard counts. After the run, the log *is* the observable history:
 //! every process event with its full stamp set, every report in arrival
 //! order at P₀, and every actuation command issued.
 

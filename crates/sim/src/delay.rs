@@ -79,6 +79,23 @@ impl DelayModel {
         }
     }
 
+    /// The smallest delay this model can ever produce — the **lookahead**
+    /// of the network plane.
+    ///
+    /// A message sent at time `t` arrives no earlier than `t + min_bound()`,
+    /// so shards of actors can be advanced independently through any window
+    /// narrower than this bound without missing a cross-shard message. Zero
+    /// (synchronous, `delta(Δ)`, exponential) means no lookahead: the
+    /// sharded engine then falls back to the sequential loop.
+    pub fn min_bound(&self) -> SimDuration {
+        match *self {
+            DelayModel::Synchronous => SimDuration::ZERO,
+            DelayModel::Fixed(d) => d,
+            DelayModel::DeltaBounded { min, .. } => min,
+            DelayModel::Exponential { .. } => SimDuration::ZERO,
+        }
+    }
+
     /// The mean delay of this model.
     pub fn mean(&self) -> SimDuration {
         match *self {
@@ -138,6 +155,21 @@ mod tests {
             assert!(d >= lo && d <= hi, "sample {d} out of bounds");
         }
         assert_eq!(m.delta_bound(), Some(hi));
+        assert_eq!(m.min_bound(), lo);
+    }
+
+    #[test]
+    fn min_bound_is_zero_for_unbounded_below_models() {
+        assert_eq!(DelayModel::Synchronous.min_bound(), SimDuration::ZERO);
+        assert_eq!(DelayModel::delta(SimDuration::from_millis(9)).min_bound(), SimDuration::ZERO);
+        assert_eq!(
+            DelayModel::Exponential { mean: SimDuration::from_millis(3), cap: None }.min_bound(),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            DelayModel::Fixed(SimDuration::from_millis(4)).min_bound(),
+            SimDuration::from_millis(4)
+        );
     }
 
     #[test]

@@ -11,31 +11,61 @@
 //! - Callbacks receive a [`Context`] that *buffers* actions (sends, timers,
 //!   …); the engine applies them after the callback returns. This keeps the
 //!   borrow structure trivial and the application order deterministic.
-//! - Ties in the event queue break by scheduling order (see
-//!   [`crate::queue::EventQueue`]), so even the synchronous Δ = 0 model is
-//!   fully deterministic.
+//! - Every queue event carries a **canonical key** derived from its content
+//!   (message id, `(actor, timer counter)`, fault-op index — see
+//!   [`crate::queue::event_key`]), so simultaneous events fire in an order
+//!   that does not depend on the order they were scheduled in. This is what
+//!   lets [`Engine::run_sharded`] replay a run bit-identically in parallel.
+//! - Randomness is per-entity: each actor has a private stream, and the
+//!   network/fault planes draw from **per-sender** labeled streams
+//!   (`"engine.network.<id>"` / `"engine.faults.<id>"`), so one actor's
+//!   draw sequence is a function of its own history only — independent of
+//!   how actors are interleaved across shards.
+//!
+//! # Sharded execution
+//!
+//! [`Engine::run_sharded`] partitions actors into shards (a [`ShardPlan`])
+//! and advances all shards concurrently through half-open time windows
+//! `[t, t + L)`, where the lookahead `L` is the network's minimum channel
+//! delay ([`crate::delay::DelayModel::min_bound`]). A message sent at
+//! `u ∈ [t, t+L)` arrives no earlier than `u + L ≥ t + L`, i.e. strictly
+//! after the window — so shards cannot causally interact *within* a window
+//! and may process their local events in parallel. Cross-shard messages are
+//! routed into the destination shard's heap at the window barrier; because
+//! heap order is total on `(time, canonical key)`, the arrival order is
+//! immaterial. Fault-plane operations are coordinator sub-barriers: the
+//! window is clipped at the next op time, the op applies under a write
+//! lock, and windows resume. With `L = 0` (synchronous or `delta(Δ)`
+//! delays) or one shard the engine falls back to the sequential loop.
 
 use crate::fault::{
     ChannelEffect, CutPolicy, FaultEvent, FaultPlane, FaultScript, FaultStats, Parked, PlaneOp,
 };
 use crate::metrics::{Counter, Gauge, Metrics, Timer};
 use crate::network::{ActorId, NetStats, NetworkConfig};
-use crate::queue::EventQueue;
+use crate::queue::{event_key, key_class, EventQueue};
 use crate::rng::{RngFactory, RngStream};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{ClockStamp, FaultRecordKind, MsgId, ProcessEventKind, Trace, TraceKind};
 
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::mpsc;
 use std::time::Instant;
 
 /// A message payload. Sizes feed the byte-overhead accounting of
 /// experiment E7 (strobe scalar O(1) vs strobe vector O(n) payloads).
-pub trait Message: Clone {
+///
+/// `Send + Sync` because shard workers own messages (`Send`) and share the
+/// fault plane's parked-message buffer behind a read lock (`Sync`); message
+/// payloads are plain data, so the bounds are free.
+pub trait Message: Clone + Send + Sync {
     /// The on-the-wire size of this payload, in bytes.
     fn size_bytes(&self) -> usize;
 
     /// Mutate the payload to model in-flight corruption (fault plane,
     /// [`ChannelEffect::Corrupt`]); return `true` if anything changed.
-    /// All randomness must come from `rng` (the plane's private stream).
+    /// All randomness must come from `rng` (the plane's per-sender stream).
     /// The default is incorruptible, so existing message types are
     /// unaffected until they opt in.
     fn corrupt(&mut self, _rng: &mut RngStream) -> bool {
@@ -163,12 +193,12 @@ impl<M> Context<'_, M> {
 /// An event in the future-event list. Actor ids are stored as `u32` to keep
 /// entries small — every queue entry is moved O(log n) times per heap
 /// operation, so entry size is directly visible in engine throughput.
+/// Fault operations are *not* queue events: the coordinator interleaves
+/// them between windows (see [`Engine::run`]), which is what lets shard
+/// heaps stay private to their worker threads.
 enum Pending<M> {
     Deliver { from: u32, to: u32, msg: M, id: u64 },
     Timer { actor: u32, tag: u64 },
-    // Index into the installed fault plane's expanded operation list.
-    // Smaller than Deliver, so the fault plane never widens queue entries.
-    Fault { idx: u32 },
 }
 
 enum Dispatch<M> {
@@ -181,6 +211,11 @@ enum Dispatch<M> {
 /// Pre-registered engine metric handles (see [`crate::metrics`]). Recording
 /// observes the simulation without feeding anything back into it — no RNG
 /// draws, no event reordering — so enabling metrics cannot change a run.
+/// Handles are atomics behind `Arc`s, so per-shard clones all feed the same
+/// registry; counters are exact in either mode, while the point-in-time
+/// gauges (`queue_depth`, `in_flight`) are sampling artifacts of whichever
+/// lane last wrote them mid-run (the end-of-run values are exact).
+#[derive(Clone)]
 struct EngineMetrics {
     events: Counter,
     delivered: Counter,
@@ -189,6 +224,7 @@ struct EngineMetrics {
     in_flight: Gauge,
     run_wall: Timer,
     events_per_sec: Gauge,
+    windows: Counter,
 }
 
 impl EngineMetrics {
@@ -201,192 +237,263 @@ impl EngineMetrics {
             in_flight: m.gauge("engine.in_flight"),
             run_wall: m.timer_with_range("engine.run_wall_ns", 0.0, 1e10, 128),
             events_per_sec: m.gauge("engine.events_per_sec"),
+            windows: m.counter("engine.windows"),
         }
     }
 }
 
-/// The simulation engine.
-pub struct Engine<M: Message> {
-    now: SimTime,
-    queue: EventQueue<Pending<M>>,
-    actors: Vec<Option<Box<dyn Actor<M>>>>,
-    network: NetworkConfig,
-    factory: RngFactory,
-    rngs: Vec<RngStream>,
-    net_rng: RngStream,
-    trace: Trace,
-    stats: NetStats,
-    /// Dense `n×n` matrix of last-scheduled delivery times per (from, to)
-    /// channel, indexed `from * fifo_stride + to`. Actor ids are dense from
-    /// 0, so a flat matrix replaces the former per-pair `HashMap` with a
-    /// single multiply-add and no hashing on the transmit hot path.
-    /// `SimTime::ZERO` entries are exactly the pairs the map did not hold.
-    fifo_last: Vec<SimTime>,
-    fifo_stride: usize,
-    end_time: SimTime,
-    halted: bool,
-    events_processed: u64,
-    /// Monotone per-run transmission id counter (see [`MsgId`]). Bumped on
-    /// every attempted transmission and every injected delivery, tracing on
-    /// or off, so ids never feed back into behaviour.
-    next_msg_id: u64,
-    m: EngineMetrics,
-    /// Messages scheduled for delivery but not yet delivered.
-    in_flight: u64,
-    /// Reusable buffer for the actions produced by one actor callback.
-    action_scratch: Vec<Action<M>>,
-    /// Reusable buffer for a broadcast's neighbor list.
-    peer_scratch: Vec<ActorId>,
-    /// The installed fault plane, if any. `None` on the hot path costs one
-    /// predictable branch per event; see [`Engine::install_faults`].
-    fault: Option<Box<FaultPlane<M>>>,
+/// Above this many topology nodes the per-channel FIFO clamp state switches
+/// from a dense rank×n matrix to a hash map, so n = 10⁴-actor topologies
+/// do not allocate O(n²) memory. Override per engine with
+/// [`Engine::set_fifo_dense_limit`] (tests cross-validate the two paths).
+pub const DENSE_ACTOR_LIMIT: usize = 2048;
+
+/// Per-channel last-scheduled-delivery times backing the FIFO clamp.
+///
+/// `Dense` stores a `members × n` matrix indexed by the *rank* of the
+/// sending actor within this lane (not `n × n` per lane, so sharded large
+/// runs don't multiply the footprint). `Sparse` is a flat map keyed
+/// `(from << 32) | to`; it is only ever probed per-message, never iterated,
+/// so map order cannot leak into behaviour.
+enum FifoStore {
+    /// FIFO disabled, or not yet initialised (built on first clamp).
+    Unset,
+    Off,
+    Dense {
+        stride: usize,
+        rank: Vec<u32>,
+        last: Vec<SimTime>,
+    },
+    Sparse {
+        last: HashMap<u64, SimTime>,
+    },
 }
 
-impl<M: Message> Engine<M> {
-    /// Build an engine over the given network, with per-actor RNG streams
-    /// derived from `seed`.
-    pub fn new(network: NetworkConfig, seed: u64) -> Self {
-        let factory = RngFactory::new(seed);
-        let net_rng = factory.labeled_stream("engine.network");
-        Engine {
+/// An explicit assignment of actors to shards for
+/// [`Engine::run_with_plan`]. Plans are pure data: the same plan always
+/// yields the same partition, and *any* plan yields the same run (that is
+/// the whole point — see the shard-count-invariance proptest).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    owner: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// `n` actors in `shards` contiguous blocks of `ceil(n / shards)`.
+    /// Contiguity keeps neighbour-heavy topologies (rings, grids) mostly
+    /// intra-shard.
+    pub fn contiguous(n: usize, shards: usize) -> Self {
+        let k = shards.clamp(1, n.max(1));
+        let block = n.div_ceil(k).max(1);
+        ShardPlan { owner: (0..n).map(|i| (i / block) as u32).collect() }
+    }
+
+    /// Round-robin: actor `i` goes to shard `i % shards`. Balances load
+    /// when activity correlates with id ranges.
+    pub fn interleaved(n: usize, shards: usize) -> Self {
+        let k = shards.clamp(1, n.max(1));
+        ShardPlan { owner: (0..n).map(|i| (i % k) as u32).collect() }
+    }
+
+    /// Deterministic hash partition (splitmix64 of the actor id), for
+    /// statistically balanced shards independent of id structure.
+    pub fn by_hash(n: usize, shards: usize) -> Self {
+        let k = shards.clamp(1, n.max(1)) as u64;
+        let owner = (0..n as u64)
+            .map(|i| {
+                let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                ((z ^ (z >> 31)) % k) as u32
+            })
+            .collect();
+        ShardPlan { owner }
+    }
+
+    /// An explicit `actor → shard` map. Panics if empty.
+    pub fn explicit(owner: Vec<u32>) -> Self {
+        assert!(!owner.is_empty(), "ShardPlan::explicit: empty owner map");
+        ShardPlan { owner }
+    }
+
+    /// Number of shards this plan spreads actors over.
+    pub fn shard_count(&self) -> usize {
+        self.owner.iter().copied().max().map_or(1, |m| m as usize + 1)
+    }
+
+    /// The owning shard of each actor, indexed by actor id.
+    pub fn owner(&self) -> &[u32] {
+        &self.owner
+    }
+}
+
+/// The per-shard execution state: one lane owns a disjoint subset of the
+/// actors, their private RNG streams, a heap of their pending events, and
+/// its own trace/stats accumulators. The sequential engine is exactly one
+/// lane owning everybody. Per-actor vectors are full-size (indexed by
+/// global actor id) so the hot path needs no local-index indirection;
+/// non-member slots are simply never touched.
+struct Lane<M: Message> {
+    shard: usize,
+    now: SimTime,
+    queue: EventQueue<Pending<M>>,
+    actors: Vec<Option<Box<dyn Actor<M> + Send>>>,
+    /// Per-actor protocol streams (`factory.stream(id + 1)`).
+    rngs: Vec<RngStream>,
+    /// Per-sender network streams (`"engine.network.<id>"`): delay and loss
+    /// draws for messages *sent by* that actor.
+    net_rngs: Vec<RngStream>,
+    /// Per-sender fault-plane streams (`"engine.faults.<id>"`); empty until
+    /// [`Engine::install_faults`].
+    fault_rngs: Vec<RngStream>,
+    /// Per-sender loss-model state (Gilbert–Elliott is stateful, so each
+    /// channel owner carries its own copy).
+    loss: Vec<crate::loss::LossModel>,
+    /// Per-sender transmission counters; message id = `((from+1) << 40) | c`.
+    msg_ctr: Vec<u64>,
+    /// Per-actor timer counters; timer key payload = `(actor << 40) | c`.
+    timer_ctr: Vec<u64>,
+    /// The actor ids this lane owns, ascending.
+    members: Vec<ActorId>,
+    /// `owner[actor] = shard`; empty in sequential mode (everything local).
+    owner: Vec<u32>,
+    /// Cross-shard events awaiting routing at the next window barrier.
+    outbox: Vec<(SimTime, u64, Pending<M>)>,
+    fifo: FifoStore,
+    fifo_dense_limit: usize,
+    trace: Trace,
+    stats: NetStats,
+    /// Transmit/delivery-side fault counters (the plane is read-only during
+    /// windows); merged into the plane's op-side counters on read.
+    fstats: FaultStats,
+    /// Messages parked by this lane at transmit time; drained into the
+    /// plane at the next coordinator barrier.
+    parked_out: Vec<Parked<M>>,
+    /// Signed because a lane can deliver (−1) messages another lane sent
+    /// (+1); only the sum across lanes is meaningful.
+    in_flight: i64,
+    events_processed: u64,
+    halted: bool,
+    action_scratch: Vec<Action<M>>,
+    peer_scratch: Vec<ActorId>,
+    m: EngineMetrics,
+}
+
+impl<M: Message> Lane<M> {
+    fn new(m: EngineMetrics) -> Self {
+        Lane {
+            shard: 0,
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             actors: Vec::new(),
-            network,
             rngs: Vec::new(),
-            net_rng,
-            factory,
+            net_rngs: Vec::new(),
+            fault_rngs: Vec::new(),
+            loss: Vec::new(),
+            msg_ctr: Vec::new(),
+            timer_ctr: Vec::new(),
+            members: Vec::new(),
+            owner: Vec::new(),
+            outbox: Vec::new(),
+            fifo: FifoStore::Unset,
+            fifo_dense_limit: DENSE_ACTOR_LIMIT,
             trace: Trace::disabled(),
             stats: NetStats::default(),
-            fifo_last: Vec::new(),
-            fifo_stride: 0,
-            end_time: SimTime::MAX,
-            halted: false,
-            events_processed: 0,
-            next_msg_id: 0,
-            m: EngineMetrics::attach(&Metrics::disabled()),
+            fstats: FaultStats::default(),
+            parked_out: Vec::new(),
             in_flight: 0,
+            events_processed: 0,
+            halted: false,
             action_scratch: Vec::new(),
             peer_scratch: Vec::new(),
-            fault: None,
+            m,
         }
     }
 
-    /// Install a [`FaultScript`]: every scripted fault is expanded and
-    /// scheduled on the event queue. Call after [`Engine::add_actor`] (the
-    /// plane sizes its crash mask from the actor count) and before
-    /// [`Engine::run`]. The plane draws from its own stream (label
-    /// `"engine.faults"`, derived statelessly from the master seed), never
-    /// from the network RNG — an **empty** script is observationally
-    /// identical to not installing one at all.
-    pub fn install_faults(&mut self, script: &FaultScript) {
-        let rng = self.factory.labeled_stream("engine.faults");
-        let plane = FaultPlane::new(script, rng, self.actors.len());
-        for (idx, &(at, _)) in plane.ops.iter().enumerate() {
-            self.queue.schedule(at, Pending::Fault { idx: idx as u32 });
+    /// Does this lane own the destination? (Sequential lanes own everyone;
+    /// ids past the owner map — topology nodes with no actor — count as
+    /// local, so the delivery no-ops in the sending lane like it would in
+    /// the sequential engine.)
+    #[inline]
+    fn local(&self, actor: ActorId) -> bool {
+        match self.owner.get(actor) {
+            None => true,
+            Some(&s) => s as usize == self.shard,
         }
-        self.fault = Some(Box::new(plane));
     }
 
-    /// The fault plane's counters, if a script is installed.
-    pub fn fault_stats(&self) -> Option<FaultStats> {
-        self.fault.as_ref().map(|p| p.stats())
+    #[inline]
+    fn next_msg_id(&mut self, from: ActorId) -> u64 {
+        let c = self.msg_ctr[from];
+        self.msg_ctr[from] = c + 1;
+        debug_assert!(c < (1 << 40), "per-sender message counter overflow");
+        ((from as u64 + 1) << 40) | c
     }
 
-    /// Messages scheduled (or parked by a partition) but not yet delivered.
-    /// After a run this is the undelivered backlog; together with the
-    /// delivered/lost counters it closes the queue-conservation identity
-    /// the chaos soak asserts.
-    pub fn in_flight(&self) -> u64 {
-        self.in_flight
-    }
-
-    /// Record engine metrics (events processed, delivered vs dropped
-    /// messages, queue depth, in-flight high-water, run wall time) into
-    /// `metrics`. Recording is observational only: a run with metrics
-    /// attached is bit-identical to the same run without.
-    pub fn set_metrics(&mut self, metrics: &Metrics) {
-        self.m = EngineMetrics::attach(metrics);
-    }
-
-    /// Register an actor; returns its id. Actors must be added before
-    /// [`Engine::run`]. Ids are assigned densely from 0 and must agree with
-    /// the network topology's node numbering.
-    pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
-        let id = self.actors.len();
-        self.actors.push(Some(actor));
-        self.rngs.push(self.factory.stream(id as u64 + 1));
-        id
-    }
-
-    /// Enable trace recording.
-    pub fn enable_trace(&mut self) {
-        self.trace = Trace::enabled();
-    }
-
-    /// Stop the run at this time even if events remain.
-    pub fn set_end_time(&mut self, end: SimTime) {
-        self.end_time = end;
-    }
-
-    /// Schedule an external input: `msg` will be delivered to `to` at `at`,
-    /// bypassing the network's delay/loss models — used to inject
-    /// precomputed world-plane timelines. `from` is a conventional source id
-    /// (often the world actor's id).
-    pub fn inject(&mut self, at: SimTime, to: ActorId, from: ActorId, msg: M) {
-        let id = self.next_msg_id;
-        self.next_msg_id += 1;
-        self.queue.schedule(at, Pending::Deliver { from: from as u32, to: to as u32, msg, id });
+    /// Schedule a delivery, locally or (sharded mode) via the outbox.
+    #[inline]
+    fn schedule_delivery(&mut self, at: SimTime, from: ActorId, to: ActorId, msg: M, id: u64) {
+        let key = event_key(key_class::DELIVER, id);
+        let pending = Pending::Deliver { from: from as u32, to: to as u32, msg, id };
+        if self.local(to) {
+            self.queue.schedule_keyed(at, key, pending);
+        } else {
+            self.outbox.push((at, key, pending));
+        }
         self.in_flight += 1;
-        self.m.in_flight.set(self.in_flight);
-        self.m.queue_depth.set(self.queue.len() as u64);
+        self.m.in_flight.set(self.in_flight.max(0) as u64);
     }
 
-    /// Pre-reserve queue capacity for `n` additional events. Callers that
-    /// bulk-[`inject`](Engine::inject) a known timeline (e.g. the world
-    /// plane) should reserve up front to avoid repeated heap growth.
-    pub fn reserve_events(&mut self, n: usize) {
-        self.queue.reserve(n);
-    }
-
-    /// Run until the queue drains, the end time passes, or an actor halts.
-    /// Returns the final simulation time.
-    pub fn run(&mut self) -> SimTime {
-        let wall_start = Instant::now();
-        let events_before = self.events_processed;
-        self.trace.configure_actors(self.actors.len());
-        for id in 0..self.actors.len() {
+    /// Dispatch `on_start` to every member, in id order, under start
+    /// cursors (which the canonical seal orders before all queue events).
+    fn dispatch_starts(&mut self, net: &NetworkConfig, plane: Option<&FaultPlane<M>>) {
+        for i in 0..self.members.len() {
             if self.halted {
                 break;
             }
-            self.dispatch(id, Dispatch::Start);
+            let id = self.members[i];
+            self.trace.set_cursor(Trace::start_cursor(id));
+            self.dispatch(id, Dispatch::Start, net, plane);
         }
+    }
+
+    /// Pop and process local events while `at < wend` (`None` = unbounded)
+    /// — the engine's hot loop, shared verbatim by the sequential run and
+    /// the shard workers.
+    fn advance_until(
+        &mut self,
+        wend: Option<SimTime>,
+        net: &NetworkConfig,
+        plane: Option<&FaultPlane<M>>,
+    ) {
         while !self.halted {
             let Some(at) = self.queue.peek_time() else { break };
-            if at > self.end_time {
-                self.now = self.end_time;
-                break;
+            if let Some(end) = wend {
+                if at >= end {
+                    break;
+                }
             }
-            let (at, pending) = self.queue.pop().expect("peeked");
+            let (at, key, pending) = self.queue.pop_entry().expect("peeked");
             debug_assert!(at >= self.now, "time must be monotone");
             self.now = at;
             self.events_processed += 1;
             self.m.events.inc();
+            self.trace.set_cursor(Trace::event_cursor(key));
             match pending {
                 Pending::Deliver { from, to, msg, id } => {
                     let (from, to) = (from as ActorId, to as ActorId);
                     // One predictable branch when no fault plane is
                     // installed; a delivery to a crashed node is lost.
-                    match self.fault.as_mut() {
-                        Some(plane) if plane.is_down(to) => {
-                            plane.stats.dropped_at_down += 1;
+                    match plane {
+                        Some(p) if p.is_down(to) => {
+                            self.fstats.dropped_at_down += 1;
                             self.trace
                                 .record(self.now, TraceKind::Lost { from, to, msg: MsgId(id) });
                             self.stats.messages_lost += 1;
                             self.stats.messages_faulted += 1;
                             self.m.dropped.inc();
-                            self.in_flight = self.in_flight.saturating_sub(1);
-                            self.m.in_flight.set(self.in_flight);
+                            self.in_flight -= 1;
+                            self.m.in_flight.set(self.in_flight.max(0) as u64);
                         }
                         _ => {
                             self.trace.record(
@@ -395,9 +502,9 @@ impl<M: Message> Engine<M> {
                             );
                             self.stats.messages_delivered += 1;
                             self.m.delivered.inc();
-                            self.in_flight = self.in_flight.saturating_sub(1);
-                            self.m.in_flight.set(self.in_flight);
-                            self.dispatch(to, Dispatch::Message { from, msg });
+                            self.in_flight -= 1;
+                            self.m.in_flight.set(self.in_flight.max(0) as u64);
+                            self.dispatch(to, Dispatch::Message { from, msg }, net, plane);
                         }
                     }
                 }
@@ -405,36 +512,31 @@ impl<M: Message> Engine<M> {
                     let actor = actor as ActorId;
                     // A crashed node's timers are silently discarded (the
                     // process re-arms what it needs on recovery).
-                    match self.fault.as_mut() {
-                        Some(plane) if plane.is_down(actor) => {
-                            plane.stats.timers_suppressed += 1;
+                    match plane {
+                        Some(p) if p.is_down(actor) => {
+                            self.fstats.timers_suppressed += 1;
                         }
                         _ => {
                             self.trace.record(self.now, TraceKind::TimerFired { actor, tag });
-                            self.dispatch(actor, Dispatch::Timer { tag });
+                            self.dispatch(actor, Dispatch::Timer { tag }, net, plane);
                         }
                     }
                 }
-                Pending::Fault { idx } => self.apply_fault(idx as usize),
             }
             self.m.queue_depth.set(self.queue.len() as u64);
         }
-        self.trace.seal();
-        let wall = wall_start.elapsed();
-        self.m.run_wall.record_duration(wall);
-        let secs = wall.as_secs_f64();
-        if secs > 0.0 {
-            self.m
-                .events_per_sec
-                .set(((self.events_processed - events_before) as f64 / secs) as u64);
-        }
-        self.now
     }
 
-    fn dispatch(&mut self, id: ActorId, what: Dispatch<M>) {
+    fn dispatch(
+        &mut self,
+        id: ActorId,
+        what: Dispatch<M>,
+        net: &NetworkConfig,
+        plane: Option<&FaultPlane<M>>,
+    ) {
         let Some(slot) = self.actors.get_mut(id) else { return };
         let Some(mut actor) = slot.take() else { return };
-        // Lend the engine's scratch buffer to the callback, then take it
+        // Lend the lane's scratch buffer to the callback, then take it
         // back: dispatch allocates nothing once the buffer has warmed up.
         let mut actions = std::mem::take(&mut self.action_scratch);
         debug_assert!(actions.is_empty());
@@ -454,30 +556,44 @@ impl<M: Message> Engine<M> {
         }
         self.actors[id] = Some(actor);
         for a in actions.drain(..) {
-            self.apply(id, a);
+            self.apply(id, a, net, plane);
         }
         self.action_scratch = actions;
     }
 
-    fn apply(&mut self, from: ActorId, action: Action<M>) {
+    fn apply(
+        &mut self,
+        from: ActorId,
+        action: Action<M>,
+        net: &NetworkConfig,
+        plane: Option<&FaultPlane<M>>,
+    ) {
         match action {
-            Action::Send { to, msg } => self.transmit(from, to, msg),
+            Action::Send { to, msg } => self.transmit(from, to, msg, net, plane),
             Action::Broadcast { msg } => {
                 self.stats.broadcasts += 1;
                 let mut peers = std::mem::take(&mut self.peer_scratch);
-                self.network.topology.collect_neighbors(from, &mut peers);
+                net.topology.collect_neighbors(from, &mut peers);
                 // The message moves to the final peer; only the first
                 // `len - 1` transmissions clone it.
                 if let Some((&last, rest)) = peers.split_last() {
                     for &to in rest {
-                        self.transmit(from, to, msg.clone());
+                        self.transmit(from, to, msg.clone(), net, plane);
                     }
-                    self.transmit(from, last, msg);
+                    self.transmit(from, last, msg, net, plane);
                 }
                 self.peer_scratch = peers;
             }
             Action::SetTimer { after, tag } => {
-                self.queue.schedule(self.now + after, Pending::Timer { actor: from as u32, tag });
+                let c = self.timer_ctr[from];
+                self.timer_ctr[from] = c + 1;
+                debug_assert!(c < (1 << 40), "per-actor timer counter overflow");
+                let key = event_key(key_class::TIMER, ((from as u64) << 40) | c);
+                self.queue.schedule_keyed(
+                    self.now + after,
+                    key,
+                    Pending::Timer { actor: from as u32, tag },
+                );
             }
             Action::Note { label } => {
                 self.trace.record(self.now, TraceKind::Note { actor: from, label });
@@ -491,63 +607,62 @@ impl<M: Message> Engine<M> {
         }
     }
 
-    fn transmit(&mut self, from: ActorId, to: ActorId, msg: M) {
-        if !self.network.topology.connected(from, to) {
+    fn transmit(
+        &mut self,
+        from: ActorId,
+        to: ActorId,
+        msg: M,
+        net: &NetworkConfig,
+        plane: Option<&FaultPlane<M>>,
+    ) {
+        if !net.topology.connected(from, to) {
             self.m.dropped.inc();
             return; // no link: silently dropped
         }
         // One predictable branch: with a fault plane installed the
         // transmission goes through the partition/channel-fault pipeline,
         // which replicates this hot path exactly when no fault applies.
-        if self.fault.is_some() {
-            return self.transmit_faulted(from, to, msg);
+        if let Some(plane) = plane {
+            return self.transmit_faulted(from, to, msg, net, plane);
         }
         let bytes = msg.size_bytes();
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += bytes as u64;
-        let id = self.next_msg_id;
-        self.next_msg_id += 1;
+        let id = self.next_msg_id(from);
         self.trace.record(self.now, TraceKind::Sent { from, to, bytes, msg: MsgId(id) });
-        if self.network.loss.is_lost(&mut self.net_rng) {
+        if self.loss[from].is_lost(&mut self.net_rngs[from]) {
             self.stats.messages_lost += 1;
             self.m.dropped.inc();
             self.trace.record(self.now, TraceKind::Lost { from, to, msg: MsgId(id) });
             return;
         }
-        let delay = self.network.delay.sample(&mut self.net_rng);
+        let delay = net.delay.sample(&mut self.net_rngs[from]);
         let mut deliver_at = self.now + delay;
-        if self.network.fifo {
-            // `connected` guarantees from/to < topology.len(), so the matrix
-            // only ever grows when the topology itself does.
-            let n = self.network.topology.len();
-            if self.fifo_stride < n {
-                self.grow_fifo(n);
-            }
-            let last = &mut self.fifo_last[from * self.fifo_stride + to];
-            if deliver_at < *last {
-                deliver_at = *last;
-            }
-            *last = deliver_at;
+        if net.fifo {
+            deliver_at = self.fifo_clamp(from, to, deliver_at, net);
         }
-        self.queue
-            .schedule(deliver_at, Pending::Deliver { from: from as u32, to: to as u32, msg, id });
-        self.in_flight += 1;
-        self.m.in_flight.set(self.in_flight);
+        self.schedule_delivery(deliver_at, from, to, msg, id);
     }
 
-    /// [`Engine::transmit`] with the fault plane interposed: partitions
+    /// [`Lane::transmit`] with the fault plane interposed: partitions
     /// block or park, channel-fault rules drop/duplicate/reorder/corrupt,
     /// then the normal loss/delay/FIFO pipeline runs. When nothing in the
     /// plane applies, this performs exactly the same accounting, records,
     /// and RNG draws as the plain path (the faults-off determinism test
-    /// relies on it).
-    fn transmit_faulted(&mut self, from: ActorId, to: ActorId, mut msg: M) {
-        let mut plane = self.fault.take().expect("caller checked");
+    /// relies on it). The plane is read-only here — all mutation
+    /// (counters, parked messages) lands in this lane's own accumulators.
+    fn transmit_faulted(
+        &mut self,
+        from: ActorId,
+        to: ActorId,
+        mut msg: M,
+        net: &NetworkConfig,
+        plane: &FaultPlane<M>,
+    ) {
         let bytes = msg.size_bytes();
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += bytes as u64;
-        let id = self.next_msg_id;
-        self.next_msg_id += 1;
+        let id = self.next_msg_id(from);
         self.trace.record(self.now, TraceKind::Sent { from, to, bytes, msg: MsgId(id) });
 
         // 1. Partitions sever the channel before anything else.
@@ -558,28 +673,28 @@ impl<M: Message> Engine<M> {
                     self.stats.messages_faulted += 1;
                     self.m.dropped.inc();
                     self.trace.record(self.now, TraceKind::Lost { from, to, msg: MsgId(id) });
-                    plane.stats.dropped_by_partition += 1;
+                    self.fstats.dropped_by_partition += 1;
                 }
                 CutPolicy::Park => {
                     self.trace.record(
                         self.now,
                         TraceKind::Fault { actor: from, kind: FaultRecordKind::Parked, detail: id },
                     );
-                    plane.parked.push(Parked { from, to, msg, id, deliver_at: self.now });
-                    plane.stats.parked += 1;
+                    self.parked_out.push(Parked { from, to, msg, id, deliver_at: self.now });
+                    self.fstats.parked += 1;
                     self.in_flight += 1; // parked still counts as in flight
-                    self.m.in_flight.set(self.in_flight);
+                    self.m.in_flight.set(self.in_flight.max(0) as u64);
                 }
             }
-            self.fault = Some(plane);
             return;
         }
 
-        // 2. Channel-fault pipeline (draws only from the plane's stream).
+        // 2. Channel-fault pipeline (draws only from the sender's plane
+        // stream).
         let mut duplicate = false;
         let mut extra_delay = None;
         if plane.active_rules > 0 {
-            match plane.channel_effect(from, to) {
+            match plane.channel_effect(from, to, &mut self.fault_rngs[from]) {
                 Some(ChannelEffect::Drop) => {
                     self.stats.messages_lost += 1;
                     self.stats.messages_faulted += 1;
@@ -593,16 +708,15 @@ impl<M: Message> Engine<M> {
                             detail: id,
                         },
                     );
-                    plane.stats.dropped_by_channel += 1;
-                    self.fault = Some(plane);
+                    self.fstats.dropped_by_channel += 1;
                     return;
                 }
                 // Not a match guard: corrupt() both decides and mutates,
                 // and a failed guard would fall through to other arms.
                 #[allow(clippy::collapsible_match)]
                 Some(ChannelEffect::Corrupt) => {
-                    if msg.corrupt(&mut plane.rng) {
-                        plane.stats.corrupted += 1;
+                    if msg.corrupt(&mut self.fault_rngs[from]) {
+                        self.fstats.corrupted += 1;
                         self.trace.record(
                             self.now,
                             TraceKind::Fault {
@@ -620,272 +734,684 @@ impl<M: Message> Engine<M> {
         }
 
         // 3. The normal loss/delay/FIFO pipeline, identical to the plain
-        // path (same net_rng draw order).
-        if self.network.loss.is_lost(&mut self.net_rng) {
+        // path (same per-sender net stream draw order).
+        if self.loss[from].is_lost(&mut self.net_rngs[from]) {
             self.stats.messages_lost += 1;
             self.m.dropped.inc();
             self.trace.record(self.now, TraceKind::Lost { from, to, msg: MsgId(id) });
-            self.fault = Some(plane);
             return;
         }
-        let delay = self.network.delay.sample(&mut self.net_rng);
+        let delay = net.delay.sample(&mut self.net_rngs[from]);
         let mut deliver_at = self.now + delay;
         if let Some(extra) = extra_delay {
-            // Reorder: extra delay and no FIFO clamp (and no fifo_last
+            // Reorder: extra delay and no FIFO clamp (and no fifo-state
             // update), so later sends on this channel may overtake.
             deliver_at += extra;
-            plane.stats.reordered += 1;
+            self.fstats.reordered += 1;
             self.trace.record(
                 self.now,
                 TraceKind::Fault { actor: from, kind: FaultRecordKind::Reordered, detail: id },
             );
-        } else if self.network.fifo {
-            let n = self.network.topology.len();
-            if self.fifo_stride < n {
-                self.grow_fifo(n);
-            }
-            let last = &mut self.fifo_last[from * self.fifo_stride + to];
-            if deliver_at < *last {
-                deliver_at = *last;
-            }
-            *last = deliver_at;
+        } else if net.fifo {
+            deliver_at = self.fifo_clamp(from, to, deliver_at, net);
         }
         let copy = if duplicate { Some(msg.clone()) } else { None };
-        self.queue
-            .schedule(deliver_at, Pending::Deliver { from: from as u32, to: to as u32, msg, id });
-        self.in_flight += 1;
-        self.m.in_flight.set(self.in_flight);
+        self.schedule_delivery(deliver_at, from, to, msg, id);
 
         // 4. The duplicate copy: its own message id, its own delay (from
-        // the plane's stream), no FIFO clamp.
+        // the sender's plane stream), no FIFO clamp.
         if let Some(copy) = copy {
-            let dup_id = self.next_msg_id;
-            self.next_msg_id += 1;
+            let dup_id = self.next_msg_id(from);
             self.stats.messages_sent += 1;
             self.stats.bytes_sent += bytes as u64;
             self.stats.messages_duplicated += 1;
-            plane.stats.duplicated += 1;
+            self.fstats.duplicated += 1;
             self.trace.record(self.now, TraceKind::Sent { from, to, bytes, msg: MsgId(dup_id) });
             self.trace.record(
                 self.now,
                 TraceKind::Fault { actor: from, kind: FaultRecordKind::Duplicated, detail: dup_id },
             );
-            let dup_delay = self.network.delay.sample(&mut plane.rng);
-            self.queue.schedule(
-                self.now + dup_delay,
-                Pending::Deliver { from: from as u32, to: to as u32, msg: copy, id: dup_id },
-            );
-            self.in_flight += 1;
-            self.m.in_flight.set(self.in_flight);
+            let dup_delay = net.delay.sample(&mut self.fault_rngs[from]);
+            self.schedule_delivery(self.now + dup_delay, from, to, copy, dup_id);
         }
-        self.fault = Some(plane);
     }
 
-    /// Execute one expanded fault-plane operation (scheduled by
-    /// [`Engine::install_faults`]).
-    fn apply_fault(&mut self, idx: usize) {
-        let mut plane = self.fault.take().expect("fault event implies a plane");
-        let (_, op) = plane.ops[idx].clone();
-        match op {
-            PlaneOp::Crash { actor } => {
-                if !plane.is_down(actor) {
-                    plane.down[actor] = true;
-                    plane.stats.crashes += 1;
-                    self.trace.record(
-                        self.now,
-                        TraceKind::Fault { actor, kind: FaultRecordKind::Crash, detail: 0 },
-                    );
-                }
-            }
-            PlaneOp::Recover { actor } => {
-                if plane.is_down(actor) {
-                    plane.down[actor] = false;
-                    plane.stats.recoveries += 1;
-                    self.trace.record(
-                        self.now,
-                        TraceKind::Fault { actor, kind: FaultRecordKind::Recover, detail: 0 },
-                    );
-                    // Restore the plane before dispatching so everything
-                    // the recovering actor sends goes through the fault
-                    // pipeline again.
-                    self.fault = Some(plane);
-                    self.dispatch(actor, Dispatch::Fault { event: FaultEvent::Recover });
-                    return;
-                }
-            }
-            PlaneOp::Cut { idx } => {
-                plane.cuts[idx].active = true;
-                plane.active_cuts += 1;
-                plane.stats.cuts += 1;
-                let policy = plane.cuts[idx].policy;
-                // Intercept in-flight messages crossing the new cut. The
-                // closure only sees the plane (already taken out of self),
-                // so the queue borrow is clean.
-                let crossing = {
-                    let plane_ref = &plane;
-                    self.queue.drain_matching(|p| match p {
-                        Pending::Deliver { from, to, .. } => {
-                            plane_ref.cuts[idx].group.contains(&(*from as ActorId))
-                                != plane_ref.cuts[idx].group.contains(&(*to as ActorId))
-                        }
-                        _ => false,
-                    })
-                };
-                for (at, pending) in crossing {
-                    let Pending::Deliver { from, to, msg, id } = pending else { unreachable!() };
-                    let (from, to) = (from as ActorId, to as ActorId);
-                    match policy {
-                        CutPolicy::Drop => {
-                            self.stats.messages_lost += 1;
-                            self.stats.messages_faulted += 1;
-                            self.m.dropped.inc();
-                            self.in_flight = self.in_flight.saturating_sub(1);
-                            self.trace
-                                .record(self.now, TraceKind::Lost { from, to, msg: MsgId(id) });
-                            plane.stats.dropped_in_flight += 1;
-                        }
-                        CutPolicy::Park => {
-                            self.trace.record(
-                                self.now,
-                                TraceKind::Fault {
-                                    actor: from,
-                                    kind: FaultRecordKind::Parked,
-                                    detail: id,
-                                },
-                            );
-                            plane.parked.push(Parked { from, to, msg, id, deliver_at: at });
-                            plane.stats.parked += 1;
-                            // stays in flight
-                        }
+    /// Apply the per-channel FIFO clamp and update the channel state.
+    #[inline]
+    fn fifo_clamp(
+        &mut self,
+        from: ActorId,
+        to: ActorId,
+        deliver_at: SimTime,
+        net: &NetworkConfig,
+    ) -> SimTime {
+        loop {
+            match &mut self.fifo {
+                FifoStore::Off => return deliver_at,
+                FifoStore::Dense { stride, rank, last } => {
+                    if to >= *stride || from >= rank.len() {
+                        self.fifo_setup(net); // topology grew: rebuild
+                        continue;
                     }
+                    let r = rank[from] as usize;
+                    debug_assert!(r != u32::MAX as usize, "sender not a member of this lane");
+                    let cell = &mut last[r * *stride + to];
+                    let t = if deliver_at < *cell { *cell } else { deliver_at };
+                    *cell = t;
+                    return t;
                 }
-                self.m.in_flight.set(self.in_flight);
-                for i in 0..plane.cuts[idx].group.len() {
-                    let actor = plane.cuts[idx].group[i];
-                    self.trace.record(
-                        self.now,
-                        TraceKind::Fault {
-                            actor,
-                            kind: FaultRecordKind::PartitionCut,
-                            detail: idx as u64,
-                        },
-                    );
+                FifoStore::Sparse { last } => {
+                    let key = ((from as u64) << 32) | to as u64;
+                    let cell = last.entry(key).or_insert(SimTime::ZERO);
+                    let t = if deliver_at < *cell { *cell } else { deliver_at };
+                    *cell = t;
+                    return t;
                 }
-            }
-            PlaneOp::Heal { idx } => {
-                if plane.cuts[idx].active {
-                    plane.cuts[idx].active = false;
-                    plane.active_cuts -= 1;
-                    plane.stats.heals += 1;
-                    // Release parked messages no active cut still blocks,
-                    // in original delivery order, at/after heal time.
-                    let parked = std::mem::take(&mut plane.parked);
-                    for p in parked {
-                        if plane.blocked(p.from, p.to) {
-                            plane.parked.push(p);
-                        } else {
-                            let at = if p.deliver_at > self.now { p.deliver_at } else { self.now };
-                            self.trace.record(
-                                self.now,
-                                TraceKind::Fault {
-                                    actor: p.from,
-                                    kind: FaultRecordKind::Unparked,
-                                    detail: p.id,
-                                },
-                            );
-                            self.queue.schedule(
-                                at,
-                                Pending::Deliver {
-                                    from: p.from as u32,
-                                    to: p.to as u32,
-                                    msg: p.msg,
-                                    id: p.id,
-                                },
-                            );
-                            plane.stats.unparked += 1;
-                        }
-                    }
-                    for i in 0..plane.cuts[idx].group.len() {
-                        let actor = plane.cuts[idx].group[i];
-                        self.trace.record(
-                            self.now,
-                            TraceKind::Fault {
-                                actor,
-                                kind: FaultRecordKind::PartitionHeal,
-                                detail: idx as u64,
-                            },
-                        );
-                    }
-                }
-            }
-            PlaneOp::ChannelOn { idx } => {
-                if !plane.rules[idx].active {
-                    plane.rules[idx].active = true;
-                    plane.active_rules += 1;
-                }
-            }
-            PlaneOp::ChannelOff { idx } => {
-                if plane.rules[idx].active {
-                    plane.rules[idx].active = false;
-                    plane.active_rules -= 1;
-                }
-            }
-            PlaneOp::Clock { actor, kind } => {
-                plane.stats.clock_faults += 1;
-                self.trace.record(
-                    self.now,
-                    TraceKind::Fault {
-                        actor,
-                        kind: FaultRecordKind::ClockFault,
-                        detail: kind.code(),
-                    },
-                );
-                if !plane.is_down(actor) {
-                    self.fault = Some(plane);
-                    self.dispatch(actor, Dispatch::Fault { event: FaultEvent::Clock(kind) });
-                    return;
+                FifoStore::Unset => {
+                    self.fifo_setup(net);
+                    continue;
                 }
             }
         }
-        self.fault = Some(plane);
     }
 
-    /// Resize the FIFO matrix to stride `n`, remapping existing channel
-    /// entries. Runs at most once per topology size change.
+    /// (Re)build the FIFO store for the current topology size, preserving
+    /// any existing channel state. Cold: runs once per run (or per
+    /// topology-size change).
     #[cold]
-    fn grow_fifo(&mut self, n: usize) {
-        let mut grown = vec![SimTime::ZERO; n * n];
-        for f in 0..self.fifo_stride {
-            for t in 0..self.fifo_stride {
-                grown[f * n + t] = self.fifo_last[f * self.fifo_stride + t];
+    fn fifo_setup(&mut self, net: &NetworkConfig) {
+        if !net.fifo {
+            self.fifo = FifoStore::Off;
+            return;
+        }
+        let n = net.topology.len().max(self.actors.len());
+        let old = std::mem::replace(&mut self.fifo, FifoStore::Unset);
+        if n <= self.fifo_dense_limit {
+            let mut rank = vec![u32::MAX; n];
+            for (r, &id) in self.members.iter().enumerate() {
+                if id < n {
+                    rank[id] = r as u32;
+                }
+            }
+            let mut last = vec![SimTime::ZERO; self.members.len() * n];
+            // Preserve prior clamp state across a rebuild (re-runs after
+            // topology growth).
+            match old {
+                FifoStore::Dense { stride, rank: old_rank, last: old_last } => {
+                    for (from, &r_old) in old_rank.iter().enumerate() {
+                        if r_old == u32::MAX || from >= n || rank[from] == u32::MAX {
+                            continue;
+                        }
+                        let r_new = rank[from] as usize;
+                        for to in 0..stride.min(n) {
+                            last[r_new * n + to] = old_last[r_old as usize * stride + to];
+                        }
+                    }
+                }
+                FifoStore::Sparse { last: old_last } => {
+                    for (key, at) in old_last {
+                        let (from, to) = ((key >> 32) as usize, (key & 0xFFFF_FFFF) as usize);
+                        if from < n && to < n && rank[from] != u32::MAX {
+                            last[rank[from] as usize * n + to] = at;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            self.fifo = FifoStore::Dense { stride: n, rank, last };
+        } else {
+            let mut map = HashMap::new();
+            match old {
+                FifoStore::Dense { stride, rank: old_rank, last: old_last } => {
+                    for (from, &r) in old_rank.iter().enumerate() {
+                        if r == u32::MAX {
+                            continue;
+                        }
+                        for to in 0..stride {
+                            let at = old_last[r as usize * stride + to];
+                            if at != SimTime::ZERO {
+                                map.insert(((from as u64) << 32) | to as u64, at);
+                            }
+                        }
+                    }
+                }
+                FifoStore::Sparse { last } => map = last,
+                _ => {}
+            }
+            self.fifo = FifoStore::Sparse { last: map };
+        }
+    }
+}
+
+/// The simulation engine.
+pub struct Engine<M: Message> {
+    /// The resident lane. Sequential runs execute directly on it; sharded
+    /// runs split it into per-shard lanes and merge back afterwards.
+    lane: Lane<M>,
+    network: NetworkConfig,
+    factory: RngFactory,
+    end_time: SimTime,
+    /// Ids for injected external deliveries: a small counter disjoint from
+    /// transmitted ids (those start at `1 << 40`), so injections at an
+    /// instant always sort before transmissions at the same instant.
+    next_inject_id: u64,
+    /// Next un-applied fault-plane operation (ops are time-sorted).
+    op_cursor: usize,
+    /// The installed fault plane, if any. `None` on the hot path costs one
+    /// predictable branch per event; see [`Engine::install_faults`].
+    fault: Option<Box<FaultPlane<M>>>,
+    m: EngineMetrics,
+}
+
+impl<M: Message> Engine<M> {
+    /// Build an engine over the given network, with per-actor RNG streams
+    /// derived from `seed`.
+    pub fn new(network: NetworkConfig, seed: u64) -> Self {
+        let m = EngineMetrics::attach(&Metrics::disabled());
+        Engine {
+            lane: Lane::new(m.clone()),
+            network,
+            factory: RngFactory::new(seed),
+            end_time: SimTime::MAX,
+            next_inject_id: 0,
+            op_cursor: 0,
+            fault: None,
+            m,
+        }
+    }
+
+    /// Install a [`FaultScript`]: every scripted fault is expanded into a
+    /// time-sorted operation list the run interleaves with queue events
+    /// (ops at an instant apply before deliveries/timers at that instant).
+    /// Call after [`Engine::add_actor`] (the plane sizes its crash mask
+    /// from the actor count) and before [`Engine::run`]. The plane draws
+    /// from its own per-sender streams (labels `"engine.faults.<id>"`,
+    /// derived statelessly from the master seed), never from the network
+    /// RNGs — an **empty** script is observationally identical to not
+    /// installing one at all.
+    pub fn install_faults(&mut self, script: &FaultScript) {
+        let plane = FaultPlane::new(script, self.lane.actors.len());
+        self.lane.fault_rngs = (0..self.lane.actors.len())
+            .map(|id| self.factory.labeled_stream(&format!("engine.faults.{id}")))
+            .collect();
+        self.op_cursor = 0;
+        self.fault = Some(Box::new(plane));
+    }
+
+    /// The fault plane's counters, if a script is installed: op-side
+    /// counters (crashes, cuts, …) plus the transmit/delivery-side counters
+    /// the lanes accumulated, plus the still-parked backlog.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault.as_ref().map(|p| {
+            let mut s = p.stats();
+            s.absorb(&self.lane.fstats);
+            s.parked_leftover += self.lane.parked_out.len() as u64;
+            s
+        })
+    }
+
+    /// Messages scheduled (or parked by a partition) but not yet delivered.
+    /// After a run this is the undelivered backlog; together with the
+    /// delivered/lost counters it closes the queue-conservation identity
+    /// the chaos soak asserts.
+    pub fn in_flight(&self) -> u64 {
+        self.lane.in_flight.max(0) as u64
+    }
+
+    /// Record engine metrics (events processed, delivered vs dropped
+    /// messages, queue depth, in-flight high-water, run wall time) into
+    /// `metrics`. Recording is observational only: a run with metrics
+    /// attached is bit-identical to the same run without.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.m = EngineMetrics::attach(metrics);
+        self.lane.m = self.m.clone();
+    }
+
+    /// Register an actor; returns its id. Actors must be added before
+    /// [`Engine::run`]. Ids are assigned densely from 0 and must agree with
+    /// the network topology's node numbering.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<M> + Send>) -> ActorId {
+        let id = self.lane.actors.len();
+        self.lane.actors.push(Some(actor));
+        self.lane.rngs.push(self.factory.stream(id as u64 + 1));
+        self.lane.net_rngs.push(self.factory.labeled_stream(&format!("engine.network.{id}")));
+        self.lane.loss.push(self.network.loss.clone());
+        self.lane.msg_ctr.push(0);
+        self.lane.timer_ctr.push(0);
+        self.lane.members.push(id);
+        id
+    }
+
+    /// Enable trace recording.
+    pub fn enable_trace(&mut self) {
+        self.lane.trace = Trace::enabled();
+    }
+
+    /// Stop the run at this time even if events remain.
+    pub fn set_end_time(&mut self, end: SimTime) {
+        self.end_time = end;
+    }
+
+    /// Override [`DENSE_ACTOR_LIMIT`] for this engine (tests cross-validate
+    /// the dense and sparse FIFO paths by forcing each).
+    pub fn set_fifo_dense_limit(&mut self, limit: usize) {
+        self.lane.fifo_dense_limit = limit;
+        self.lane.fifo = FifoStore::Unset;
+    }
+
+    /// Schedule an external input: `msg` will be delivered to `to` at `at`,
+    /// bypassing the network's delay/loss models — used to inject
+    /// precomputed world-plane timelines. `from` is a conventional source id
+    /// (often the world actor's id).
+    pub fn inject(&mut self, at: SimTime, to: ActorId, from: ActorId, msg: M) {
+        let id = self.next_inject_id;
+        self.next_inject_id += 1;
+        debug_assert!(id < (1 << 40), "inject id overflow into transmitted-id space");
+        self.lane.queue.schedule_keyed(
+            at,
+            event_key(key_class::DELIVER, id),
+            Pending::Deliver { from: from as u32, to: to as u32, msg, id },
+        );
+        self.lane.in_flight += 1;
+        self.m.in_flight.set(self.lane.in_flight.max(0) as u64);
+        self.m.queue_depth.set(self.lane.queue.len() as u64);
+    }
+
+    /// Pre-reserve queue capacity for `n` additional events. Callers that
+    /// bulk-[`inject`](Engine::inject) a known timeline (e.g. the world
+    /// plane) should reserve up front to avoid repeated heap growth.
+    pub fn reserve_events(&mut self, n: usize) {
+        self.lane.queue.reserve(n);
+    }
+
+    /// Run until the queue drains, the end time passes, or an actor halts.
+    /// Returns the final simulation time.
+    pub fn run(&mut self) -> SimTime {
+        let wall_start = Instant::now();
+        let events_before = self.lane.events_processed;
+        self.lane.trace.configure_actors(self.lane.actors.len());
+        self.lane.dispatch_starts(&self.network, self.fault.as_deref());
+        loop {
+            if self.lane.halted {
+                break;
+            }
+            let op_at =
+                self.fault.as_deref().and_then(|p| p.ops.get(self.op_cursor)).map(|&(at, _)| at);
+            let next = match (op_at, self.lane.queue.peek_time()) {
+                (Some(a), Some(b)) => {
+                    if a <= b {
+                        a
+                    } else {
+                        b
+                    }
+                }
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
+            if next > self.end_time {
+                self.lane.now = self.end_time;
+                break;
+            }
+            if op_at == Some(next) {
+                // Fault ops apply before queue events at the same instant
+                // (class FAULT sorts first) and count as events for
+                // continuity with the former queue-scheduled scheme.
+                let idx = self.op_cursor;
+                self.op_cursor += 1;
+                self.lane.events_processed += 1;
+                self.m.events.inc();
+                let mut plane = self.fault.take().expect("op implies plane");
+                // Transmit-time parks accumulate lane-side; fold them into
+                // the plane before the op so a heal releases them (the
+                // sharded coordinator does the same at its op barriers).
+                collect_parked(std::slice::from_mut(&mut self.lane), &mut plane);
+                apply_plane_op(
+                    std::slice::from_mut(&mut self.lane),
+                    &mut plane,
+                    idx,
+                    &self.network,
+                );
+                self.fault = Some(plane);
+                self.m.queue_depth.set(self.lane.queue.len() as u64);
+            } else {
+                // Advance the queue up to (exclusive) the next op; with no
+                // ops pending, run unbounded. The end-time check above
+                // already bounded `next`, and events past `end_time` stop
+                // the loop on the next iteration.
+                let wend = op_at;
+                let end_bound = if self.end_time == SimTime::MAX {
+                    None
+                } else {
+                    Some(self.end_time.saturating_add(SimDuration::from_nanos(1)))
+                };
+                let bound = match (wend, end_bound) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                self.lane.advance_until(bound, &self.network, self.fault.as_deref());
+                if bound.is_none() || self.lane.queue.is_empty() {
+                    // Nothing left below the bound and no op clipped us —
+                    // unbounded advance drained everything it ever will.
+                    if op_at.is_none() {
+                        break;
+                    }
+                }
             }
         }
-        self.fifo_last = grown;
-        self.fifo_stride = n;
+        self.finish_run(wall_start, events_before)
+    }
+
+    /// Shorthand for [`Engine::run_with_plan`] over a
+    /// [`ShardPlan::contiguous`] partition into `shards` shards.
+    pub fn run_sharded(&mut self, shards: usize) -> SimTime {
+        self.run_with_plan(&ShardPlan::contiguous(self.lane.actors.len(), shards))
+    }
+
+    /// Run with actors partitioned across shard worker threads, advancing
+    /// all shards concurrently through lookahead-bounded windows. The
+    /// result — delivered-event sequence, per-actor RNG draws, trace,
+    /// stats, fault effects — is **bit-identical** to [`Engine::run`].
+    ///
+    /// Falls back to the sequential loop when the plan has one shard, the
+    /// network's lookahead ([`crate::delay::DelayModel::min_bound`]) is
+    /// zero, or there are no actors. Like `run`, one call consumes the
+    /// pending timeline; alternating `run`/`run_with_plan` calls on one
+    /// engine is supported (state merges back into the resident lane).
+    ///
+    /// Caveat: [`Context::halt`] stops a sharded run at the end of the
+    /// window (or start batch) that observed it, not mid-window — halting
+    /// protocols should keep using `run`. `now()` still reports the halting
+    /// lane's time.
+    pub fn run_with_plan(&mut self, plan: &ShardPlan) -> SimTime {
+        let n = self.lane.actors.len();
+        let lookahead = self.network.delay.min_bound();
+        let k = plan.shard_count().min(n.max(1));
+        if k <= 1 || n == 0 || lookahead.is_zero() {
+            return self.run();
+        }
+        assert!(
+            plan.owner().len() >= n,
+            "ShardPlan covers {} actors but engine has {n}",
+            plan.owner().len()
+        );
+        let wall_start = Instant::now();
+        let events_before = self.lane.events_processed;
+        self.lane.trace.configure_actors(n);
+
+        let mut lanes = self.split_lanes(plan.owner(), k);
+        let op_times: Vec<SimTime> = self
+            .fault
+            .as_deref()
+            .map(|p| p.ops.iter().map(|&(at, _)| at).collect())
+            .unwrap_or_default();
+        let plane_lock: RwLock<Option<Box<FaultPlane<M>>>> = RwLock::new(self.fault.take());
+        let net = &self.network;
+        let end_time = self.end_time;
+        let metrics = self.m.clone();
+        let mut op_cursor = self.op_cursor;
+        let mut end_hit = false;
+
+        // Start dispatches run on the coordinator, per lane in shard order;
+        // canonical start cursors make the resulting records order by actor
+        // id regardless.
+        {
+            let guard = plane_lock.read();
+            for lane in &mut lanes {
+                lane.dispatch_starts(net, guard.as_deref());
+            }
+        }
+        route_outboxes(&mut lanes);
+
+        std::thread::scope(|scope| {
+            let mut cmd_tx: Vec<mpsc::Sender<(Lane<M>, SimTime)>> = Vec::with_capacity(k);
+            let mut res_rx: Vec<mpsc::Receiver<Lane<M>>> = Vec::with_capacity(k);
+            for _ in 0..k {
+                let (tx, rx) = mpsc::channel::<(Lane<M>, SimTime)>();
+                let (res_tx, rres) = mpsc::channel::<Lane<M>>();
+                cmd_tx.push(tx);
+                res_rx.push(rres);
+                let plane_lock = &plane_lock;
+                scope.spawn(move || {
+                    while let Ok((mut lane, wend)) = rx.recv() {
+                        {
+                            let guard = plane_lock.read();
+                            lane.advance_until(Some(wend), net, guard.as_deref());
+                        }
+                        if res_tx.send(lane).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+
+            loop {
+                if lanes.iter().any(|l| l.halted) {
+                    break;
+                }
+                let op_at = op_times.get(op_cursor).copied();
+                let qmin = lanes.iter().filter_map(|l| l.queue.peek_time()).min();
+                let next = match (op_at, qmin) {
+                    (Some(a), Some(b)) => {
+                        if a <= b {
+                            a
+                        } else {
+                            b
+                        }
+                    }
+                    (Some(a), None) => a,
+                    (None, Some(b)) => b,
+                    (None, None) => break,
+                };
+                if next > end_time {
+                    end_hit = true;
+                    break;
+                }
+                if op_at == Some(next) {
+                    // Coordinator sub-barrier: apply the op under the write
+                    // lock, with all lanes at rest. Counts as a window in
+                    // `engine.windows` — the metric measures synchronization
+                    // points, and an op barrier synchronizes every lane just
+                    // like a window boundary does.
+                    let idx = op_cursor;
+                    op_cursor += 1;
+                    metrics.events.inc();
+                    metrics.windows.inc();
+                    let mut guard = plane_lock.write();
+                    let plane = guard.as_deref_mut().expect("op implies plane");
+                    collect_parked(&mut lanes, plane);
+                    lanes[0].events_processed += 1;
+                    apply_plane_op(&mut lanes, plane, idx, net);
+                    // Ops can dispatch actors (Recover/Clock handlers) whose
+                    // sends target other shards; route them now so the next
+                    // qmin sees them — left in an outbox they would surface
+                    // after the destination lane advanced past their
+                    // delivery time.
+                    route_outboxes(&mut lanes);
+                } else {
+                    // One parallel window [next, wend).
+                    metrics.windows.inc();
+                    let mut wend = next.saturating_add(lookahead);
+                    if let Some(a) = op_at {
+                        wend = wend.min(a);
+                    }
+                    if end_time != SimTime::MAX {
+                        wend = wend.min(end_time.saturating_add(SimDuration::from_nanos(1)));
+                    }
+                    for lane in lanes.drain(..) {
+                        let shard = lane.shard;
+                        cmd_tx[shard].send((lane, wend)).expect("worker alive");
+                    }
+                    // Collect in shard order from per-worker channels: a
+                    // worker that panicked closes its channel, turning a
+                    // would-be deadlock into an immediate error (the scope
+                    // join then re-raises the worker's own panic).
+                    lanes = res_rx
+                        .iter()
+                        .enumerate()
+                        .map(|(i, rx)| {
+                            rx.recv().unwrap_or_else(|_| panic!("shard worker {i} died"))
+                        })
+                        .collect();
+                    route_outboxes(&mut lanes);
+                }
+            }
+            drop(cmd_tx); // workers exit on channel close
+        });
+
+        self.op_cursor = op_cursor;
+        let mut plane = plane_lock.into_inner();
+        if let Some(p) = plane.as_deref_mut() {
+            collect_parked(&mut lanes, p);
+        }
+        self.fault = plane;
+        self.merge_lanes(lanes);
+        if end_hit {
+            self.lane.now = end_time;
+        }
+        self.m.queue_depth.set(self.lane.queue.len() as u64);
+        self.m.in_flight.set(self.lane.in_flight.max(0) as u64);
+        self.finish_run(wall_start, events_before)
+    }
+
+    /// Seal the trace and record wall-clock metrics; returns final time.
+    fn finish_run(&mut self, wall_start: Instant, events_before: u64) -> SimTime {
+        self.lane.trace.seal();
+        let wall = wall_start.elapsed();
+        self.m.run_wall.record_duration(wall);
+        let secs = wall.as_secs_f64();
+        if secs > 0.0 {
+            self.m
+                .events_per_sec
+                .set(((self.lane.events_processed - events_before) as f64 / secs) as u64);
+        }
+        self.lane.now
+    }
+
+    /// Split the resident lane into `k` per-shard lanes according to
+    /// `owner`. Full-size per-actor vectors are cloned into every lane
+    /// (cheap: RNG streams are ~32 B) so workers index by global id.
+    fn split_lanes(&mut self, owner: &[u32], k: usize) -> Vec<Lane<M>> {
+        let n = self.lane.actors.len();
+        let base = &mut self.lane;
+        let mut lanes: Vec<Lane<M>> = (0..k)
+            .map(|shard| Lane {
+                shard,
+                now: base.now,
+                queue: EventQueue::new(),
+                actors: (0..n).map(|_| None).collect(),
+                rngs: base.rngs.clone(),
+                net_rngs: base.net_rngs.clone(),
+                fault_rngs: base.fault_rngs.clone(),
+                loss: base.loss.clone(),
+                msg_ctr: base.msg_ctr.clone(),
+                timer_ctr: base.timer_ctr.clone(),
+                members: Vec::new(),
+                owner: owner[..n].to_vec(),
+                outbox: Vec::new(),
+                fifo: FifoStore::Unset,
+                fifo_dense_limit: base.fifo_dense_limit,
+                trace: if base.trace.is_enabled() { Trace::enabled() } else { Trace::disabled() },
+                stats: NetStats::default(),
+                fstats: FaultStats::default(),
+                parked_out: Vec::new(),
+                in_flight: 0,
+                events_processed: 0,
+                halted: base.halted,
+                action_scratch: Vec::new(),
+                peer_scratch: Vec::new(),
+                m: base.m.clone(),
+            })
+            .collect();
+        for (id, &shard) in owner.iter().enumerate() {
+            let s = shard as usize;
+            debug_assert!(s < k, "owner[{id}] = {s} out of range for {k} shards");
+            lanes[s].actors[id] = base.actors[id].take();
+            lanes[s].members.push(id);
+        }
+        let mut distributed = 0i64;
+        for (at, key, p) in base.queue.drain_entries() {
+            let dest = match &p {
+                Pending::Deliver { to, .. } => {
+                    owner.get(*to as usize).map(|&s| s as usize).unwrap_or(0)
+                }
+                Pending::Timer { actor, .. } => owner[*actor as usize] as usize,
+            };
+            if matches!(p, Pending::Deliver { .. }) {
+                lanes[dest].in_flight += 1;
+                distributed += 1;
+            }
+            lanes[dest].queue.schedule_keyed(at, key, p);
+        }
+        // Whatever in-flight count is not in the queue (parked messages
+        // from a previous run) stays on lane 0, so the global sum is
+        // preserved across split/merge.
+        lanes[0].in_flight += base.in_flight - distributed;
+        base.in_flight = 0;
+        lanes
+    }
+
+    /// Merge per-shard lanes back into the resident lane: actors, RNG and
+    /// counter state (members only), traces (canonical absorb), stats, and
+    /// any leftover queue entries.
+    fn merge_lanes(&mut self, mut lanes: Vec<Lane<M>>) {
+        let base = &mut self.lane;
+        let mut max_now = base.now;
+        for lane in &mut lanes {
+            max_now = max_now.max(lane.now);
+            for i in 0..lane.members.len() {
+                let id = lane.members[i];
+                base.actors[id] = lane.actors[id].take();
+                base.rngs[id] = lane.rngs[id].clone();
+                base.net_rngs[id] = lane.net_rngs[id].clone();
+                if !base.fault_rngs.is_empty() {
+                    base.fault_rngs[id] = lane.fault_rngs[id].clone();
+                }
+                base.loss[id] = lane.loss[id].clone();
+                base.msg_ctr[id] = lane.msg_ctr[id];
+                base.timer_ctr[id] = lane.timer_ctr[id];
+            }
+            base.stats.absorb(&lane.stats);
+            base.fstats.absorb(&lane.fstats);
+            base.trace.absorb(&mut lane.trace);
+            base.in_flight += lane.in_flight;
+            base.events_processed += lane.events_processed;
+            base.halted |= lane.halted;
+            base.parked_out.append(&mut lane.parked_out);
+            for (at, key, p) in lane.queue.drain_entries() {
+                base.queue.schedule_keyed(at, key, p);
+            }
+        }
+        // The FIFO channel state is split per shard and cheap to rebuild;
+        // force re-init on the next (sequential) run.
+        base.fifo = FifoStore::Unset;
+        base.now = max_now;
     }
 
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.lane.now
     }
 
     /// Network counters accumulated so far.
     pub fn stats(&self) -> &NetStats {
-        &self.stats
+        &self.lane.stats
     }
 
     /// The recorded trace.
     pub fn trace(&self) -> &Trace {
-        &self.trace
+        &self.lane.trace
     }
 
     /// Total events dispatched.
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.lane.events_processed
     }
 
     /// Mutable access to the network configuration (e.g. to flip overlay
-    /// links between runs).
+    /// links between runs). Note: per-sender loss-model state is cloned at
+    /// [`Engine::add_actor`] time, so swapping `loss` here does not affect
+    /// already-registered senders.
     pub fn network_mut(&mut self) -> &mut NetworkConfig {
         &mut self.network
     }
@@ -893,8 +1419,247 @@ impl<M: Message> Engine<M> {
     /// Recover an actor after the run to read its final state.
     ///
     /// Panics if `id` is out of range or the actor was already taken.
-    pub fn take_actor(&mut self, id: ActorId) -> Box<dyn Actor<M>> {
-        self.actors[id].take().expect("actor present")
+    pub fn take_actor(&mut self, id: ActorId) -> Box<dyn Actor<M> + Send> {
+        self.lane.actors[id].take().expect("actor present")
+    }
+}
+
+/// Route every lane's outbox into the destination lanes' heaps. Arrival
+/// order into a heap is immaterial — heap order is total on
+/// `(time, canonical key)` — so no sort is needed.
+fn route_outboxes<M: Message>(lanes: &mut [Lane<M>]) {
+    for li in 0..lanes.len() {
+        let out = std::mem::take(&mut lanes[li].outbox);
+        for (at, key, p) in out {
+            let dest = match &p {
+                Pending::Deliver { to, .. } => lanes[li].owner[*to as usize] as usize,
+                Pending::Timer { actor, .. } => lanes[li].owner[*actor as usize] as usize,
+            };
+            lanes[dest].queue.schedule_keyed(at, key, p);
+        }
+    }
+}
+
+/// Drain every lane's transmit-time parked messages into the plane (order
+/// inside `plane.parked` is canonicalised by the sort at heal time).
+fn collect_parked<M: Message>(lanes: &mut [Lane<M>], plane: &mut FaultPlane<M>) {
+    for lane in lanes.iter_mut() {
+        plane.parked.append(&mut lane.parked_out);
+    }
+}
+
+/// The owning lane of `actor` (lane 0 when sequential or out of range).
+fn host_of<M: Message>(lanes: &[Lane<M>], actor: ActorId) -> usize {
+    if lanes.len() == 1 {
+        return 0;
+    }
+    lanes[0].owner.get(actor).map(|&s| s as usize).unwrap_or(0)
+}
+
+/// Execute one expanded fault-plane operation against the lane set, at the
+/// op's scripted time. Works identically for the sequential engine (one
+/// lane) and the sharded coordinator (all lanes at a window barrier).
+///
+/// Trace-host rule: each op designates **one** host trace — the owning
+/// lane's for actor-scoped ops (crash/recover/clock), lane 0's for
+/// system-scoped ops (cut/heal/channel) — and stages every record under the
+/// op's canonical FAULT cursor with one continuous intra counter. The
+/// canonical seal orders records by `(time, cursor, intra)`, so the host
+/// choice never shows in the sealed trace.
+fn apply_plane_op<M: Message>(
+    lanes: &mut [Lane<M>],
+    plane: &mut FaultPlane<M>,
+    idx: usize,
+    net: &NetworkConfig,
+) {
+    let (now, op) = plane.ops[idx].clone();
+    let key = event_key(key_class::FAULT, idx as u64);
+    let cursor = Trace::event_cursor(key);
+    match op {
+        PlaneOp::Crash { actor } => {
+            let h = host_of(lanes, actor);
+            let lane = &mut lanes[h];
+            lane.now = now;
+            lane.trace.set_cursor(cursor);
+            if !plane.is_down(actor) {
+                plane.down[actor] = true;
+                plane.stats.crashes += 1;
+                lane.trace.record(
+                    now,
+                    TraceKind::Fault { actor, kind: FaultRecordKind::Crash, detail: 0 },
+                );
+            }
+        }
+        PlaneOp::Recover { actor } => {
+            let h = host_of(lanes, actor);
+            let lane = &mut lanes[h];
+            lane.now = now;
+            lane.trace.set_cursor(cursor);
+            if plane.is_down(actor) {
+                plane.down[actor] = false;
+                plane.stats.recoveries += 1;
+                lane.trace.record(
+                    now,
+                    TraceKind::Fault { actor, kind: FaultRecordKind::Recover, detail: 0 },
+                );
+                // The plane mutation is complete, so everything the
+                // recovering actor sends goes through the fault pipeline
+                // with the post-recovery state.
+                lane.dispatch(
+                    actor,
+                    Dispatch::Fault { event: FaultEvent::Recover },
+                    net,
+                    Some(plane),
+                );
+            }
+        }
+        PlaneOp::Clock { actor, kind } => {
+            let h = host_of(lanes, actor);
+            let lane = &mut lanes[h];
+            lane.now = now;
+            lane.trace.set_cursor(cursor);
+            plane.stats.clock_faults += 1;
+            lane.trace.record(
+                now,
+                TraceKind::Fault { actor, kind: FaultRecordKind::ClockFault, detail: kind.code() },
+            );
+            if !plane.is_down(actor) {
+                lane.dispatch(
+                    actor,
+                    Dispatch::Fault { event: FaultEvent::Clock(kind) },
+                    net,
+                    Some(plane),
+                );
+            }
+        }
+        PlaneOp::Cut { idx: ci } => {
+            lanes[0].now = now;
+            lanes[0].trace.set_cursor(cursor);
+            plane.cuts[ci].active = true;
+            plane.active_cuts += 1;
+            plane.stats.cuts += 1;
+            let policy = plane.cuts[ci].policy;
+            // Intercept in-flight messages crossing the new cut, merging
+            // per-lane drains into one canonical (time, key) order.
+            let mut crossing: Vec<(usize, SimTime, u64, Pending<M>)> = Vec::new();
+            for (li, lane) in lanes.iter_mut().enumerate() {
+                let group = &plane.cuts[ci].group;
+                let mut pred = |p: &Pending<M>| match p {
+                    Pending::Deliver { from, to, .. } => {
+                        group.contains(&(*from as ActorId)) != group.contains(&(*to as ActorId))
+                    }
+                    _ => false,
+                };
+                for (at, k, p) in lane.queue.drain_entries_matching(&mut pred) {
+                    crossing.push((li, at, k, p));
+                }
+            }
+            crossing.sort_by_key(|a| (a.1, a.2));
+            for (li, dat, _k, pending) in crossing {
+                let Pending::Deliver { from, to, msg, id } = pending else { unreachable!() };
+                let (from, to) = (from as ActorId, to as ActorId);
+                match policy {
+                    CutPolicy::Drop => {
+                        lanes[li].in_flight -= 1;
+                        lanes[0].stats.messages_lost += 1;
+                        lanes[0].stats.messages_faulted += 1;
+                        lanes[0].m.dropped.inc();
+                        lanes[0].trace.record(now, TraceKind::Lost { from, to, msg: MsgId(id) });
+                        plane.stats.dropped_in_flight += 1;
+                    }
+                    CutPolicy::Park => {
+                        lanes[0].trace.record(
+                            now,
+                            TraceKind::Fault {
+                                actor: from,
+                                kind: FaultRecordKind::Parked,
+                                detail: id,
+                            },
+                        );
+                        plane.parked.push(Parked { from, to, msg, id, deliver_at: dat });
+                        plane.stats.parked += 1;
+                        // stays in flight (counted in lane li)
+                    }
+                }
+            }
+            for i in 0..plane.cuts[ci].group.len() {
+                let actor = plane.cuts[ci].group[i];
+                lanes[0].trace.record(
+                    now,
+                    TraceKind::Fault {
+                        actor,
+                        kind: FaultRecordKind::PartitionCut,
+                        detail: ci as u64,
+                    },
+                );
+            }
+        }
+        PlaneOp::Heal { idx: ci } => {
+            if plane.cuts[ci].active {
+                lanes[0].now = now;
+                lanes[0].trace.set_cursor(cursor);
+                plane.cuts[ci].active = false;
+                plane.active_cuts -= 1;
+                plane.stats.heals += 1;
+                // Release parked messages no active cut still blocks, in
+                // canonical (deliver_at, id) order — sorted here because
+                // shard lanes park concurrently during windows.
+                let mut parked = std::mem::take(&mut plane.parked);
+                parked.sort_by_key(|p| (p.deliver_at, p.id));
+                for p in parked {
+                    if plane.blocked(p.from, p.to) {
+                        plane.parked.push(p);
+                    } else {
+                        let at = if p.deliver_at > now { p.deliver_at } else { now };
+                        lanes[0].trace.record(
+                            now,
+                            TraceKind::Fault {
+                                actor: p.from,
+                                kind: FaultRecordKind::Unparked,
+                                detail: p.id,
+                            },
+                        );
+                        let dest = host_of(lanes, p.to);
+                        lanes[dest].queue.schedule_keyed(
+                            at,
+                            event_key(key_class::DELIVER, p.id),
+                            Pending::Deliver {
+                                from: p.from as u32,
+                                to: p.to as u32,
+                                msg: p.msg,
+                                id: p.id,
+                            },
+                        );
+                        plane.stats.unparked += 1;
+                    }
+                }
+                for i in 0..plane.cuts[ci].group.len() {
+                    let actor = plane.cuts[ci].group[i];
+                    lanes[0].trace.record(
+                        now,
+                        TraceKind::Fault {
+                            actor,
+                            kind: FaultRecordKind::PartitionHeal,
+                            detail: ci as u64,
+                        },
+                    );
+                }
+            }
+        }
+        PlaneOp::ChannelOn { idx: ri } => {
+            lanes[0].now = now;
+            if !plane.rules[ri].active {
+                plane.rules[ri].active = true;
+                plane.active_rules += 1;
+            }
+        }
+        PlaneOp::ChannelOff { idx: ri } => {
+            lanes[0].now = now;
+            if plane.rules[ri].active {
+                plane.rules[ri].active = false;
+                plane.active_rules -= 1;
+            }
+        }
     }
 }
 
@@ -1497,5 +2262,228 @@ mod tests {
         assert_eq!(end_plain, end_fault);
         assert_eq!(stats_plain, stats_fault);
         assert_eq!(trace_plain, trace_fault, "empty plane must be observationally silent");
+    }
+
+    // ---- sharded execution -----------------------------------------------
+
+    /// A gossip workload with plenty of cross-actor traffic and per-actor
+    /// randomness: every actor ticks `rounds` times, sending two pings per
+    /// tick; receivers pong back with probability 1/2 drawn from their
+    /// private stream. Exercises timers, sends, RNG draws, and FIFO.
+    struct Gossip {
+        rounds: u64,
+        period: SimDuration,
+    }
+    impl Actor<TestMsg> for Gossip {
+        fn on_start(&mut self, ctx: &mut Context<'_, TestMsg>) {
+            ctx.set_timer(self.period, 0);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, TestMsg>, from: ActorId, msg: TestMsg) {
+            if let TestMsg::Ping(k) = msg {
+                if k > 0 && ctx.rng().bernoulli(0.5) {
+                    ctx.send(from, TestMsg::Pong(k - 1));
+                }
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, TestMsg>, tag: u64) {
+            let n = ctx.actor_count();
+            let a = (ctx.id() + 1 + tag as usize) % n;
+            let b = (ctx.id() + 5) % n;
+            ctx.send(a, TestMsg::Ping(tag as u32 + 1));
+            ctx.send(b, TestMsg::Ping(tag as u32 + 2));
+            if tag + 1 < self.rounds {
+                ctx.set_timer(self.period, tag + 1);
+            }
+        }
+    }
+
+    fn gossip_engine(n: usize, delay: DelayModel, seed: u64) -> Engine<TestMsg> {
+        let net = NetworkConfig::full_mesh(n, delay);
+        let mut e = Engine::new(net, seed);
+        for _ in 0..n {
+            e.add_actor(Box::new(Gossip { rounds: 12, period: SimDuration::from_millis(10) }));
+        }
+        e
+    }
+
+    /// Everything observable about a finished run, for exact comparison.
+    fn fingerprint(e: &Engine<TestMsg>) -> (SimTime, NetStats, u64, Option<FaultStats>, String) {
+        (
+            e.now(),
+            e.stats().clone(),
+            e.events_processed(),
+            e.fault_stats(),
+            crate::trace_export::jsonl(e.trace()),
+        )
+    }
+
+    /// Sharding delay: min 2 ms gives the engine a real lookahead window.
+    fn shardable_delay() -> DelayModel {
+        DelayModel::DeltaBounded {
+            min: SimDuration::from_millis(2),
+            max: SimDuration::from_millis(20),
+        }
+    }
+
+    #[test]
+    fn shard_plan_partitions_actors() {
+        let p = ShardPlan::contiguous(10, 4);
+        assert_eq!(p.shard_count(), 4);
+        assert_eq!(p.owner(), &[0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+        let p = ShardPlan::interleaved(7, 3);
+        assert_eq!(p.owner(), &[0, 1, 2, 0, 1, 2, 0]);
+        assert_eq!(p.shard_count(), 3);
+        let p = ShardPlan::by_hash(100, 5);
+        assert_eq!(p.owner().len(), 100);
+        assert!(p.owner().iter().all(|&s| s < 5));
+        assert!(p.shard_count() <= 5);
+        let p = ShardPlan::explicit(vec![2, 0, 2]);
+        assert_eq!(p.shard_count(), 3);
+        // More shards than actors clamps instead of leaving empty lanes.
+        let p = ShardPlan::contiguous(3, 16);
+        assert_eq!(p.shard_count(), 3);
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_to_sequential() {
+        let mut seq = gossip_engine(12, shardable_delay(), 99);
+        seq.enable_trace();
+        seq.run();
+        let want = fingerprint(&seq);
+        assert!(seq.stats().messages_delivered > 50, "workload is non-trivial");
+
+        for shards in [2, 4, 7] {
+            let mut par = gossip_engine(12, shardable_delay(), 99);
+            par.enable_trace();
+            par.run_sharded(shards);
+            assert_eq!(fingerprint(&par), want, "shards={shards} must replay bit-identically");
+        }
+        // And under a non-contiguous placement.
+        let mut par = gossip_engine(12, shardable_delay(), 99);
+        par.enable_trace();
+        par.run_with_plan(&ShardPlan::interleaved(12, 3));
+        assert_eq!(fingerprint(&par), want, "interleaved plan must replay bit-identically");
+        let mut par = gossip_engine(12, shardable_delay(), 99);
+        par.enable_trace();
+        par.run_with_plan(&ShardPlan::by_hash(12, 4));
+        assert_eq!(fingerprint(&par), want, "hashed plan must replay bit-identically");
+    }
+
+    #[test]
+    fn sharded_run_with_faults_matches_sequential() {
+        let script = FaultScript::new()
+            .with(
+                SimTime::ZERO,
+                FaultSpec::Channel(ChannelFaultRule {
+                    from: None,
+                    to: None,
+                    prob: 0.2,
+                    effect: ChannelEffect::Duplicate,
+                    duration: Some(SimDuration::from_millis(80)),
+                }),
+            )
+            .with(
+                SimTime::from_millis(25),
+                FaultSpec::Crash { actor: 3, recover_after: Some(SimDuration::from_millis(30)) },
+            )
+            .with(
+                SimTime::from_millis(40),
+                FaultSpec::Partition {
+                    group: vec![1, 2],
+                    heal_after: SimDuration::from_millis(50),
+                    policy: CutPolicy::Park,
+                },
+            )
+            .with(
+                SimTime::from_millis(60),
+                FaultSpec::Clock { actor: 5, kind: ClockFaultKind::Reset },
+            );
+        let run = |shards: usize| {
+            let mut e = gossip_engine(12, shardable_delay(), 4242);
+            e.enable_trace();
+            e.install_faults(&script);
+            if shards <= 1 {
+                e.run();
+            } else {
+                e.run_sharded(shards);
+            }
+            fingerprint(&e)
+        };
+        let want = run(1);
+        let fs = want.3.clone().unwrap();
+        assert!(fs.crashes == 1 && fs.parked > 0, "script actually bites: {fs:?}");
+        for shards in [2, 4, 7] {
+            assert_eq!(run(shards), want, "shards={shards} under faults must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn zero_lookahead_falls_back_to_sequential() {
+        // delta() has min_bound 0, so run_sharded must take the sequential
+        // path and still produce the exact sequential result.
+        let mut seq = gossip_engine(8, DelayModel::delta(SimDuration::from_millis(20)), 5);
+        seq.enable_trace();
+        seq.run();
+        let mut par = gossip_engine(8, DelayModel::delta(SimDuration::from_millis(20)), 5);
+        par.enable_trace();
+        par.run_sharded(4);
+        assert_eq!(fingerprint(&par), fingerprint(&seq));
+    }
+
+    #[test]
+    fn sharded_respects_end_time() {
+        let mut seq = gossip_engine(10, shardable_delay(), 31);
+        seq.enable_trace();
+        seq.set_end_time(SimTime::from_millis(55));
+        seq.run();
+        let mut par = gossip_engine(10, shardable_delay(), 31);
+        par.enable_trace();
+        par.set_end_time(SimTime::from_millis(55));
+        par.run_sharded(3);
+        assert_eq!(fingerprint(&par), fingerprint(&seq));
+        assert_eq!(par.now(), SimTime::from_millis(55));
+    }
+
+    #[test]
+    fn sharded_delivers_injected_events() {
+        let mut seq = gossip_engine(6, shardable_delay(), 8);
+        seq.enable_trace();
+        seq.inject(SimTime::from_millis(3), 4, 0, TestMsg::Ping(7));
+        seq.inject(SimTime::from_millis(1), 1, 0, TestMsg::Ping(9));
+        seq.run();
+        let mut par = gossip_engine(6, shardable_delay(), 8);
+        par.enable_trace();
+        par.inject(SimTime::from_millis(3), 4, 0, TestMsg::Ping(7));
+        par.inject(SimTime::from_millis(1), 1, 0, TestMsg::Ping(9));
+        par.run_sharded(3);
+        assert_eq!(fingerprint(&par), fingerprint(&seq));
+    }
+
+    #[test]
+    fn sparse_fifo_matches_dense() {
+        // Force the sparse channel store and check FIFO clamping behaves
+        // identically to the dense matrix on the same workload.
+        let run = |dense_limit: usize| {
+            let mut e = gossip_engine(12, shardable_delay(), 123);
+            e.set_fifo_dense_limit(dense_limit);
+            e.enable_trace();
+            e.run();
+            fingerprint(&e)
+        };
+        let dense = run(DENSE_ACTOR_LIMIT);
+        let sparse = run(0);
+        assert_eq!(sparse, dense, "sparse FIFO store must be observationally identical");
+    }
+
+    #[test]
+    fn sharded_sparse_fifo_matches_sequential_dense() {
+        let mut seq = gossip_engine(12, shardable_delay(), 321);
+        seq.enable_trace();
+        seq.run();
+        let mut par = gossip_engine(12, shardable_delay(), 321);
+        par.set_fifo_dense_limit(0);
+        par.enable_trace();
+        par.run_sharded(4);
+        assert_eq!(fingerprint(&par), fingerprint(&seq));
     }
 }

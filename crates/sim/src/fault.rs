@@ -7,9 +7,9 @@
 //! **clock faults** (drift spikes, resets, freezes, de-/re-sync) delivered
 //! to the owning actor. The engine installs a script with
 //! [`crate::engine::Engine::install_faults`]; everything the plane does is
-//! driven by the script plus one private [`RngStream`], so a faulty run is
-//! exactly as replayable as a fault-free one: same script + same seed ⇒
-//! byte-identical trace.
+//! driven by the script plus private per-sender [`RngStream`]s, so a faulty
+//! run is exactly as replayable as a fault-free one: same script + same
+//! seed ⇒ byte-identical trace.
 //!
 //! Determinism contract (enforced by `tests/determinism.rs`):
 //!
@@ -17,10 +17,13 @@
 //!   the same branches, draws the same random numbers from the same
 //!   streams, and assigns the same message ids as a run with no plane
 //!   installed at all — bit-identical traces.
-//! - **The plane never touches the network RNG.** All fault randomness
+//! - **The plane never touches the network RNGs.** All fault randomness
 //!   (channel-fault coin flips, duplicate delays, corruption payloads)
-//!   comes from the plane's own stream, derived from the master seed under
-//!   the label `"engine.faults"`.
+//!   comes from the plane's own per-sender streams, derived from the master
+//!   seed under the labels `"engine.faults.<sender>"`. One stream per
+//!   sender (rather than one global plane stream) keeps the draw sequence a
+//!   function of each sender's own message history, which is what lets the
+//!   sharded engine reproduce a sequential run bit for bit.
 //!
 //! Fault events are recorded in the structured trace as
 //! [`crate::trace::TraceKind::Fault`] records and surface in Perfetto
@@ -329,7 +332,7 @@ pub enum FaultEvent {
 
 /// Counters the plane accumulates; exposed through
 /// [`crate::engine::Engine::fault_stats`] and asserted by the chaos soak.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub struct FaultStats {
     pub crashes: u64,
@@ -354,6 +357,29 @@ pub struct FaultStats {
     pub unparked: u64,
     /// Messages still parked when the run ended (counted as in-flight).
     pub parked_leftover: u64,
+}
+
+impl FaultStats {
+    /// Add every counter of `other` into `self` (used to merge per-shard
+    /// transmit-side counters into the plane's op-side counters).
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.crashes += other.crashes;
+        self.recoveries += other.recoveries;
+        self.cuts += other.cuts;
+        self.heals += other.heals;
+        self.clock_faults += other.clock_faults;
+        self.dropped_at_down += other.dropped_at_down;
+        self.timers_suppressed += other.timers_suppressed;
+        self.dropped_by_partition += other.dropped_by_partition;
+        self.dropped_in_flight += other.dropped_in_flight;
+        self.dropped_by_channel += other.dropped_by_channel;
+        self.corrupted += other.corrupted;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+        self.parked += other.parked;
+        self.unparked += other.unparked;
+        self.parked_leftover += other.parked_leftover;
+    }
 }
 
 /// One internal plane operation, expanded from the script at install time
@@ -418,7 +444,6 @@ pub struct FaultPlane<M> {
     pub(crate) rules: Vec<RuleState>,
     pub(crate) active_rules: usize,
     pub(crate) down: Vec<bool>,
-    pub(crate) rng: RngStream,
     pub(crate) parked: Vec<Parked<M>>,
     pub(crate) stats: FaultStats,
 }
@@ -426,7 +451,7 @@ pub struct FaultPlane<M> {
 impl<M> FaultPlane<M> {
     /// Expand `script` into scheduled plane operations. `n_actors` sizes
     /// the down-mask (grown further if the script names higher ids).
-    pub(crate) fn new(script: &FaultScript, rng: RngStream, n_actors: usize) -> Self {
+    pub(crate) fn new(script: &FaultScript, n_actors: usize) -> Self {
         let mut ops: Vec<(SimTime, PlaneOp)> = Vec::new();
         let mut cuts = Vec::new();
         let mut rules = Vec::new();
@@ -469,7 +494,6 @@ impl<M> FaultPlane<M> {
             rules,
             active_rules: 0,
             down: vec![false; max_actor],
-            rng,
             parked: Vec::new(),
             stats: FaultStats::default(),
         }
@@ -490,14 +514,17 @@ impl<M> FaultPlane<M> {
     }
 
     /// Evaluate the channel-fault pipeline for one message: the first
-    /// active matching rule whose coin flip hits decides the effect.
-    pub(crate) fn channel_effect(&mut self, from: ActorId, to: ActorId) -> Option<ChannelEffect> {
-        for i in 0..self.rules.len() {
-            if self.rules[i].matches(from, to) {
-                let p = self.rules[i].rule.prob;
-                if self.rng.bernoulli(p) {
-                    return Some(self.rules[i].rule.effect);
-                }
+    /// active matching rule whose coin flip (drawn from the *sender's*
+    /// plane stream) hits decides the effect.
+    pub(crate) fn channel_effect(
+        &self,
+        from: ActorId,
+        to: ActorId,
+        rng: &mut RngStream,
+    ) -> Option<ChannelEffect> {
+        for r in &self.rules {
+            if r.matches(from, to) && rng.bernoulli(r.rule.prob) {
+                return Some(r.rule.effect);
             }
         }
         None
@@ -583,8 +610,7 @@ mod tests {
                     policy: CutPolicy::Park,
                 },
             );
-        let rng = RngFactory::new(0).labeled_stream("engine.faults");
-        let plane: FaultPlane<()> = FaultPlane::new(&script, rng, 3);
+        let plane: FaultPlane<()> = FaultPlane::new(&script, 3);
         assert_eq!(plane.ops.len(), 4, "crash + recover + cut + heal");
         assert_eq!(plane.ops[0].0, SimTime::from_secs(1));
         assert!(matches!(plane.ops[3].1, PlaneOp::Heal { .. }));

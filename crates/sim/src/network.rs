@@ -187,6 +187,21 @@ pub struct NetStats {
     pub messages_duplicated: u64,
 }
 
+impl NetStats {
+    /// Fold another counter set into this one. The sharded engine keeps
+    /// per-shard stats during a run and merges them at the end; every field
+    /// is a sum-decomposable counter, so the merge is exact.
+    pub fn absorb(&mut self, other: &NetStats) {
+        self.messages_sent += other.messages_sent;
+        self.messages_delivered += other.messages_delivered;
+        self.messages_lost += other.messages_lost;
+        self.bytes_sent += other.bytes_sent;
+        self.broadcasts += other.broadcasts;
+        self.messages_faulted += other.messages_faulted;
+        self.messages_duplicated += other.messages_duplicated;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

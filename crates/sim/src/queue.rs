@@ -1,26 +1,55 @@
 //! The pending-event queue.
 //!
-//! A binary min-heap keyed on `(time, seq)`. The monotonically increasing
-//! sequence number makes tie-breaking among simultaneous events **stable and
-//! deterministic**: events scheduled earlier (in program order) fire earlier.
-//! This is what makes whole simulations a pure function of `(config, seed)`.
+//! A binary min-heap keyed on `(time, key)`. The key is a 64-bit **canonical
+//! event key**: a 2-bit class in the top bits (fault ops < deliveries <
+//! timers < plain sequence numbers) over a 62-bit payload that is unique
+//! within the class (message id, `(actor, timer-counter)`, op index, or a
+//! schedule-order counter). Because the key is derived from event *content*
+//! rather than from the order in which events happened to be scheduled, the
+//! pop order of a set of events is independent of the order and the thread
+//! the events were scheduled from — the property the sharded engine relies
+//! on to stay bit-identical to the sequential one. `schedule` (without an
+//! explicit key) falls back to a schedule-order counter, which reproduces
+//! the classic "earlier-scheduled fires earlier" tie-break.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
+/// Class bits for canonical event keys (top 2 bits of the `u64`).
+pub mod key_class {
+    /// Fault-plane operations fire before anything else at the same instant.
+    pub const FAULT: u64 = 0;
+    /// Message deliveries; payload is the (globally unique) message id.
+    pub const DELIVER: u64 = 1;
+    /// Timer firings; payload is `(actor << 40) | timer_counter`.
+    pub const TIMER: u64 = 2;
+    /// Schedule-order fallback used by [`super::EventQueue::schedule`].
+    pub const SEQ: u64 = 3;
+}
+
+/// Mask for the 62-bit key payload.
+pub const KEY_PAYLOAD_MASK: u64 = (1 << 62) - 1;
+
+/// Build a canonical event key from a class and a payload unique within it.
+#[inline]
+pub fn event_key(class: u64, payload: u64) -> u64 {
+    debug_assert!(class <= key_class::SEQ);
+    (class << 62) | (payload & KEY_PAYLOAD_MASK)
+}
+
 /// An entry in the event queue.
 #[derive(Debug, Clone)]
 struct Entry<E> {
     at: SimTime,
-    seq: u64,
+    key: u64,
     payload: E,
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -32,7 +61,7 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        (other.at, other.key).cmp(&(self.at, self.key))
     }
 }
 
@@ -63,12 +92,22 @@ impl<E> EventQueue<E> {
         self.heap.reserve(additional);
     }
 
-    /// Schedule `payload` to fire at absolute time `at`.
+    /// Schedule `payload` to fire at absolute time `at`, tie-breaking among
+    /// simultaneous events by schedule order (class [`key_class::SEQ`]).
     pub fn schedule(&mut self, at: SimTime, payload: E) {
-        let seq = self.next_seq;
+        let key = event_key(key_class::SEQ, self.next_seq);
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Entry { at, seq, payload });
+        self.heap.push(Entry { at, key, payload });
+    }
+
+    /// Schedule `payload` at `at` under an explicit canonical key (see
+    /// [`event_key`]). Keys must be unique per `(at, key)` for the order to
+    /// be total; the engine derives them from message ids / timer counters,
+    /// which are.
+    pub fn schedule_keyed(&mut self, at: SimTime, key: u64, payload: E) {
+        self.scheduled_total += 1;
+        self.heap.push(Entry { at, key, payload });
     }
 
     /// The time of the next pending event, if any.
@@ -79,6 +118,11 @@ impl<E> EventQueue<E> {
     /// Remove and return the earliest event as `(time, payload)`.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|e| (e.at, e.payload))
+    }
+
+    /// Remove and return the earliest event as `(time, key, payload)`.
+    pub fn pop_entry(&mut self) -> Option<(SimTime, u64, E)> {
+        self.heap.pop().map(|e| (e.at, e.key, e.payload))
     }
 
     /// Number of pending events.
@@ -96,11 +140,29 @@ impl<E> EventQueue<E> {
         self.scheduled_total
     }
 
+    /// Remove **all** pending events and return them as `(time, key,
+    /// payload)` in fire order. Used to re-partition a queue across shards.
+    pub fn drain_entries(&mut self) -> Vec<(SimTime, u64, E)> {
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.sort_unstable_by_key(|e| (e.at, e.key));
+        entries.into_iter().map(|e| (e.at, e.key, e.payload)).collect()
+    }
+
     /// Remove every pending event matching `pred` and return them in
-    /// `(time, seq)` order (i.e. the order they would have fired). Rebuilds
+    /// `(time, key)` order (i.e. the order they would have fired). Rebuilds
     /// the heap — a cold operation, used by the fault plane to intercept
     /// in-flight messages when a partition cut activates.
     pub fn drain_matching(&mut self, mut pred: impl FnMut(&E) -> bool) -> Vec<(SimTime, E)> {
+        self.drain_entries_matching(&mut pred).into_iter().map(|(at, _, e)| (at, e)).collect()
+    }
+
+    /// Like [`Self::drain_matching`], but returns the canonical keys too so
+    /// the caller can merge drains from several shard queues into one
+    /// deterministic order.
+    pub fn drain_entries_matching(
+        &mut self,
+        pred: &mut impl FnMut(&E) -> bool,
+    ) -> Vec<(SimTime, u64, E)> {
         let entries = std::mem::take(&mut self.heap).into_vec();
         let mut kept = Vec::with_capacity(entries.len());
         let mut out = Vec::new();
@@ -112,8 +174,8 @@ impl<E> EventQueue<E> {
             }
         }
         self.heap = BinaryHeap::from(kept);
-        out.sort_unstable_by_key(|e| (e.at, e.seq));
-        out.into_iter().map(|e| (e.at, e.payload)).collect()
+        out.sort_unstable_by_key(|e| (e.at, e.key));
+        out.into_iter().map(|e| (e.at, e.key, e.payload)).collect()
     }
 }
 
@@ -140,6 +202,29 @@ mod tests {
         }
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn keyed_ties_break_by_key_not_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        // Schedule in descending key order; pops must come back ascending.
+        for i in (0..50u64).rev() {
+            q.schedule_keyed(t, event_key(key_class::DELIVER, i), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn classes_order_fault_before_deliver_before_timer() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        q.schedule_keyed(t, event_key(key_class::TIMER, 0), "timer");
+        q.schedule_keyed(t, event_key(key_class::DELIVER, 0), "deliver");
+        q.schedule_keyed(t, event_key(key_class::FAULT, 0), "fault");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec!["fault", "deliver", "timer"]);
     }
 
     #[test]
@@ -188,6 +273,19 @@ mod tests {
         let all = q.drain_matching(|_| true);
         assert!(q.is_empty());
         assert_eq!(all.iter().map(|&(_, p)| p).collect::<Vec<_>>(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drain_entries_returns_everything_in_fire_order() {
+        let mut q = EventQueue::new();
+        q.schedule_keyed(SimTime::from_millis(20), event_key(key_class::DELIVER, 7), "late");
+        q.schedule_keyed(SimTime::from_millis(10), event_key(key_class::TIMER, 1), "t");
+        q.schedule_keyed(SimTime::from_millis(10), event_key(key_class::DELIVER, 3), "d");
+        let all = q.drain_entries();
+        assert!(q.is_empty());
+        assert_eq!(all.iter().map(|&(_, _, p)| p).collect::<Vec<_>>(), vec!["d", "t", "late"]);
+        // Keys round-trip so the entries can be rescheduled verbatim.
+        assert_eq!(all[0].1, event_key(key_class::DELIVER, 3));
     }
 
     #[test]

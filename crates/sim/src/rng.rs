@@ -57,6 +57,14 @@ impl RngFactory {
 
     /// Derive a stream from a string label (hashed with FNV-1a), for
     /// entities that are more naturally named than numbered.
+    ///
+    /// The engine derives its stochastic draws from **per-sender** labels —
+    /// `"engine.network.{sender}"` for delivery jitter and
+    /// `"engine.faults.{sender}"` for channel-fault rolls — rather than one
+    /// shared stream. That choice is what makes the sharded engine
+    /// bit-identical to the sequential one: a shard only needs its own
+    /// senders' streams, so the draw sequence is independent of how actors
+    /// are interleaved across shards.
     pub fn labeled_stream(&self, label: &str) -> RngStream {
         let mut h: u64 = 0xCBF2_9CE4_8422_2325;
         for b in label.as_bytes() {

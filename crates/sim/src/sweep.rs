@@ -91,6 +91,7 @@ where
         }
         return out;
     }
+    let pool = threads as f64;
 
     let (work_tx, work_rx) = channel::unbounded::<usize>();
     for i in 0..cells.len() {
@@ -158,14 +159,28 @@ where
         resume_unwind(payload);
     }
     if timed {
+        // Busy time aggregates across the whole pool, so the denominator is
+        // threads × wall (each thread's busy time is bounded by the wall).
         let wall = sweep_start.elapsed().as_nanos().max(1) as f64;
-        utilization.set((100.0 * busy_counter.get() as f64 / wall).round() as u64);
+        utilization.set((100.0 * busy_counter.get() as f64 / (wall * pool)).round() as u64);
     }
     out.into_iter().map(|r| r.expect("worker exited without result or panic")).collect()
 }
 
-/// The default parallelism for sweeps: the number of available cores.
+/// The default parallelism for sweeps: the `PSN_THREADS` environment
+/// variable if set (clamped to ≥ 1), otherwise the number of available
+/// cores.
+///
+/// `PSN_THREADS` caps the *sweep-level* thread pool. With the sharded
+/// engine (`Engine::run_sharded`) parallelism can also live *inside* a
+/// cell; when combining both, budget `sweep_threads × shards ≤ cores` —
+/// the two pools do not coordinate.
 pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("PSN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
     std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
 }
 
@@ -229,6 +244,20 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn psn_threads_env_overrides_and_clamps() {
+        // Safe even though tests share the process env: concurrent callers
+        // of default_threads only require a value ≥ 1, which every value
+        // set here produces.
+        std::env::set_var("PSN_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        std::env::set_var("PSN_THREADS", "0");
+        assert_eq!(default_threads(), 1, "zero clamps to one");
+        std::env::set_var("PSN_THREADS", "not-a-number");
+        assert!(default_threads() >= 1, "garbage falls back to core count");
+        std::env::remove_var("PSN_THREADS");
     }
 
     #[test]

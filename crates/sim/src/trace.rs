@@ -10,13 +10,17 @@
 //!
 //! The pipeline is designed to be observational and cheap:
 //!
-//! - **Per-actor ring buffers.** Records are staged in fixed-capacity
-//!   per-actor buffers (preallocated when tracing is enabled) and drained
-//!   into the central log in batches, so the engine hot path never grows a
-//!   shared `Vec` record-by-record. Every record carries a global monotone
-//!   sequence number assigned at record time; [`Trace::seal`] drains all
-//!   rings and restores the total recording order by sorting on it —
-//!   deterministic regardless of ring capacity or drain timing.
+//! - **Canonical staging.** Records are staged with a *canonical cursor* —
+//!   the canonical key of the engine event being processed when the record
+//!   was made (see [`crate::queue::event_key`]) plus an intra-event counter
+//!   — instead of a globally assigned sequence number. [`Trace::seal`]
+//!   sorts staged records by `(time, cursor, intra)` and only then assigns
+//!   the dense `seq` numbers. Because the sort key is derived from event
+//!   *content*, the sealed trace is identical whether the records were
+//!   produced by one sequential engine loop or by several shard threads —
+//!   the property the sharded engine's bit-identity guarantee rests on.
+//!   In a sequential run the staging order already equals the canonical
+//!   order, so the sort is a no-op pass.
 //! - **Message identity.** Transmissions are numbered with a per-run
 //!   monotone [`MsgId`], so a `Sent` record pairs with exactly one
 //!   `Delivered` (or `Lost`) record even with many in-flight messages on
@@ -33,7 +37,8 @@ use serde::{Deserialize, Error, Serialize, Value};
 use crate::network::ActorId;
 use crate::time::SimTime;
 
-/// Default capacity (in records) of each per-actor staging ring.
+/// Staging reservation granularity (records per actor) used by
+/// [`Trace::configure_actors`].
 pub const DEFAULT_RING_CAPACITY: usize = 256;
 
 /// Identity of one attempted transmission, monotone within a run.
@@ -333,43 +338,76 @@ impl TraceKind {
     }
 }
 
+/// A record staged during the run, carrying its canonical sort key instead
+/// of a pre-assigned sequence number.
+#[derive(Debug, Clone)]
+struct Staged {
+    at: SimTime,
+    cursor: u128,
+    intra: u32,
+    kind: TraceKind,
+}
+
 /// A structured record of a run.
 ///
-/// Records are staged in per-actor rings and drained into the central log;
-/// call [`Trace::seal`] (the engine does, at the end of
-/// [`crate::engine::Engine::run`]) before reading. Sealing is idempotent
-/// and recording may resume after it — post-hoc analyses (e.g. detector
-/// verdicts) append and re-seal.
-#[derive(Debug, Clone, Default)]
+/// During the run, records are staged with the canonical cursor of the
+/// engine event that produced them; the first [`Trace::seal`] (the engine
+/// seals at the end of [`crate::engine::Engine::run`]) sorts them into
+/// canonical order and assigns the dense `seq` numbers. Sealing is
+/// idempotent and recording may resume after it — post-hoc analyses (e.g.
+/// detector verdicts) append (in plain recording order, after everything
+/// the engine staged) and re-seal.
+#[derive(Debug, Clone)]
 pub struct Trace {
     records: Vec<TraceRecord>,
-    rings: Vec<Vec<TraceRecord>>,
-    ring_capacity: usize,
+    staged: Vec<Staged>,
+    cursor: u128,
+    intra: u32,
     next_seq: u64,
+    /// True until the first seal: records are staged under canonical keys.
+    canonical: bool,
     enabled: bool,
 }
 
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::disabled()
+    }
+}
+
 impl Trace {
+    /// Cursor for records made while dispatching `on_start` to `actor`
+    /// (starts precede every queue event at t = 0).
+    #[inline]
+    pub fn start_cursor(actor: ActorId) -> u128 {
+        actor as u128
+    }
+
+    /// Cursor for records made while processing the queue event with
+    /// canonical key `key` (see [`crate::queue::event_key`]). Orders after
+    /// every start cursor; among themselves, event cursors order exactly
+    /// like the events fire.
+    #[inline]
+    pub fn event_cursor(key: u64) -> u128 {
+        (1u128 << 64) | key as u128
+    }
+
     /// A trace that records events.
     pub fn enabled() -> Self {
         Trace {
             records: Vec::new(),
-            rings: Vec::new(),
-            ring_capacity: DEFAULT_RING_CAPACITY,
+            staged: Vec::new(),
+            cursor: 0,
+            intra: 0,
             next_seq: 0,
+            canonical: true,
             enabled: true,
         }
     }
 
     /// A trace that discards everything (zero overhead beyond the branch).
     pub fn disabled() -> Self {
-        Trace {
-            records: Vec::new(),
-            rings: Vec::new(),
-            ring_capacity: DEFAULT_RING_CAPACITY,
-            next_seq: 0,
-            enabled: false,
-        }
+        Trace { enabled: false, ..Trace::enabled() }
     }
 
     /// Is recording on?
@@ -377,23 +415,27 @@ impl Trace {
         self.enabled
     }
 
-    /// Preallocate staging rings for `n` actors (no-op when disabled). The
-    /// engine calls this at run start so steady-state recording never
-    /// allocates.
+    /// Preallocate staging space for a run over `n` actors (no-op when
+    /// disabled). The engine calls this at run start so early recording
+    /// does not regrow the buffer step by step.
     pub fn configure_actors(&mut self, n: usize) {
         if !self.enabled {
             return;
         }
-        let cap = self.ring_capacity;
-        while self.rings.len() < n {
-            self.rings.push(Vec::with_capacity(cap));
-        }
+        self.staged.reserve(n.saturating_mul(DEFAULT_RING_CAPACITY / 4));
     }
 
-    /// Override the per-actor staging ring capacity (records). Takes effect
-    /// for rings created after the call.
-    pub fn set_ring_capacity(&mut self, cap: usize) {
-        self.ring_capacity = cap.max(1);
+    /// Set the canonical cursor for subsequent records and reset the
+    /// intra-event counter. The engine calls this once per dispatched
+    /// event; direct users of `Trace` (benches, tests) can ignore it —
+    /// records then sort by recording order within each timestamp.
+    #[inline]
+    pub fn set_cursor(&mut self, cursor: u128) {
+        if !self.enabled {
+            return;
+        }
+        self.cursor = cursor;
+        self.intra = 0;
     }
 
     /// Record an event (no-op if disabled).
@@ -401,38 +443,57 @@ impl Trace {
         if !self.enabled {
             return;
         }
-        let actor = kind.actor();
-        if actor >= self.rings.len() {
-            let cap = self.ring_capacity;
-            self.rings.resize_with(actor + 1, || Vec::with_capacity(cap));
-        }
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let ring = &mut self.rings[actor];
-        ring.push(TraceRecord { seq, at, kind });
-        if ring.len() >= self.ring_capacity {
-            self.records.append(ring);
+        if self.canonical {
+            let intra = self.intra;
+            self.intra += 1;
+            self.staged.push(Staged { at, cursor: self.cursor, intra, kind });
+        } else {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.records.push(TraceRecord { seq, at, kind });
         }
     }
 
-    /// Drain every staging ring into the central log and restore the total
-    /// recording order. Idempotent; recording may continue afterwards.
-    pub fn seal(&mut self) {
-        let mut drained = false;
-        for ring in &mut self.rings {
-            if !ring.is_empty() {
-                self.records.append(ring);
-                drained = true;
+    /// Move every record staged in `other` into this trace's staging
+    /// buffer (the shard engine merges per-shard traces this way before
+    /// the canonical seal). If this trace was already sealed (a second
+    /// sharded run on one engine), the incoming records are sealed
+    /// per-shard and appended in plain seq order instead.
+    pub fn absorb(&mut self, other: &mut Trace) {
+        if self.canonical {
+            debug_assert!(other.canonical, "absorb requires an unsealed source");
+            self.staged.append(&mut other.staged);
+        } else {
+            other.seal();
+            self.records.reserve(other.records.len());
+            for r in other.records.drain(..) {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.records.push(TraceRecord { seq, at: r.at, kind: r.kind });
             }
         }
-        if drained || !self.records.is_sorted_by_key(|r| r.seq) {
-            self.records.sort_unstable_by_key(|r| r.seq);
+    }
+
+    /// Sort staged records into canonical `(time, cursor, intra)` order and
+    /// assign the dense `seq` numbers. Idempotent; recording may continue
+    /// afterwards (appends keep seq order, so later seals are no-ops).
+    pub fn seal(&mut self) {
+        if !self.canonical {
+            return;
+        }
+        self.canonical = false;
+        self.staged.sort_unstable_by_key(|a| (a.at, a.cursor, a.intra));
+        self.records.reserve(self.staged.len());
+        for s in self.staged.drain(..) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.records.push(TraceRecord { seq, at: s.at, kind: s.kind });
         }
     }
 
     fn assert_sealed(&self) {
         debug_assert!(
-            self.rings.iter().all(Vec::is_empty),
+            self.staged.is_empty(),
             "Trace::seal() must run before reading (the engine seals at end of run)"
         );
     }
@@ -451,7 +512,7 @@ impl Trace {
 
     /// Number of recorded events (staged or sealed).
     pub fn len(&self) -> usize {
-        self.records.len() + self.rings.iter().map(Vec::len).sum::<usize>()
+        self.records.len() + self.staged.len()
     }
 
     /// True if nothing was recorded.
@@ -505,6 +566,9 @@ impl Deserialize for Trace {
             }
         }
         trace.next_seq = trace.records.iter().map(|r| r.seq + 1).max().unwrap_or(0);
+        // A deserialized trace was sealed when serialized: appends continue
+        // in plain seq order.
+        trace.canonical = false;
         Ok(trace)
     }
 }
@@ -540,11 +604,10 @@ mod tests {
     }
 
     #[test]
-    fn seal_restores_recording_order_across_rings() {
-        // Tiny rings so several drains interleave: the sealed order must
-        // still be exactly the recording order.
+    fn seal_preserves_recording_order_without_cursors() {
+        // With no explicit cursors, records at distinct times keep their
+        // recording order and get dense seqs.
         let mut t = Trace::enabled();
-        t.set_ring_capacity(2);
         for i in 0..20u64 {
             let actor = (i % 3) as ActorId;
             t.record(SimTime::from_millis(i), TraceKind::TimerFired { actor, tag: i });
@@ -561,6 +624,44 @@ mod tests {
             })
             .collect();
         assert_eq!(tags, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seal_orders_by_cursor_regardless_of_staging_order() {
+        // Two "shards" record the same logical events under canonical
+        // cursors; merging either way round seals to the same sequence.
+        let mk = |order: &[u64]| {
+            let mut parts: Vec<Trace> = Vec::new();
+            for &k in order {
+                let mut t = Trace::enabled();
+                t.set_cursor(Trace::event_cursor(k));
+                t.record(SimTime::from_millis(5), TraceKind::TimerFired { actor: 0, tag: k });
+                t.record(SimTime::from_millis(5), TraceKind::TimerFired { actor: 0, tag: 100 + k });
+                parts.push(t);
+            }
+            let mut all = Trace::enabled();
+            for p in &mut parts {
+                all.absorb(p);
+            }
+            all.seal();
+            all.records()
+                .iter()
+                .map(|r| match r.kind {
+                    TraceKind::TimerFired { tag, .. } => tag,
+                    _ => unreachable!(),
+                })
+                .collect::<Vec<u64>>()
+        };
+        let a = mk(&[3, 1, 2]);
+        let b = mk(&[2, 3, 1]);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![1, 101, 2, 102, 3, 103]);
+    }
+
+    #[test]
+    fn start_cursors_order_before_event_cursors() {
+        assert!(Trace::start_cursor(usize::MAX) < Trace::event_cursor(0));
+        assert!(Trace::event_cursor(1) < Trace::event_cursor(2));
     }
 
     #[test]

@@ -160,9 +160,11 @@ fn golden_trace() -> pervasive_time::core::execution::ExecutionTrace {
 
 /// Golden-trace regression: the exact event-for-event network trace of a
 /// fixed `(scenario, config, seed)` triple, hashed two ways. The projection
-/// constant was recorded before the zero-allocation engine overhaul (PR 2)
-/// and has survived both that and the structured-tracing pipeline (PR 3) —
-/// any change that reorders events, perturbs an RNG draw, or changes a
+/// constants were re-recorded for the sharded engine (PR 5): canonical
+/// event keys and per-sender network/fault RNG streams deliberately change
+/// every delay draw and same-instant tie-break, so the pre-PR-5 constants
+/// could not survive. From here on, any change that reorders events,
+/// perturbs an RNG draw, or changes a
 /// delivery time will move it. The full-format constant additionally pins
 /// message ids and clock stamps. Δ is variable (sampled) and loss is
 /// nonzero so the fifo clamp, the loss path, and the delay sampler all
@@ -173,8 +175,8 @@ fn golden_trace_hash_is_stable() {
     assert!(trace.sim.len() > 1_000, "trace must be non-trivial, got {}", trace.sim.len());
     assert_eq!(
         trace_projection_hash(&trace.sim),
-        9037720422308291165,
-        "network-plane trace diverged from the pre-optimization golden hash"
+        18040857238188682466,
+        "network-plane trace diverged from the recorded golden hash"
     );
     assert_eq!(
         trace_full_hash(&trace.sim),
@@ -183,9 +185,9 @@ fn golden_trace_hash_is_stable() {
     );
 }
 
-/// Recorded when the structured tracing pipeline landed (PR 3); see
-/// `golden_trace_hash_is_stable`.
-const FULL_TRACE_HASH: u64 = 2738746027867686778;
+/// Re-recorded with the sharded engine (PR 5, canonical keys + per-sender
+/// streams); see `golden_trace_hash_is_stable`.
+const FULL_TRACE_HASH: u64 = 14563640158707952414;
 
 /// The fault plane's contract: faults off is provably observational. A run
 /// with the plane **installed but empty** must reproduce the golden hashes
@@ -214,7 +216,7 @@ fn empty_fault_plane_reproduces_the_golden_hashes() {
     let trace = run_execution(&scenario, &cfg);
     assert_eq!(
         trace_projection_hash(&trace.sim),
-        9037720422308291165,
+        18040857238188682466,
         "an empty fault plane perturbed the network-plane trace"
     );
     assert_eq!(
@@ -394,4 +396,121 @@ fn delta_zero_is_invariant_to_seed() {
         )
     };
     assert_eq!(detect(1), detect(99));
+}
+
+mod shard_invariance {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One full execution at a given shard count, with everything
+    /// observable folded into a comparable tuple.
+    fn fingerprint(
+        shards: usize,
+        seed: u64,
+        delay_min_ms: u64,
+        chaos: bool,
+    ) -> pervasive_time::core::execution::ExecutionTrace {
+        let params = ExhibitionParams {
+            doors: 3,
+            arrival_rate_hz: 1.5,
+            mean_stay: SimDuration::from_secs(25),
+            duration: SimTime::from_secs(60),
+            capacity: 20,
+        };
+        let scenario = exhibition::generate(&params, seed);
+        let faults = chaos.then(|| {
+            let mut c = ChaosConfig::new(vec![0, 1, 2], SimTime::from_secs(60));
+            c.partitions = 1;
+            c.park = true;
+            FaultScript::generate(&c, seed ^ 0xC0FFEE)
+        });
+        let cfg = ExecutionConfig {
+            // min > 0 gives the sharded engine real lookahead; the exact
+            // values vary per case so many window widths are exercised.
+            delay: DelayModel::DeltaBounded {
+                min: SimDuration::from_millis(delay_min_ms),
+                max: SimDuration::from_millis(delay_min_ms + 120),
+            },
+            seed,
+            record_sim_trace: true,
+            faults,
+            shards,
+            ..Default::default()
+        };
+        run_execution(&scenario, &cfg)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// The tentpole's contract, as a property: the shard count is
+        /// **unobservable**. For random seeds, lookahead widths, and with
+        /// or without a seeded chaos fault script, every observable — the
+        /// full structured trace (hashed), the execution log, the network
+        /// counters, the fault counters, the end time — is bit-identical
+        /// across shard counts 1, 2, 4, and 7.
+        #[test]
+        fn shard_count_is_unobservable(
+            seed in 0u64..1000,
+            delay_min_ms in 1u64..40,
+            chaos_bit in 0u64..2,
+        ) {
+            let chaos = chaos_bit == 1;
+            let want = fingerprint(1, seed, delay_min_ms, chaos);
+            let want_hash = trace_full_hash(&want.sim);
+            if chaos {
+                let fs = want.faults.clone().expect("plane installed");
+                prop_assert!(fs.crashes + fs.cuts + fs.clock_faults > 0, "chaos script must bite");
+            }
+            for shards in [2usize, 4, 7] {
+                let got = fingerprint(shards, seed, delay_min_ms, chaos);
+                prop_assert_eq!(trace_full_hash(&got.sim), want_hash, "trace hash, shards={}", shards);
+                prop_assert_eq!(&got.log.events, &want.log.events, "events, shards={}", shards);
+                prop_assert_eq!(&got.log.reports, &want.log.reports, "reports, shards={}", shards);
+                prop_assert_eq!(&got.log.actuations, &want.log.actuations, "actuations, shards={}", shards);
+                prop_assert_eq!(&got.net, &want.net, "net counters, shards={}", shards);
+                prop_assert_eq!(&got.faults, &want.faults, "fault stats, shards={}", shards);
+                prop_assert_eq!(got.ended_at, want.ended_at, "end time, shards={}", shards);
+            }
+        }
+    }
+}
+
+/// The sparse channel store is a drop-in for the dense FIFO matrix: the
+/// same E7 habitat cell, run with the dense path (default threshold) and
+/// with the sparse path forced (`fifo_dense_limit: Some(0)`), must produce
+/// the identical execution down to the full-format trace hash. Above
+/// `DENSE_ACTOR_LIMIT` the switch happens automatically; this pins that the
+/// switch is unobservable.
+#[test]
+fn sparse_channel_store_matches_dense_on_an_e7_cell() {
+    let params = HabitatParams {
+        stations: 8,
+        animals: 4,
+        mean_dwell: SimDuration::from_secs(600),
+        duration: SimTime::from_secs(3600),
+    };
+    let scenario = habitat::generate(&params, 42);
+    let cell = |dense_limit: Option<usize>| {
+        let cfg = ExecutionConfig {
+            delay: DelayModel::delta(SimDuration::from_millis(300)),
+            seed: 1,
+            record_sim_trace: true,
+            fifo_dense_limit: dense_limit,
+            ..Default::default()
+        };
+        run_execution(&scenario, &cfg)
+    };
+    let dense = cell(None);
+    let sparse = cell(Some(0));
+    assert_eq!(
+        trace_full_hash(&sparse.sim),
+        trace_full_hash(&dense.sim),
+        "sparse FIFO store must reproduce the dense trace byte-for-byte"
+    );
+    assert_eq!(trace_projection_hash(&sparse.sim), trace_projection_hash(&dense.sim));
+    assert_eq!(sparse.log.events, dense.log.events);
+    assert_eq!(sparse.log.reports, dense.log.reports);
+    assert_eq!(sparse.net, dense.net);
+    assert_eq!(sparse.ended_at, dense.ended_at);
 }
