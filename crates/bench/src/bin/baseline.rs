@@ -38,6 +38,11 @@ struct Baseline {
     detector_reports_per_sec: f64,
     lattice_states_per_sec: f64,
     trace_records_per_sec: f64,
+    /// Sustained live-ingest rate of `psn-serve` over its TCP wire
+    /// protocol, with a concurrent client hammering `Frontier` queries —
+    /// the service-mode hot path (frame decode + session command + engine
+    /// injection), not the batch engine.
+    serve_ingest_events_per_sec: f64,
 }
 
 fn engine_events_per_sec() -> f64 {
@@ -214,6 +219,73 @@ fn trace_records_per_sec() -> f64 {
     (rounds * records_per_round) as f64 / t0.elapsed().as_secs_f64()
 }
 
+fn serve_ingest_events_per_sec() -> f64 {
+    use psn_serve::wire::{read_frame, write_frame};
+    use psn_serve::{serve, Request, Response, ServeConfig, ServeSession};
+    use psn_world::{AttrKey, AttrValue};
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let handle = serve(listener, ServeSession::new(ServeConfig::new(4))).expect("start serve");
+    let addr = handle.addr();
+    let done = Arc::new(AtomicBool::new(false));
+
+    // A concurrent querier keeps the command channel contended the way a
+    // live dashboard would, so the number prices ingest *under load*.
+    let querier_done = Arc::clone(&done);
+    let querier = std::thread::spawn(move || {
+        let mut c = TcpStream::connect(addr).expect("connect querier");
+        c.set_nodelay(true).expect("nodelay");
+        while !querier_done.load(Ordering::Acquire) {
+            write_frame(&mut c, &Request::Frontier).expect("query write");
+            let r = read_frame::<Response>(&mut c).expect("query read").expect("reply");
+            assert!(matches!(r, Response::Frontier { .. }));
+        }
+    });
+
+    let mut c = TcpStream::connect(addr).expect("connect ingester");
+    c.set_nodelay(true).expect("nodelay");
+    let events = 30_000u64;
+    // Warm up the connection and the session before timing.
+    for i in 0..500u64 {
+        write_frame(
+            &mut c,
+            &Request::Ingest {
+                at: SimTime::from_nanos(i),
+                process: (i % 4) as usize,
+                key: AttrKey::new((i % 4) as usize, 0),
+                value: AttrValue::Int(i as i64),
+            },
+        )
+        .expect("warmup write");
+        read_frame::<Response>(&mut c).expect("warmup read").expect("reply");
+    }
+    let t0 = Instant::now();
+    for i in 0..events {
+        write_frame(
+            &mut c,
+            &Request::Ingest {
+                at: SimTime::from_millis(1000 + i),
+                process: (i % 4) as usize,
+                key: AttrKey::new((i % 4) as usize, 0),
+                value: AttrValue::Int(i as i64),
+            },
+        )
+        .expect("ingest write");
+        let r = read_frame::<Response>(&mut c).expect("ingest read").expect("reply");
+        assert!(matches!(r, Response::Ingested { .. }), "{r:?}");
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    done.store(true, Ordering::Release);
+    querier.join().expect("querier");
+    write_frame(&mut c, &Request::Shutdown).expect("shutdown write");
+    let _ = read_frame::<Response>(&mut c);
+    handle.wait();
+    events as f64 / secs
+}
+
 fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_baseline.json".to_string());
     let threads = psn_sim::sweep::default_threads();
@@ -236,6 +308,7 @@ fn main() {
         detector_reports_per_sec: detector_reports_per_sec(),
         lattice_states_per_sec: lattice_states_per_sec(),
         trace_records_per_sec: trace_records_per_sec(),
+        serve_ingest_events_per_sec: serve_ingest_events_per_sec(),
     };
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
     std::fs::write(&path, json + "\n").expect("write baseline file");

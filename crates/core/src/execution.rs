@@ -18,6 +18,7 @@ use psn_sim::delay::DelayModel;
 use psn_sim::engine::Engine;
 use psn_sim::loss::LossModel;
 use psn_sim::network::{NetStats, NetworkConfig, Topology};
+use psn_sim::provider::{EventProvider, ExternalEvent, TimelineProvider};
 use psn_sim::time::SimTime;
 use psn_world::Scenario;
 
@@ -156,16 +157,43 @@ pub fn run_execution_instrumented(
     run_execution_full(scenario, cfg, Box::new(NoActuation), metrics)
 }
 
-/// The general entry point: custom actuation rule plus metrics registry.
-pub fn run_execution_full(
-    scenario: &Scenario,
+/// The world timeline as an injection sequence: each world event becomes an
+/// [`ExternalEvent`] addressed to its watching sensor process at its
+/// ground-truth time (events nobody watches are dropped, exactly as batch
+/// injection drops them). This is the [`TimelineProvider`] source for both
+/// the batch path and timeline-fed live sessions.
+pub fn world_events(scenario: &Scenario) -> Vec<ExternalEvent<NetMsg>> {
+    let mut out = Vec::with_capacity(scenario.timeline.events.len());
+    for e in &scenario.timeline.events {
+        if let Some(p) = scenario.sensing.process_for(e.key) {
+            out.push(ExternalEvent {
+                at: e.at,
+                to: p,
+                from: p,
+                msg: NetMsg::WorldSense { key: e.key, value: e.value, world_event: e.id },
+            });
+        }
+    }
+    out
+}
+
+/// Build the engine for an `n`-sensor execution: network plane, metrics,
+/// tracing, end-time policy, the n [`SensorProcess`] actors plus the root,
+/// and the fault plane. Shared by the batch runner and
+/// [`LiveExecution`](crate::live::LiveExecution) so both paths wire the
+/// actors identically — the precondition for batch/live bit-identity.
+/// `heartbeat_horizon` bounds heartbeat-driven runs that set no explicit
+/// end time (batch derives it from the scenario; live passes `None` and
+/// paces the run itself).
+pub(crate) fn build_engine(
+    n: usize,
     cfg: &ExecutionConfig,
     rule: Box<dyn ActuationRule>,
     metrics: &psn_sim::metrics::Metrics,
-) -> ExecutionTrace {
-    let n = scenario.num_processes();
-    assert!(n > 0, "scenario must have at least one sensor process");
-    let log = ExecutionLog::shared();
+    log: &Arc<Mutex<ExecutionLog>>,
+    heartbeat_horizon: Option<SimTime>,
+) -> Engine<NetMsg> {
+    assert!(n > 0, "execution needs at least one sensor process");
     let topology = match &cfg.topology {
         Some(t) => {
             assert_eq!(t.len(), n + 1, "topology must cover n sensors + the root");
@@ -193,9 +221,9 @@ pub fn run_execution_full(
         (None, Some(_)) => {
             // Recurring heartbeat timers never drain the queue on their
             // own; bound the run past the last world event.
-            engine.set_end_time(
-                scenario.timeline.duration() + psn_sim::time::SimDuration::from_secs(30),
-            );
+            if let Some(horizon) = heartbeat_horizon {
+                engine.set_end_time(horizon);
+            }
         }
         (None, None) => {}
     }
@@ -207,7 +235,7 @@ pub fn run_execution_full(
                 n, // root actor id
                 cfg.clocks.clone(),
                 cfg.strobes,
-                Arc::clone(&log),
+                Arc::clone(log),
             )
             .with_metrics(exec_metrics.clone())
             .with_trace_stamp(cfg.trace_stamp)
@@ -215,7 +243,7 @@ pub fn run_execution_full(
         ));
     }
     engine.add_actor(Box::new(
-        RootProcess::new(n, n, cfg.clocks.clone(), rule, Arc::clone(&log))
+        RootProcess::new(n, n, cfg.clocks.clone(), rule, Arc::clone(log))
             .with_flood(cfg.strobes.flood)
             .with_quarantine(cfg.strobes.quarantine)
             .with_metrics(exec_metrics)
@@ -224,20 +252,33 @@ pub fn run_execution_full(
     if let Some(script) = &cfg.faults {
         engine.install_faults(script);
     }
+    engine
+}
 
-    // Inject the world timeline: each event goes to its watching process at
-    // its ground-truth time (sensing itself is immediate; only the network
-    // plane has delays).
+/// The general entry point: custom actuation rule plus metrics registry.
+pub fn run_execution_full(
+    scenario: &Scenario,
+    cfg: &ExecutionConfig,
+    rule: Box<dyn ActuationRule>,
+    metrics: &psn_sim::metrics::Metrics,
+) -> ExecutionTrace {
+    let n = scenario.num_processes();
+    assert!(n > 0, "scenario must have at least one sensor process");
+    let log = ExecutionLog::shared();
+    let horizon = scenario.timeline.duration() + psn_sim::time::SimDuration::from_secs(30);
+    let mut engine = build_engine(n, cfg, rule, metrics, &log, Some(horizon));
+
+    // Inject the world timeline through the provider abstraction: a single
+    // `poll(MAX)` surrenders the pre-built list in list order, so the
+    // injection sequence — and with it every inject id and delivery
+    // tie-break — is bit-identical to the historical direct loop. Sensing
+    // itself is immediate; only the network plane has delays.
     engine.reserve_events(scenario.timeline.events.len());
-    for e in &scenario.timeline.events {
-        if let Some(p) = scenario.sensing.process_for(e.key) {
-            engine.inject(
-                e.at,
-                p,
-                p,
-                NetMsg::WorldSense { key: e.key, value: e.value, world_event: e.id },
-            );
-        }
+    let mut provider = TimelineProvider::new(world_events(scenario));
+    let mut batch = Vec::new();
+    provider.poll(SimTime::MAX, &mut batch);
+    for ev in batch {
+        engine.inject(ev.at, ev.to, ev.from, ev.msg);
     }
 
     let ended_at = if cfg.shards > 1 { engine.run_sharded(cfg.shards) } else { engine.run() };

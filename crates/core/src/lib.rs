@@ -16,6 +16,9 @@
 //! - [`root`] — the distinguished root P₀: collect, merge clocks, actuate;
 //! - [`execution`] — run a scenario end to end and return the
 //!   [`execution::ExecutionTrace`] detectors consume;
+//! - [`live`] — the same engine advanced incrementally from an
+//!   [`psn_sim::provider::EventProvider`], with snapshot/restore by
+//!   deterministic journal replay (the substrate of `psn-serve`);
 //! - [`metrics`] — execution-level instrumentation (semantic event counts,
 //!   strobe broadcasts, wire bytes by clock discipline) recorded into a
 //!   [`psn_sim::metrics::Metrics`] registry without perturbing the run.
@@ -48,6 +51,7 @@ pub mod causal_delivery;
 pub mod event;
 pub mod execution;
 pub mod io;
+pub mod live;
 pub mod log;
 pub mod message;
 pub mod metrics;
@@ -58,10 +62,11 @@ pub use bundle::{ClockBundle, ClockConfig, StampSet, StrobePayload};
 pub use causal_delivery::{CausalBuffer, CausalMsg, CausalSender};
 pub use event::{EventKind, ProcEvent};
 pub use execution::{
-    run_execution, run_execution_instrumented, run_execution_with_rule, ExecutionConfig,
-    ExecutionTrace,
+    run_execution, run_execution_instrumented, run_execution_with_rule, world_events,
+    ExecutionConfig, ExecutionTrace,
 };
 pub use io::TraceFile;
+pub use live::{LiveExecution, LiveSnapshot, LoggedEvent, RestoreError, LIVE_SNAPSHOT_VERSION};
 pub use log::{ActuationRecord, ExecutionLog, ReceivedReport};
 pub use message::{NetMsg, Report};
 pub use metrics::ExecMetrics;

@@ -1,0 +1,604 @@
+//! Live, incrementally stepped executions with snapshot/restore.
+//!
+//! The batch pipeline ([`run_execution`](crate::execution::run_execution))
+//! injects a complete pre-built timeline and runs to quiescence. A
+//! long-running detection service cannot: events arrive over the wire while
+//! queries about the causal frontier and predicate status must be answered
+//! *now*. [`LiveExecution`] drives the same engine, the same actors, and
+//! the same shared [`ExecutionLog`] incrementally:
+//!
+//! 1. pull due events from an [`EventProvider`] (timeline, generator, or
+//!    live channel),
+//! 2. inject them through the panic-free
+//!    [`Engine::try_inject`](psn_sim::engine::Engine::try_inject) boundary,
+//! 3. [`step_until`](psn_sim::engine::Engine::step_until) the watermark.
+//!
+//! Because the actors are wired by the same builder as the batch path, a
+//! timeline-fed live session replays **bit-identically** to the batch run
+//! of the same scenario.
+//!
+//! ## Snapshot / restore
+//!
+//! Determinism makes state capture trivial and exact: the engine's full
+//! state is a pure function of `(n, config, injected events, watermark)`.
+//! A [`LiveSnapshot`] therefore stores the durable ingest journal — every
+//! event ever injected, in injection order — plus the watermark, and
+//! [`LiveSnapshot::restore`] replays it through a fresh engine. The
+//! restored session's causal frontier, log, and network counters are
+//! byte-for-byte those of the interrupted one: a restarted server loses
+//! nothing. Injection *order* matters (inject ids feed delivery
+//! tie-breaking), which is why the journal is kept in arrival order rather
+//! than time order.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use psn_clocks::VectorStamp;
+use psn_sim::engine::{Engine, EngineError};
+use psn_sim::network::NetStats;
+use psn_sim::provider::{EventProvider, ExternalEvent};
+use psn_sim::time::SimTime;
+
+use crate::execution::{build_engine, ExecutionConfig, ExecutionTrace};
+use crate::log::ExecutionLog;
+use crate::message::NetMsg;
+use crate::root::{ActuationRule, NoActuation};
+
+/// One durably journalled ingest event (the serializable twin of
+/// [`ExternalEvent`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoggedEvent {
+    /// Delivery time.
+    pub at: SimTime,
+    /// Destination process.
+    pub to: usize,
+    /// Conventional source process.
+    pub from: usize,
+    /// The payload.
+    pub msg: NetMsg,
+}
+
+/// Current snapshot format version.
+pub const LIVE_SNAPSHOT_VERSION: u32 = 1;
+
+/// A restartable capture of a live session: enough to rebuild the engine
+/// state bit-exactly by deterministic replay.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LiveSnapshot {
+    /// Format version.
+    pub version: u32,
+    /// Number of sensor processes.
+    pub n: usize,
+    /// The execution configuration (delay/loss/clocks/faults/seed…).
+    pub config: ExecutionConfig,
+    /// How far the session had been stepped.
+    pub watermark: SimTime,
+    /// Every injected event, in injection order.
+    pub events: Vec<LoggedEvent>,
+}
+
+/// Why a [`LiveSnapshot`] could not be restored.
+#[derive(Debug)]
+pub enum RestoreError {
+    /// The snapshot was written by an incompatible format version.
+    Version {
+        /// The version found in the snapshot.
+        found: u32,
+    },
+    /// Replay hit the engine's injection boundary (a corrupted journal:
+    /// out-of-range process or out-of-order times).
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Version { found } => write!(
+                f,
+                "snapshot format version {found} is not supported (expected {LIVE_SNAPSHOT_VERSION})"
+            ),
+            RestoreError::Engine(e) => write!(f, "snapshot replay failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl From<EngineError> for RestoreError {
+    fn from(e: EngineError) -> Self {
+        RestoreError::Engine(e)
+    }
+}
+
+impl LiveSnapshot {
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization cannot fail")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Read from a file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let s = std::fs::read_to_string(path)?;
+        Self::from_json(&s).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Rebuild a live session from this snapshot by deterministic replay,
+    /// then hand future ingest to `provider`. The restored session's
+    /// frontier, log, and counters equal the captured session's.
+    pub fn restore(
+        &self,
+        provider: Box<dyn EventProvider<NetMsg>>,
+    ) -> Result<LiveExecution, RestoreError> {
+        self.restore_full(provider, Box::new(NoActuation), &psn_sim::metrics::Metrics::disabled())
+    }
+
+    /// [`restore`](Self::restore) with a custom actuation rule and metrics
+    /// registry (mirrors [`LiveExecution::new_full`]).
+    pub fn restore_full(
+        &self,
+        provider: Box<dyn EventProvider<NetMsg>>,
+        rule: Box<dyn ActuationRule>,
+        metrics: &psn_sim::metrics::Metrics,
+    ) -> Result<LiveExecution, RestoreError> {
+        if self.version != LIVE_SNAPSHOT_VERSION {
+            return Err(RestoreError::Version { found: self.version });
+        }
+        let mut live =
+            LiveExecution::new_full(self.n, self.config.clone(), rule, metrics, provider);
+        // Replay the journal directly (not through the provider): events at
+        // or past the watermark were journalled but not yet due, and replay
+        // must reproduce the original injection order exactly so inject ids
+        // — and with them delivery tie-breaks — match.
+        for ev in &self.events {
+            live.engine.try_inject(ev.at, ev.to, ev.from, ev.msg.clone())?;
+            live.journal.push(ev.clone());
+        }
+        live.engine.step_until(self.watermark)?;
+        live.watermark = self.watermark;
+        Ok(live)
+    }
+}
+
+/// A live (incrementally stepped) execution: the batch pipeline's engine
+/// and actors, advanced by watermark with events pulled from an
+/// [`EventProvider`].
+pub struct LiveExecution {
+    engine: Engine<NetMsg>,
+    log: Arc<Mutex<ExecutionLog>>,
+    provider: Box<dyn EventProvider<NetMsg>>,
+    n: usize,
+    config: ExecutionConfig,
+    watermark: SimTime,
+    journal: Vec<LoggedEvent>,
+    rejected: u64,
+    last_rejection: Option<EngineError>,
+    scratch: Vec<ExternalEvent<NetMsg>>,
+}
+
+impl LiveExecution {
+    /// Start a live session: `n` sensors plus the root under `cfg`, fed by
+    /// `provider`, with no actuation rule and no metrics.
+    pub fn new(n: usize, cfg: ExecutionConfig, provider: Box<dyn EventProvider<NetMsg>>) -> Self {
+        Self::new_full(
+            n,
+            cfg,
+            Box::new(NoActuation),
+            &psn_sim::metrics::Metrics::disabled(),
+            provider,
+        )
+    }
+
+    /// Start a live session with a custom actuation rule and a metrics
+    /// registry. The actors are wired by the same builder as the batch
+    /// path, so a timeline-fed live session replays batch runs
+    /// bit-identically.
+    pub fn new_full(
+        n: usize,
+        cfg: ExecutionConfig,
+        rule: Box<dyn ActuationRule>,
+        metrics: &psn_sim::metrics::Metrics,
+        provider: Box<dyn EventProvider<NetMsg>>,
+    ) -> Self {
+        let log = ExecutionLog::shared();
+        let engine = build_engine(n, &cfg, rule, metrics, &log, None);
+        LiveExecution {
+            engine,
+            log,
+            provider,
+            n,
+            config: cfg,
+            watermark: SimTime::ZERO,
+            journal: Vec::new(),
+            rejected: 0,
+            last_rejection: None,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Pull every due event from the provider, inject it, and step the
+    /// engine to `t`. Returns the engine clock (`t`, unless the run halted
+    /// or hit a configured end time first).
+    ///
+    /// Individual events the engine's boundary rejects (unknown process,
+    /// time behind the watermark) are *counted and skipped* — a live
+    /// service must keep running past one bad ingest — and visible via
+    /// [`rejected`](Self::rejected) / [`last_rejection`](Self::last_rejection).
+    /// Only a regressing watermark fails the whole call.
+    pub fn advance_to(&mut self, t: SimTime) -> Result<SimTime, EngineError> {
+        if t < self.watermark {
+            return Err(EngineError::TimeRegression { at: t, now: self.watermark });
+        }
+        let mut batch = std::mem::take(&mut self.scratch);
+        self.provider.poll(t, &mut batch);
+        for ev in batch.drain(..) {
+            match self.engine.try_inject(ev.at, ev.to, ev.from, ev.msg.clone()) {
+                Ok(()) => {
+                    self.journal.push(LoggedEvent {
+                        at: ev.at,
+                        to: ev.to,
+                        from: ev.from,
+                        msg: ev.msg,
+                    });
+                }
+                Err(e) => {
+                    self.rejected += 1;
+                    self.last_rejection = Some(e);
+                }
+            }
+        }
+        self.scratch = batch;
+        let now = self.engine.step_until(t)?;
+        self.watermark = t;
+        Ok(now)
+    }
+
+    /// Number of sensor processes (the root is process `n`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The configuration this session runs under.
+    pub fn config(&self) -> &ExecutionConfig {
+        &self.config
+    }
+
+    /// How far the session has been stepped: every event strictly before
+    /// the watermark has been processed.
+    pub fn watermark(&self) -> SimTime {
+        self.watermark
+    }
+
+    /// Events the injection boundary rejected (and skipped) so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// The most recent rejection, if any.
+    pub fn last_rejection(&self) -> Option<EngineError> {
+        self.last_rejection
+    }
+
+    /// True once the provider will never yield another event.
+    pub fn provider_exhausted(&self) -> bool {
+        self.provider.exhausted()
+    }
+
+    /// True once an actor halted the run.
+    pub fn is_halted(&self) -> bool {
+        self.engine.is_halted()
+    }
+
+    /// The durable ingest journal: every injected event, in injection
+    /// order.
+    pub fn journal(&self) -> &[LoggedEvent] {
+        &self.journal
+    }
+
+    /// The **causal frontier**: the root's vector-clock knowledge after the
+    /// latest report it has received — component `p` counts the relevant
+    /// events of process `p` the root's state causally reflects. Before any
+    /// report arrives the frontier is the zero vector (over n sensors + the
+    /// root).
+    pub fn frontier(&self) -> VectorStamp {
+        let log = self.log.lock();
+        match log.reports.last() {
+            Some(r) => r.root_vector.clone(),
+            None => VectorStamp::zero(self.n + 1),
+        }
+    }
+
+    /// Run `f` against the shared execution log (briefly locking it).
+    pub fn with_log<R>(&self, f: impl FnOnce(&ExecutionLog) -> R) -> R {
+        f(&self.log.lock())
+    }
+
+    /// Network counters so far.
+    pub fn net_stats(&self) -> NetStats {
+        self.engine.stats().clone()
+    }
+
+    /// Fault-plane counters (`None` when no script is installed).
+    pub fn fault_stats(&self) -> Option<psn_sim::fault::FaultStats> {
+        self.engine.fault_stats()
+    }
+
+    /// Capture a restartable snapshot of the session as of its watermark.
+    pub fn snapshot(&self) -> LiveSnapshot {
+        LiveSnapshot {
+            version: LIVE_SNAPSHOT_VERSION,
+            n: self.n,
+            config: self.config.clone(),
+            watermark: self.watermark,
+            events: self.journal.clone(),
+        }
+    }
+
+    /// A detector-consumable view of the execution so far. The log is
+    /// cloned and canonicalised exactly like the batch trace (sorted by
+    /// `(at, process, seq)`); `ended_at` is the current watermark. The
+    /// simulator-internal trace is not included (it is still being
+    /// written).
+    pub fn trace_view(&self) -> ExecutionTrace {
+        let mut log = self.log.lock().clone();
+        log.events.sort_by_key(|e| (e.at, e.process, e.seq));
+        ExecutionTrace {
+            n: self.n,
+            log,
+            net: self.engine.stats().clone(),
+            sim: psn_sim::trace::Trace::disabled(),
+            ended_at: self.watermark,
+            faults: self.engine.fault_stats(),
+        }
+    }
+
+    /// Finish the session: seal the engine trace and return the final
+    /// [`ExecutionTrace`] (the batch result shape).
+    pub fn finish(mut self) -> ExecutionTrace {
+        let ended_at = self.engine.finish();
+        let fault_stats = self.engine.fault_stats();
+        let net = self.engine.stats().clone();
+        let sim = self.engine.trace().clone();
+        drop(self.engine);
+        let mut log = Arc::try_unwrap(self.log)
+            .map(Mutex::into_inner)
+            .unwrap_or_else(|shared| shared.lock().clone());
+        log.events.sort_by_key(|e| (e.at, e.process, e.seq));
+        ExecutionTrace { n: self.n, log, net, sim, ended_at, faults: fault_stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::{run_execution, world_events};
+    use psn_sim::provider::TimelineProvider;
+    use psn_sim::time::SimDuration;
+    use psn_world::scenarios::exhibition::{self, ExhibitionParams};
+    use psn_world::Scenario;
+
+    fn scenario() -> Scenario {
+        exhibition::generate(
+            &ExhibitionParams {
+                doors: 3,
+                arrival_rate_hz: 1.0,
+                mean_stay: SimDuration::from_secs(20),
+                duration: SimTime::from_secs(90),
+                capacity: 10,
+            },
+            7,
+        )
+    }
+
+    fn live_from(s: &Scenario, cfg: &ExecutionConfig) -> LiveExecution {
+        LiveExecution::new(
+            s.num_processes(),
+            cfg.clone(),
+            Box::new(TimelineProvider::new(world_events(s))),
+        )
+    }
+
+    /// Step to `end` in fixed chunks, then once more past the settle tail.
+    fn drive(live: &mut LiveExecution, end: SimTime, chunk: SimDuration) {
+        let mut t = live.watermark();
+        while t < end {
+            t = t.saturating_add(chunk);
+            live.advance_to(t).expect("monotone watermark");
+        }
+        live.advance_to(end.saturating_add(SimDuration::from_secs(30))).expect("settle");
+    }
+
+    #[test]
+    fn live_stepping_matches_batch_bit_for_bit() {
+        let s = scenario();
+        let cfg = ExecutionConfig::default();
+        let batch = run_execution(&s, &cfg);
+        let mut live = live_from(&s, &cfg);
+        drive(&mut live, SimTime::from_secs(90), SimDuration::from_millis(700));
+        assert!(live.provider_exhausted());
+        let t = live.finish();
+        assert_eq!(t.log.events, batch.log.events);
+        assert_eq!(t.log.reports, batch.log.reports);
+        assert_eq!(t.log.actuations, batch.log.actuations);
+        assert_eq!(t.net, batch.net);
+    }
+
+    #[test]
+    fn live_stepping_matches_batch_under_faults() {
+        use psn_sim::fault::{FaultScript, FaultSpec};
+        let script = FaultScript::new()
+            .with(
+                SimTime::from_secs(20),
+                FaultSpec::Crash { actor: 1, recover_after: Some(SimDuration::from_secs(15)) },
+            )
+            .with(
+                SimTime::from_secs(40),
+                FaultSpec::Partition {
+                    group: vec![0, 1],
+                    heal_after: SimDuration::from_secs(10),
+                    policy: psn_sim::fault::CutPolicy::Drop,
+                },
+            );
+        let s = scenario();
+        let cfg = ExecutionConfig { faults: Some(script), ..Default::default() };
+        let batch = run_execution(&s, &cfg);
+        let mut live = live_from(&s, &cfg);
+        drive(&mut live, SimTime::from_secs(90), SimDuration::from_millis(1300));
+        let t = live.finish();
+        assert_eq!(t.log.events, batch.log.events);
+        assert_eq!(t.log.reports, batch.log.reports);
+        assert_eq!(t.net, batch.net);
+        assert_eq!(t.faults, batch.faults);
+    }
+
+    #[test]
+    fn frontier_tracks_the_roots_vector_knowledge() {
+        let s = scenario();
+        let mut live = live_from(&s, &ExecutionConfig::default());
+        assert_eq!(live.frontier(), VectorStamp::zero(s.num_processes() + 1));
+        live.advance_to(SimTime::from_secs(45)).unwrap();
+        let mid = live.frontier();
+        live.advance_to(SimTime::from_secs(200)).unwrap();
+        let end = live.frontier();
+        assert!(mid.lt(&end), "the frontier only grows");
+        let reports = live.with_log(|l| l.reports.len());
+        assert!(reports > 0);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let s = scenario();
+        let cfg = ExecutionConfig::default();
+        let cut = SimTime::from_secs(40);
+
+        // Uninterrupted run.
+        let mut whole = live_from(&s, &cfg);
+        drive(&mut whole, SimTime::from_secs(90), SimDuration::from_millis(900));
+        let whole_frontier = whole.frontier();
+        let whole_trace = whole.finish();
+
+        // Interrupted at `cut`: snapshot, drop the session, restore, and
+        // feed the rest of the timeline.
+        let mut first = live_from(&s, &cfg);
+        let mut t = SimTime::ZERO;
+        while t < cut {
+            t = t.saturating_add(SimDuration::from_millis(900));
+            first.advance_to(t.min(cut)).unwrap();
+        }
+        let snap = first.snapshot();
+        let json = snap.to_json();
+        drop(first);
+
+        let snap = LiveSnapshot::from_json(&json).expect("roundtrip");
+        let rest: Vec<_> = world_events(&s).into_iter().filter(|e| e.at >= cut).collect();
+        let mut second = snap.restore(Box::new(TimelineProvider::new(rest))).expect("restore");
+        assert_eq!(second.watermark(), cut);
+        let mut t = cut;
+        while t < SimTime::from_secs(90) {
+            t = t.saturating_add(SimDuration::from_millis(900));
+            second.advance_to(t).unwrap();
+        }
+        second.advance_to(SimTime::from_secs(120)).unwrap();
+        assert_eq!(second.frontier(), whole_frontier, "no causal frontier state lost");
+        let trace = second.finish();
+        assert_eq!(trace.log.events, whole_trace.log.events);
+        assert_eq!(trace.log.reports, whole_trace.log.reports);
+        assert_eq!(trace.net, whole_trace.net);
+    }
+
+    #[test]
+    fn snapshot_mid_window_with_active_faults_restores_exactly() {
+        use psn_sim::fault::{FaultScript, FaultSpec};
+        // Crash at 20 s recovering at 50 s: the 35 s cut lands *inside* the
+        // outage, so restore must reproduce a crashed process mid-script.
+        let script = FaultScript::new().with(
+            SimTime::from_secs(20),
+            FaultSpec::Crash { actor: 0, recover_after: Some(SimDuration::from_secs(30)) },
+        );
+        let s = scenario();
+        let cfg = ExecutionConfig { faults: Some(script), ..Default::default() };
+        let cut = SimTime::from_secs(35);
+
+        let mut whole = live_from(&s, &cfg);
+        drive(&mut whole, SimTime::from_secs(90), SimDuration::from_millis(1100));
+        let whole_trace = whole.finish();
+
+        let mut first = live_from(&s, &cfg);
+        first.advance_to(cut).unwrap();
+        let snap = first.snapshot();
+        drop(first);
+
+        let rest: Vec<_> = world_events(&s).into_iter().filter(|e| e.at >= cut).collect();
+        let mut second = snap.restore(Box::new(TimelineProvider::new(rest))).expect("restore");
+        drive(&mut second, SimTime::from_secs(90), SimDuration::from_millis(1100));
+        let trace = second.finish();
+        assert_eq!(trace.log.events, whole_trace.log.events);
+        assert_eq!(trace.log.reports, whole_trace.log.reports);
+        assert_eq!(trace.faults, whole_trace.faults);
+    }
+
+    #[test]
+    fn bad_provider_events_are_counted_not_fatal() {
+        let s = scenario();
+        let mut events = world_events(&s);
+        // An event for a process that does not exist.
+        events.insert(
+            0,
+            ExternalEvent {
+                at: SimTime::from_secs(1),
+                to: 999,
+                from: 999,
+                msg: events[0].msg.clone(),
+            },
+        );
+        let mut live = LiveExecution::new(
+            s.num_processes(),
+            ExecutionConfig::default(),
+            Box::new(TimelineProvider::new(events)),
+        );
+        live.advance_to(SimTime::from_secs(120)).unwrap();
+        assert_eq!(live.rejected(), 1);
+        assert!(matches!(live.last_rejection(), Some(EngineError::UnknownActor { .. })));
+        let senses = live.with_log(|l| l.sense_events().len());
+        assert_eq!(senses, s.timeline.len(), "the good events all landed");
+        assert!(live.advance_to(SimTime::from_secs(1)).is_err(), "watermark cannot regress");
+    }
+
+    #[test]
+    fn restore_rejects_unknown_versions() {
+        let live = live_from(&scenario(), &ExecutionConfig::default());
+        let mut snap = live.snapshot();
+        snap.version = 99;
+        let err = snap
+            .restore(Box::new(TimelineProvider::new(Vec::new())))
+            .err()
+            .expect("version must be checked");
+        assert!(matches!(err, RestoreError::Version { found: 99 }));
+        assert!(format!("{err}").contains("99"));
+    }
+
+    #[test]
+    fn trace_view_is_queryable_mid_run() {
+        let s = scenario();
+        let mut live = live_from(&s, &ExecutionConfig::default());
+        live.advance_to(SimTime::from_secs(45)).unwrap();
+        let view = live.trace_view();
+        assert_eq!(view.ended_at, SimTime::from_secs(45));
+        assert!(!view.log.events.is_empty());
+        // Canonical order, same as the batch trace.
+        for w in view.log.events.windows(2) {
+            assert!((w[0].at, w[0].process, w[0].seq) <= (w[1].at, w[1].process, w[1].seq));
+        }
+    }
+}

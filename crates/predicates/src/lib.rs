@@ -26,6 +26,7 @@ pub mod analytic;
 pub mod causal;
 pub mod detect;
 pub mod metrics;
+pub mod modal;
 pub mod online;
 pub mod spec;
 pub mod timing;
@@ -38,6 +39,7 @@ pub use detect::{
     Discipline,
 };
 pub use metrics::DetectorMetrics;
-pub use online::OnlineDetector;
+pub use modal::{modal_status, ModalStatus};
+pub use online::{OnlineDetector, OnlineStatus};
 pub use spec::{Conjunct, Expr, Predicate};
 pub use timing::{detect_timing, match_timing, TimingMatch, TimingSpec};

@@ -1,0 +1,162 @@
+//! One-call `Possibly` / `Definitely` status of a predicate over a trace.
+//!
+//! The Cooper–Marzullo modalities (§3.3) come in two shapes here:
+//! conjunctive predicates go through the interval-overlap machinery of
+//! [`crate::causal`] (strobe vector stamps, Garg–Waldecker advancement),
+//! while relational predicates — which need a single reconstructed global
+//! state — are swept in scalar-strobe order, a total order under which
+//! every detected occurrence is both possible and definite (no concurrency
+//! remains to disagree about). [`modal_status`] dispatches on the
+//! predicate's shape so a caller (notably `psn-serve`'s `status` query)
+//! need not care which algorithm applies.
+
+use serde::{Deserialize, Serialize};
+
+use psn_core::ExecutionTrace;
+use psn_world::WorldState;
+
+use crate::causal::{detect_conjunctive, StampFamily};
+use crate::detect::{detect_occurrences, Discipline};
+use crate::spec::Predicate;
+
+/// Modal verdict counts for one predicate over one (partial or complete)
+/// observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModalStatus {
+    /// Occurrences for which `Possibly(φ)` holds.
+    pub possibly: usize,
+    /// Occurrences for which `Definitely(φ)` holds (always ≤ `possibly`).
+    pub definitely: usize,
+    /// True when the latest occurrence is still open at the end of the
+    /// observation — the predicate is (possibly) holding *now*.
+    pub holding_now: bool,
+}
+
+/// Compute the modal status of `predicate` over `trace`.
+///
+/// Conjunctive predicates are detected under
+/// [`StampFamily::StrobeVector`] — the paper's construction that makes
+/// `Definitely` attainable for pure observers. Relational predicates are
+/// swept under [`Discipline::ScalarStrobe`]; the scalar order is total, so
+/// each occurrence counts as both possible and definite. An empty
+/// conjunctive predicate (no conjuncts) is vacuous: zero occurrences,
+/// rather than the panic `detect_conjunctive` reserves for programmer
+/// error.
+pub fn modal_status(
+    trace: &ExecutionTrace,
+    predicate: &Predicate,
+    initial: &WorldState,
+) -> ModalStatus {
+    match predicate {
+        Predicate::Conjunctive(conjuncts) => {
+            if conjuncts.is_empty() {
+                return ModalStatus { possibly: 0, definitely: 0, holding_now: false };
+            }
+            let occ = detect_conjunctive(trace, conjuncts, initial, StampFamily::StrobeVector);
+            ModalStatus {
+                possibly: occ.len(),
+                definitely: occ.iter().filter(|o| o.definitely).count(),
+                holding_now: occ.last().is_some_and(|o| o.truth_end.is_none()),
+            }
+        }
+        Predicate::Relational(_) => {
+            let det = detect_occurrences(trace, predicate, initial, Discipline::ScalarStrobe);
+            ModalStatus {
+                possibly: det.len(),
+                definitely: det.len(),
+                holding_now: det.last().is_some_and(|d| d.end.is_none()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Conjunct, Expr};
+    use psn_core::{run_execution, ExecutionConfig};
+    use psn_sim::delay::DelayModel;
+    use psn_sim::time::{SimDuration, SimTime};
+    use psn_world::scenarios::exhibition::{self, ExhibitionParams};
+    use psn_world::AttrKey;
+
+    fn scenario() -> psn_world::Scenario {
+        exhibition::generate(
+            &ExhibitionParams {
+                doors: 2,
+                arrival_rate_hz: 3.0,
+                mean_stay: SimDuration::from_secs(60),
+                duration: SimTime::from_secs(600),
+                capacity: 100,
+            },
+            23,
+        )
+    }
+
+    fn busy_conjuncts(k: i64) -> Vec<Conjunct> {
+        (0..2)
+            .map(|d| Conjunct {
+                process: d,
+                expr: Expr::var(AttrKey::new(d, 0))
+                    .sub(Expr::var(AttrKey::new(d, 1)))
+                    .gt(Expr::int(k)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn relational_status_mirrors_the_scalar_sweep() {
+        let s = scenario();
+        let trace = run_execution(&s, &ExecutionConfig::default());
+        let pred = Predicate::occupancy_over(2, 100);
+        let init = s.timeline.initial_state();
+        let status = modal_status(&trace, &pred, &init);
+        let det = detect_occurrences(&trace, &pred, &init, Discipline::ScalarStrobe);
+        assert_eq!(status.possibly, det.len());
+        assert_eq!(status.definitely, det.len(), "a total order admits no ambiguity");
+        assert_eq!(status.holding_now, det.last().is_some_and(|d| d.end.is_none()));
+        assert!(status.possibly > 0, "the fixture must actually fire");
+    }
+
+    #[test]
+    fn conjunctive_status_counts_possibly_and_definitely() {
+        let s = scenario();
+        let trace = run_execution(
+            &s,
+            &ExecutionConfig { delay: DelayModel::Synchronous, ..Default::default() },
+        );
+        let pred = Predicate::Conjunctive(busy_conjuncts(3));
+        let status = modal_status(&trace, &pred, &s.timeline.initial_state());
+        assert!(status.possibly > 0);
+        assert!(status.definitely > 0, "Δ=0 strobes make Definitely attainable");
+        assert!(status.definitely <= status.possibly);
+    }
+
+    #[test]
+    fn empty_conjunctive_predicate_is_vacuous_not_a_panic() {
+        let s = scenario();
+        let trace = run_execution(&s, &ExecutionConfig::default());
+        let status =
+            modal_status(&trace, &Predicate::Conjunctive(Vec::new()), &s.timeline.initial_state());
+        assert_eq!(
+            status,
+            ModalStatus { possibly: 0, definitely: 0, holding_now: false },
+            "wire input must never reach detect_conjunctive's assert"
+        );
+    }
+
+    #[test]
+    fn holding_now_reflects_a_trailing_open_interval() {
+        // A predicate true from deployment that never goes false: the
+        // single occurrence stays open through the end of the trace.
+        let s = scenario();
+        let trace = run_execution(&s, &ExecutionConfig::default());
+        let always = Predicate::Relational(Expr::int(1).gt(Expr::int(0)));
+        let status = modal_status(&trace, &always, &s.timeline.initial_state());
+        assert_eq!((status.possibly, status.definitely), (1, 1));
+        assert!(status.holding_now);
+        let never = Predicate::Relational(Expr::int(0).gt(Expr::int(1)));
+        let none = modal_status(&trace, &never, &s.timeline.initial_state());
+        assert_eq!(none, ModalStatus { possibly: 0, definitely: 0, holding_now: false });
+    }
+}

@@ -15,6 +15,8 @@
 
 use std::collections::HashMap;
 
+use serde::{Deserialize, Serialize};
+
 use psn_core::ReceivedReport;
 use psn_sim::time::{SimDuration, SimTime};
 use psn_world::{AttrKey, AttrValue, WorldState};
@@ -24,6 +26,23 @@ use crate::metrics::DetectorMetrics;
 use crate::spec::Predicate;
 
 type OrderKey = (u64, usize, usize);
+
+/// A point-in-time readout of a streaming detector — what a live query
+/// (`psn-serve`'s `status` request) reports without disturbing the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OnlineStatus {
+    /// Does the predicate hold in the currently reconstructed state?
+    pub holds: bool,
+    /// Truth time the open occurrence started (`None` when not holding;
+    /// `Some(0)` covers a predicate true at deployment).
+    pub open_since: Option<SimTime>,
+    /// Occurrences closed so far.
+    pub occurrences: usize,
+    /// Reports currently held back awaiting their watermark.
+    pub buffered: usize,
+    /// Reports applied after their strobe-order position had been passed.
+    pub late_reports: usize,
+}
 
 fn strobe_key(r: &ReceivedReport) -> OrderKey {
     (r.report.stamps.strobe_scalar.value, r.report.process, r.report.sense_seq)
@@ -131,6 +150,23 @@ impl OnlineDetector {
             _ => {}
         }
         self.holds = now_holds;
+    }
+
+    /// Does the predicate hold in the currently reconstructed state?
+    pub fn holds(&self) -> bool {
+        self.holds
+    }
+
+    /// Snapshot the detector's current status (non-destructive — the
+    /// stream continues unaffected).
+    pub fn status(&self) -> OnlineStatus {
+        OnlineStatus {
+            holds: self.holds,
+            open_since: self.open.map(|(start, _)| start),
+            occurrences: self.detections.len(),
+            buffered: self.buffer.len(),
+            late_reports: self.late_reports,
+        }
     }
 
     /// Occurrences detected (closed) so far.

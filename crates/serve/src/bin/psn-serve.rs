@@ -1,0 +1,286 @@
+//! The live detection service CLI.
+//!
+//! ```text
+//! psn-serve [--port N] [--sensors N] [--delta-ms N] [--seed N]
+//!           [--hold-back-ms N] [--snapshot PATH] [--restore PATH]
+//! psn-serve --smoke
+//! ```
+//!
+//! Serves the length-prefixed JSON wire protocol (see the `psn_serve`
+//! crate docs) on `127.0.0.1`. `--port 0` (the default) binds an
+//! ephemeral port and prints `listening on 127.0.0.1:PORT` so scripts can
+//! scrape it. `--restore` resumes from a snapshot written by an earlier
+//! `Snapshot` request; `--smoke` runs a scripted
+//! ingest → detect → snapshot → kill → restore cycle against a real
+//! socket and exits nonzero on any mismatch (CI's serve-smoke job).
+
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+
+use psn_serve::wire;
+use psn_serve::{serve, Request, Response, ServeConfig, ServeSession, ServeSnapshot};
+use psn_sim::delay::DelayModel;
+use psn_sim::time::{SimDuration, SimTime};
+use psn_world::{AttrKey, AttrValue};
+
+struct Options {
+    port: u16,
+    sensors: usize,
+    delta_ms: u64,
+    seed: u64,
+    hold_back_ms: u64,
+    snapshot: Option<PathBuf>,
+    restore: Option<PathBuf>,
+    smoke: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            port: 0,
+            sensors: 4,
+            delta_ms: 100,
+            seed: 0,
+            hold_back_ms: 200,
+            snapshot: None,
+            restore: None,
+            smoke: false,
+        }
+    }
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    let value = |flag: &str, it: &mut std::slice::Iter<'_, String>| -> Result<String, String> {
+        it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--port" => o.port = value(a, &mut it)?.parse().map_err(|e| format!("--port: {e}"))?,
+            "--sensors" => {
+                o.sensors = value(a, &mut it)?.parse().map_err(|e| format!("--sensors: {e}"))?;
+                if o.sensors == 0 {
+                    return Err("--sensors must be at least 1".into());
+                }
+            }
+            "--delta-ms" => {
+                o.delta_ms = value(a, &mut it)?.parse().map_err(|e| format!("--delta-ms: {e}"))?
+            }
+            "--seed" => o.seed = value(a, &mut it)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--hold-back-ms" => {
+                o.hold_back_ms =
+                    value(a, &mut it)?.parse().map_err(|e| format!("--hold-back-ms: {e}"))?
+            }
+            "--snapshot" => o.snapshot = Some(PathBuf::from(value(a, &mut it)?)),
+            "--restore" => o.restore = Some(PathBuf::from(value(a, &mut it)?)),
+            "--smoke" => o.smoke = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: psn-serve [--port N] [--sensors N] [--delta-ms N] [--seed N]\n\
+                     \x20                [--hold-back-ms N] [--snapshot PATH] [--restore PATH]\n\
+                     \x20      psn-serve --smoke"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(o)
+}
+
+fn config(o: &Options) -> ServeConfig {
+    let mut cfg = ServeConfig::new(o.sensors);
+    cfg.exec.delay = DelayModel::delta(SimDuration::from_millis(o.delta_ms));
+    cfg.exec.seed = o.seed;
+    cfg.hold_back = SimDuration::from_millis(o.hold_back_ms);
+    cfg.snapshot_path = o.snapshot.clone();
+    cfg
+}
+
+fn run_server(o: &Options) -> Result<(), String> {
+    let session = match &o.restore {
+        Some(path) => {
+            let snap = ServeSnapshot::load(path).map_err(|e| format!("--restore {path:?}: {e}"))?;
+            let s = ServeSession::restore(snap, o.snapshot.clone())
+                .map_err(|e| format!("--restore {path:?}: {e}"))?;
+            eprintln!(
+                "restored session: watermark {:?}, {} journalled events",
+                s.live().watermark(),
+                s.live().journal().len()
+            );
+            s
+        }
+        None => ServeSession::new(config(o)),
+    };
+    let listener = TcpListener::bind(("127.0.0.1", o.port)).map_err(|e| format!("bind: {e}"))?;
+    let handle = serve(listener, session).map_err(|e| format!("serve: {e}"))?;
+    println!("listening on {}", handle.addr());
+    handle.wait();
+    Ok(())
+}
+
+// --- smoke mode -----------------------------------------------------------
+
+fn roundtrip(c: &mut TcpStream, req: &Request) -> Result<Response, String> {
+    wire::write_frame(c, req).map_err(|e| format!("write: {e}"))?;
+    wire::read_frame::<Response>(c)
+        .map_err(|e| format!("read: {e}"))?
+        .ok_or_else(|| "server closed the connection".into())
+}
+
+fn check(cond: bool, what: &str) -> Result<(), String> {
+    if cond {
+        eprintln!("smoke: ok - {what}");
+        Ok(())
+    } else {
+        Err(format!("smoke check failed: {what}"))
+    }
+}
+
+/// Two doors; entries on attr 0, exits on attr 1; occupancy_over(2, 3)
+/// rises at the fourth entry and falls when exits catch up.
+const SCRIPT: &[(u64, usize, usize, i64)] = &[
+    (1, 0, 0, 1),
+    (2, 1, 0, 1),
+    (3, 0, 0, 2),
+    (4, 1, 0, 2), // 4 inside: predicate rises
+    (5, 0, 1, 2), // 2 inside: predicate falls
+    (6, 1, 1, 2),
+];
+
+fn smoke() -> Result<(), String> {
+    let snap_path =
+        std::env::temp_dir().join(format!("psn-serve-smoke-{}.json", std::process::id()));
+    let mut o = Options { sensors: 2, snapshot: Some(snap_path.clone()), ..Default::default() };
+
+    // Phase 1: serve, ingest the script over the wire, detect, snapshot.
+    let h = serve(
+        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?,
+        ServeSession::new(config(&o)),
+    )
+    .map_err(|e| format!("serve: {e}"))?;
+    let addr = h.addr();
+    eprintln!("smoke: phase 1 serving on {addr}");
+    let mut c = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let _ = c.set_nodelay(true);
+
+    check(roundtrip(&mut c, &Request::Ping)? == Response::Pong, "ping")?;
+    let watch = Request::Watch {
+        name: "occ".into(),
+        predicate: psn_predicates::Predicate::occupancy_over(2, 3),
+    };
+    check(matches!(roundtrip(&mut c, &watch)?, Response::Watching { .. }), "watch registered")?;
+    for &(sec, p, attr, v) in SCRIPT {
+        let r = roundtrip(
+            &mut c,
+            &Request::Ingest {
+                at: SimTime::from_secs(sec),
+                process: p,
+                key: AttrKey::new(p, attr),
+                value: AttrValue::Int(v),
+            },
+        )?;
+        check(matches!(r, Response::Ingested { .. }), "event ingested")?;
+    }
+    let r = roundtrip(&mut c, &Request::Advance { to: SimTime::from_secs(30) })?;
+    check(
+        matches!(r, Response::Advanced { new_reports: 6, .. }),
+        "advance delivered all six reports",
+    )?;
+    let r = roundtrip(&mut c, &Request::Status { name: "occ".into() })?;
+    let Response::Status { online, modal, .. } = r else {
+        return Err(format!("status: {r:?}"));
+    };
+    check(online.occurrences == 1, "online detector saw the occurrence")?;
+    check(modal.possibly == 1 && modal.definitely == 1, "modal verdict Possibly=Definitely=1")?;
+    let r = roundtrip(&mut c, &Request::Frontier)?;
+    let Response::Frontier { vector: frontier_before, reports: reports_before, .. } = r else {
+        return Err(format!("frontier: {r:?}"));
+    };
+    check(reports_before == 6, "frontier counts six reports")?;
+
+    // Malformed input must yield a typed error, not kill anything.
+    use std::io::Write as _;
+    let garbage = b"}{ definitely not json";
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(garbage.len() as u32).to_le_bytes());
+    frame.extend_from_slice(garbage);
+    c.write_all(&frame).map_err(|e| format!("write garbage: {e}"))?;
+    let r =
+        wire::read_frame::<Response>(&mut c).map_err(|e| format!("read: {e}"))?.ok_or("closed")?;
+    check(matches!(r, Response::Error { .. }), "malformed frame answered with a typed error")?;
+    check(roundtrip(&mut c, &Request::Ping)? == Response::Pong, "connection survives garbage")?;
+
+    let r = roundtrip(&mut c, &Request::Snapshot)?;
+    check(matches!(r, Response::Snapshot { path: Some(_), .. }), "snapshot written")?;
+    check(
+        roundtrip(&mut c, &Request::Shutdown)? == Response::ShuttingDown,
+        "clean shutdown acknowledged",
+    )?;
+    drop(c);
+    check(h.wait().is_some(), "phase 1 session recovered")?;
+
+    // Phase 2: restore from the snapshot, verify nothing was lost, and
+    // keep serving live.
+    o.restore = Some(snap_path.clone());
+    let snap = ServeSnapshot::load(&snap_path).map_err(|e| format!("load snapshot: {e}"))?;
+    let session = ServeSession::restore(snap, None).map_err(|e| format!("restore: {e}"))?;
+    let h = serve(TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?, session)
+        .map_err(|e| format!("serve: {e}"))?;
+    eprintln!("smoke: phase 2 restored on {}", h.addr());
+    let mut c = TcpStream::connect(h.addr()).map_err(|e| format!("connect: {e}"))?;
+    let _ = c.set_nodelay(true);
+
+    let r = roundtrip(&mut c, &Request::Frontier)?;
+    let Response::Frontier { vector, reports, .. } = r else {
+        return Err(format!("frontier: {r:?}"));
+    };
+    check(reports == reports_before, "restored report count identical")?;
+    check(vector == frontier_before, "restored causal frontier identical")?;
+    let r = roundtrip(&mut c, &Request::Status { name: "occ".into() })?;
+    let Response::Status { online: online2, modal: modal2, .. } = r else {
+        return Err(format!("status: {r:?}"));
+    };
+    check(online2 == online, "restored online status identical")?;
+    check(modal2 == modal, "restored modal status identical")?;
+
+    // The restored server is live: new ingest past the watermark works.
+    let r = roundtrip(
+        &mut c,
+        &Request::Ingest {
+            at: SimTime::from_secs(40),
+            process: 0,
+            key: AttrKey::new(0, 0),
+            value: AttrValue::Int(3),
+        },
+    )?;
+    check(matches!(r, Response::Ingested { .. }), "restored server accepts new events")?;
+    let r = roundtrip(&mut c, &Request::Advance { to: SimTime::from_secs(60) })?;
+    check(
+        matches!(r, Response::Advanced { new_reports: 1, .. }),
+        "restored server keeps detecting",
+    )?;
+    check(roundtrip(&mut c, &Request::Shutdown)? == Response::ShuttingDown, "phase 2 shutdown")?;
+    drop(c);
+    h.wait();
+    let _ = std::fs::remove_file(&snap_path);
+    println!("smoke ok");
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("psn-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    let result = if opts.smoke { smoke() } else { run_server(&opts) };
+    if let Err(e) = result {
+        eprintln!("psn-serve: {e}");
+        std::process::exit(1);
+    }
+}

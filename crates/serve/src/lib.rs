@@ -1,0 +1,33 @@
+//! # psn-serve — the live detection service
+//!
+//! The paper's execution model (§2.2) is *on-line*: reports stream into
+//! the root while predicate verdicts must be available continuously, not
+//! after a batch run ends. This crate turns the repository's deterministic
+//! engine into a long-running service:
+//!
+//! - [`wire`] — a length-prefixed JSON frame protocol over TCP: ingest
+//!   sense events, advance the watermark, query the causal frontier,
+//!   register predicates and read their `Possibly`/`Definitely` + online
+//!   status, page through the report stream, snapshot, shut down;
+//! - [`session`] — the single-threaded state machine behind the protocol:
+//!   a [`psn_core::live::LiveExecution`] fed by a channel provider plus
+//!   named [`psn_predicates::OnlineDetector`]s, with whole-session
+//!   snapshot/restore built on deterministic journal replay;
+//! - [`server`] — connection fan-in: reader threads decode frames and
+//!   funnel them through one command channel to the service thread, so no
+//!   wire input — malformed or otherwise — can panic or wedge the engine.
+//!
+//! The `psn-serve` binary wraps this into a CLI (see `--help`); its
+//! `--smoke` mode runs a scripted ingest-detect-snapshot-restore cycle
+//! against a real socket and exits nonzero on any mismatch, which is what
+//! CI's serve-smoke job executes.
+
+#![warn(missing_docs)]
+
+pub mod server;
+pub mod session;
+pub mod wire;
+
+pub use server::{serve, ServerHandle};
+pub use session::{ServeConfig, ServeSession, ServeSnapshot, MAX_SLICE};
+pub use wire::{read_frame, write_frame, ErrorCode, Request, Response, WireError, MAX_FRAME};

@@ -1,0 +1,318 @@
+//! The TCP server: connection fan-in to a single-threaded session.
+//!
+//! One **service thread** owns the [`ServeSession`] and applies requests
+//! strictly in arrival order off an internal command channel — the session
+//! needs no locks and every reply reflects a consistent engine state. Each
+//! accepted connection gets a **reader thread** that decodes frames,
+//! forwards `(request, reply-sender)` pairs to the service thread, and
+//! writes the replies back. Malformed frames never reach the session:
+//! recoverable ones (bad JSON in a well-delimited frame) get a typed
+//! [`Response::Error`] and the connection continues; desynchronizing ones
+//! (oversized length prefix, truncation) close that connection — the
+//! server itself always stays up.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::session::ServeSession;
+use crate::wire::{self, ErrorCode, Request, Response};
+
+type Command = (Request, Sender<Response>);
+
+/// A running server: address, in-process request path, and shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    cmd: Sender<Command>,
+    stopping: Arc<AtomicBool>,
+    service: Option<JoinHandle<ServeSession>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Apply a request in-process (same ordering guarantees as the wire:
+    /// it queues behind whatever connections have sent). `None` once the
+    /// service thread has stopped.
+    pub fn request(&self, req: Request) -> Option<Response> {
+        let (tx, rx) = mpsc::channel();
+        self.cmd.send((req, tx)).ok()?;
+        rx.recv().ok()
+    }
+
+    /// Block until a client's `Shutdown` request stops the service, then
+    /// reap the threads and return the final session.
+    pub fn wait(mut self) -> Option<ServeSession> {
+        let session = self.service.take().and_then(|h| h.join().ok());
+        self.stopping.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        session
+    }
+
+    /// Stop the server and recover the session (e.g. to snapshot it).
+    pub fn stop(mut self) -> Option<ServeSession> {
+        let _ = self.request(Request::Shutdown);
+        let session = self.service.take().and_then(|h| h.join().ok());
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        session
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stopping.store(true, Ordering::Release);
+    }
+}
+
+/// Start serving `session` on `listener`. Returns immediately; the
+/// returned handle owns the background threads.
+pub fn serve(listener: TcpListener, session: ServeSession) -> std::io::Result<ServerHandle> {
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stopping = Arc::new(AtomicBool::new(false));
+    let (cmd_tx, cmd_rx) = mpsc::channel::<Command>();
+
+    let service_flag = Arc::clone(&stopping);
+    let service = std::thread::spawn(move || {
+        let mut session = session;
+        while let Ok((req, reply)) = cmd_rx.recv() {
+            let is_shutdown = matches!(req, Request::Shutdown);
+            let resp = session.handle(req);
+            let _ = reply.send(resp);
+            if is_shutdown {
+                service_flag.store(true, Ordering::Release);
+                break;
+            }
+        }
+        session
+    });
+
+    let accept_flag = Arc::clone(&stopping);
+    let accept_tx = cmd_tx.clone();
+    let accept = std::thread::spawn(move || {
+        while !accept_flag.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let tx = accept_tx.clone();
+                    // Reader threads are detached: they exit when their
+                    // client disconnects or the service stops answering.
+                    std::thread::spawn(move || connection(stream, tx));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        }
+    });
+
+    Ok(ServerHandle { addr, cmd: cmd_tx, stopping, service: Some(service), accept: Some(accept) })
+}
+
+fn connection(stream: TcpStream, tx: Sender<Command>) {
+    // The listener is nonblocking; the per-connection protocol loop wants
+    // blocking reads.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    // Frames are small and strictly request/response: waiting for ACKs
+    // (Nagle) only adds latency.
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    loop {
+        match wire::read_frame::<Request>(&mut reader) {
+            Ok(Some(req)) => {
+                let (rtx, rrx) = mpsc::channel();
+                if tx.send((req, rtx)).is_err() {
+                    let _ = wire::write_frame(&mut writer, &Response::ShuttingDown);
+                    break;
+                }
+                let Ok(resp) = rrx.recv() else { break };
+                let stopping = matches!(resp, Response::ShuttingDown);
+                if wire::write_frame(&mut writer, &resp).is_err() || stopping {
+                    break;
+                }
+            }
+            Ok(None) => break, // clean client disconnect
+            Err(e) => {
+                let resp = Response::Error { code: ErrorCode::BadRequest, message: e.to_string() };
+                let recoverable = wire::recoverable(&e);
+                if wire::write_frame(&mut writer, &resp).is_err() || !recoverable {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::ServeConfig;
+    use psn_sim::time::SimTime;
+    use psn_world::{AttrKey, AttrValue};
+    use std::io::Write;
+
+    fn start() -> ServerHandle {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+        serve(listener, ServeSession::new(ServeConfig::new(2))).expect("serve")
+    }
+
+    fn connect(h: &ServerHandle) -> TcpStream {
+        TcpStream::connect(h.addr()).expect("connect")
+    }
+
+    fn roundtrip(stream: &mut TcpStream, req: &Request) -> Response {
+        wire::write_frame(stream, req).expect("write");
+        wire::read_frame::<Response>(stream).expect("read").expect("response")
+    }
+
+    #[test]
+    fn a_full_session_over_the_wire() {
+        let h = start();
+        let mut c = connect(&h);
+        assert_eq!(roundtrip(&mut c, &Request::Ping), Response::Pong);
+        for (i, (p, attr, v)) in
+            [(0, 0, 2), (1, 0, 2), (0, 1, 2), (1, 1, 2)].into_iter().enumerate()
+        {
+            let r = roundtrip(
+                &mut c,
+                &Request::Ingest {
+                    at: SimTime::from_secs(i as u64 + 1),
+                    process: p,
+                    key: AttrKey::new(p, attr),
+                    value: AttrValue::Int(v),
+                },
+            );
+            assert!(matches!(r, Response::Ingested { .. }), "{r:?}");
+        }
+        let r = roundtrip(
+            &mut c,
+            &Request::Watch { name: "occ".into(), predicate: Predicate::occupancy_over(2, 3) },
+        );
+        assert!(matches!(r, Response::Watching { .. }));
+        let r = roundtrip(&mut c, &Request::Advance { to: SimTime::from_secs(20) });
+        assert!(
+            matches!(r, Response::Advanced { new_reports: 4, .. }),
+            "all four reports in: {r:?}"
+        );
+        let r = roundtrip(&mut c, &Request::Status { name: "occ".into() });
+        let Response::Status { online, modal, .. } = r else { panic!("{r:?}") };
+        assert_eq!(online.occurrences, 1, "4 in at t=2s, down to 2 at t=3s");
+        assert_eq!(modal.possibly, 1);
+        let r = roundtrip(&mut c, &Request::Frontier);
+        let Response::Frontier { reports, vector, .. } = r else { panic!("{r:?}") };
+        assert_eq!(reports, 4);
+        assert!(vector[0] >= 1 && vector[1] >= 1);
+        let r = roundtrip(&mut c, &Request::Shutdown);
+        assert_eq!(r, Response::ShuttingDown);
+        assert!(h.stop().is_some());
+    }
+
+    use psn_predicates::Predicate;
+
+    #[test]
+    fn malformed_frames_get_typed_errors_and_the_server_survives() {
+        let h = start();
+
+        // Fuzz a range of malformed bodies over one connection: every one
+        // is answered with a typed error, none kills the server.
+        let mut c = connect(&h);
+        for garbage in [
+            &b"{"[..],
+            b"{]",
+            b"nonsense",
+            b"123e",
+            b"{\"Ping\":null,",
+            b"\xff\xfe\x00\x80", // not UTF-8
+            b"{\"NoSuchRequest\":{}}",
+            b"[\"almost\", \"a\", \"request\"]",
+            b"{\"Ingest\":{\"at\":\"not a time\"}}",
+        ] {
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&(garbage.len() as u32).to_le_bytes());
+            frame.extend_from_slice(garbage);
+            c.write_all(&frame).expect("send garbage");
+            let r = wire::read_frame::<Response>(&mut c).expect("read").expect("reply");
+            assert!(
+                matches!(r, Response::Error { code: ErrorCode::BadRequest, .. }),
+                "garbage {garbage:?} => {r:?}"
+            );
+        }
+        // The same connection still serves well-formed requests.
+        assert_eq!(roundtrip(&mut c, &Request::Ping), Response::Pong);
+
+        // A desynchronizing frame (oversized length) closes only that
+        // connection.
+        let mut evil = connect(&h);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(u32::MAX).to_le_bytes());
+        frame.extend_from_slice(b"doom");
+        evil.write_all(&frame).expect("send oversized");
+        let r = wire::read_frame::<Response>(&mut evil).expect("read").expect("reply");
+        assert!(matches!(r, Response::Error { code: ErrorCode::BadRequest, .. }), "{r:?}");
+        let eof = wire::read_frame::<Response>(&mut evil).expect("read");
+        assert!(eof.is_none(), "desynced connection is closed");
+
+        // Fresh connections still work; the session was never touched.
+        let mut c2 = connect(&h);
+        assert_eq!(roundtrip(&mut c2, &Request::Ping), Response::Pong);
+        let Some(Response::Frontier { reports, rejected, .. }) = h.request(Request::Frontier)
+        else {
+            panic!()
+        };
+        assert_eq!((reports, rejected), (0, 0));
+        h.stop();
+    }
+
+    #[test]
+    fn concurrent_clients_interleave_safely() {
+        let h = start();
+        let addr = h.addr();
+        let ingester = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).expect("connect");
+            for i in 0..50u64 {
+                let r = roundtrip(
+                    &mut c,
+                    &Request::Ingest {
+                        at: SimTime::from_millis(1000 + i * 10),
+                        process: (i % 2) as usize,
+                        key: AttrKey::new((i % 2) as usize, 0),
+                        value: AttrValue::Int(i as i64),
+                    },
+                );
+                assert!(matches!(r, Response::Ingested { .. }));
+            }
+        });
+        let querier = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).expect("connect");
+            for _ in 0..50 {
+                let r = roundtrip(&mut c, &Request::Frontier);
+                assert!(matches!(r, Response::Frontier { .. }));
+            }
+        });
+        ingester.join().expect("ingester");
+        querier.join().expect("querier");
+        let Some(Response::Advanced { new_reports, .. }) =
+            h.request(Request::Advance { to: SimTime::from_secs(60) })
+        else {
+            panic!()
+        };
+        assert_eq!(new_reports, 50, "every concurrent ingest landed");
+        h.stop();
+    }
+}

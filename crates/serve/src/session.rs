@@ -1,0 +1,501 @@
+//! The serving session: one live execution plus named streaming detectors.
+//!
+//! [`ServeSession`] is single-threaded by design — the server funnels every
+//! request through one command channel, so the session needs no internal
+//! locking and every request observes a consistent engine state. It owns:
+//!
+//! - a [`LiveExecution`] fed by a [`ChannelProvider`] (the ingest path),
+//! - a set of **named detectors**: for each `Watch`ed predicate, a
+//!   streaming [`OnlineDetector`] kept current as reports arrive, with
+//!   modal (`Possibly`/`Definitely`) sweeps computed on demand,
+//! - the ingest journal that makes [`ServeSnapshot`] possible.
+//!
+//! Every validation failure is a typed [`Response::Error`]; nothing a
+//! client sends can panic the session (the engine boundary itself returns
+//! [`psn_sim::engine::EngineError`] rather than asserting).
+
+use std::path::PathBuf;
+use std::sync::mpsc::{self, Sender};
+
+use serde::{Deserialize, Serialize};
+
+use psn_core::live::{LiveExecution, LiveSnapshot, LoggedEvent, RestoreError};
+use psn_core::{ExecutionConfig, NetMsg};
+use psn_predicates::{modal_status, OnlineDetector, Predicate};
+use psn_sim::engine::EngineError;
+use psn_sim::provider::{ChannelProvider, ExternalEvent};
+use psn_sim::time::SimDuration;
+use psn_world::WorldState;
+
+use crate::wire::{ErrorCode, Request, Response};
+
+/// Server-side cap on one `TraceSlice` reply.
+pub const MAX_SLICE: usize = 1024;
+
+/// Configuration of a serving session.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of sensor processes (the root is process `n`).
+    pub n: usize,
+    /// The execution configuration (delay/loss/clocks/faults/seed…).
+    pub exec: ExecutionConfig,
+    /// Hold-back window for the streaming detectors (use ≥ 2Δ).
+    pub hold_back: SimDuration,
+    /// Deployment-time observed world state for detector initialisation.
+    pub initial: WorldState,
+    /// Where `Snapshot` requests persist to (`None`: not persisted).
+    pub snapshot_path: Option<PathBuf>,
+}
+
+impl ServeConfig {
+    /// Defaults for `n` sensors: the default execution config (Δ = 100 ms)
+    /// with a 2Δ hold-back, an empty initial state, no snapshot path.
+    pub fn new(n: usize) -> Self {
+        ServeConfig {
+            n,
+            exec: ExecutionConfig::default(),
+            hold_back: SimDuration::from_millis(200),
+            initial: WorldState::default(),
+            snapshot_path: None,
+        }
+    }
+}
+
+/// A restartable capture of a whole serving session: the live engine
+/// snapshot plus everything needed to rebuild the detectors (which are
+/// deterministic functions of the report stream, so only their
+/// *definitions* need storing).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeSnapshot {
+    /// The engine state (config, watermark, ingest journal).
+    pub live: LiveSnapshot,
+    /// Events ingested but not yet due at the watermark (still queued in
+    /// the ingest channel): without these, a snapshot taken between
+    /// `Ingest` and `Advance` would silently drop accepted events.
+    pub pending: Vec<LoggedEvent>,
+    /// The watched predicates, in registration order.
+    pub watches: Vec<(String, Predicate)>,
+    /// The detectors' hold-back window.
+    pub hold_back: SimDuration,
+    /// The deployment-time world state.
+    pub initial: WorldState,
+}
+
+impl ServeSnapshot {
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization cannot fail")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Read from a file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let s = std::fs::read_to_string(path)?;
+        Self::from_json(&s)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e:?}")))
+    }
+}
+
+/// The server-side state machine: applies [`Request`]s, produces
+/// [`Response`]s.
+pub struct ServeSession {
+    live: LiveExecution,
+    ingest_tx: Sender<ExternalEvent<NetMsg>>,
+    detectors: Vec<(String, Predicate, OnlineDetector)>,
+    /// Ingested events not yet due at the watermark (mirrors the channel
+    /// provider's buffer, so snapshots can capture them).
+    pending: Vec<LoggedEvent>,
+    /// Reports already offered to every detector.
+    report_cursor: usize,
+    next_world_event: usize,
+    hold_back: SimDuration,
+    initial: WorldState,
+    snapshot_path: Option<PathBuf>,
+}
+
+impl ServeSession {
+    /// A fresh session under `cfg`.
+    pub fn new(cfg: ServeConfig) -> Self {
+        let (tx, rx) = mpsc::channel();
+        let live = LiveExecution::new(cfg.n, cfg.exec, Box::new(ChannelProvider::new(rx)));
+        ServeSession {
+            live,
+            ingest_tx: tx,
+            detectors: Vec::new(),
+            pending: Vec::new(),
+            report_cursor: 0,
+            next_world_event: 0,
+            hold_back: cfg.hold_back,
+            initial: cfg.initial,
+            snapshot_path: cfg.snapshot_path,
+        }
+    }
+
+    /// Rebuild a session from a snapshot: the engine replays its journal
+    /// deterministically, then each watched detector is rebuilt by
+    /// replaying the restored report stream — frontier, log, and
+    /// per-predicate status all match the captured session exactly.
+    pub fn restore(
+        snap: ServeSnapshot,
+        snapshot_path: Option<PathBuf>,
+    ) -> Result<Self, RestoreError> {
+        let (tx, rx) = mpsc::channel();
+        let live = snap.live.restore(Box::new(ChannelProvider::new(rx)))?;
+        let next_world_event = live
+            .journal()
+            .iter()
+            .chain(snap.pending.iter())
+            .filter_map(|e| match &e.msg {
+                NetMsg::WorldSense { world_event, .. } => Some(world_event + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        // Re-queue the not-yet-due ingests, in their original order.
+        for e in &snap.pending {
+            let ev = ExternalEvent { at: e.at, to: e.to, from: e.from, msg: e.msg.clone() };
+            tx.send(ev).expect("the session holds the receiver");
+        }
+        let mut session = ServeSession {
+            live,
+            ingest_tx: tx,
+            detectors: Vec::new(),
+            pending: snap.pending,
+            report_cursor: 0,
+            next_world_event,
+            hold_back: snap.hold_back,
+            initial: snap.initial,
+            snapshot_path,
+        };
+        for (name, predicate) in snap.watches {
+            session.add_watch(name, predicate);
+        }
+        session.pump_detectors();
+        Ok(session)
+    }
+
+    /// The session's live engine (read-only).
+    pub fn live(&self) -> &LiveExecution {
+        &self.live
+    }
+
+    fn add_watch(&mut self, name: String, predicate: Predicate) {
+        let detector = OnlineDetector::new(predicate.clone(), &self.initial, self.hold_back);
+        // Catch a late registration up with the stream seen so far.
+        let mut detector = detector;
+        self.live.with_log(|l| {
+            for r in &l.reports[..self.report_cursor.min(l.reports.len())] {
+                detector.offer(r);
+            }
+        });
+        self.detectors.retain(|(n, _, _)| n != &name);
+        self.detectors.push((name, predicate, detector));
+    }
+
+    /// Feed reports that arrived since the last pump to every detector.
+    fn pump_detectors(&mut self) {
+        let fresh: Vec<_> =
+            self.live.with_log(|l| l.reports[self.report_cursor.min(l.reports.len())..].to_vec());
+        self.report_cursor += fresh.len();
+        for r in &fresh {
+            for (_, _, d) in &mut self.detectors {
+                d.offer(r);
+            }
+        }
+    }
+
+    fn engine_error(e: EngineError) -> Response {
+        let code = match e {
+            EngineError::TimeRegression { .. } => ErrorCode::TimeRegression,
+            EngineError::UnknownActor { .. } => ErrorCode::UnknownProcess,
+            _ => ErrorCode::Internal,
+        };
+        Response::Error { code, message: e.to_string() }
+    }
+
+    /// Apply one request. Never panics on any input; errors are typed
+    /// responses and leave the session unchanged.
+    pub fn handle(&mut self, req: Request) -> Response {
+        match req {
+            Request::Ping => Response::Pong,
+            Request::Ingest { at, process, key, value } => {
+                if process >= self.live.n() {
+                    return Response::Error {
+                        code: ErrorCode::UnknownProcess,
+                        message: format!(
+                            "process {process} out of range (this session has {} sensors)",
+                            self.live.n()
+                        ),
+                    };
+                }
+                if at < self.live.watermark() {
+                    return Response::Error {
+                        code: ErrorCode::TimeRegression,
+                        message: format!(
+                            "cannot ingest at {at:?}: the watermark has passed {:?}",
+                            self.live.watermark()
+                        ),
+                    };
+                }
+                let world_event = self.next_world_event;
+                self.next_world_event += 1;
+                let msg = NetMsg::WorldSense { key, value, world_event };
+                let ev = ExternalEvent { at, to: process, from: process, msg: msg.clone() };
+                match self.ingest_tx.send(ev) {
+                    Ok(()) => {
+                        self.pending.push(LoggedEvent { at, to: process, from: process, msg });
+                        Response::Ingested { world_event: world_event as u64 }
+                    }
+                    Err(_) => Response::Error {
+                        code: ErrorCode::Internal,
+                        message: "ingest channel closed".into(),
+                    },
+                }
+            }
+            Request::Advance { to } => {
+                let before = self.report_cursor;
+                match self.live.advance_to(to) {
+                    Ok(now) => {
+                        // Everything strictly before the watermark has been
+                        // polled out of the channel and journalled by the
+                        // engine; only the rest is still pending.
+                        let watermark = self.live.watermark();
+                        self.pending.retain(|e| e.at >= watermark);
+                        self.pump_detectors();
+                        Response::Advanced {
+                            now,
+                            watermark: self.live.watermark(),
+                            new_reports: self.report_cursor - before,
+                        }
+                    }
+                    Err(e) => Self::engine_error(e),
+                }
+            }
+            Request::Frontier => {
+                let (reports, events) = self.live.with_log(|l| (l.reports.len(), l.events.len()));
+                Response::Frontier {
+                    watermark: self.live.watermark(),
+                    vector: self.live.frontier(),
+                    reports,
+                    events,
+                    rejected: self.live.rejected(),
+                }
+            }
+            Request::Watch { name, predicate } => {
+                self.add_watch(name.clone(), predicate);
+                Response::Watching { name, watched: self.detectors.len() }
+            }
+            Request::Status { name } => {
+                let Some((_, predicate, detector)) =
+                    self.detectors.iter().find(|(n, _, _)| n == &name)
+                else {
+                    return Response::Error {
+                        code: ErrorCode::UnknownPredicate,
+                        message: format!("no predicate named {name:?} is watched"),
+                    };
+                };
+                let modal = modal_status(&self.live.trace_view(), predicate, &self.initial);
+                Response::Status { name, online: detector.status(), modal }
+            }
+            Request::TraceSlice { from, limit } => self.live.with_log(|l| {
+                let total = l.reports.len();
+                let from = from.min(total);
+                let to = from.saturating_add(limit.min(MAX_SLICE)).min(total);
+                Response::TraceSlice { from, total, reports: l.reports[from..to].to_vec() }
+            }),
+            Request::Snapshot => {
+                let snap = self.snapshot();
+                let json = snap.to_json();
+                let bytes = json.len();
+                match &self.snapshot_path {
+                    Some(path) => match std::fs::write(path, json) {
+                        Ok(()) => {
+                            Response::Snapshot { path: Some(path.display().to_string()), bytes }
+                        }
+                        Err(e) => Response::Error {
+                            code: ErrorCode::Internal,
+                            message: format!("snapshot write failed: {e}"),
+                        },
+                    },
+                    None => Response::Snapshot { path: None, bytes },
+                }
+            }
+            Request::Shutdown => Response::ShuttingDown,
+        }
+    }
+
+    /// Capture the whole session (engine + watch definitions).
+    pub fn snapshot(&self) -> ServeSnapshot {
+        ServeSnapshot {
+            live: self.live.snapshot(),
+            pending: self.pending.clone(),
+            watches: self.detectors.iter().map(|(n, p, _)| (n.clone(), p.clone())).collect(),
+            hold_back: self.hold_back,
+            initial: self.initial.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psn_sim::time::SimTime;
+    use psn_world::{AttrKey, AttrValue};
+
+    fn ingest(s: &mut ServeSession, ms: u64, p: usize, attr: usize, v: i64) -> Response {
+        s.handle(Request::Ingest {
+            at: SimTime::from_millis(ms),
+            process: p,
+            key: AttrKey::new(p, attr),
+            value: AttrValue::Int(v),
+        })
+    }
+
+    /// Drive entries (attr 0) through two doors so occupancy_over(2, 3)
+    /// rises at 4 inside and falls when exits (attr 1) catch up.
+    fn scripted_session() -> ServeSession {
+        let mut s = ServeSession::new(ServeConfig::new(2));
+        let w = s.handle(Request::Watch {
+            name: "occ".into(),
+            predicate: Predicate::occupancy_over(2, 3),
+        });
+        assert!(matches!(w, Response::Watching { watched: 1, .. }));
+        for (i, (p, attr, v)) in [
+            (0, 0, 1), // 1 in
+            (1, 0, 1), // 2 in
+            (0, 0, 2), // 3 in
+            (1, 0, 2), // 4 in — predicate rises
+            (0, 1, 2), // 2 out — predicate falls
+            (1, 1, 2), // all out
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let r = ingest(&mut s, 1000 * (i as u64 + 1), p, attr, v);
+            assert!(matches!(r, Response::Ingested { .. }), "event {i}: {r:?}");
+        }
+        s
+    }
+
+    #[test]
+    fn ingest_advance_status_detects_the_occurrence() {
+        let mut s = scripted_session();
+        let r = s.handle(Request::Advance { to: SimTime::from_secs(30) });
+        let Response::Advanced { watermark, new_reports, .. } = r else {
+            panic!("unexpected: {r:?}")
+        };
+        assert_eq!(watermark, SimTime::from_secs(30));
+        assert_eq!(new_reports, 6, "every sense reported on a lossless mesh");
+
+        let r = s.handle(Request::Status { name: "occ".into() });
+        let Response::Status { online, modal, .. } = r else { panic!("unexpected: {r:?}") };
+        assert_eq!(online.occurrences, 1, "rise at 4 inside, fall at 2");
+        assert!(!online.holds);
+        assert_eq!((modal.possibly, modal.definitely), (1, 1));
+        assert!(!modal.holding_now);
+    }
+
+    #[test]
+    fn frontier_grows_with_the_root_knowledge() {
+        let mut s = scripted_session();
+        let Response::Frontier { vector, reports, .. } = s.handle(Request::Frontier) else {
+            panic!()
+        };
+        assert_eq!(reports, 0);
+        assert_eq!(vector, psn_clocks::VectorStamp::zero(3));
+        s.handle(Request::Advance { to: SimTime::from_secs(30) });
+        let Response::Frontier { vector, reports, rejected, .. } = s.handle(Request::Frontier)
+        else {
+            panic!()
+        };
+        assert_eq!(reports, 6);
+        assert_eq!(rejected, 0);
+        assert!(vector[0] >= 1 && vector[1] >= 1, "root heard from both sensors: {vector:?}");
+    }
+
+    #[test]
+    fn boundary_violations_are_typed_errors_not_panics() {
+        let mut s = scripted_session();
+        let r = ingest(&mut s, 1000, 99, 0, 1);
+        assert!(matches!(r, Response::Error { code: ErrorCode::UnknownProcess, .. }), "{r:?}");
+        s.handle(Request::Advance { to: SimTime::from_secs(10) });
+        let r = ingest(&mut s, 1000, 0, 0, 1);
+        assert!(matches!(r, Response::Error { code: ErrorCode::TimeRegression, .. }), "{r:?}");
+        let r = s.handle(Request::Advance { to: SimTime::from_secs(5) });
+        assert!(matches!(r, Response::Error { code: ErrorCode::TimeRegression, .. }), "{r:?}");
+        let r = s.handle(Request::Status { name: "nope".into() });
+        assert!(matches!(r, Response::Error { code: ErrorCode::UnknownPredicate, .. }), "{r:?}");
+        // The session is still healthy.
+        assert!(matches!(s.handle(Request::Ping), Response::Pong));
+        let r = ingest(&mut s, 20_000, 0, 0, 9);
+        assert!(matches!(r, Response::Ingested { .. }));
+    }
+
+    #[test]
+    fn trace_slice_pages_through_reports() {
+        let mut s = scripted_session();
+        s.handle(Request::Advance { to: SimTime::from_secs(30) });
+        let Response::TraceSlice { from, total, reports } =
+            s.handle(Request::TraceSlice { from: 2, limit: 3 })
+        else {
+            panic!()
+        };
+        assert_eq!((from, total, reports.len()), (2, 6, 3));
+        let Response::TraceSlice { reports: tail, .. } =
+            s.handle(Request::TraceSlice { from: 5, limit: 100 })
+        else {
+            panic!()
+        };
+        assert_eq!(tail.len(), 1);
+        let Response::TraceSlice { reports: none, .. } =
+            s.handle(Request::TraceSlice { from: 99, limit: 10 })
+        else {
+            panic!()
+        };
+        assert!(none.is_empty(), "out-of-range from clamps to empty, no panic");
+    }
+
+    #[test]
+    fn snapshot_kill_restore_preserves_frontier_and_status() {
+        let mut s = scripted_session();
+        s.handle(Request::Advance { to: SimTime::from_secs(4) }); // mid-script
+        let snap = s.snapshot();
+        let json = snap.to_json();
+
+        // Continue the original to completion.
+        s.handle(Request::Advance { to: SimTime::from_secs(30) });
+        let want_frontier = s.live().frontier();
+        let Response::Status { online: want_online, modal: want_modal, .. } =
+            s.handle(Request::Status { name: "occ".into() })
+        else {
+            panic!()
+        };
+        drop(s);
+
+        // Restore: the journal replays the delivered prefix, the pending
+        // list re-queues the ingested-but-not-yet-due tail — nothing needs
+        // re-sending.
+        let snap = ServeSnapshot::from_json(&json).expect("roundtrip");
+        assert_eq!(snap.pending.len(), 3, "events at 4/5/6 s were not yet due at the 4 s cut");
+        let mut r = ServeSession::restore(snap, None).expect("restore");
+        assert_eq!(r.live().watermark(), SimTime::from_secs(4));
+        r.handle(Request::Advance { to: SimTime::from_secs(30) });
+        assert_eq!(r.live().frontier(), want_frontier, "no causal frontier state lost");
+        let Response::Status { online, modal, .. } =
+            r.handle(Request::Status { name: "occ".into() })
+        else {
+            panic!()
+        };
+        assert_eq!(online, want_online, "per-predicate streaming status identical");
+        assert_eq!(modal, want_modal);
+    }
+}

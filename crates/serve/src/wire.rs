@@ -1,0 +1,320 @@
+//! The wire protocol: length-prefixed JSON frames over a byte stream.
+//!
+//! Every frame is a 4-byte little-endian length followed by that many
+//! bytes of UTF-8 JSON — one [`Request`] per client frame, one
+//! [`Response`] per server frame, strictly request/response on each
+//! connection. Frames are capped at [`MAX_FRAME`] bytes; a peer announcing
+//! a larger frame is protocol-broken and the connection is dropped (the
+//! *server* stays up). Malformed JSON inside a well-framed body gets a
+//! typed [`Response::Error`] and the connection continues — no wire input
+//! can panic the service.
+
+use std::io::{Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use psn_clocks::VectorStamp;
+use psn_core::ReceivedReport;
+use psn_predicates::{ModalStatus, OnlineStatus, Predicate};
+use psn_sim::time::SimTime;
+use psn_world::{AttrKey, AttrValue};
+
+/// Hard cap on a frame body, in bytes.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying stream failed (or hit EOF mid-frame).
+    Io(std::io::Error),
+    /// The peer announced a frame larger than [`MAX_FRAME`].
+    FrameTooLarge {
+        /// The announced length.
+        len: usize,
+    },
+    /// The frame body was not UTF-8.
+    BadUtf8,
+    /// The frame body was not valid JSON for the expected type.
+    BadJson(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::FrameTooLarge { len } => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            WireError::BadUtf8 => write!(f, "frame body is not UTF-8"),
+            WireError::BadJson(e) => write!(f, "frame body is not a valid message: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// After a [`WireError`], can the connection keep going? True when the
+/// offending frame was fully consumed (the stream is still in sync).
+pub fn recoverable(e: &WireError) -> bool {
+    matches!(e, WireError::BadUtf8 | WireError::BadJson(_))
+}
+
+/// Write one frame.
+///
+/// The length prefix and body go out in a *single* write: split across
+/// two writes on an unbuffered `TcpStream`, the 4-byte prefix forms its
+/// own segment and Nagle holds the body back until it is acknowledged —
+/// a delayed-ACK stall (tens of milliseconds) on every frame.
+pub fn write_frame<T: Serialize>(w: &mut impl Write, msg: &T) -> std::io::Result<()> {
+    let body = serde_json::to_string(msg)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e:?}")))?;
+    let bytes = body.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("outgoing frame of {} bytes exceeds the cap", bytes.len()),
+        ));
+    }
+    let mut frame = Vec::with_capacity(4 + bytes.len());
+    frame.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    frame.extend_from_slice(bytes);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` is a clean EOF at a frame boundary.
+pub fn read_frame<T: Deserialize>(r: &mut impl Read) -> Result<Option<T>, WireError> {
+    let mut len_buf = [0u8; 4];
+    // Probe the first byte separately so a peer closing between frames is
+    // a clean end-of-stream rather than an error.
+    match r.read(&mut len_buf[..1]) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(WireError::Io(e)),
+    }
+    r.read_exact(&mut len_buf[1..])?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::FrameTooLarge { len });
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let s = std::str::from_utf8(&body).map_err(|_| WireError::BadUtf8)?;
+    serde_json::from_str(s).map(Some).map_err(|e| WireError::BadJson(format!("{e:?}")))
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Inject a sense event: `process` observes `key = value` at
+    /// simulation time `at`. Admissible only for `process < n` and
+    /// `at` at or past the current watermark.
+    Ingest {
+        /// Simulation time of the observation.
+        at: SimTime,
+        /// The sensing process.
+        process: usize,
+        /// The observed attribute.
+        key: AttrKey,
+        /// The observed value.
+        value: AttrValue,
+    },
+    /// Advance the engine to watermark `to`: every ingested event strictly
+    /// before `to` is processed, reports propagate, detectors update.
+    Advance {
+        /// The new watermark.
+        to: SimTime,
+    },
+    /// The causal frontier and session counters.
+    Frontier,
+    /// Register a named predicate: a streaming detector plus modal
+    /// (Possibly/Definitely) queries under this name.
+    Watch {
+        /// The name later `Status` queries use.
+        name: String,
+        /// The predicate to watch.
+        predicate: Predicate,
+    },
+    /// Online + modal status of a watched predicate.
+    Status {
+        /// The name given at `Watch` time.
+        name: String,
+    },
+    /// A slice of the report stream (the causal observation history).
+    TraceSlice {
+        /// First report index.
+        from: usize,
+        /// Maximum number of reports to return (server-capped).
+        limit: usize,
+    },
+    /// Write a snapshot (to the server's configured path).
+    Snapshot,
+    /// Stop the server.
+    Shutdown,
+}
+
+/// A typed error category, stable across the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The request was structurally invalid (unparseable frame, bad
+    /// argument).
+    BadRequest,
+    /// `Ingest` named a process outside `0..n`.
+    UnknownProcess,
+    /// `Ingest`/`Advance` time lies behind the watermark.
+    TimeRegression,
+    /// `Status` named a predicate never registered with `Watch`.
+    UnknownPredicate,
+    /// The server could not complete the request (e.g. snapshot I/O).
+    Internal,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Reply to `Ping`.
+    Pong,
+    /// The event was journalled and will be delivered at its time.
+    Ingested {
+        /// The ground-truth id assigned to the observation.
+        world_event: u64,
+    },
+    /// The engine advanced.
+    Advanced {
+        /// The engine clock after stepping (≤ watermark if halted).
+        now: SimTime,
+        /// The new watermark.
+        watermark: SimTime,
+        /// Reports newly received at the root during this step.
+        new_reports: usize,
+    },
+    /// The causal frontier: the root's vector-clock knowledge.
+    Frontier {
+        /// The current watermark.
+        watermark: SimTime,
+        /// The root's merged vector clock (over n sensors + the root).
+        vector: VectorStamp,
+        /// Reports received at the root so far.
+        reports: usize,
+        /// Process events logged so far.
+        events: usize,
+        /// Ingest events the engine boundary rejected.
+        rejected: u64,
+    },
+    /// The predicate is now watched.
+    Watching {
+        /// Its name.
+        name: String,
+        /// Predicates watched in total.
+        watched: usize,
+    },
+    /// Status of a watched predicate.
+    Status {
+        /// The predicate's name.
+        name: String,
+        /// Streaming (online) detector status.
+        online: OnlineStatus,
+        /// Modal verdict counts over the observation so far.
+        modal: ModalStatus,
+    },
+    /// A slice of the report stream.
+    TraceSlice {
+        /// Index of the first returned report.
+        from: usize,
+        /// Total reports available.
+        total: usize,
+        /// The reports.
+        reports: Vec<ReceivedReport>,
+    },
+    /// A snapshot was written.
+    Snapshot {
+        /// Where it was written (`None` if the server has no snapshot
+        /// path configured — the snapshot was not persisted).
+        path: Option<String>,
+        /// Serialized size in bytes.
+        bytes: usize,
+    },
+    /// The server is stopping; this is the last frame on every connection.
+    ShuttingDown,
+    /// The request failed; the session is unchanged.
+    Error {
+        /// The error category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let reqs = vec![
+            Request::Ping,
+            Request::Ingest {
+                at: SimTime::from_millis(1500),
+                process: 2,
+                key: AttrKey::new(2, 0),
+                value: AttrValue::Int(7),
+            },
+            Request::Advance { to: SimTime::from_secs(10) },
+            Request::Frontier,
+            Request::Watch { name: "occ".into(), predicate: Predicate::occupancy_over(2, 3) },
+            Request::Status { name: "occ".into() },
+            Request::TraceSlice { from: 3, limit: 10 },
+            Request::Snapshot,
+            Request::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        for r in &reqs {
+            write_frame(&mut buf, r).unwrap();
+        }
+        let mut cursor = &buf[..];
+        for r in &reqs {
+            let got: Request = read_frame(&mut cursor).unwrap().expect("frame present");
+            assert_eq!(&got, r);
+        }
+        let done: Option<Request> = read_frame(&mut cursor).unwrap();
+        assert!(done.is_none(), "clean EOF at the frame boundary");
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_reading_them() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        buf.extend_from_slice(b"garbage");
+        let err = read_frame::<Request>(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, WireError::FrameTooLarge { .. }));
+        assert!(!recoverable(&err), "the body was not consumed: stream is desynced");
+    }
+
+    #[test]
+    fn bad_json_is_a_recoverable_typed_error() {
+        let mut buf = Vec::new();
+        let body = b"{not json";
+        buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        buf.extend_from_slice(body);
+        let err = read_frame::<Request>(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, WireError::BadJson(_)));
+        assert!(recoverable(&err), "the frame was fully consumed");
+    }
+
+    #[test]
+    fn truncated_frames_are_io_errors() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        buf.extend_from_slice(b"short");
+        let err = read_frame::<Request>(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, WireError::Io(_)));
+    }
+}

@@ -53,6 +53,59 @@ use std::collections::HashMap;
 use std::sync::mpsc;
 use std::time::Instant;
 
+/// A typed error from the engine's *external* boundary — the operations a
+/// long-running host (e.g. `psn-serve`) drives with data it did not
+/// generate itself: injected events, incremental stepping, and post-run
+/// actor recovery. Internal invariants (queue monotonicity, counter
+/// overflow of engine-generated ids, worker liveness) remain
+/// `debug_assert`/`expect`: they can only fire on an engine bug, never on
+/// malformed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// An event or stepping bound lies before the engine's current time.
+    /// Admitting it would break the monotone-time invariant every clock
+    /// and trace consumer relies on.
+    TimeRegression {
+        /// The offending time.
+        at: SimTime,
+        /// The engine's current simulation time.
+        now: SimTime,
+    },
+    /// An actor id outside the registered range.
+    UnknownActor {
+        /// The offending id.
+        id: ActorId,
+        /// How many actors are registered.
+        actors: usize,
+    },
+    /// The actor was already recovered with [`Engine::take_actor`] /
+    /// [`Engine::try_take_actor`].
+    ActorTaken {
+        /// The already-taken id.
+        id: ActorId,
+    },
+    /// The external-injection id space (2⁴⁰ ids, kept disjoint from
+    /// engine-transmitted message ids) is exhausted.
+    InjectIdsExhausted,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::TimeRegression { at, now } => {
+                write!(f, "time regression: t={at:?} is before engine time {now:?}")
+            }
+            EngineError::UnknownActor { id, actors } => {
+                write!(f, "unknown actor {id} (engine has {actors})")
+            }
+            EngineError::ActorTaken { id } => write!(f, "actor {id} was already taken"),
+            EngineError::InjectIdsExhausted => write!(f, "external injection id space exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// A message payload. Sizes feed the byte-overhead accounting of
 /// experiment E7 (strobe scalar O(1) vs strobe vector O(n) payloads).
 ///
@@ -897,6 +950,10 @@ pub struct Engine<M: Message> {
     next_inject_id: u64,
     /// Next un-applied fault-plane operation (ops are time-sorted).
     op_cursor: usize,
+    /// Whether `on_start` has been dispatched. Start callbacks fire exactly
+    /// once per engine, on the first `run`/`run_with_plan`/`step_until` —
+    /// incremental stepping must not re-arm start timers on every call.
+    started: bool,
     /// The installed fault plane, if any. `None` on the hot path costs one
     /// predictable branch per event; see [`Engine::install_faults`].
     fault: Option<Box<FaultPlane<M>>>,
@@ -915,6 +972,7 @@ impl<M: Message> Engine<M> {
             end_time: SimTime::MAX,
             next_inject_id: 0,
             op_cursor: 0,
+            started: false,
             fault: None,
             m,
         }
@@ -1004,6 +1062,7 @@ impl<M: Message> Engine<M> {
     /// precomputed world-plane timelines. `from` is a conventional source id
     /// (often the world actor's id).
     pub fn inject(&mut self, at: SimTime, to: ActorId, from: ActorId, msg: M) {
+        debug_assert!(at >= self.lane.now, "inject into the past");
         let id = self.next_inject_id;
         self.next_inject_id += 1;
         debug_assert!(id < (1 << 40), "inject id overflow into transmitted-id space");
@@ -1017,6 +1076,35 @@ impl<M: Message> Engine<M> {
         self.m.queue_depth.set(self.lane.queue.len() as u64);
     }
 
+    /// The checked form of [`Engine::inject`] for events that cross the
+    /// engine's external boundary (wire ingest, replayed logs): validates
+    /// the actor ids, rejects events behind the engine clock (which would
+    /// break time monotonicity once the engine has stepped past them), and
+    /// surfaces id-space exhaustion as an error instead of a debug assert.
+    pub fn try_inject(
+        &mut self,
+        at: SimTime,
+        to: ActorId,
+        from: ActorId,
+        msg: M,
+    ) -> Result<(), EngineError> {
+        let n = self.lane.actors.len();
+        if to >= n {
+            return Err(EngineError::UnknownActor { id: to, actors: n });
+        }
+        if from >= n {
+            return Err(EngineError::UnknownActor { id: from, actors: n });
+        }
+        if at < self.lane.now {
+            return Err(EngineError::TimeRegression { at, now: self.lane.now });
+        }
+        if self.next_inject_id >= (1 << 40) {
+            return Err(EngineError::InjectIdsExhausted);
+        }
+        self.inject(at, to, from, msg);
+        Ok(())
+    }
+
     /// Pre-reserve queue capacity for `n` additional events. Callers that
     /// bulk-[`inject`](Engine::inject) a known timeline (e.g. the world
     /// plane) should reserve up front to avoid repeated heap growth.
@@ -1024,13 +1112,70 @@ impl<M: Message> Engine<M> {
         self.lane.queue.reserve(n);
     }
 
+    /// Dispatch `on_start` to every actor exactly once per engine (the
+    /// first `run`/`step_until` call; later calls are no-ops).
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.lane.trace.configure_actors(self.lane.actors.len());
+        self.lane.dispatch_starts(&self.network, self.fault.as_deref());
+    }
+
     /// Run until the queue drains, the end time passes, or an actor halts.
     /// Returns the final simulation time.
     pub fn run(&mut self) -> SimTime {
         let wall_start = Instant::now();
         let events_before = self.lane.events_processed;
-        self.lane.trace.configure_actors(self.lane.actors.len());
-        self.lane.dispatch_starts(&self.network, self.fault.as_deref());
+        self.ensure_started();
+        self.advance_loop(None);
+        self.finish_run(wall_start, events_before)
+    }
+
+    /// Advance the engine **incrementally** to `bound`: process every queue
+    /// event and fault op with time `< bound`, then set the engine clock to
+    /// `bound` (clamped by [`Engine::set_end_time`]). Unlike [`Engine::run`]
+    /// this neither requires the queue to drain nor seals the trace — call
+    /// it repeatedly with a growing watermark to drive the engine from a
+    /// live event source, injecting between calls; events at exactly
+    /// `bound` stay pending, so later injections `≥ bound` are always
+    /// admissible. `on_start` is dispatched on the first call only. Returns
+    /// the new engine time; a `bound` behind the engine clock is a
+    /// [`EngineError::TimeRegression`].
+    pub fn step_until(&mut self, bound: SimTime) -> Result<SimTime, EngineError> {
+        if bound < self.lane.now {
+            return Err(EngineError::TimeRegression { at: bound, now: self.lane.now });
+        }
+        self.ensure_started();
+        self.advance_loop(Some(bound));
+        if !self.lane.halted {
+            let target = bound.min(self.end_time);
+            if target > self.lane.now {
+                self.lane.now = target;
+            }
+        }
+        Ok(self.lane.now)
+    }
+
+    /// Seal the trace after a sequence of [`Engine::step_until`] calls
+    /// (equivalent to what [`Engine::run`] does on completion) and return
+    /// the final time. Idempotent.
+    pub fn finish(&mut self) -> SimTime {
+        self.lane.trace.seal();
+        self.lane.now
+    }
+
+    /// True once an actor has called [`Context::halt`].
+    pub fn is_halted(&self) -> bool {
+        self.lane.halted
+    }
+
+    /// The sequential event loop shared by [`Engine::run`] (`limit: None`)
+    /// and [`Engine::step_until`] (`limit: Some(bound)`, exclusive):
+    /// interleave time-sorted fault-plane ops with queue events, stopping
+    /// at halt, end-time, exhaustion, or the limit.
+    fn advance_loop(&mut self, limit: Option<SimTime>) {
         loop {
             if self.lane.halted {
                 break;
@@ -1052,6 +1197,11 @@ impl<M: Message> Engine<M> {
             if next > self.end_time {
                 self.lane.now = self.end_time;
                 break;
+            }
+            if let Some(lim) = limit {
+                if next >= lim {
+                    break;
+                }
             }
             if op_at == Some(next) {
                 // Fault ops apply before queue events at the same instant
@@ -1089,6 +1239,10 @@ impl<M: Message> Engine<M> {
                     (Some(a), Some(b)) => Some(a.min(b)),
                     (a, b) => a.or(b),
                 };
+                let bound = match (bound, limit) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
                 self.lane.advance_until(bound, &self.network, self.fault.as_deref());
                 if bound.is_none() || self.lane.queue.is_empty() {
                     // Nothing left below the bound and no op clipped us —
@@ -1099,7 +1253,6 @@ impl<M: Message> Engine<M> {
                 }
             }
         }
-        self.finish_run(wall_start, events_before)
     }
 
     /// Shorthand for [`Engine::run_with_plan`] over a
@@ -1154,8 +1307,10 @@ impl<M: Message> Engine<M> {
 
         // Start dispatches run on the coordinator, per lane in shard order;
         // canonical start cursors make the resulting records order by actor
-        // id regardless.
-        {
+        // id regardless. Like the sequential path, starts fire once per
+        // engine, not once per run.
+        if !self.started {
+            self.started = true;
             let guard = plane_lock.read();
             for lane in &mut lanes {
                 lane.dispatch_starts(net, guard.as_deref());
@@ -1418,9 +1573,21 @@ impl<M: Message> Engine<M> {
 
     /// Recover an actor after the run to read its final state.
     ///
-    /// Panics if `id` is out of range or the actor was already taken.
+    /// Panics if `id` is out of range or the actor was already taken; hosts
+    /// handling externally supplied ids should use
+    /// [`Engine::try_take_actor`].
     pub fn take_actor(&mut self, id: ActorId) -> Box<dyn Actor<M> + Send> {
-        self.lane.actors[id].take().expect("actor present")
+        self.try_take_actor(id).expect("actor present")
+    }
+
+    /// The checked form of [`Engine::take_actor`]: an out-of-range id or a
+    /// doubly-taken actor is a typed error, not a panic.
+    pub fn try_take_actor(&mut self, id: ActorId) -> Result<Box<dyn Actor<M> + Send>, EngineError> {
+        let n = self.lane.actors.len();
+        match self.lane.actors.get_mut(id) {
+            None => Err(EngineError::UnknownActor { id, actors: n }),
+            Some(slot) => slot.take().ok_or(EngineError::ActorTaken { id }),
+        }
     }
 }
 
@@ -2485,5 +2652,119 @@ mod tests {
         par.enable_trace();
         par.run_sharded(4);
         assert_eq!(fingerprint(&par), fingerprint(&seq));
+    }
+
+    /// Everything observable except the final clock (a stepped engine ends
+    /// at its watermark, a drained run at its last event).
+    fn stepped_fingerprint(e: &Engine<TestMsg>) -> (NetStats, u64, Option<FaultStats>, String) {
+        let f = fingerprint(e);
+        (f.1, f.2, f.3, f.4)
+    }
+
+    #[test]
+    fn step_until_matches_run() {
+        let mut whole = gossip_engine(9, shardable_delay(), 77);
+        whole.enable_trace();
+        whole.run();
+
+        let mut stepped = gossip_engine(9, shardable_delay(), 77);
+        stepped.enable_trace();
+        let mut t = SimTime::ZERO;
+        while t < SimTime::from_secs(2) {
+            t = t.saturating_add(SimDuration::from_millis(7));
+            stepped.step_until(t).unwrap();
+        }
+        stepped.finish();
+        assert_eq!(stepped_fingerprint(&stepped), stepped_fingerprint(&whole));
+        assert_eq!(stepped.now(), t, "a stepped engine parks at its watermark");
+    }
+
+    #[test]
+    fn step_until_with_faults_matches_run() {
+        let script = FaultScript::new()
+            .with(
+                SimTime::from_millis(15),
+                FaultSpec::Crash { actor: 2, recover_after: Some(SimDuration::from_millis(25)) },
+            )
+            .with(
+                SimTime::from_millis(40),
+                FaultSpec::Partition {
+                    group: vec![0, 1],
+                    heal_after: SimDuration::from_millis(30),
+                    policy: CutPolicy::Park,
+                },
+            );
+        let mut whole = gossip_engine(8, shardable_delay(), 55);
+        whole.enable_trace();
+        whole.install_faults(&script);
+        whole.run();
+        assert_eq!(whole.fault_stats().unwrap().crashes, 1, "script bites");
+
+        let mut stepped = gossip_engine(8, shardable_delay(), 55);
+        stepped.enable_trace();
+        stepped.install_faults(&script);
+        let mut t = SimTime::ZERO;
+        while t < SimTime::from_secs(2) {
+            t = t.saturating_add(SimDuration::from_micros(3_300));
+            stepped.step_until(t).unwrap();
+        }
+        stepped.finish();
+        assert_eq!(stepped_fingerprint(&stepped), stepped_fingerprint(&whole));
+    }
+
+    #[test]
+    fn step_until_dispatches_starts_once() {
+        let net = NetworkConfig::full_mesh(3, DelayModel::Synchronous);
+        let mut e = Engine::new(net, 5);
+        e.add_actor(Box::new(Beacon { fire: true, received: 0 }));
+        e.add_actor(Box::new(Beacon { fire: false, received: 0 }));
+        e.add_actor(Box::new(Beacon { fire: false, received: 0 }));
+        e.step_until(SimTime::from_millis(1)).unwrap();
+        e.step_until(SimTime::from_millis(2)).unwrap();
+        e.run();
+        assert_eq!(e.stats().broadcasts, 1, "on_start must not re-fire per step");
+    }
+
+    #[test]
+    fn step_until_rejects_time_regression() {
+        let mut e = ping_pong_engine(DelayModel::Fixed(SimDuration::from_millis(10)));
+        e.step_until(SimTime::from_millis(50)).unwrap();
+        let err = e.step_until(SimTime::from_millis(20)).unwrap_err();
+        assert!(matches!(err, EngineError::TimeRegression { .. }));
+        // The engine survives and keeps stepping forward.
+        assert_eq!(e.step_until(SimTime::from_millis(60)).unwrap(), SimTime::from_millis(60));
+    }
+
+    #[test]
+    fn try_inject_validates_the_boundary() {
+        let mut e = ping_pong_engine(DelayModel::Fixed(SimDuration::from_millis(10)));
+        let err = e.try_inject(SimTime::ZERO, 9, 0, TestMsg::Ping(0)).unwrap_err();
+        assert_eq!(err, EngineError::UnknownActor { id: 9, actors: 2 });
+        let err = e.try_inject(SimTime::ZERO, 0, 7, TestMsg::Ping(0)).unwrap_err();
+        assert_eq!(err, EngineError::UnknownActor { id: 7, actors: 2 });
+        e.step_until(SimTime::from_millis(5)).unwrap();
+        let err = e.try_inject(SimTime::from_millis(2), 0, 0, TestMsg::Ping(0)).unwrap_err();
+        assert!(matches!(err, EngineError::TimeRegression { .. }));
+        // At or past the watermark is fine.
+        e.try_inject(SimTime::from_millis(5), 0, 0, TestMsg::Ping(0)).unwrap();
+        e.try_inject(SimTime::from_millis(9), 0, 0, TestMsg::Ping(1)).unwrap();
+    }
+
+    #[test]
+    fn try_take_actor_gives_typed_errors() {
+        let mut e = ping_pong_engine(DelayModel::Synchronous);
+        e.run();
+        let err = e.try_take_actor(5).err().expect("out of range");
+        assert_eq!(err, EngineError::UnknownActor { id: 5, actors: 2 });
+        assert!(e.try_take_actor(0).is_ok());
+        let err = e.try_take_actor(0).err().expect("already taken");
+        assert_eq!(err, EngineError::ActorTaken { id: 0 });
+    }
+
+    #[test]
+    fn engine_error_displays() {
+        let e = EngineError::TimeRegression { at: SimTime::ZERO, now: SimTime::from_millis(1) };
+        assert!(!e.to_string().is_empty());
+        assert!(!EngineError::InjectIdsExhausted.to_string().is_empty());
     }
 }

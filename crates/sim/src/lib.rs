@@ -63,6 +63,7 @@ pub mod fault;
 pub mod loss;
 pub mod metrics;
 pub mod network;
+pub mod provider;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -75,7 +76,7 @@ pub mod trace_export;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use crate::delay::DelayModel;
-    pub use crate::engine::{Actor, Context, Engine, Message};
+    pub use crate::engine::{Actor, Context, Engine, EngineError, Message};
     pub use crate::fault::{
         ChannelEffect, ChannelFaultRule, ChaosConfig, ClockFaultKind, CutPolicy, FaultEvent,
         FaultScript, FaultSpec, FaultStats, ScriptedFault,
@@ -83,6 +84,9 @@ pub mod prelude {
     pub use crate::loss::LossModel;
     pub use crate::metrics::{Counter, Gauge, Metrics, MetricsSnapshot, Timer};
     pub use crate::network::{ActorId, NetStats, NetworkConfig, Topology};
+    pub use crate::provider::{
+        ChannelProvider, EventProvider, ExternalEvent, GeneratorProvider, TimelineProvider,
+    };
     pub use crate::rng::{RngFactory, RngStream};
     pub use crate::stats::OnlineStats;
     pub use crate::sweep::{run_sweep, run_sweep_auto, run_sweep_instrumented};

@@ -1,0 +1,267 @@
+//! Event providers: where externally injected events come from.
+//!
+//! The batch pipeline pre-builds a world timeline and injects it wholesale
+//! before [`Engine::run`](crate::engine::Engine::run). A long-running
+//! service instead advances the engine **incrementally**
+//! ([`Engine::step_until`](crate::engine::Engine::step_until)) and pulls
+//! events from whatever source it has — a pre-built timeline, a seeded
+//! generator, or a live channel fed by ingest connections. [`EventProvider`]
+//! abstracts the source so the same driver loop serves all three:
+//!
+//! - [`TimelineProvider`] — a pre-built event list (the batch path);
+//! - [`GeneratorProvider`] — events synthesised on demand by a closure
+//!   (seeded load generators, chaos drivers);
+//! - [`ChannelProvider`] — events arriving over an `mpsc` channel from
+//!   other threads (the wire-ingest path of `psn-serve`).
+//!
+//! The contract mirrors the engine's stepping watermark: `poll(up_to)`
+//! surrenders every available event with `at < up_to`, in the order the
+//! source produced them. The driver injects them (typically via
+//! `try_inject`, so a source that emits an event behind the engine clock
+//! gets a typed error, not a panic) and then steps the engine to `up_to`.
+
+use std::sync::mpsc::{Receiver, TryRecvError};
+
+use crate::engine::Message;
+use crate::network::ActorId;
+use crate::time::SimTime;
+
+/// One externally supplied event: deliver `msg` to `to` at simulation time
+/// `at`, bypassing the network's delay/loss models (the source is outside
+/// the network plane — a world sensor, a wire client, a replayed log).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExternalEvent<M> {
+    /// Delivery time (ground truth).
+    pub at: SimTime,
+    /// Destination actor.
+    pub to: ActorId,
+    /// Conventional source id (often the destination itself for
+    /// world-plane sense events).
+    pub from: ActorId,
+    /// The payload.
+    pub msg: M,
+}
+
+/// A source of externally injected events, polled by watermark.
+pub trait EventProvider<M: Message>: Send {
+    /// Append every available event with `at < up_to` to `sink`, in source
+    /// order. Events at or past `up_to` stay with the provider for a later
+    /// poll. May be called with a non-decreasing `up_to` sequence only.
+    fn poll(&mut self, up_to: SimTime, sink: &mut Vec<ExternalEvent<M>>);
+
+    /// True when the source will never yield another event (list drained,
+    /// generator done, channel disconnected and buffer empty). A live
+    /// channel with connected senders is never exhausted.
+    fn exhausted(&self) -> bool;
+}
+
+/// A pre-built event list (the batch timeline source).
+///
+/// Events are yielded in list order; for incremental polling the list must
+/// be non-decreasing in `at` (a pre-built world timeline is). A single
+/// `poll(SimTime::MAX)` reproduces the batch pipeline's injection sequence
+/// exactly.
+pub struct TimelineProvider<M> {
+    events: Vec<ExternalEvent<M>>,
+    cursor: usize,
+}
+
+impl<M> TimelineProvider<M> {
+    /// Wrap a pre-built event list.
+    pub fn new(events: Vec<ExternalEvent<M>>) -> Self {
+        TimelineProvider { events, cursor: 0 }
+    }
+
+    /// Events not yet surrendered.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+}
+
+impl<M: Message> EventProvider<M> for TimelineProvider<M> {
+    fn poll(&mut self, up_to: SimTime, sink: &mut Vec<ExternalEvent<M>>) {
+        while self.cursor < self.events.len() && self.events[self.cursor].at < up_to {
+            sink.push(self.events[self.cursor].clone());
+            self.cursor += 1;
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.cursor == self.events.len()
+    }
+}
+
+/// Events synthesised on demand by a closure.
+///
+/// On each poll the closure sees the half-open window `[from, up_to)` it
+/// must cover and appends that window's events to the sink; it returns
+/// `false` once it will never produce another event. Windows never overlap
+/// and never repeat, so a seeded closure yields a deterministic stream
+/// regardless of how the driver paces its polls.
+pub struct GeneratorProvider<M> {
+    #[allow(clippy::type_complexity)]
+    gen: Box<dyn FnMut(SimTime, SimTime, &mut Vec<ExternalEvent<M>>) -> bool + Send>,
+    covered_to: SimTime,
+    done: bool,
+}
+
+impl<M> GeneratorProvider<M> {
+    /// Wrap a generator closure `gen(from, up_to, sink) -> more`.
+    pub fn new(
+        gen: impl FnMut(SimTime, SimTime, &mut Vec<ExternalEvent<M>>) -> bool + Send + 'static,
+    ) -> Self {
+        GeneratorProvider { gen: Box::new(gen), covered_to: SimTime::ZERO, done: false }
+    }
+}
+
+impl<M: Message> EventProvider<M> for GeneratorProvider<M> {
+    fn poll(&mut self, up_to: SimTime, sink: &mut Vec<ExternalEvent<M>>) {
+        if self.done || up_to <= self.covered_to {
+            return;
+        }
+        let from = self.covered_to;
+        self.covered_to = up_to;
+        if !(self.gen)(from, up_to, sink) {
+            self.done = true;
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.done
+    }
+}
+
+/// Events arriving over a channel from other threads (live wire ingest).
+///
+/// `poll` drains whatever has arrived so far; events at or past the
+/// watermark are buffered (in arrival order) for later polls. The provider
+/// is exhausted only once every sender is dropped *and* the buffer is
+/// empty.
+pub struct ChannelProvider<M> {
+    rx: Receiver<ExternalEvent<M>>,
+    /// Arrived but not yet due (in arrival order).
+    buffer: Vec<ExternalEvent<M>>,
+    disconnected: bool,
+}
+
+impl<M> ChannelProvider<M> {
+    /// Wrap the receiving half of an ingest channel.
+    pub fn new(rx: Receiver<ExternalEvent<M>>) -> Self {
+        ChannelProvider { rx, buffer: Vec::new(), disconnected: false }
+    }
+
+    /// Events buffered past the last watermark.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+impl<M: Message> EventProvider<M> for ChannelProvider<M> {
+    fn poll(&mut self, up_to: SimTime, sink: &mut Vec<ExternalEvent<M>>) {
+        loop {
+            match self.rx.try_recv() {
+                Ok(ev) => self.buffer.push(ev),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    self.disconnected = true;
+                    break;
+                }
+            }
+        }
+        // Stable partition preserves arrival order among the due events.
+        let mut kept = Vec::new();
+        for ev in self.buffer.drain(..) {
+            if ev.at < up_to {
+                sink.push(ev);
+            } else {
+                kept.push(ev);
+            }
+        }
+        self.buffer = kept;
+    }
+
+    fn exhausted(&self) -> bool {
+        self.disconnected && self.buffer.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Tick(u64);
+    impl Message for Tick {
+        fn size_bytes(&self) -> usize {
+            8
+        }
+    }
+
+    fn ev(ms: u64, k: u64) -> ExternalEvent<Tick> {
+        ExternalEvent { at: SimTime::from_millis(ms), to: 0, from: 0, msg: Tick(k) }
+    }
+
+    #[test]
+    fn timeline_provider_respects_the_watermark() {
+        let mut p = TimelineProvider::new(vec![ev(10, 0), ev(20, 1), ev(30, 2)]);
+        let mut sink = Vec::new();
+        p.poll(SimTime::from_millis(20), &mut sink);
+        assert_eq!(sink.len(), 1, "events at the watermark stay pending");
+        assert!(!p.exhausted());
+        p.poll(SimTime::from_millis(31), &mut sink);
+        assert_eq!(sink.len(), 3);
+        assert!(p.exhausted());
+        assert_eq!(sink, vec![ev(10, 0), ev(20, 1), ev(30, 2)]);
+    }
+
+    #[test]
+    fn one_max_poll_reproduces_the_batch_sequence() {
+        let events = vec![ev(10, 0), ev(20, 1), ev(15, 2)]; // list order, not time order
+        let mut p = TimelineProvider::new(events.clone());
+        let mut sink = Vec::new();
+        p.poll(SimTime::MAX, &mut sink);
+        assert_eq!(sink, events, "batch injection order is the list order");
+        assert!(p.exhausted());
+    }
+
+    #[test]
+    fn generator_provider_covers_disjoint_windows() {
+        let mut p = GeneratorProvider::new(|from: SimTime, up_to: SimTime, sink: &mut Vec<_>| {
+            // One event per whole millisecond in [from, up_to).
+            let mut ms = from.as_nanos().div_ceil(1_000_000);
+            while SimTime::from_millis(ms) < up_to {
+                sink.push(ev(ms, ms));
+                ms += 1;
+            }
+            up_to < SimTime::from_millis(5)
+        });
+        let mut sink = Vec::new();
+        p.poll(SimTime::from_millis(2), &mut sink);
+        p.poll(SimTime::from_millis(2), &mut sink); // same watermark: no repeat
+        p.poll(SimTime::from_millis(5), &mut sink);
+        assert_eq!(sink.iter().map(|e| e.msg.0).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert!(p.exhausted());
+        p.poll(SimTime::from_millis(9), &mut sink);
+        assert_eq!(sink.len(), 5, "a done generator yields nothing more");
+    }
+
+    #[test]
+    fn channel_provider_buffers_past_watermark_until_due() {
+        let (tx, rx) = mpsc::channel();
+        let mut p = ChannelProvider::new(rx);
+        tx.send(ev(5, 0)).unwrap();
+        tx.send(ev(50, 1)).unwrap();
+        let mut sink = Vec::new();
+        p.poll(SimTime::from_millis(10), &mut sink);
+        assert_eq!(sink.len(), 1);
+        assert_eq!(p.buffered(), 1);
+        assert!(!p.exhausted());
+        drop(tx);
+        p.poll(SimTime::from_millis(10), &mut sink);
+        assert!(!p.exhausted(), "buffered events keep the source alive");
+        p.poll(SimTime::from_millis(60), &mut sink);
+        assert_eq!(sink.len(), 2);
+        assert!(p.exhausted(), "disconnected and drained");
+    }
+}

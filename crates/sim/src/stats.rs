@@ -116,14 +116,27 @@ impl OnlineStats {
 
 /// The `q`-quantile (0 ≤ q ≤ 1) of a sample, by linear interpolation on the
 /// sorted data. Returns NaN for an empty slice.
-pub fn quantile(sorted: &[f64], q: f64) -> f64 {
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "quantile() requires sorted input");
-    if sorted.is_empty() {
+///
+/// Pre-sorted input is used as-is (one O(n) check). Unsorted input is
+/// sorted into a temporary copy first — formerly this was only a
+/// `debug_assert`, so a release build fed unsorted samples silently
+/// returned garbage quantiles.
+pub fn quantile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
         return f64::NAN;
     }
-    if sorted.len() == 1 {
-        return sorted[0];
+    if samples.len() == 1 {
+        return samples[0];
     }
+    let sorted_view;
+    let sorted: &[f64] = if samples.windows(2).all(|w| w[0] <= w[1]) {
+        samples
+    } else {
+        let mut copy = samples.to_vec();
+        copy.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        sorted_view = copy;
+        &sorted_view
+    };
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -347,10 +360,16 @@ mod tests {
     }
 
     #[test]
-    #[cfg(debug_assertions)]
-    #[should_panic(expected = "sorted input")]
-    fn quantile_rejects_unsorted_input_in_debug() {
-        quantile(&[3.0, 1.0, 2.0], 0.5);
+    fn quantile_handles_unsorted_input() {
+        // Pin the fix: unsorted samples give the same quantiles as their
+        // sorted permutation (release builds used to interpolate garbage).
+        let unsorted = [3.0, 1.0, 2.0, 4.0];
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(quantile(&unsorted, q), quantile(&sorted, q), "q={q}");
+        }
+        assert_eq!(quantile(&[3.0, 1.0, 2.0], 0.5), 2.0);
+        assert_eq!(quantile(&[3.0, 1.0, 2.0], 1.0), 3.0);
     }
 
     mod merge_properties {

@@ -167,21 +167,33 @@ where
     out.into_iter().map(|r| r.expect("worker exited without result or panic")).collect()
 }
 
-/// The default parallelism for sweeps: the `PSN_THREADS` environment
-/// variable if set (clamped to ≥ 1), otherwise the number of available
-/// cores.
+/// The default parallelism for sweeps: a *valid* `PSN_THREADS` environment
+/// variable (a positive integer) if set, otherwise the number of available
+/// cores. An unparsable or zero value never panics a long-running host: it
+/// falls back to the hardware default, warning once per process on stderr.
 ///
 /// `PSN_THREADS` caps the *sweep-level* thread pool. With the sharded
 /// engine (`Engine::run_sharded`) parallelism can also live *inside* a
 /// cell; when combining both, budget `sweep_threads × shards ≤ cores` —
 /// the two pools do not coordinate.
 pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("PSN_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
+    let hardware = || std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    match std::env::var("PSN_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring invalid PSN_THREADS={v:?} (want a positive \
+                         integer); using the hardware default"
+                    );
+                });
+                hardware()
+            }
+        },
+        Err(_) => hardware(),
     }
-    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
 }
 
 /// A convenience: run a sweep at [`default_threads`] parallelism.
@@ -247,16 +259,24 @@ mod tests {
     }
 
     #[test]
-    fn psn_threads_env_overrides_and_clamps() {
+    fn psn_threads_env_overrides_and_survives_garbage() {
         // Safe even though tests share the process env: concurrent callers
         // of default_threads only require a value ≥ 1, which every value
         // set here produces.
+        let hardware = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
         std::env::set_var("PSN_THREADS", "3");
         assert_eq!(default_threads(), 3);
+        // Regression: invalid values (zero, garbage, empty) must neither
+        // panic nor silently pin the pool to one thread — they fall back to
+        // the hardware default (with a once-per-process warning).
         std::env::set_var("PSN_THREADS", "0");
-        assert_eq!(default_threads(), 1, "zero clamps to one");
+        assert_eq!(default_threads(), hardware, "zero falls back to the hardware default");
         std::env::set_var("PSN_THREADS", "not-a-number");
-        assert!(default_threads() >= 1, "garbage falls back to core count");
+        assert_eq!(default_threads(), hardware, "garbage falls back to the hardware default");
+        std::env::set_var("PSN_THREADS", "");
+        assert_eq!(default_threads(), hardware, "empty falls back to the hardware default");
+        std::env::set_var("PSN_THREADS", " 2 ");
+        assert_eq!(default_threads(), 2, "surrounding whitespace is tolerated");
         std::env::remove_var("PSN_THREADS");
     }
 
