@@ -26,6 +26,8 @@
 //! cargo run --release -p psn-bench --bin chaos -- --seeds 50
 //! cargo run --release -p psn-bench --bin chaos -- --quick --seeds 3
 //! cargo run --release -p psn-bench --bin chaos -- --quick --seeds 3 --shards 4
+//! cargo run --release -p psn-bench --bin chaos -- --quick --seeds 3 --shards 4 \
+//!     --optimistic --shard-plan affinity
 //! ```
 //!
 //! With `--shards N` the primary run executes on the sharded engine while
@@ -33,9 +35,12 @@
 //! sharded-vs-sequential bit-equivalence check under live fault scripts.
 //! Sharding needs lookahead, so this mode swaps the pure Δ-bounded delay
 //! (minimum 0) for a `[50 ms, 300 ms]` band — same Δ ceiling, nonzero
-//! floor.
+//! floor. `--optimistic` additionally runs the primary on the Time Warp
+//! path and `--shard-plan NAME` picks the actor→shard map; the replay leg
+//! always stays sequential-conservative, so the same invariant then proves
+//! speculation and planning bit-identical under live fault scripts.
 
-use psn_core::{run_execution, ExecutionConfig, ExecutionTrace};
+use psn_core::{run_execution, ExecutionConfig, ExecutionTrace, ShardPlanKind, SpeculationMode};
 use psn_predicates::{detect_occurrences, detection_matches, Discipline, Predicate};
 use psn_sim::fault::{ChaosConfig, FaultScript};
 use psn_sim::time::{SimDuration, SimTime};
@@ -53,7 +58,13 @@ fn params(quick: bool) -> ExhibitionParams {
     }
 }
 
-fn run_seed(seed: u64, quick: bool, shards: usize) -> Result<String, String> {
+fn run_seed(
+    seed: u64,
+    quick: bool,
+    shards: usize,
+    plan: ShardPlanKind,
+    optimistic: bool,
+) -> Result<String, String> {
     let params = params(quick);
     let scenario = exhibition::generate(&params, 9100 + seed);
     let pred = Predicate::occupancy_over(params.doors, params.capacity);
@@ -72,21 +83,27 @@ fn run_seed(seed: u64, quick: bool, shards: usize) -> Result<String, String> {
     } else {
         psn_sim::delay::DelayModel::delta(SimDuration::from_millis(300))
     };
+    let speculation =
+        if optimistic { SpeculationMode::Optimistic } else { SpeculationMode::Conservative };
     let cfg = ExecutionConfig {
         delay,
         seed,
         record_sim_trace: true,
         faults: Some(script),
         shards,
+        shard_plan: Some(plan),
+        speculation: Some(speculation),
         ..Default::default()
     };
     let trace: ExecutionTrace = run_execution(&scenario, &cfg);
 
     // 1. Determinism: same (scenario, script, seed) ⇒ identical run. When
-    // the primary run is sharded, the replay runs sequentially — the same
-    // invariant then proves the sharded engine bit-identical to the
-    // sequential one under this fault script.
-    let replay_cfg = ExecutionConfig { shards: 1, ..cfg.clone() };
+    // the primary run is sharded (and possibly optimistic), the replay runs
+    // sequentially-conservatively — the same invariant then proves the
+    // sharded/speculative engine bit-identical to the sequential one under
+    // this fault script.
+    let replay_cfg =
+        ExecutionConfig { shards: 1, shard_plan: None, speculation: None, ..cfg.clone() };
     let replay = run_execution(&scenario, &replay_cfg);
     if replay.sim.records() != trace.sim.records() {
         return Err(format!("seed {seed}: replay diverged (structured trace records differ)"));
@@ -150,10 +167,12 @@ fn run_seed(seed: u64, quick: bool, shards: usize) -> Result<String, String> {
         ));
     }
 
+    let spec_note =
+        if optimistic { format!(", {} rollbacks", trace.rollbacks) } else { String::new() };
     Ok(format!(
         "seed {seed}: ok — {} faults scripted (crashes {} recoveries {} cuts {} heals {} \
          clock {}), {} msgs ({} lost, {} corrupted, {} duplicated, {} reordered, {} parked), \
-         {} detections / {} truth",
+         {} detections / {} truth{spec_note}",
         n_faults,
         fs.crashes,
         fs.recoveries,
@@ -186,16 +205,38 @@ fn main() {
         .and_then(|p| args.get(p + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
+    let plan: ShardPlanKind = args
+        .iter()
+        .position(|a| a == "--shard-plan")
+        .and_then(|p| args.get(p + 1))
+        .map(|name| match psn_bench::common::parse_shard_plan(name) {
+            Some(kind) => kind,
+            None => {
+                eprintln!(
+                    "unknown --shard-plan {name} (known: contiguous, interleaved, \
+                     roundrobin, hash, affinity)"
+                );
+                std::process::exit(1);
+            }
+        })
+        .unwrap_or(ShardPlanKind::Contiguous);
+    let optimistic = args.iter().any(|a| a == "--optimistic");
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: chaos [--seeds N] [--quick] [--shards K]");
+        eprintln!(
+            "usage: chaos [--seeds N] [--quick] [--shards K] [--shard-plan NAME] [--optimistic]"
+        );
         return;
     }
     if shards > 1 {
-        println!("chaos: sharded mode ({shards} shards; replay leg runs sequentially)");
+        let mode = if optimistic { "optimistic" } else { "conservative" };
+        println!(
+            "chaos: sharded mode ({shards} shards, {mode}, {plan:?} plan; \
+             replay leg runs sequentially)"
+        );
     }
     let mut failures = 0u64;
     for seed in 0..seeds {
-        match run_seed(seed, quick, shards) {
+        match run_seed(seed, quick, shards, plan, optimistic) {
             Ok(line) => println!("{line}"),
             Err(line) => {
                 eprintln!("VIOLATION {line}");

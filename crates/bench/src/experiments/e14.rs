@@ -9,21 +9,29 @@
 //! and collapses when fault-plane ops force extra barriers.
 //!
 //! Each cell runs one exhibition workload at every shard count and
-//! reports, besides wall time, two machine-independent shape quantities:
+//! reports, besides wall time, machine-independent shape quantities:
 //!
-//! - `windows` — barrier count of the sharded run: parallel windows plus
-//!   fault-op sub-barriers (identical for every shard count > 1: the
-//!   schedule depends on event times, op times, and lookahead only);
+//! - `win(con)` — barrier count of the conservative sharded run: parallel
+//!   windows plus fault-op sub-barriers (identical for every shard count
+//!   above 1: the schedule depends on event times, op times, and
+//!   lookahead only);
+//! - `win(opt)` / `rollbacks` — barrier count and lane re-runs of the
+//!   optimistic (Time Warp) run at the largest shard count: speculation
+//!   commits a doubled window per barrier, so `win(opt) < win(con)` is the
+//!   synchronization saved and `rollbacks` the price paid for it;
 //! - `ev/window` — events per window, the per-barrier parallel work. The
 //!   shape claim is that this column grows ~linearly with n (at fixed
 //!   event rate per node) and the speedup on a multicore machine follows
-//!   it; wall-clock speedup on the snapshot machine is also printed but is
+//!   it; wall-clock rates on the snapshot machine are also printed but are
 //!   meaningless when the machine has a single core (the table note
-//!   records the core count).
+//!   records the core count);
+//! - `rr ev/s` vs `aff ev/s` — the round-robin (interleaved) plan against
+//!   the traffic-aware affinity plan at the same shard count.
 //!
-//! Every shard count is asserted bit-identical to the sequential run
-//! before its timing is reported — a row in this table is also an
-//! equivalence proof over its workload.
+//! Every variant — each shard count, the optimistic run, and both plan
+//! runs — is asserted bit-identical to the sequential run before its
+//! timing is reported, so a row in this table is also an equivalence
+//! proof over its workload.
 //!
 //! The last rows demonstrate the two boundary behaviours: a partition-
 //! heavy fault script (barriers multiply, `ev/window` collapses) and a
@@ -33,7 +41,9 @@
 
 use std::time::Instant;
 
-use psn_core::{run_execution_instrumented, ExecutionConfig, ExecutionTrace};
+use psn_core::{
+    run_execution_instrumented, ExecutionConfig, ExecutionTrace, ShardPlanKind, SpeculationMode,
+};
 use psn_sim::delay::DelayModel;
 use psn_sim::fault::{CutPolicy, FaultScript, FaultSpec};
 use psn_sim::metrics::Metrics;
@@ -54,11 +64,19 @@ fn delay() -> DelayModel {
 struct Cell {
     events: u64,
     windows: u64,
+    rollbacks: u64,
     wall: f64,
     trace: ExecutionTrace,
 }
 
-fn run_cell(n: usize, shards: usize, faults: Option<FaultScript>, duration: SimTime) -> Cell {
+fn run_cell(
+    n: usize,
+    shards: usize,
+    faults: Option<FaultScript>,
+    duration: SimTime,
+    plan: ShardPlanKind,
+    spec: SpeculationMode,
+) -> Cell {
     let params = ExhibitionParams {
         doors: n,
         arrival_rate_hz: (n as f64) / 64.0,
@@ -67,7 +85,15 @@ fn run_cell(n: usize, shards: usize, faults: Option<FaultScript>, duration: SimT
         capacity: 240,
     };
     let scenario = exhibition::generate(&params, 11);
-    let cfg = ExecutionConfig { delay: delay(), seed: 1, shards, faults, ..Default::default() };
+    let cfg = ExecutionConfig {
+        delay: delay(),
+        seed: 1,
+        shards,
+        faults,
+        shard_plan: Some(plan),
+        speculation: Some(spec),
+        ..Default::default()
+    };
     let metrics = Metrics::new();
     let t0 = Instant::now();
     let trace = run_execution_instrumented(&scenario, &cfg, &metrics);
@@ -76,6 +102,7 @@ fn run_cell(n: usize, shards: usize, faults: Option<FaultScript>, duration: SimT
     Cell {
         events: snap.counter("engine.events_processed").unwrap_or(0),
         windows: snap.counter("engine.windows").unwrap_or(0),
+        rollbacks: snap.counter("engine.rollbacks").unwrap_or(0),
         wall,
         trace,
     }
@@ -122,16 +149,21 @@ pub fn run(quick: bool) -> Table {
     let duration = SimTime::from_secs(if quick { 20 } else { 60 });
 
     let mut table = Table::new(
-        "E14 — strong scaling vs n and shard count (exhibition, Δ ∈ [40 ms, 240 ms])",
+        "E14 — strong scaling vs n, shard count, plan, and window discipline \
+         (exhibition, Δ ∈ [40 ms, 240 ms])",
         &[
             "n",
             "faults",
             "events",
-            "windows",
+            "win(con)",
+            "win(opt)",
+            "rollbacks",
             "ev/window",
             "seq ev/s",
-            "best-shard ev/s",
-            "speedup",
+            "con ev/s",
+            "opt ev/s",
+            "rr ev/s",
+            "aff ev/s",
         ],
     );
 
@@ -141,16 +173,63 @@ pub fn run(quick: bool) -> Table {
     let n_max = *ns.last().expect("nonempty ns");
     fault_rows.push((n_max, Some(partition_storm(n_max, duration)), "partition storm"));
 
+    // The plan/discipline variants run at the largest shard count tried.
+    let k_var = *shard_counts.last().expect("nonempty shard counts");
+
     for (n, faults, fault_label) in fault_rows {
-        let seq = run_cell(n, 1, faults.clone(), duration);
+        let seq = run_cell(
+            n,
+            1,
+            faults.clone(),
+            duration,
+            ShardPlanKind::Contiguous,
+            SpeculationMode::Conservative,
+        );
         let mut best_rate = 0.0f64;
         let mut windows = 0u64;
         for &k in shard_counts {
-            let par = run_cell(n, k, faults.clone(), duration);
+            let par = run_cell(
+                n,
+                k,
+                faults.clone(),
+                duration,
+                ShardPlanKind::Contiguous,
+                SpeculationMode::Conservative,
+            );
             assert_identical(&seq.trace, &par.trace, n, k);
             windows = windows.max(par.windows);
             best_rate = best_rate.max(par.events as f64 / par.wall);
         }
+        // Conservative vs optimistic: same workload, same shard count, Time
+        // Warp windows — fewer barriers, same bits.
+        let opt = run_cell(
+            n,
+            k_var,
+            faults.clone(),
+            duration,
+            ShardPlanKind::Contiguous,
+            SpeculationMode::Optimistic,
+        );
+        assert_identical(&seq.trace, &opt.trace, n, k_var);
+        // Round-robin (interleaved) vs traffic-aware affinity planning.
+        let rr = run_cell(
+            n,
+            k_var,
+            faults.clone(),
+            duration,
+            ShardPlanKind::Interleaved,
+            SpeculationMode::Conservative,
+        );
+        assert_identical(&seq.trace, &rr.trace, n, k_var);
+        let aff = run_cell(
+            n,
+            k_var,
+            faults.clone(),
+            duration,
+            ShardPlanKind::Affinity,
+            SpeculationMode::Conservative,
+        );
+        assert_identical(&seq.trace, &aff.trace, n, k_var);
         let seq_rate = seq.events as f64 / seq.wall;
         let ev_per_window = if windows > 0 { seq.events as f64 / windows as f64 } else { f64::NAN };
         table.row(vec![
@@ -158,10 +237,14 @@ pub fn run(quick: bool) -> Table {
             fault_label.to_string(),
             seq.events.to_string(),
             windows.to_string(),
+            opt.windows.to_string(),
+            opt.rollbacks.to_string(),
             format!("{ev_per_window:.0}"),
             format!("{seq_rate:.0}"),
             format!("{best_rate:.0}"),
-            format!("{:.2}x", best_rate / seq_rate),
+            format!("{:.0}", opt.events as f64 / opt.wall),
+            format!("{:.0}", rr.events as f64 / rr.wall),
+            format!("{:.0}", aff.events as f64 / aff.wall),
         ]);
     }
 
@@ -196,19 +279,29 @@ pub fn run(quick: bool) -> Table {
         seq_events.to_string(),
         "—".to_string(),
         "—".to_string(),
+        "—".to_string(),
+        "—".to_string(),
         format!("{:.0}", seq_events as f64 / seq_wall),
         format!("{:.0}", par_events as f64 / par_wall),
-        format!("{:.2}x", (par_events as f64 / par_wall) / (seq_events as f64 / seq_wall)),
+        "—".to_string(),
+        "—".to_string(),
+        "—".to_string(),
     ]);
 
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     table.note(format!(
-        "Every sharded cell is asserted bit-identical to its sequential run before timing. \
+        "Every variant cell — each shard count, the optimistic run, and both plan runs — is \
+         asserted bit-identical to its sequential run before timing. `win(con)`/`win(opt)` \
+         count coordinator barriers under conservative vs optimistic windows: speculation \
+         commits a doubled window span per barrier, so win(opt) < win(con) measures the \
+         synchronization saved; `rollbacks` counts lanes re-run after a straggler (the Time \
+         Warp cost). `con/opt/rr/aff ev/s` ran at {k_var} shards (con = best over all shard \
+         counts, contiguous plan; rr = round-robin/interleaved; aff = traffic-aware affinity). \
          Shape claim: parallel work per barrier (`ev/window`) grows ~linearly with n at fixed \
          per-node event rate — wall-clock speedup on a multicore machine follows it, and the \
          partition-storm row shows the collapse when fault barriers shrink effective lookahead \
          (windows ↑, ev/window ↓). Wall-clock columns measured on {cores} core(s); with a \
-         single core the speedup column can only show coordination overhead (≤1x by \
+         single core the sharded rates can only show coordination overhead (≤1x by \
          construction).",
     ));
     table

@@ -82,6 +82,54 @@ pub struct ExecutionConfig {
     /// path — the dense-vs-sparse cross-validation tests run the same cell
     /// both ways and require bit-identical results.
     pub fifo_dense_limit: Option<usize>,
+    /// How actors are partitioned across shards when `shards > 1`. `None`
+    /// (default) means [`ShardPlanKind::Contiguous`]. Any plan produces a
+    /// bit-identical run — this is a throughput knob only. (`Option` so
+    /// configs serialized before this field existed still deserialize:
+    /// the vendored serde shim maps an absent field to `None`.)
+    pub shard_plan: Option<ShardPlanKind>,
+    /// Window discipline for sharded runs: conservative lookahead windows
+    /// or optimistic (Time Warp) speculation with rollback. `None`
+    /// (default) means [`SpeculationMode::Conservative`]. Bit-identical
+    /// either way; `Option` for snapshot back-compat as above.
+    pub speculation: Option<SpeculationMode>,
+}
+
+/// How [`run_execution_full`] partitions the `n + 1` actors (sensors plus
+/// the root) into engine shards — see [`psn_sim::engine::ShardPlan`]. Every
+/// kind yields a bit-identical run; they differ only in load balance and
+/// cross-shard traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardPlanKind {
+    /// Contiguous id ranges (the historical `run_sharded` layout).
+    Contiguous,
+    /// Round-robin by actor id.
+    Interleaved,
+    /// Seeded hash of the actor id.
+    Hash,
+    /// Traffic-aware ([`psn_sim::engine::ShardPlan::by_affinity`]):
+    /// co-locate chatty pairs using a static estimate of per-sensor report
+    /// volume — each sensor's edge to the root is weighted by the number
+    /// of world events it will observe, so the heaviest reporters share
+    /// the root's shard and their report traffic never crosses a shard
+    /// boundary.
+    Affinity,
+}
+
+/// Window discipline for sharded runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpeculationMode {
+    /// Lookahead-bounded windows only (the default): lanes never execute
+    /// past the horizon that cross-shard messages could still reach.
+    Conservative,
+    /// Optimistic (Time Warp): lanes run several windows ahead from a
+    /// checkpoint and roll back when a straggler cross-shard message
+    /// arrives below the speculated horizon. Requires every actor to be
+    /// forkable ([`psn_sim::engine::Actor::fork`]) — the sensor and root
+    /// processes are, provided the actuation rule implements
+    /// [`ActuationRule::fork`]; otherwise the engine silently falls back
+    /// to conservative windows. Bit-identical to conservative mode.
+    Optimistic,
 }
 
 impl Default for ExecutionConfig {
@@ -101,7 +149,21 @@ impl Default for ExecutionConfig {
             recovery: RecoveryPolicy::default(),
             shards: 1,
             fifo_dense_limit: None,
+            shard_plan: None,
+            speculation: None,
         }
+    }
+}
+
+impl ExecutionConfig {
+    /// The effective shard plan kind (`None` → [`ShardPlanKind::Contiguous`]).
+    pub fn shard_plan_kind(&self) -> ShardPlanKind {
+        self.shard_plan.unwrap_or(ShardPlanKind::Contiguous)
+    }
+
+    /// The effective window discipline (`None` → [`SpeculationMode::Conservative`]).
+    pub fn speculation_mode(&self) -> SpeculationMode {
+        self.speculation.unwrap_or(SpeculationMode::Conservative)
     }
 }
 
@@ -122,6 +184,11 @@ pub struct ExecutionTrace {
     /// Fault-plane counters (`None` when [`ExecutionConfig::faults`] was
     /// `None`, i.e. no plane was installed).
     pub faults: Option<psn_sim::fault::FaultStats>,
+    /// Speculative windows rolled back during the run. Always `0` unless
+    /// [`ExecutionConfig::speculation`] asked for
+    /// [`SpeculationMode::Optimistic`] on a sharded run. Rollbacks are a
+    /// throughput signal only — the trace is bit-identical regardless.
+    pub rollbacks: u64,
 }
 
 impl ExecutionTrace {
@@ -175,6 +242,56 @@ pub fn world_events(scenario: &Scenario) -> Vec<ExternalEvent<NetMsg>> {
         }
     }
     out
+}
+
+/// Coordinator-side rollback of the psn-core state that lives *outside*
+/// the engine's lanes: the shared [`ExecutionLog`] and the [`ExecMetrics`]
+/// semantic counters, both of which actors append to mid-window through
+/// shared handles that a lane checkpoint cannot capture. The engine calls
+/// [`checkpoint`](psn_sim::engine::SpeculationHooks::checkpoint) at a
+/// quiescent barrier (no lane running), so length marks and counter
+/// snapshots describe exactly the committed prefix; a rollback truncates /
+/// restores to them and the deterministic redo re-produces whatever the
+/// discarded speculation had appended below the redo bound.
+struct LogHooks {
+    log: Arc<Mutex<ExecutionLog>>,
+    exec: ExecMetrics,
+    /// `(events, reports, actuations)` lengths at the checkpoint.
+    log_mark: (usize, usize, usize),
+    /// [`ExecMetrics::handles`] values at the checkpoint, in handle order.
+    exec_mark: [u64; 8],
+}
+
+impl LogHooks {
+    fn new(log: Arc<Mutex<ExecutionLog>>, exec: ExecMetrics) -> Self {
+        LogHooks { log, exec, log_mark: (0, 0, 0), exec_mark: [0; 8] }
+    }
+}
+
+impl psn_sim::engine::SpeculationHooks for LogHooks {
+    fn checkpoint(&mut self) {
+        {
+            let log = self.log.lock();
+            self.log_mark = (log.events.len(), log.reports.len(), log.actuations.len());
+        }
+        for (slot, c) in self.exec_mark.iter_mut().zip(self.exec.handles()) {
+            *slot = c.get();
+        }
+    }
+
+    fn commit(&mut self) {}
+
+    fn rollback(&mut self) {
+        {
+            let mut log = self.log.lock();
+            log.events.truncate(self.log_mark.0);
+            log.reports.truncate(self.log_mark.1);
+            log.actuations.truncate(self.log_mark.2);
+        }
+        for (mark, c) in self.exec_mark.iter().zip(self.exec.handles()) {
+            c.reset_to(*mark);
+        }
+    }
 }
 
 /// Build the engine for an `n`-sensor execution: network plane, metrics,
@@ -246,13 +363,51 @@ pub(crate) fn build_engine(
         RootProcess::new(n, n, cfg.clocks.clone(), rule, Arc::clone(log))
             .with_flood(cfg.strobes.flood)
             .with_quarantine(cfg.strobes.quarantine)
-            .with_metrics(exec_metrics)
+            .with_metrics(exec_metrics.clone())
             .with_trace_stamp(cfg.trace_stamp),
     ));
     if let Some(script) = &cfg.faults {
         engine.install_faults(script);
     }
+    if cfg.speculation_mode() == SpeculationMode::Optimistic {
+        engine.set_optimistic(true);
+        engine.set_speculation_hooks(Box::new(LogHooks::new(Arc::clone(log), exec_metrics)));
+    }
     engine
+}
+
+/// The [`psn_sim::engine::ShardPlan`] `cfg` asks for, over the `n + 1`
+/// actors (n sensors plus the root). [`ShardPlanKind::Affinity`] weights
+/// each sensor↔root edge by the number of world events the sensor will
+/// observe — a static, pre-run estimate of its report traffic (the same
+/// quantity [`psn_sim::trace_analysis::TraceAnalysis::affinity_edges`]
+/// measures after the fact) — so the heaviest reporters land on the root's
+/// shard and their traffic never crosses a shard boundary.
+fn shard_plan_for(
+    scenario: &Scenario,
+    n: usize,
+    cfg: &ExecutionConfig,
+) -> psn_sim::engine::ShardPlan {
+    use psn_sim::engine::ShardPlan;
+    let actors = n + 1;
+    match cfg.shard_plan_kind() {
+        ShardPlanKind::Contiguous => ShardPlan::contiguous(actors, cfg.shards),
+        ShardPlanKind::Interleaved => ShardPlan::interleaved(actors, cfg.shards),
+        ShardPlanKind::Hash => ShardPlan::by_hash(actors, cfg.shards),
+        ShardPlanKind::Affinity => {
+            let mut weight = vec![0u64; n];
+            for e in &scenario.timeline.events {
+                if let Some(p) = scenario.sensing.process_for(e.key) {
+                    if p < n {
+                        weight[p] += 1;
+                    }
+                }
+            }
+            let edges: Vec<(usize, usize, u64)> =
+                (0..n).filter(|&p| weight[p] > 0).map(|p| (p, n, weight[p])).collect();
+            ShardPlan::by_affinity(actors, cfg.shards, &edges)
+        }
+    }
 }
 
 /// The general entry point: custom actuation rule plus metrics registry.
@@ -281,7 +436,12 @@ pub fn run_execution_full(
         engine.inject(ev.at, ev.to, ev.from, ev.msg);
     }
 
-    let ended_at = if cfg.shards > 1 { engine.run_sharded(cfg.shards) } else { engine.run() };
+    let ended_at = if cfg.shards > 1 {
+        engine.run_with_plan(&shard_plan_for(scenario, n, cfg))
+    } else {
+        engine.run()
+    };
+    let rollbacks = engine.rollbacks();
     let fault_stats = engine.fault_stats();
     let mut log =
         Arc::try_unwrap(log).map(Mutex::into_inner).unwrap_or_else(|shared| shared.lock().clone());
@@ -299,6 +459,7 @@ pub fn run_execution_full(
         sim: engine.trace().clone(),
         ended_at,
         faults: fault_stats,
+        rollbacks,
     }
 }
 
@@ -570,6 +731,149 @@ mod tests {
         );
         assert!(guarded.faults.as_ref().unwrap().corrupted > 0);
         assert!(max_strobe(&guarded) < 1_000, "quarantine drops garbled strobes at ingest");
+    }
+
+    /// A delay model with a nonzero floor: the sharded engine needs
+    /// lookahead (`delta()` has `min = 0` and falls back to sequential).
+    fn floored_delay() -> DelayModel {
+        DelayModel::DeltaBounded {
+            min: SimDuration::from_millis(40),
+            max: SimDuration::from_millis(240),
+        }
+    }
+
+    #[test]
+    fn every_shard_plan_kind_replays_bit_identically() {
+        let s = tiny_scenario();
+        let base =
+            run_execution(&s, &ExecutionConfig { delay: floored_delay(), ..Default::default() });
+        let kinds = [
+            ShardPlanKind::Contiguous,
+            ShardPlanKind::Interleaved,
+            ShardPlanKind::Hash,
+            ShardPlanKind::Affinity,
+        ];
+        for kind in kinds {
+            for shards in [2, 4] {
+                let cfg = ExecutionConfig {
+                    delay: floored_delay(),
+                    shards,
+                    shard_plan: Some(kind),
+                    ..Default::default()
+                };
+                let t = run_execution(&s, &cfg);
+                assert_eq!(base.log.events, t.log.events, "{kind:?} × {shards} shards");
+                assert_eq!(base.log.reports, t.log.reports, "{kind:?} × {shards} shards");
+                assert_eq!(base.net, t.net, "{kind:?} × {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn optimistic_mode_is_bit_identical_and_rolls_back() {
+        let s = tiny_scenario();
+        let base =
+            run_execution(&s, &ExecutionConfig { delay: floored_delay(), ..Default::default() });
+        assert_eq!(base.rollbacks, 0, "sequential runs never speculate");
+        let cfg = ExecutionConfig {
+            delay: floored_delay(),
+            shards: 4,
+            shard_plan: Some(ShardPlanKind::Affinity),
+            speculation: Some(SpeculationMode::Optimistic),
+            ..Default::default()
+        };
+        let t = run_execution(&s, &cfg);
+        assert_eq!(base.log.events, t.log.events);
+        assert_eq!(base.log.reports, t.log.reports);
+        assert_eq!(base.log.actuations, t.log.actuations);
+        assert_eq!(base.net, t.net);
+        assert!(t.rollbacks > 0, "this workload must trigger real rollbacks");
+    }
+
+    #[test]
+    fn optimistic_actuation_loop_matches_sequential() {
+        use crate::message::Report;
+        use psn_clocks::ProcessId;
+        use psn_world::{AttrKey, AttrValue};
+
+        // A stateful rule (running count) that opts into speculation.
+        struct EveryOther {
+            count: u64,
+        }
+        impl ActuationRule for EveryOther {
+            fn on_report(
+                &mut self,
+                report: &Report,
+                _: &ExecutionLog,
+            ) -> Vec<(ProcessId, AttrKey, AttrValue)> {
+                self.count += 1;
+                if self.count.is_multiple_of(2) {
+                    vec![(report.process, report.key, AttrValue::Bool(true))]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn fork(&self) -> Option<Box<dyn ActuationRule>> {
+                Some(Box::new(EveryOther { count: self.count }))
+            }
+        }
+
+        let s = tiny_scenario();
+        let seq = run_execution_with_rule(
+            &s,
+            &ExecutionConfig { delay: floored_delay(), ..Default::default() },
+            Box::new(EveryOther { count: 0 }),
+        );
+        assert!(!seq.log.actuations.is_empty(), "the rule must actually actuate");
+        let cfg = ExecutionConfig {
+            delay: floored_delay(),
+            shards: 4,
+            speculation: Some(SpeculationMode::Optimistic),
+            ..Default::default()
+        };
+        let opt = run_execution_with_rule(&s, &cfg, Box::new(EveryOther { count: 0 }));
+        assert!(opt.rollbacks > 0, "rollbacks must cover actuation state too");
+        assert_eq!(seq.log.events, opt.log.events);
+        assert_eq!(seq.log.reports, opt.log.reports);
+        assert_eq!(seq.log.actuations, opt.log.actuations);
+        assert_eq!(seq.net, opt.net);
+    }
+
+    #[test]
+    fn optimistic_instrumented_counts_survive_rollbacks() {
+        let s = tiny_scenario();
+        let m_seq = psn_sim::metrics::Metrics::new();
+        let seq = run_execution_instrumented(
+            &s,
+            &ExecutionConfig { delay: floored_delay(), ..Default::default() },
+            &m_seq,
+        );
+        let m_opt = psn_sim::metrics::Metrics::new();
+        let cfg = ExecutionConfig {
+            delay: floored_delay(),
+            shards: 4,
+            speculation: Some(SpeculationMode::Optimistic),
+            ..Default::default()
+        };
+        let opt = run_execution_instrumented(&s, &cfg, &m_opt);
+        assert_eq!(seq.log.events, opt.log.events);
+        assert!(opt.rollbacks > 0, "need real rollbacks to exercise the counter restore");
+        let a = m_seq.snapshot();
+        let b = m_opt.snapshot();
+        for name in [
+            "exec.senses",
+            "exec.sends",
+            "exec.receives",
+            "exec.actuates",
+            "exec.strobes_broadcast",
+            "exec.strobe_scalar_bytes",
+            "exec.strobe_vector_bytes",
+            "exec.causal_piggyback_bytes",
+            "engine.messages_delivered",
+        ] {
+            assert_eq!(a.counter(name), b.counter(name), "{name} drifted across rollbacks");
+        }
+        assert_eq!(b.counter("engine.rollbacks"), Some(opt.rollbacks));
     }
 
     #[test]

@@ -58,6 +58,7 @@ impl TraceFile {
             sim: psn_sim::trace::Trace::disabled(),
             ended_at: self.ended_at,
             faults: None,
+            rollbacks: 0,
         }
     }
 

@@ -360,6 +360,7 @@ impl LiveExecution {
             sim: psn_sim::trace::Trace::disabled(),
             ended_at: self.watermark,
             faults: self.engine.fault_stats(),
+            rollbacks: self.engine.rollbacks(),
         }
     }
 
@@ -367,6 +368,7 @@ impl LiveExecution {
     /// [`ExecutionTrace`] (the batch result shape).
     pub fn finish(mut self) -> ExecutionTrace {
         let ended_at = self.engine.finish();
+        let rollbacks = self.engine.rollbacks();
         let fault_stats = self.engine.fault_stats();
         let net = self.engine.stats().clone();
         let sim = self.engine.trace().clone();
@@ -375,7 +377,7 @@ impl LiveExecution {
             .map(Mutex::into_inner)
             .unwrap_or_else(|shared| shared.lock().clone());
         log.events.sort_by_key(|e| (e.at, e.process, e.seq));
-        ExecutionTrace { n: self.n, log, net, sim, ended_at, faults: fault_stats }
+        ExecutionTrace { n: self.n, log, net, sim, ended_at, faults: fault_stats, rollbacks }
     }
 }
 

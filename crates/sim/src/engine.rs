@@ -142,6 +142,36 @@ pub trait Actor<M: Message> {
     /// after a crash, or a clock fault. Default: ignore faults entirely —
     /// actors that model no recoverable state need no changes.
     fn on_fault(&mut self, _ctx: &mut Context<'_, M>, _event: &FaultEvent) {}
+    /// A deep copy of this actor's current state, used as the rollback
+    /// checkpoint by the optimistic sharded mode ([`Engine::set_optimistic`]).
+    /// Returning `None` (the default) marks the actor unforkable; an engine
+    /// with any unforkable actor silently falls back to conservative
+    /// windows, so existing actors need no changes until they opt in.
+    fn fork(&self) -> Option<Box<dyn Actor<M> + Send>> {
+        None
+    }
+}
+
+/// Host-side checkpoint/rollback callbacks for the optimistic sharded mode.
+///
+/// Actors frequently write into host-owned side state the engine knows
+/// nothing about (e.g. a shared execution log behind a mutex). When the
+/// engine speculates past a window bound it must be able to undo those
+/// writes too, so a host installs hooks via
+/// [`Engine::set_speculation_hooks`]. The protocol is strictly bracketed
+/// and single-level: every `checkpoint()` is followed by exactly one
+/// `commit()` or `rollback()` before the next `checkpoint()`.
+pub trait SpeculationHooks {
+    /// A speculative window is about to run; snapshot external state.
+    fn checkpoint(&mut self);
+    /// The speculative window was confirmed causally complete; forget the
+    /// snapshot.
+    fn commit(&mut self);
+    /// A straggler invalidated the speculative window; restore external
+    /// state to the `checkpoint()` snapshot. The engine re-executes the
+    /// safe prefix immediately after, so restored state is re-extended
+    /// bit-identically.
+    fn rollback(&mut self);
 }
 
 /// Buffered actions produced by an actor callback.
@@ -249,6 +279,9 @@ impl<M> Context<'_, M> {
 /// Fault operations are *not* queue events: the coordinator interleaves
 /// them between windows (see [`Engine::run`]), which is what lets shard
 /// heaps stay private to their worker threads.
+// `Clone` because the optimistic mode's queue journal keeps copies of
+// popped entries for rollback (see [`EventQueue::spec_begin`]).
+#[derive(Clone)]
 enum Pending<M> {
     Deliver { from: u32, to: u32, msg: M, id: u64 },
     Timer { actor: u32, tag: u64 },
@@ -278,6 +311,7 @@ struct EngineMetrics {
     run_wall: Timer,
     events_per_sec: Gauge,
     windows: Counter,
+    rollbacks: Counter,
 }
 
 impl EngineMetrics {
@@ -291,6 +325,7 @@ impl EngineMetrics {
             run_wall: m.timer_with_range("engine.run_wall_ns", 0.0, 1e10, 128),
             events_per_sec: m.gauge("engine.events_per_sec"),
             windows: m.counter("engine.windows"),
+            rollbacks: m.counter("engine.rollbacks"),
         }
     }
 }
@@ -300,6 +335,17 @@ impl EngineMetrics {
 /// do not allocate O(n²) memory. Override per engine with
 /// [`Engine::set_fifo_dense_limit`] (tests cross-validate the two paths).
 pub const DENSE_ACTOR_LIMIT: usize = 2048;
+
+/// Default speculative horizon for [`Engine::set_optimistic`]: optimistic
+/// windows run `8 ×` the conservative lookahead. At that span, even a
+/// 100%-rollback run (2 barriers per speculative span: the failed attempt
+/// plus the redo) still beats the conservative mode's 1 barrier per
+/// lookahead whenever the typical straggler lands past `2 ×` lookahead.
+pub const SPEC_HORIZON: u32 = 8;
+
+/// Slots per exchange ring (per directed shard pair). Overflow spills to
+/// the outbox, so this bounds memory, not correctness.
+const RING_CAPACITY: usize = 1024;
 
 /// Per-channel last-scheduled-delivery times backing the FIFO clamp.
 ///
@@ -363,6 +409,78 @@ impl ShardPlan {
         ShardPlan { owner }
     }
 
+    /// Traffic-aware partition: cluster actors so that heavily communicating
+    /// pairs co-locate, then bin-pack clusters onto shards. `edges` is an
+    /// undirected affinity graph `(a, b, weight)` — typically per-channel
+    /// message counts from [`crate::trace_analysis::TraceAnalysis::affinity_edges`]
+    /// or a static estimate from the workload shape.
+    ///
+    /// The algorithm is a deterministic greedy edge merge: edges sorted by
+    /// `(weight desc, a, b)` union their endpoint clusters while the merged
+    /// cluster stays within `ceil(n / shards)` actors, then clusters are
+    /// placed largest-first onto the least-loaded shard (lowest index on
+    /// ties). Like every plan, the result only shapes *performance* — any
+    /// plan yields the bit-identical run.
+    pub fn by_affinity(n: usize, shards: usize, edges: &[(ActorId, ActorId, u64)]) -> Self {
+        let k = shards.clamp(1, n.max(1));
+        if n == 0 {
+            return ShardPlan { owner: Vec::new() };
+        }
+        let cap = n.div_ceil(k).max(1);
+
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                let g = parent[parent[x as usize] as usize];
+                parent[x as usize] = g;
+                x = g;
+            }
+            x
+        }
+
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        let mut csize = vec![1u32; n];
+        let mut es: Vec<(u32, u32, u64)> = edges
+            .iter()
+            .filter(|&&(a, b, w)| a < n && b < n && a != b && w > 0)
+            .map(
+                |&(a, b, w)| if a <= b { (a as u32, b as u32, w) } else { (b as u32, a as u32, w) },
+            )
+            .collect();
+        es.sort_unstable_by(|x, y| y.2.cmp(&x.2).then(x.0.cmp(&y.0)).then(x.1.cmp(&y.1)));
+        for (a, b, _) in es {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb && (csize[ra as usize] + csize[rb as usize]) as usize <= cap {
+                // Root the merge at the lower id so cluster identity is
+                // independent of edge processing order among equals.
+                let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+                parent[hi as usize] = lo;
+                csize[lo as usize] += csize[hi as usize];
+            }
+        }
+
+        // Gather clusters in ascending-root order, then place largest-first
+        // (stable sort keeps the ascending-root tie-break deterministic).
+        let mut members: HashMap<u32, Vec<u32>> = HashMap::new();
+        for i in 0..n as u32 {
+            let r = find(&mut parent, i);
+            members.entry(r).or_default().push(i);
+        }
+        let mut clusters: Vec<(u32, Vec<u32>)> = members.into_iter().collect();
+        clusters.sort_unstable_by_key(|(root, _)| *root);
+        clusters.sort_by_key(|(_, m)| std::cmp::Reverse(m.len()));
+
+        let mut owner = vec![0u32; n];
+        let mut load = vec![0usize; k];
+        for (_, m) in clusters {
+            let s = (0..k).min_by_key(|&s| (load[s], s)).unwrap();
+            load[s] += m.len();
+            for a in m {
+                owner[a as usize] = s as u32;
+            }
+        }
+        ShardPlan { owner }
+    }
+
     /// An explicit `actor → shard` map. Panics if empty.
     pub fn explicit(owner: Vec<u32>) -> Self {
         assert!(!owner.is_empty(), "ShardPlan::explicit: empty owner map");
@@ -379,6 +497,10 @@ impl ShardPlan {
         &self.owner
     }
 }
+
+/// What the exchange rings carry: a cross-shard event as `(delivery time,
+/// canonical key, payload)` — exactly an outbox entry.
+type RingItem<M> = (SimTime, u64, Pending<M>);
 
 /// The per-shard execution state: one lane owns a disjoint subset of the
 /// actors, their private RNG streams, a heap of their pending events, and
@@ -411,9 +533,33 @@ struct Lane<M: Message> {
     /// `owner[actor] = shard`; empty in sequential mode (everything local).
     owner: Vec<u32>,
     /// Cross-shard events awaiting routing at the next window barrier.
+    /// With the ring exchange installed this only holds ring overflow
+    /// (and, in optimistic windows, everything — speculative events must
+    /// stay private until commit).
     outbox: Vec<(SimTime, u64, Pending<M>)>,
+    /// Ring exchange, producing side: `ring_out[shard]` publishes to that
+    /// shard's lane as events are generated, overlapping the barrier work.
+    /// Empty (or `None` for self/unused pairs) outside conservative
+    /// sharded runs.
+    ring_out: Vec<Option<crate::ring::Producer<RingItem<M>>>>,
+    /// Ring exchange, consuming side: `ring_in[shard]` receives events
+    /// published by that shard's lane.
+    ring_in: Vec<Option<crate::ring::Consumer<RingItem<M>>>>,
+    /// Messages dropped for lack of a topology link. Only this counter —
+    /// not `NetStats` — sees that path, and the optimistic mode's deferred
+    /// metric flush needs an exact per-lane tally to reconstruct
+    /// `engine.messages_dropped`.
+    dropped_nolink: u64,
     fifo: FifoStore,
     fifo_dense_limit: usize,
+    /// When true (speculative window), every FIFO-clamp store is journaled
+    /// in `fifo_undo` for rollback.
+    fifo_log: bool,
+    /// Undo journal of `(slot, previous value)` pairs, replayed in reverse
+    /// on rollback. Dense slot = `rank * stride + to`; sparse slot =
+    /// `(from << 32) | to` (a sparse entry absent before the window rolls
+    /// back to a stored `ZERO`, which the clamp treats identically).
+    fifo_undo: Vec<(u64, SimTime)>,
     trace: Trace,
     stats: NetStats,
     /// Transmit/delivery-side fault counters (the plane is read-only during
@@ -448,8 +594,13 @@ impl<M: Message> Lane<M> {
             members: Vec::new(),
             owner: Vec::new(),
             outbox: Vec::new(),
+            ring_out: Vec::new(),
+            ring_in: Vec::new(),
+            dropped_nolink: 0,
             fifo: FifoStore::Unset,
             fifo_dense_limit: DENSE_ACTOR_LIMIT,
+            fifo_log: false,
+            fifo_undo: Vec::new(),
             trace: Trace::disabled(),
             stats: NetStats::default(),
             fstats: FaultStats::default(),
@@ -483,7 +634,10 @@ impl<M: Message> Lane<M> {
         ((from as u64 + 1) << 40) | c
     }
 
-    /// Schedule a delivery, locally or (sharded mode) via the outbox.
+    /// Schedule a delivery, locally or (sharded mode) via the exchange
+    /// ring when installed, with the outbox as ring-overflow spill and as
+    /// the sole cross-shard path in optimistic windows (speculative events
+    /// must stay private until commit — a ring publish can't be recalled).
     #[inline]
     fn schedule_delivery(&mut self, at: SimTime, from: ActorId, to: ActorId, msg: M, id: u64) {
         let key = event_key(key_class::DELIVER, id);
@@ -491,10 +645,35 @@ impl<M: Message> Lane<M> {
         if self.local(to) {
             self.queue.schedule_keyed(at, key, pending);
         } else {
-            self.outbox.push((at, key, pending));
+            let dest = self.owner[to] as usize;
+            match self.ring_out.get_mut(dest).and_then(Option::as_mut) {
+                Some(ring) => {
+                    if let Err(item) = ring.push((at, key, pending)) {
+                        self.outbox.push(item);
+                    }
+                }
+                None => self.outbox.push((at, key, pending)),
+            }
         }
         self.in_flight += 1;
         self.m.in_flight.set(self.in_flight.max(0) as u64);
+    }
+
+    /// Absorb every event currently published to this lane's incoming
+    /// rings into the local heap. Safe mid-run: published arrivals are at
+    /// or beyond every lane's window bound, and heap order is total on
+    /// `(time, key)`, so absorption timing cannot change the run. Workers
+    /// call this after their window (overlapping other lanes' windows);
+    /// the coordinator calls it again at the barrier, when producers are
+    /// quiescent, to make the drain exhaustive.
+    fn absorb_rings(&mut self) {
+        for i in 0..self.ring_in.len() {
+            if let Some(ring) = self.ring_in[i].as_mut() {
+                while let Some((at, key, pending)) = ring.pop() {
+                    self.queue.schedule_keyed(at, key, pending);
+                }
+            }
+        }
     }
 
     /// Dispatch `on_start` to every member, in id order, under start
@@ -669,6 +848,7 @@ impl<M: Message> Lane<M> {
         plane: Option<&FaultPlane<M>>,
     ) {
         if !net.topology.connected(from, to) {
+            self.dropped_nolink += 1;
             self.m.dropped.inc();
             return; // no link: silently dropped
         }
@@ -848,8 +1028,12 @@ impl<M: Message> Lane<M> {
                     }
                     let r = rank[from] as usize;
                     debug_assert!(r != u32::MAX as usize, "sender not a member of this lane");
-                    let cell = &mut last[r * *stride + to];
+                    let slot = r * *stride + to;
+                    let cell = &mut last[slot];
                     let t = if deliver_at < *cell { *cell } else { deliver_at };
+                    if self.fifo_log {
+                        self.fifo_undo.push((slot as u64, *cell));
+                    }
                     *cell = t;
                     return t;
                 }
@@ -857,6 +1041,9 @@ impl<M: Message> Lane<M> {
                     let key = ((from as u64) << 32) | to as u64;
                     let cell = last.entry(key).or_insert(SimTime::ZERO);
                     let t = if deliver_at < *cell { *cell } else { deliver_at };
+                    if self.fifo_log {
+                        self.fifo_undo.push((key, *cell));
+                    }
                     *cell = t;
                     return t;
                 }
@@ -934,6 +1121,192 @@ impl<M: Message> Lane<M> {
             self.fifo = FifoStore::Sparse { last: map };
         }
     }
+
+    /// Can every actor this lane owns produce a rollback checkpoint? The
+    /// optimistic coordinator probes this once per run and silently falls
+    /// back to conservative windows on `false`. (A slot already recovered
+    /// with [`Engine::take_actor`] is never dispatched, so it needs no
+    /// checkpoint and does not block speculation.)
+    fn forkable(&self) -> bool {
+        self.members.iter().all(|&id| self.actors[id].as_ref().is_none_or(|a| a.fork().is_some()))
+    }
+
+    /// Open a speculative window: snapshot everything a window can mutate
+    /// (actor state via [`Actor::fork`], member RNG/loss/counter state,
+    /// accumulators, a trace mark) and switch the queue and FIFO clamp
+    /// into journaling mode. Cost is proportional to the lane's member
+    /// count plus the window's work — never to queue depth.
+    fn begin_spec(&mut self) -> LaneCheckpoint<M> {
+        let member_clone = |v: &[RngStream]| -> Vec<RngStream> {
+            if v.is_empty() {
+                Vec::new()
+            } else {
+                self.members.iter().map(|&id| v[id].clone()).collect()
+            }
+        };
+        let cp = LaneCheckpoint {
+            now: self.now,
+            halted: self.halted,
+            in_flight: self.in_flight,
+            events_processed: self.events_processed,
+            dropped_nolink: self.dropped_nolink,
+            stats: self.stats.clone(),
+            fstats: self.fstats.clone(),
+            actors: self
+                .members
+                .iter()
+                .map(|&id| {
+                    self.actors[id]
+                        .as_ref()
+                        .map(|a| a.fork().expect("probed forkable at run start"))
+                })
+                .collect(),
+            rngs: member_clone(&self.rngs),
+            net_rngs: member_clone(&self.net_rngs),
+            fault_rngs: member_clone(&self.fault_rngs),
+            loss: self.members.iter().map(|&id| self.loss[id].clone()).collect(),
+            msg_ctr: self.members.iter().map(|&id| self.msg_ctr[id]).collect(),
+            timer_ctr: self.members.iter().map(|&id| self.timer_ctr[id]).collect(),
+            parked_len: self.parked_out.len(),
+            outbox_len: self.outbox.len(),
+            trace: self.trace.mark(),
+        };
+        self.queue.spec_begin();
+        debug_assert!(self.fifo_undo.is_empty());
+        self.fifo_log = true;
+        cp
+    }
+
+    /// Confirm a speculative window: merge the journaled queue work and
+    /// drop the journals. O(window work).
+    fn commit_spec(&mut self, _cp: LaneCheckpoint<M>) {
+        self.queue.spec_commit();
+        self.fifo_log = false;
+        self.fifo_undo.clear();
+    }
+
+    /// Undo a speculative window completely: restore the queue from its
+    /// journal, replay the FIFO undo log in reverse, put back the forked
+    /// actor/RNG/counter state, truncate the trace and outbox, and restore
+    /// every scalar accumulator. After this the lane is bit-identical to
+    /// the moment [`Lane::begin_spec`] ran.
+    fn rollback_spec(&mut self, cp: LaneCheckpoint<M>) {
+        self.queue.spec_rollback();
+        while let Some((slot, prev)) = self.fifo_undo.pop() {
+            match &mut self.fifo {
+                FifoStore::Dense { last, .. } => last[slot as usize] = prev,
+                FifoStore::Sparse { last } => {
+                    last.insert(slot, prev);
+                }
+                // The store only transitions Unset → Dense/Sparse, and only
+                // before its first journaled write.
+                FifoStore::Unset | FifoStore::Off => unreachable!("journaled write without store"),
+            }
+        }
+        self.fifo_log = false;
+        let LaneCheckpoint {
+            now,
+            halted,
+            in_flight,
+            events_processed,
+            dropped_nolink,
+            stats,
+            fstats,
+            actors,
+            rngs,
+            net_rngs,
+            fault_rngs,
+            loss,
+            msg_ctr,
+            timer_ctr,
+            parked_len,
+            outbox_len,
+            trace,
+        } = cp;
+        for (i, actor) in actors.into_iter().enumerate() {
+            let id = self.members[i];
+            self.actors[id] = actor;
+            self.loss[id] = loss[i].clone();
+            self.msg_ctr[id] = msg_ctr[i];
+            self.timer_ctr[id] = timer_ctr[i];
+        }
+        for (i, r) in rngs.into_iter().enumerate() {
+            self.rngs[self.members[i]] = r;
+        }
+        for (i, r) in net_rngs.into_iter().enumerate() {
+            self.net_rngs[self.members[i]] = r;
+        }
+        for (i, r) in fault_rngs.into_iter().enumerate() {
+            self.fault_rngs[self.members[i]] = r;
+        }
+        self.trace.rollback(&trace);
+        self.parked_out.truncate(parked_len);
+        self.outbox.truncate(outbox_len);
+        self.now = now;
+        self.halted = halted;
+        self.in_flight = in_flight;
+        self.events_processed = events_processed;
+        self.dropped_nolink = dropped_nolink;
+        self.stats = stats;
+        self.fstats = fstats;
+    }
+
+    /// Flush this lane's counter deltas since `snap` into the real metric
+    /// handles `m`, then advance `snap`. The optimistic mode detaches the
+    /// lanes' own handles (counters cannot be decremented, so speculative
+    /// work must not touch them) and instead calls this at every commit
+    /// point; checkpoints are taken right after a flush, so a rollback
+    /// restores the counters to exactly the flushed values.
+    fn flush_metrics(&self, snap: &mut MetricSnap, m: &EngineMetrics) {
+        m.events.add(self.events_processed - snap.events);
+        m.delivered.add(self.stats.messages_delivered - snap.delivered);
+        m.dropped.add((self.stats.messages_lost - snap.lost) + (self.dropped_nolink - snap.nolink));
+        *snap = MetricSnap::of(self);
+    }
+}
+
+/// Everything [`Lane::begin_spec`] snapshots; consumed by
+/// [`Lane::rollback_spec`] or dropped by [`Lane::commit_spec`]. Member-
+/// indexed vectors run parallel to `Lane::members`.
+struct LaneCheckpoint<M: Message> {
+    now: SimTime,
+    halted: bool,
+    in_flight: i64,
+    events_processed: u64,
+    dropped_nolink: u64,
+    stats: NetStats,
+    fstats: FaultStats,
+    actors: Vec<Option<Box<dyn Actor<M> + Send>>>,
+    rngs: Vec<RngStream>,
+    net_rngs: Vec<RngStream>,
+    fault_rngs: Vec<RngStream>,
+    loss: Vec<crate::loss::LossModel>,
+    msg_ctr: Vec<u64>,
+    timer_ctr: Vec<u64>,
+    parked_len: usize,
+    outbox_len: usize,
+    trace: crate::trace::TraceMark,
+}
+
+/// Per-lane counter baseline for the optimistic mode's deferred metric
+/// flush (see [`Lane::flush_metrics`]).
+#[derive(Clone, Copy, Default)]
+struct MetricSnap {
+    events: u64,
+    delivered: u64,
+    lost: u64,
+    nolink: u64,
+}
+
+impl MetricSnap {
+    fn of<M: Message>(lane: &Lane<M>) -> Self {
+        MetricSnap {
+            events: lane.events_processed,
+            delivered: lane.stats.messages_delivered,
+            lost: lane.stats.messages_lost,
+            nolink: lane.dropped_nolink,
+        }
+    }
 }
 
 /// The simulation engine.
@@ -957,6 +1330,23 @@ pub struct Engine<M: Message> {
     /// The installed fault plane, if any. `None` on the hot path costs one
     /// predictable branch per event; see [`Engine::install_faults`].
     fault: Option<Box<FaultPlane<M>>>,
+    /// Use the lock-free SPSC exchange rings for cross-shard events in
+    /// conservative sharded runs (on by default; the outbox is always the
+    /// spill path).
+    ring_exchange: bool,
+    /// Run sharded windows optimistically (Time Warp): speculate
+    /// `spec_horizon × lookahead` past the conservative bound, roll back
+    /// on stragglers. Requires every actor to implement [`Actor::fork`];
+    /// falls back to conservative windows otherwise.
+    optimistic: bool,
+    /// Speculative window length as a multiple of the conservative
+    /// lookahead; ≥ 2 (1 would speculate nothing).
+    spec_horizon: u32,
+    /// Host-side checkpoint/rollback callbacks for optimistic runs.
+    hooks: Option<Box<dyn SpeculationHooks + Send>>,
+    /// Lane-rollbacks performed by optimistic runs (also exported as the
+    /// `engine.rollbacks` counter).
+    rollback_count: u64,
     m: EngineMetrics,
 }
 
@@ -974,8 +1364,54 @@ impl<M: Message> Engine<M> {
             op_cursor: 0,
             started: false,
             fault: None,
+            ring_exchange: true,
+            optimistic: false,
+            spec_horizon: SPEC_HORIZON,
+            hooks: None,
+            rollback_count: 0,
             m,
         }
+    }
+
+    /// Toggle the lock-free SPSC exchange rings for conservative sharded
+    /// runs (on by default). With rings off, every cross-shard event takes
+    /// the outbox + coordinator-barrier path — useful as a control when
+    /// measuring, and as a conservative fallback. Either setting yields
+    /// the bit-identical run.
+    pub fn set_ring_exchange(&mut self, on: bool) {
+        self.ring_exchange = on;
+    }
+
+    /// Opt in to optimistic (Time Warp) sharded execution: windows
+    /// speculate past the conservative lookahead bound from per-lane
+    /// checkpoints and roll back when a cross-shard straggler arrives
+    /// inside the speculated span. Requires every actor (and
+    /// [`SpeculationHooks`] for any host-side state) to support
+    /// checkpointing via [`Actor::fork`]; an engine with an unforkable
+    /// actor silently runs conservative windows instead. Either mode
+    /// yields the bit-identical run — speculation only changes how many
+    /// barriers it takes to get there.
+    pub fn set_optimistic(&mut self, on: bool) {
+        self.optimistic = on;
+    }
+
+    /// Speculative window length as a multiple of the conservative
+    /// lookahead (default [`SPEC_HORIZON`]); clamped to ≥ 2.
+    pub fn set_speculation_horizon(&mut self, factor: u32) {
+        self.spec_horizon = factor.max(2);
+    }
+
+    /// Install host-side checkpoint/rollback callbacks for optimistic
+    /// runs (see [`SpeculationHooks`]). Hosts whose actors write into
+    /// external state (logs, channels) must install hooks or keep
+    /// speculation off.
+    pub fn set_speculation_hooks(&mut self, hooks: Box<dyn SpeculationHooks + Send>) {
+        self.hooks = Some(hooks);
+    }
+
+    /// Total lane-rollbacks performed by optimistic runs on this engine.
+    pub fn rollbacks(&self) -> u64 {
+        self.rollback_count
     }
 
     /// Install a [`FaultScript`]: every scripted fault is expanded into a
@@ -1304,6 +1740,9 @@ impl<M: Message> Engine<M> {
         let metrics = self.m.clone();
         let mut op_cursor = self.op_cursor;
         let mut end_hit = false;
+        let mut outbox_scratch: Vec<(SimTime, u64, Pending<M>)> = Vec::new();
+        let mut hooks = self.hooks.take();
+        let mut rollbacks = 0u64;
 
         // Start dispatches run on the coordinator, per lane in shard order;
         // canonical start cursors make the resulting records order by actor
@@ -1316,7 +1755,45 @@ impl<M: Message> Engine<M> {
                 lane.dispatch_starts(net, guard.as_deref());
             }
         }
-        route_outboxes(&mut lanes);
+        route_outboxes(&mut lanes, &mut outbox_scratch);
+
+        // Speculation is all-or-nothing per run: every lane must be able
+        // to checkpoint, or windows stay conservative.
+        let optimistic_run = self.optimistic && lanes.iter().all(Lane::forkable);
+        let spec_span = SimDuration::from_nanos(
+            lookahead.as_nanos().saturating_mul(self.spec_horizon.max(2) as u64),
+        );
+        // Speculative cross-shard events must stay private until commit (a
+        // ring publish cannot be recalled), so the rings serve the
+        // conservative mode only.
+        if self.ring_exchange && !optimistic_run {
+            for lane in &mut lanes {
+                lane.ring_out = (0..k).map(|_| None).collect();
+                lane.ring_in = (0..k).map(|_| None).collect();
+            }
+            for i in 0..k {
+                for j in 0..k {
+                    if i != j {
+                        let (tx, rx) = crate::ring::spsc(RING_CAPACITY);
+                        lanes[i].ring_out[j] = Some(tx);
+                        lanes[j].ring_in[i] = Some(rx);
+                    }
+                }
+            }
+        }
+        // In optimistic runs the lanes' metric handles are detached
+        // (counters cannot be decremented, so speculative work must not
+        // reach them); the coordinator flushes per-lane deltas at every
+        // commit point instead. Snapshots baseline whatever the start
+        // dispatches already recorded through the live handles.
+        let mut snaps: Vec<MetricSnap> = Vec::new();
+        if optimistic_run {
+            let inactive = EngineMetrics::attach(&Metrics::disabled());
+            for lane in &mut lanes {
+                lane.m = inactive.clone();
+            }
+            snaps = lanes.iter().map(MetricSnap::of).collect();
+        }
 
         std::thread::scope(|scope| {
             let mut cmd_tx: Vec<mpsc::Sender<(Lane<M>, SimTime)>> = Vec::with_capacity(k);
@@ -1333,6 +1810,10 @@ impl<M: Message> Engine<M> {
                             let guard = plane_lock.read();
                             lane.advance_until(Some(wend), net, guard.as_deref());
                         }
+                        // Overlap exchange with other lanes' windows: pull
+                        // whatever peers have published so far; the
+                        // coordinator finishes the drain at the barrier.
+                        lane.absorb_rings();
                         if res_tx.send(lane).is_err() {
                             break;
                         }
@@ -1370,7 +1851,11 @@ impl<M: Message> Engine<M> {
                     // like a window boundary does.
                     let idx = op_cursor;
                     op_cursor += 1;
-                    metrics.events.inc();
+                    if !optimistic_run {
+                        // (In optimistic runs the lane-0 increment below
+                        // reaches `engine.events_processed` via the flush.)
+                        metrics.events.inc();
+                    }
                     metrics.windows.inc();
                     let mut guard = plane_lock.write();
                     let plane = guard.as_deref_mut().expect("op implies plane");
@@ -1379,13 +1864,26 @@ impl<M: Message> Engine<M> {
                     apply_plane_op(&mut lanes, plane, idx, net);
                     // Ops can dispatch actors (Recover/Clock handlers) whose
                     // sends target other shards; route them now so the next
-                    // qmin sees them — left in an outbox they would surface
-                    // after the destination lane advanced past their
-                    // delivery time.
-                    route_outboxes(&mut lanes);
+                    // qmin sees them — left in a ring or an outbox they
+                    // would surface after the destination lane advanced
+                    // past their delivery time. Workers are idle at an op
+                    // barrier, so the ring drain is exhaustive.
+                    for lane in &mut lanes {
+                        lane.absorb_rings();
+                    }
+                    route_outboxes(&mut lanes, &mut outbox_scratch);
+                    if optimistic_run {
+                        // Op effects (drops at a cut, the op's own event
+                        // count) go through the deferred flush like window
+                        // work does.
+                        for (lane, snap) in lanes.iter().zip(snaps.iter_mut()) {
+                            lane.flush_metrics(snap, &metrics);
+                        }
+                    }
                 } else {
-                    // One parallel window [next, wend).
-                    metrics.windows.inc();
+                    // One parallel window [next, wend) — conservative bound
+                    // `next + L`, or the speculative span when optimistic
+                    // and nothing (op, end time) clips the base bound.
                     let mut wend = next.saturating_add(lookahead);
                     if let Some(a) = op_at {
                         wend = wend.min(a);
@@ -1393,33 +1891,105 @@ impl<M: Message> Engine<M> {
                     if end_time != SimTime::MAX {
                         wend = wend.min(end_time.saturating_add(SimDuration::from_nanos(1)));
                     }
-                    for lane in lanes.drain(..) {
-                        let shard = lane.shard;
-                        cmd_tx[shard].send((lane, wend)).expect("worker alive");
+                    let mut spec = false;
+                    if optimistic_run {
+                        let mut wspec = next.saturating_add(spec_span);
+                        if let Some(a) = op_at {
+                            wspec = wspec.min(a);
+                        }
+                        if end_time != SimTime::MAX {
+                            wspec = wspec.min(end_time.saturating_add(SimDuration::from_nanos(1)));
+                        }
+                        if wspec > wend {
+                            spec = true;
+                            wend = wspec;
+                        }
                     }
-                    // Collect in shard order from per-worker channels: a
-                    // worker that panicked closes its channel, turning a
-                    // would-be deadlock into an immediate error (the scope
-                    // join then re-raises the worker's own panic).
-                    lanes = res_rx
-                        .iter()
-                        .enumerate()
-                        .map(|(i, rx)| {
-                            rx.recv().unwrap_or_else(|_| panic!("shard worker {i} died"))
-                        })
-                        .collect();
-                    route_outboxes(&mut lanes);
+                    metrics.windows.inc();
+                    let mut cps: Vec<LaneCheckpoint<M>> = Vec::new();
+                    if spec {
+                        if let Some(h) = hooks.as_deref_mut() {
+                            h.checkpoint();
+                        }
+                        cps = lanes.iter_mut().map(Lane::begin_spec).collect();
+                    }
+                    run_window(&cmd_tx, &res_rx, &mut lanes, wend);
+                    if spec {
+                        // Straggler scan: `c` = earliest cross-shard arrival
+                        // produced anywhere in the speculative span. Every
+                        // event < c was processed on local information only,
+                        // so the prefix [next, c) is already the sequential
+                        // execution; anything ≥ c may depend on c.
+                        let c =
+                            lanes.iter().flat_map(|l| l.outbox.iter().map(|&(at, _, _)| at)).min();
+                        match c {
+                            Some(c) if c < wend => {
+                                // Rollback every lane and redo the proven
+                                // prefix [next, c). The redo's cross-shard
+                                // sends are exactly the speculative run's
+                                // sends before c (deterministic replay), and
+                                // c is the minimum of their arrivals — so
+                                // every redo arrival lands ≥ c, after every
+                                // lane's redo position. c ≥ next + L (the
+                                // base bound is never clipped in a spec
+                                // window), so even the rollback path makes a
+                                // full conservative window of progress per
+                                // two barriers.
+                                if let Some(h) = hooks.as_deref_mut() {
+                                    h.rollback();
+                                }
+                                for (lane, cp) in lanes.iter_mut().zip(cps) {
+                                    lane.rollback_spec(cp);
+                                }
+                                rollbacks += k as u64;
+                                metrics.rollbacks.add(k as u64);
+                                metrics.windows.inc();
+                                run_window(&cmd_tx, &res_rx, &mut lanes, c);
+                            }
+                            _ => {
+                                // No straggler: the whole span is causally
+                                // complete. Merge journals, keep the work.
+                                for (lane, cp) in lanes.iter_mut().zip(cps) {
+                                    lane.commit_spec(cp);
+                                }
+                                if let Some(h) = hooks.as_deref_mut() {
+                                    h.commit();
+                                }
+                            }
+                        }
+                    }
+                    // Producers are quiescent at the barrier, so this
+                    // coordinator drain (after the workers' own overlapped
+                    // absorb) is exhaustive.
+                    for lane in &mut lanes {
+                        lane.absorb_rings();
+                    }
+                    route_outboxes(&mut lanes, &mut outbox_scratch);
+                    if optimistic_run {
+                        for (lane, snap) in lanes.iter().zip(snaps.iter_mut()) {
+                            lane.flush_metrics(snap, &metrics);
+                        }
+                    }
                 }
             }
             drop(cmd_tx); // workers exit on channel close
         });
 
+        self.hooks = hooks;
+        self.rollback_count += rollbacks;
         self.op_cursor = op_cursor;
         let mut plane = plane_lock.into_inner();
         if let Some(p) = plane.as_deref_mut() {
             collect_parked(&mut lanes, p);
         }
         self.fault = plane;
+        for lane in &mut lanes {
+            // Rings are drained at every barrier, so dropping the handles
+            // here cannot lose events.
+            debug_assert!(lane.ring_in.iter_mut().flatten().all(|r| r.is_empty()));
+            lane.ring_out.clear();
+            lane.ring_in.clear();
+        }
         self.merge_lanes(lanes);
         if end_hit {
             self.lane.now = end_time;
@@ -1464,8 +2034,13 @@ impl<M: Message> Engine<M> {
                 members: Vec::new(),
                 owner: owner[..n].to_vec(),
                 outbox: Vec::new(),
+                ring_out: Vec::new(),
+                ring_in: Vec::new(),
+                dropped_nolink: 0,
                 fifo: FifoStore::Unset,
                 fifo_dense_limit: base.fifo_dense_limit,
+                fifo_log: false,
+                fifo_undo: Vec::new(),
                 trace: if base.trace.is_enabled() { Trace::enabled() } else { Trace::disabled() },
                 stats: NetStats::default(),
                 fstats: FaultStats::default(),
@@ -1531,6 +2106,7 @@ impl<M: Message> Engine<M> {
             base.trace.absorb(&mut lane.trace);
             base.in_flight += lane.in_flight;
             base.events_processed += lane.events_processed;
+            base.dropped_nolink += lane.dropped_nolink;
             base.halted |= lane.halted;
             base.parked_out.append(&mut lane.parked_out);
             for (at, key, p) in lane.queue.drain_entries() {
@@ -1591,13 +2167,43 @@ impl<M: Message> Engine<M> {
     }
 }
 
+/// Dispatch one parallel window `[·, wend)` to the shard workers and
+/// collect the lanes back, reusing the `lanes` vector's allocation.
+/// Collection is in shard order from per-worker channels: a worker that
+/// panicked closes its channel, turning a would-be deadlock into an
+/// immediate error (the scope join then re-raises the worker's own panic).
+fn run_window<M: Message>(
+    cmd_tx: &[mpsc::Sender<(Lane<M>, SimTime)>],
+    res_rx: &[mpsc::Receiver<Lane<M>>],
+    lanes: &mut Vec<Lane<M>>,
+    wend: SimTime,
+) {
+    for lane in lanes.drain(..) {
+        let shard = lane.shard;
+        cmd_tx[shard].send((lane, wend)).expect("worker alive");
+    }
+    for (i, rx) in res_rx.iter().enumerate() {
+        lanes.push(rx.recv().unwrap_or_else(|_| panic!("shard worker {i} died")));
+    }
+}
+
 /// Route every lane's outbox into the destination lanes' heaps. Arrival
 /// order into a heap is immaterial — heap order is total on
-/// `(time, canonical key)` — so no sort is needed.
-fn route_outboxes<M: Message>(lanes: &mut [Lane<M>]) {
+/// `(time, canonical key)` — so no sort is needed. `scratch` is a
+/// coordinator-owned buffer swapped with each non-empty outbox so the
+/// steady state allocates nothing (capacities circulate between the
+/// coordinator and the lanes instead of being dropped every barrier).
+fn route_outboxes<M: Message>(
+    lanes: &mut [Lane<M>],
+    scratch: &mut Vec<(SimTime, u64, Pending<M>)>,
+) {
+    debug_assert!(scratch.is_empty());
     for li in 0..lanes.len() {
-        let out = std::mem::take(&mut lanes[li].outbox);
-        for (at, key, p) in out {
+        if lanes[li].outbox.is_empty() {
+            continue;
+        }
+        std::mem::swap(&mut lanes[li].outbox, scratch);
+        for (at, key, p) in scratch.drain(..) {
             let dest = match &p {
                 Pending::Deliver { to, .. } => lanes[li].owner[*to as usize] as usize,
                 Pending::Timer { actor, .. } => lanes[li].owner[*actor as usize] as usize,
@@ -2462,6 +3068,9 @@ mod tests {
                 ctx.set_timer(self.period, tag + 1);
             }
         }
+        fn fork(&self) -> Option<Box<dyn Actor<TestMsg> + Send>> {
+            Some(Box::new(Gossip { rounds: self.rounds, period: self.period }))
+        }
     }
 
     fn gossip_engine(n: usize, delay: DelayModel, seed: u64) -> Engine<TestMsg> {
@@ -2534,6 +3143,199 @@ mod tests {
         par.enable_trace();
         par.run_with_plan(&ShardPlan::by_hash(12, 4));
         assert_eq!(fingerprint(&par), want, "hashed plan must replay bit-identically");
+    }
+
+    #[test]
+    fn by_affinity_is_a_deterministic_total_partition() {
+        // A chatty clique {0,1,2}, a pair {5,6}, singletons elsewhere.
+        let edges = vec![
+            (0usize, 1usize, 100u64),
+            (1, 2, 90),
+            (2, 0, 80),
+            (5, 6, 70),
+            (3, 9, 1),
+            (4, 4, 50),  // self-edge: ignored
+            (7, 99, 50), // out of range: ignored
+            (8, 9, 0),   // zero weight: ignored
+        ];
+        let p = ShardPlan::by_affinity(10, 3, &edges);
+        assert_eq!(p.owner().len(), 10, "covers all actors");
+        assert!(p.owner().iter().all(|&s| s < 3), "respects k");
+        assert_eq!(p, ShardPlan::by_affinity(10, 3, &edges), "deterministic");
+        // The clique and the pair each stay intra-shard (cluster cap is
+        // ceil(10/3) = 4, so both merges fit).
+        assert!(p.owner()[0] == p.owner()[1] && p.owner()[1] == p.owner()[2]);
+        assert_eq!(p.owner()[5], p.owner()[6]);
+        // Symmetric input yields the same plan regardless of direction.
+        let flipped: Vec<_> = edges.iter().map(|&(a, b, w)| (b, a, w)).collect();
+        assert_eq!(p, ShardPlan::by_affinity(10, 3, &flipped));
+        // Degenerate shapes don't panic.
+        assert_eq!(ShardPlan::by_affinity(0, 4, &[]).owner().len(), 0);
+        assert_eq!(ShardPlan::by_affinity(5, 1, &edges).owner(), &[0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn affinity_plan_replays_bit_identically() {
+        let mut seq = gossip_engine(12, shardable_delay(), 99);
+        seq.enable_trace();
+        seq.run();
+        let want = fingerprint(&seq);
+        // Derive the affinity graph from the sequential run's own trace —
+        // the realistic pipeline (trace → channel stats → plan).
+        let edges = crate::trace_analysis::TraceAnalysis::build(seq.trace()).affinity_edges();
+        assert!(!edges.is_empty(), "gossip produces cross-channel traffic");
+        for shards in [2, 4, 7] {
+            let plan = ShardPlan::by_affinity(12, shards, &edges);
+            let mut par = gossip_engine(12, shardable_delay(), 99);
+            par.enable_trace();
+            par.run_with_plan(&plan);
+            assert_eq!(fingerprint(&par), want, "affinity plan, shards={shards}");
+        }
+    }
+
+    #[test]
+    fn ring_exchange_off_is_bit_identical() {
+        let mut seq = gossip_engine(12, shardable_delay(), 7);
+        seq.enable_trace();
+        seq.run();
+        let want = fingerprint(&seq);
+        for on in [true, false] {
+            let mut par = gossip_engine(12, shardable_delay(), 7);
+            par.enable_trace();
+            par.set_ring_exchange(on);
+            par.run_sharded(4);
+            assert_eq!(fingerprint(&par), want, "ring_exchange={on}");
+        }
+    }
+
+    #[test]
+    fn optimistic_run_is_bit_identical_and_rolls_back() {
+        let mut seq = gossip_engine(12, shardable_delay(), 99);
+        seq.enable_trace();
+        seq.run();
+        let want = fingerprint(&seq);
+        for shards in [2, 4, 7] {
+            let mut par = gossip_engine(12, shardable_delay(), 99);
+            par.enable_trace();
+            par.set_optimistic(true);
+            par.run_sharded(shards);
+            assert_eq!(fingerprint(&par), want, "optimistic, shards={shards}");
+            assert!(
+                par.rollbacks() > 0,
+                "gossip cross-traffic must trigger at least one rollback (shards={shards})"
+            );
+        }
+    }
+
+    #[test]
+    fn optimistic_windows_and_metrics_match_sequential() {
+        let seq_metrics = Metrics::new();
+        let mut seq = gossip_engine(12, shardable_delay(), 99);
+        seq.set_metrics(&seq_metrics);
+        seq.run();
+        let want_events = seq_metrics.snapshot().counter("engine.events_processed");
+        let want_delivered = seq_metrics.snapshot().counter("engine.messages_delivered");
+        let want_dropped = seq_metrics.snapshot().counter("engine.messages_dropped");
+
+        let run = |optimistic: bool| {
+            let m = Metrics::new();
+            let mut par = gossip_engine(12, shardable_delay(), 99);
+            par.set_metrics(&m);
+            par.set_optimistic(optimistic);
+            par.run_sharded(4);
+            m.snapshot()
+        };
+        let cons = run(false);
+        let opt = run(true);
+        // The deferred flush reconstructs the counters exactly.
+        for (name, want) in [
+            ("engine.events_processed", want_events),
+            ("engine.messages_delivered", want_delivered),
+            ("engine.messages_dropped", want_dropped),
+        ] {
+            assert_eq!(cons.counter(name), want, "conservative {name}");
+            assert_eq!(opt.counter(name), want, "optimistic {name}");
+        }
+        // Speculation is the point: materially fewer synchronization
+        // barriers than the conservative window count.
+        let (cw, ow) =
+            (cons.counter("engine.windows").unwrap(), opt.counter("engine.windows").unwrap());
+        assert!(ow < cw, "optimistic must reduce barriers: {ow} vs {cw}");
+        assert!(opt.counter("engine.rollbacks").unwrap() > 0);
+        assert_eq!(cons.counter("engine.rollbacks"), Some(0));
+    }
+
+    #[test]
+    fn optimistic_with_faults_matches_sequential() {
+        let script = FaultScript::new()
+            .with(
+                SimTime::from_millis(25),
+                FaultSpec::Crash { actor: 3, recover_after: Some(SimDuration::from_millis(30)) },
+            )
+            .with(
+                SimTime::from_millis(40),
+                FaultSpec::Partition {
+                    group: vec![1, 2],
+                    heal_after: SimDuration::from_millis(50),
+                    policy: CutPolicy::Park,
+                },
+            );
+        let run = |optimistic: bool, shards: usize| {
+            let mut e = gossip_engine(12, shardable_delay(), 4242);
+            e.enable_trace();
+            e.install_faults(&script);
+            e.set_optimistic(optimistic);
+            if shards <= 1 {
+                e.run();
+            } else {
+                e.run_sharded(shards);
+            }
+            fingerprint(&e)
+        };
+        let want = run(false, 1);
+        for shards in [2, 4] {
+            assert_eq!(run(true, shards), want, "optimistic+faults, shards={shards}");
+        }
+    }
+
+    /// An actor without [`Actor::fork`] support, wrapping Gossip.
+    struct NoFork(Gossip);
+    impl Actor<TestMsg> for NoFork {
+        fn on_start(&mut self, ctx: &mut Context<'_, TestMsg>) {
+            self.0.on_start(ctx);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, TestMsg>, from: ActorId, msg: TestMsg) {
+            self.0.on_message(ctx, from, msg);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, TestMsg>, tag: u64) {
+            self.0.on_timer(ctx, tag);
+        }
+    }
+
+    #[test]
+    fn optimistic_without_fork_falls_back_to_conservative() {
+        let mk = || {
+            let net = NetworkConfig::full_mesh(8, shardable_delay());
+            let mut e = Engine::new(net, 11);
+            for i in 0..8 {
+                let g = Gossip { rounds: 8, period: SimDuration::from_millis(10) };
+                // One unforkable actor disables speculation engine-wide.
+                if i == 5 {
+                    e.add_actor(Box::new(NoFork(g)));
+                } else {
+                    e.add_actor(Box::new(g));
+                }
+            }
+            e.enable_trace();
+            e
+        };
+        let mut seq = mk();
+        seq.run();
+        let mut par = mk();
+        par.set_optimistic(true);
+        par.run_sharded(4);
+        assert_eq!(fingerprint(&par), fingerprint(&seq));
+        assert_eq!(par.rollbacks(), 0, "no speculation without universal fork support");
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! - the paper's delay models and message-loss models ([`delay`], [`loss`]),
 //! - dynamic logical overlays with broadcast, FIFO/non-FIFO channels and
 //!   byte accounting ([`network`]),
-//! - an actor-based engine ([`engine`]),
+//! - an actor-based engine ([`engine`]) with a lock-free SPSC exchange
+//!   ring for its sharded mode ([`ring`]),
 //! - causally stamped structured run traces ([`trace`]) with Chrome
 //!   trace-event / JSONL exporters ([`trace_export`]) and offline
 //!   happened-before analysis ([`trace_analysis`]),
@@ -65,6 +66,7 @@ pub mod metrics;
 pub mod network;
 pub mod provider;
 pub mod queue;
+pub mod ring;
 pub mod rng;
 pub mod stats;
 pub mod sweep;

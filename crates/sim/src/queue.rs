@@ -65,12 +65,33 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// The undo journal backing one speculative window (see
+/// [`EventQueue::spec_begin`]). Kept as a separate struct so the
+/// non-speculative hot path pays only an `Option` discriminant check.
+#[derive(Debug)]
+struct SpecJournal<E> {
+    /// Events scheduled during the window; discarded wholesale on
+    /// rollback, merged into the main heap on commit.
+    staged: BinaryHeap<Entry<E>>,
+    /// Clones of the committed events popped during the window, pushed
+    /// back on rollback. (Events popped out of `staged` need no journal
+    /// entry: they did not exist at the checkpoint.)
+    popped: Vec<Entry<E>>,
+    /// `scheduled_total` / `next_seq` at the checkpoint, restored on
+    /// rollback.
+    scheduled_mark: u64,
+    seq_mark: u64,
+}
+
 /// A deterministic future-event list.
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     scheduled_total: u64,
+    /// Present only between [`EventQueue::spec_begin`] and the matching
+    /// commit/rollback — i.e. during a Time-Warp window.
+    spec: Option<Box<SpecJournal<E>>>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -82,7 +103,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, scheduled_total: 0 }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, scheduled_total: 0, spec: None }
     }
 
     /// Reserve capacity for at least `additional` more events, so bulk
@@ -97,8 +118,7 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, at: SimTime, payload: E) {
         let key = event_key(key_class::SEQ, self.next_seq);
         self.next_seq += 1;
-        self.scheduled_total += 1;
-        self.heap.push(Entry { at, key, payload });
+        self.schedule_keyed(at, key, payload);
     }
 
     /// Schedule `payload` at `at` under an explicit canonical key (see
@@ -107,32 +127,35 @@ impl<E> EventQueue<E> {
     /// which are.
     pub fn schedule_keyed(&mut self, at: SimTime, key: u64, payload: E) {
         self.scheduled_total += 1;
-        self.heap.push(Entry { at, key, payload });
+        let entry = Entry { at, key, payload };
+        match &mut self.spec {
+            None => self.heap.push(entry),
+            Some(j) => j.staged.push(entry),
+        }
     }
 
     /// The time of the next pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
-    }
-
-    /// Remove and return the earliest event as `(time, payload)`.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.at, e.payload))
-    }
-
-    /// Remove and return the earliest event as `(time, key, payload)`.
-    pub fn pop_entry(&mut self) -> Option<(SimTime, u64, E)> {
-        self.heap.pop().map(|e| (e.at, e.key, e.payload))
+        let main = self.heap.peek();
+        match &self.spec {
+            None => main.map(|e| e.at),
+            Some(j) => match (main, j.staged.peek()) {
+                (Some(a), Some(b)) => Some(if a >= b { a.at } else { b.at }), // reversed Ord
+                (Some(a), None) => Some(a.at),
+                (None, Some(b)) => Some(b.at),
+                (None, None) => None,
+            },
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.spec.as_ref().map_or(0, |j| j.staged.len())
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever scheduled on this queue.
@@ -143,6 +166,7 @@ impl<E> EventQueue<E> {
     /// Remove **all** pending events and return them as `(time, key,
     /// payload)` in fire order. Used to re-partition a queue across shards.
     pub fn drain_entries(&mut self) -> Vec<(SimTime, u64, E)> {
+        debug_assert!(self.spec.is_none(), "drain during a speculative window");
         let mut entries = std::mem::take(&mut self.heap).into_vec();
         entries.sort_unstable_by_key(|e| (e.at, e.key));
         entries.into_iter().map(|e| (e.at, e.key, e.payload)).collect()
@@ -163,6 +187,7 @@ impl<E> EventQueue<E> {
         &mut self,
         pred: &mut impl FnMut(&E) -> bool,
     ) -> Vec<(SimTime, u64, E)> {
+        debug_assert!(self.spec.is_none(), "drain during a speculative window");
         let entries = std::mem::take(&mut self.heap).into_vec();
         let mut kept = Vec::with_capacity(entries.len());
         let mut out = Vec::new();
@@ -176,6 +201,71 @@ impl<E> EventQueue<E> {
         self.heap = BinaryHeap::from(kept);
         out.sort_unstable_by_key(|e| (e.at, e.key));
         out.into_iter().map(|e| (e.at, e.key, e.payload)).collect()
+    }
+}
+
+impl<E: Clone> EventQueue<E> {
+    /// Remove and return the earliest event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_entry().map(|(at, _, p)| (at, p))
+    }
+
+    /// Remove and return the earliest event as `(time, key, payload)`.
+    ///
+    /// `Clone` bound: during a speculative window (between
+    /// [`EventQueue::spec_begin`] and commit/rollback) every pop of a
+    /// *committed* event journals a clone so rollback can restore it; with
+    /// no window open this is the plain heap pop.
+    pub fn pop_entry(&mut self) -> Option<(SimTime, u64, E)> {
+        let Some(j) = self.spec.as_deref_mut() else {
+            return self.heap.pop().map(|e| (e.at, e.key, e.payload));
+        };
+        // Reversed `Ord`: `a >= b` means `a` fires at-or-before `b`.
+        let from_main = match (self.heap.peek(), j.staged.peek()) {
+            (Some(a), Some(b)) => a >= b,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        if from_main {
+            let e = self.heap.pop().expect("peeked");
+            j.popped.push(e.clone());
+            Some((e.at, e.key, e.payload))
+        } else {
+            j.staged.pop().map(|e| (e.at, e.key, e.payload))
+        }
+    }
+
+    /// Open a speculative window: subsequent schedules go to a side heap
+    /// and pops of pre-existing events are journaled, so the queue can be
+    /// restored to this exact point by [`EventQueue::spec_rollback`] or the
+    /// window's effects kept by [`EventQueue::spec_commit`]. Nesting is a
+    /// bug (the engine checkpoints only at window barriers).
+    pub fn spec_begin(&mut self) {
+        debug_assert!(self.spec.is_none(), "nested speculative window");
+        self.spec = Some(Box::new(SpecJournal {
+            staged: BinaryHeap::new(),
+            popped: Vec::new(),
+            scheduled_mark: self.scheduled_total,
+            seq_mark: self.next_seq,
+        }));
+    }
+
+    /// Keep the open window's effects: merge its staged events into the
+    /// main heap and drop the undo journal. O(staged · log n) — the cost is
+    /// proportional to the work the window performed.
+    pub fn spec_commit(&mut self) {
+        let j = *self.spec.take().expect("no speculative window open");
+        self.heap.extend(j.staged);
+    }
+
+    /// Discard the open window's effects: forget its staged events, push
+    /// the journaled pops back, and restore the scheduled-total counter.
+    pub fn spec_rollback(&mut self) {
+        let j = *self.spec.take().expect("no speculative window open");
+        self.heap.extend(j.popped);
+        self.scheduled_total = j.scheduled_mark;
+        self.next_seq = j.seq_mark;
     }
 }
 
@@ -286,6 +376,60 @@ mod tests {
         assert_eq!(all.iter().map(|&(_, _, p)| p).collect::<Vec<_>>(), vec!["d", "t", "late"]);
         // Keys round-trip so the entries can be rescheduled verbatim.
         assert_eq!(all[0].1, event_key(key_class::DELIVER, 3));
+    }
+
+    #[test]
+    fn spec_rollback_restores_exact_state() {
+        let mut q = EventQueue::new();
+        for i in 0..6u64 {
+            q.schedule_keyed(SimTime::from_millis(10 * i), event_key(key_class::DELIVER, i), i);
+        }
+        assert_eq!(q.pop(), Some((SimTime::ZERO, 0)));
+        let total = q.scheduled_total();
+
+        q.spec_begin();
+        // Pop committed events, schedule new ones, pop one of those too.
+        assert_eq!(q.pop(), Some((SimTime::from_millis(10), 1)));
+        q.schedule_keyed(SimTime::from_millis(15), event_key(key_class::DELIVER, 100), 100);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(15), 100)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(20), 2)));
+        q.schedule_keyed(SimTime::from_millis(25), event_key(key_class::DELIVER, 101), 101);
+        assert_eq!(q.len(), 4);
+        q.spec_rollback();
+
+        assert_eq!(q.scheduled_total(), total, "counter restored");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec![1, 2, 3, 4, 5], "pre-window events all back, staged gone");
+    }
+
+    #[test]
+    fn spec_commit_merges_staged_events() {
+        let mut q = EventQueue::new();
+        q.schedule_keyed(SimTime::from_millis(10), event_key(key_class::DELIVER, 1), 1);
+        q.schedule_keyed(SimTime::from_millis(30), event_key(key_class::DELIVER, 3), 3);
+        q.spec_begin();
+        assert_eq!(q.pop(), Some((SimTime::from_millis(10), 1)));
+        q.schedule_keyed(SimTime::from_millis(20), event_key(key_class::DELIVER, 2), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(20)), "staged event visible");
+        q.spec_commit();
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec![2, 3], "popped event stays popped, staged event merged");
+    }
+
+    #[test]
+    fn spec_pop_interleaves_staged_and_committed_by_key() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        q.schedule_keyed(t, event_key(key_class::DELIVER, 0), 0);
+        q.schedule_keyed(t, event_key(key_class::DELIVER, 2), 2);
+        q.spec_begin();
+        q.schedule_keyed(t, event_key(key_class::DELIVER, 1), 1);
+        q.schedule_keyed(t, event_key(key_class::DELIVER, 3), 3);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec![0, 1, 2, 3], "canonical key order across both heaps");
+        q.spec_rollback();
+        let back: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(back, vec![0, 2], "only committed events restored");
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! A bounded lock-free single-producer / single-consumer ring.
+//!
+//! The sharded engine's cross-shard exchange keeps one ring per directed
+//! shard pair: the producing lane publishes cross-shard events as it
+//! generates them, and the consuming lane absorbs them mid-window (every
+//! published event's delivery time is at or beyond the consumer's window
+//! bound, so absorption order cannot affect the run — heap order is total
+//! on `(time, key)`). This replaces the coordinator-side
+//! `route_outboxes` `mem::take` + re-heap per lane per barrier with work
+//! that overlaps the parallel window.
+//!
+//! The implementation is the classic Lamport ring: a power-of-two slot
+//! array, a producer-owned `tail`, a consumer-owned `head`, release stores
+//! paired with acquire loads. Exactly one [`Producer`] and one
+//! [`Consumer`] exist per ring (enforced by construction — [`spsc`]
+//! returns each handle once and neither is `Clone`), which is what makes
+//! the unchecked slot access sound. A full ring rejects the push and the
+//! caller falls back to its outbox, so the ring is a fast path, never a
+//! correctness dependency.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Pad the two indices onto separate cache lines so producer and consumer
+/// do not false-share.
+#[repr(align(64))]
+struct CacheAligned(AtomicUsize);
+
+struct Shared<T> {
+    /// `mask + 1` slots, `mask + 1` a power of two.
+    mask: usize,
+    /// Written by the producer, read by the consumer (release/acquire).
+    tail: CacheAligned,
+    /// Written by the consumer, read by the producer (release/acquire).
+    head: CacheAligned,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+// One producer and one consumer each touch disjoint slots, handed over by
+// the release/acquire pair on `tail`/`head`; `T: Send` is all that moves.
+unsafe impl<T: Send> Sync for Shared<T> {}
+unsafe impl<T: Send> Send for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Drop any items still in flight (`&mut self` proves exclusivity).
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        for i in head..tail {
+            unsafe { (*self.slots[i & self.mask].get()).assume_init_drop() };
+        }
+    }
+}
+
+/// The producing half of an SPSC ring (not `Clone`: single producer).
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+    /// Cached consumer position; refreshed only when the ring looks full.
+    head_cache: usize,
+}
+
+/// The consuming half of an SPSC ring (not `Clone`: single consumer).
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+    /// Cached producer position; refreshed only when the ring looks empty.
+    tail_cache: usize,
+}
+
+/// Build a ring with at least `capacity` slots (rounded up to a power of
+/// two, minimum 2) and return its two ends.
+pub fn spsc<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots = (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let shared = Arc::new(Shared {
+        mask: cap - 1,
+        tail: CacheAligned(AtomicUsize::new(0)),
+        head: CacheAligned(AtomicUsize::new(0)),
+        slots,
+    });
+    (Producer { shared: Arc::clone(&shared), head_cache: 0 }, Consumer { shared, tail_cache: 0 })
+}
+
+impl<T> Producer<T> {
+    /// Number of slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+
+    /// Publish `item`; returns it back if the ring is full.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        let s = &*self.shared;
+        let tail = s.tail.0.load(Ordering::Relaxed); // producer-owned
+        if tail.wrapping_sub(self.head_cache) > s.mask {
+            self.head_cache = s.head.0.load(Ordering::Acquire);
+            if tail.wrapping_sub(self.head_cache) > s.mask {
+                return Err(item); // genuinely full
+            }
+        }
+        unsafe { (*s.slots[tail & s.mask].get()).write(item) };
+        s.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Take the oldest published item, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        let s = &*self.shared;
+        let head = s.head.0.load(Ordering::Relaxed); // consumer-owned
+        if head == self.tail_cache {
+            self.tail_cache = s.tail.0.load(Ordering::Acquire);
+            if head == self.tail_cache {
+                return None; // genuinely empty
+            }
+        }
+        let item = unsafe { (*s.slots[head & s.mask].get()).assume_init_read() };
+        s.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Some(item)
+    }
+
+    /// True when the consumer's view of the ring is empty (a concurrent
+    /// producer may publish immediately after; only authoritative once the
+    /// producer is quiescent, e.g. at a window barrier).
+    pub fn is_empty(&mut self) -> bool {
+        let s = &*self.shared;
+        let head = s.head.0.load(Ordering::Relaxed);
+        if head != self.tail_cache {
+            return false;
+        }
+        self.tail_cache = s.tail.0.load(Ordering::Acquire);
+        head == self.tail_cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (mut tx, mut rx) = spsc::<u32>(8);
+        for i in 0..8 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.push(99), Err(99), "ring full");
+        for i in 0..8 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (tx, _rx) = spsc::<u8>(5);
+        assert_eq!(tx.capacity(), 8);
+        let (tx, _rx) = spsc::<u8>(0);
+        assert_eq!(tx.capacity(), 2);
+    }
+
+    #[test]
+    fn interleaved_push_pop_wraps() {
+        let (mut tx, mut rx) = spsc::<u64>(4);
+        let mut next_in = 0u64;
+        let mut next_out = 0u64;
+        for _ in 0..100 {
+            for _ in 0..3 {
+                tx.push(next_in).unwrap();
+                next_in += 1;
+            }
+            for _ in 0..3 {
+                assert_eq!(rx.pop(), Some(next_out));
+                next_out += 1;
+            }
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn drops_inflight_items() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut tx, mut rx) = spsc::<D>(8);
+        for _ in 0..5 {
+            tx.push(D).unwrap();
+        }
+        drop(rx.pop()); // one consumed and dropped
+        drop(tx);
+        drop(rx); // ring dropped with 4 in flight
+        assert_eq!(DROPS.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_preserve_order() {
+        const N: u64 = 200_000;
+        let (mut tx, mut rx) = spsc::<u64>(64);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let mut i = 0;
+                while i < N {
+                    match tx.push(i) {
+                        Ok(()) => i += 1,
+                        Err(_) => std::hint::spin_loop(),
+                    }
+                }
+            });
+            let mut expect = 0;
+            while expect < N {
+                match rx.pop() {
+                    Some(v) => {
+                        assert_eq!(v, expect);
+                        expect += 1;
+                    }
+                    None => std::hint::spin_loop(),
+                }
+            }
+            assert!(rx.is_empty());
+        });
+    }
+}

@@ -402,13 +402,16 @@ mod shard_invariance {
     use super::*;
     use proptest::prelude::*;
 
-    /// One full execution at a given shard count, with everything
-    /// observable folded into a comparable tuple.
+    /// One full execution at a given shard count, plan, and window
+    /// discipline, with everything observable folded into a comparable
+    /// tuple.
     fn fingerprint(
         shards: usize,
         seed: u64,
         delay_min_ms: u64,
         chaos: bool,
+        plan: ShardPlanKind,
+        spec: SpeculationMode,
     ) -> pervasive_time::core::execution::ExecutionTrace {
         let params = ExhibitionParams {
             doors: 3,
@@ -435,6 +438,8 @@ mod shard_invariance {
             record_sim_trace: true,
             faults,
             shards,
+            shard_plan: Some(plan),
+            speculation: Some(spec),
             ..Default::default()
         };
         run_execution(&scenario, &cfg)
@@ -443,12 +448,14 @@ mod shard_invariance {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(6))]
 
-        /// The tentpole's contract, as a property: the shard count is
+        /// The tentpole's contract, as a property: the shard count, the
+        /// actor→shard plan, and the window discipline are all
         /// **unobservable**. For random seeds, lookahead widths, and with
         /// or without a seeded chaos fault script, every observable — the
         /// full structured trace (hashed), the execution log, the network
         /// counters, the fault counters, the end time — is bit-identical
-        /// across shard counts 1, 2, 4, and 7.
+        /// across shard counts {1, 2, 4, 7} × {conservative, optimistic}
+        /// × {contiguous, affinity}.
         #[test]
         fn shard_count_is_unobservable(
             seed in 0u64..1000,
@@ -456,22 +463,122 @@ mod shard_invariance {
             chaos_bit in 0u64..2,
         ) {
             let chaos = chaos_bit == 1;
-            let want = fingerprint(1, seed, delay_min_ms, chaos);
+            let want = fingerprint(
+                1, seed, delay_min_ms, chaos,
+                ShardPlanKind::Contiguous, SpeculationMode::Conservative,
+            );
             let want_hash = trace_full_hash(&want.sim);
             if chaos {
                 let fs = want.faults.clone().expect("plane installed");
                 prop_assert!(fs.crashes + fs.cuts + fs.clock_faults > 0, "chaos script must bite");
             }
             for shards in [2usize, 4, 7] {
-                let got = fingerprint(shards, seed, delay_min_ms, chaos);
-                prop_assert_eq!(trace_full_hash(&got.sim), want_hash, "trace hash, shards={}", shards);
-                prop_assert_eq!(&got.log.events, &want.log.events, "events, shards={}", shards);
-                prop_assert_eq!(&got.log.reports, &want.log.reports, "reports, shards={}", shards);
-                prop_assert_eq!(&got.log.actuations, &want.log.actuations, "actuations, shards={}", shards);
-                prop_assert_eq!(&got.net, &want.net, "net counters, shards={}", shards);
-                prop_assert_eq!(&got.faults, &want.faults, "fault stats, shards={}", shards);
-                prop_assert_eq!(got.ended_at, want.ended_at, "end time, shards={}", shards);
+                for spec in [SpeculationMode::Conservative, SpeculationMode::Optimistic] {
+                    for plan in [ShardPlanKind::Contiguous, ShardPlanKind::Affinity] {
+                        let got = fingerprint(shards, seed, delay_min_ms, chaos, plan, spec);
+                        let label = format!("shards={shards} {spec:?} {plan:?}");
+                        prop_assert_eq!(trace_full_hash(&got.sim), want_hash, "trace hash, {}", label);
+                        prop_assert_eq!(&got.log.events, &want.log.events, "events, {}", label);
+                        prop_assert_eq!(&got.log.reports, &want.log.reports, "reports, {}", label);
+                        prop_assert_eq!(&got.log.actuations, &want.log.actuations, "actuations, {}", label);
+                        prop_assert_eq!(&got.net, &want.net, "net counters, {}", label);
+                        prop_assert_eq!(&got.faults, &want.faults, "fault stats, {}", label);
+                        prop_assert_eq!(got.ended_at, want.ended_at, "end time, {}", label);
+                    }
+                }
             }
+        }
+    }
+}
+
+/// The optimistic (Time Warp) engine against a pinned golden hash: a fixed
+/// `(scenario, config, seed)` with a floored Δ-band (the floor is the
+/// lookahead; a pure Δ-bounded delay has minimum 0 and would fall back to
+/// the sequential loop) must produce the recorded full-format trace hash
+/// both sequentially and under optimistic sharded execution — while the
+/// optimistic run actually speculates (rollbacks > 0) and the sequential
+/// one, by construction, never does.
+#[test]
+fn optimistic_run_reproduces_the_sequential_golden_hash() {
+    let params = ExhibitionParams {
+        doors: 4,
+        arrival_rate_hz: 3.0,
+        mean_stay: SimDuration::from_secs(40),
+        duration: SimTime::from_secs(200),
+        capacity: 90,
+    };
+    let scenario = exhibition::generate(&params, 13);
+    let cfg = |shards: usize, spec: SpeculationMode| ExecutionConfig {
+        delay: DelayModel::DeltaBounded {
+            min: SimDuration::from_millis(30),
+            max: SimDuration::from_millis(150),
+        },
+        seed: 13,
+        record_sim_trace: true,
+        shards,
+        speculation: Some(spec),
+        ..Default::default()
+    };
+    let seq = run_execution(&scenario, &cfg(1, SpeculationMode::Conservative));
+    assert!(seq.sim.len() > 1_000, "trace must be non-trivial, got {}", seq.sim.len());
+    assert_eq!(seq.rollbacks, 0, "the sequential engine never rolls back");
+    assert_eq!(
+        trace_full_hash(&seq.sim),
+        OPTIMISTIC_GOLDEN_FULL_TRACE_HASH,
+        "sequential floored-Δ run diverged from the recorded golden hash"
+    );
+    let opt = run_execution(&scenario, &cfg(4, SpeculationMode::Optimistic));
+    assert!(opt.rollbacks > 0, "the optimistic run must actually speculate and roll back");
+    assert_eq!(
+        trace_full_hash(&opt.sim),
+        OPTIMISTIC_GOLDEN_FULL_TRACE_HASH,
+        "optimistic run diverged from the sequential golden hash"
+    );
+    assert_eq!(seq.log.events, opt.log.events);
+    assert_eq!(seq.log.reports, opt.log.reports);
+    assert_eq!(seq.net, opt.net);
+    assert_eq!(seq.ended_at, opt.ended_at);
+}
+
+/// Recorded from the sequential leg of
+/// `optimistic_run_reproduces_the_sequential_golden_hash`; deterministic
+/// across machines (FNV-1a over the full trace format).
+const OPTIMISTIC_GOLDEN_FULL_TRACE_HASH: u64 = 397811650213989502;
+
+mod affinity_plan {
+    use pervasive_time::sim::engine::ShardPlan;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// `ShardPlan::by_affinity` is a valid total partition for any
+        /// random weighted edge set: every actor is owned by exactly one
+        /// shard, shard indices stay below the requested count, and the
+        /// plan is a pure function of its inputs.
+        #[test]
+        fn by_affinity_is_a_valid_total_partition(
+            n in 1usize..40,
+            k in 1usize..9,
+            raw_edges in proptest::collection::vec((0usize..40, 0usize..40, 0u64..1000), 0..60),
+        ) {
+            let edges: Vec<(usize, usize, u64)> = raw_edges
+                .into_iter()
+                .map(|(a, b, w)| (a % n, b % n, w))
+                .collect();
+            let plan = ShardPlan::by_affinity(n, k, &edges);
+            prop_assert_eq!(plan.owner().len(), n, "every actor must be assigned");
+            prop_assert!(plan.shard_count() <= k, "plan must respect the requested shard count");
+            prop_assert!(plan.shard_count() >= 1);
+            for (actor, &owner) in plan.owner().iter().enumerate() {
+                prop_assert!(
+                    (owner as usize) < plan.shard_count(),
+                    "actor {} owned by out-of-range shard {}", actor, owner
+                );
+            }
+            // Deterministic: same inputs, same plan.
+            let again = ShardPlan::by_affinity(n, k, &edges);
+            prop_assert_eq!(plan.owner(), again.owner());
         }
     }
 }
