@@ -7,21 +7,31 @@
 //! ```sh
 //! cargo run --release -p psn-bench --bin baseline            # writes BENCH_baseline.json
 //! cargo run --release -p psn-bench --bin baseline -- out.json
+//! cargo run --release -p psn-bench --bin baseline -- --telemetry-out /tmp/tel.jsonl
 //! ```
+//!
+//! `--telemetry-out <path.jsonl>` additionally dumps the phase-profiling
+//! snapshot of the telemetry-overhead run (the `psn-profile` input
+//! format).
 
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::time::Instant;
 
+use psn_bench::metrics_out::cell_object;
+use psn_bench::telemetry_out;
 use psn_clocks::{LogicalClock, StrobeScalarClock, StrobeVectorClock, VectorStamp};
-use psn_core::{run_execution_instrumented, ExecutionConfig, SpeculationMode};
+use psn_core::{
+    run_execution_instrumented, run_execution_profiled, ExecutionConfig, SpeculationMode,
+};
 use psn_lattice::{enumerate_lattice, History};
 use psn_predicates::{detect_occurrences, Discipline, Predicate};
 use psn_sim::delay::DelayModel;
 use psn_sim::metrics::Metrics;
+use psn_sim::telemetry::Telemetry;
 use psn_sim::time::{SimDuration, SimTime};
 use psn_world::scenarios::exhibition::{self, ExhibitionParams};
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 /// Shard-count → events/s, serialized as a JSON *object* keyed by the
 /// shard count (the vendored serde shim renders a bare `BTreeMap` as a
@@ -61,6 +71,14 @@ struct Baseline {
     /// the service-mode hot path (frame decode + session command + engine
     /// injection), not the batch engine.
     serve_ingest_events_per_sec: f64,
+    /// Median-of-10 paired wall-clock ratio of a sequential engine run
+    /// with the telemetry plane recording vs disabled (1.0 = free; the
+    /// determinism tests guard this at ≤2%).
+    telemetry_overhead_ratio: f64,
+    /// Sustained `GET /metrics` scrape rate of the Prometheus endpoint
+    /// (one connection per scrape), with a concurrent ingest client
+    /// keeping the serve session hot.
+    serve_metrics_scrapes_per_sec: f64,
 }
 
 fn engine_events_per_sec() -> f64 {
@@ -321,8 +339,141 @@ fn serve_ingest_events_per_sec() -> f64 {
     events as f64 / secs
 }
 
+/// Median-of-10 paired A/B: each iteration times the same sequential run
+/// once with a disabled telemetry registry and once with a live one, and
+/// contributes one on/off ratio. Pairing cancels slow drift (thermal,
+/// scheduler) that independent medians would smear.
+fn telemetry_overhead_ratio() -> f64 {
+    let params = ExhibitionParams {
+        doors: 4,
+        arrival_rate_hz: 4.0,
+        mean_stay: SimDuration::from_secs(60),
+        // Long enough (~60 ms of wall per run) that a 2% delta clears the
+        // scheduler's noise floor on a loaded host.
+        duration: SimTime::from_secs(1_200),
+        capacity: 240,
+    };
+    let scenario = exhibition::generate(&params, 11);
+    let cfg = ExecutionConfig {
+        delay: DelayModel::delta(SimDuration::from_millis(300)),
+        ..Default::default()
+    };
+    let time_with = |telemetry: &Telemetry| {
+        let t0 = Instant::now();
+        black_box(run_execution_profiled(&scenario, &cfg, &Metrics::disabled(), telemetry));
+        t0.elapsed().as_secs_f64()
+    };
+    let _warm = time_with(&Telemetry::disabled());
+    let live = Telemetry::new();
+    let mut ratios: Vec<f64> = (0..10)
+        .map(|_| {
+            let off = time_with(&Telemetry::disabled());
+            let on = time_with(&live);
+            on / off
+        })
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    if telemetry_out::is_enabled() {
+        let metrics = Metrics::new();
+        let telemetry = Telemetry::new();
+        black_box(run_execution_profiled(&scenario, &cfg, &metrics, &telemetry));
+        telemetry_out::emit_cell(
+            "baseline",
+            cell_object("telemetry_overhead sequential", &[("shards", Value::UInt(1))]),
+            &metrics.snapshot(),
+            &telemetry.snapshot(),
+        );
+    }
+    (ratios[4] + ratios[5]) / 2.0
+}
+
+fn serve_metrics_scrapes_per_sec() -> f64 {
+    use psn_serve::wire::{read_frame, write_frame};
+    use psn_serve::{serve, serve_metrics, Request, Response, ServeConfig, ServeSession};
+    use psn_world::{AttrKey, AttrValue};
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let session = ServeSession::new(ServeConfig::new(4));
+    let (m, t) = (session.metrics_registry(), session.telemetry_registry());
+    let http = serve_metrics(TcpListener::bind("127.0.0.1:0").expect("bind http"), m, t);
+    let http_addr = http.addr();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let handle = serve(listener, session).expect("start serve");
+    let addr = handle.addr();
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Concurrent ingest keeps the engine and the registries hot, so the
+    // scrape rate is priced against a live session, not an idle one.
+    let ingester_done = Arc::clone(&done);
+    let ingester = std::thread::spawn(move || {
+        let mut c = TcpStream::connect(addr).expect("connect ingester");
+        c.set_nodelay(true).expect("nodelay");
+        let mut i = 0u64;
+        while !ingester_done.load(Ordering::Acquire) {
+            write_frame(
+                &mut c,
+                &Request::Ingest {
+                    at: SimTime::from_millis(1000 + i),
+                    process: (i % 4) as usize,
+                    key: AttrKey::new((i % 4) as usize, 0),
+                    value: AttrValue::Int(i as i64),
+                },
+            )
+            .expect("ingest write");
+            read_frame::<Response>(&mut c).expect("ingest read").expect("reply");
+            i += 1;
+        }
+        write_frame(&mut c, &Request::Shutdown).expect("shutdown write");
+        let _ = read_frame::<Response>(&mut c);
+    });
+
+    let scrape = || {
+        let mut s = TcpStream::connect(http_addr).expect("connect http");
+        s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("http write");
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        let mut body = String::new();
+        s.read_to_string(&mut body).expect("http read");
+        assert!(body.starts_with("HTTP/1.0 200 OK"), "scrape failed: {body}");
+    };
+    for _ in 0..20 {
+        scrape();
+    }
+    let scrapes = 300u64;
+    let t0 = Instant::now();
+    for _ in 0..scrapes {
+        scrape();
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    done.store(true, Ordering::Release);
+    ingester.join().expect("ingester");
+    handle.wait();
+    http.stop();
+    scrapes as f64 / secs
+}
+
 fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry_path: Option<&String> =
+        args.iter().position(|a| a == "--telemetry-out").and_then(|p| args.get(p + 1));
+    if let Some(path) = telemetry_path {
+        if let Err(e) = telemetry_out::set_telemetry_out(path) {
+            eprintln!("cannot open --telemetry-out {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    let path = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && !matches!(i.checked_sub(1).map(|p| args[p].as_str()), Some("--telemetry-out"))
+        })
+        .map(|(_, a)| a.clone())
+        .next()
+        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
     let threads = psn_sim::sweep::default_threads();
     let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
     let psn_threads = std::env::var("PSN_THREADS").unwrap_or_else(|_| "unset".to_string());
@@ -353,7 +504,10 @@ fn main() {
         lattice_states_per_sec: lattice_states_per_sec(),
         trace_records_per_sec: trace_records_per_sec(),
         serve_ingest_events_per_sec: serve_ingest_events_per_sec(),
+        telemetry_overhead_ratio: telemetry_overhead_ratio(),
+        serve_metrics_scrapes_per_sec: serve_metrics_scrapes_per_sec(),
     };
+    telemetry_out::finish();
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
     std::fs::write(&path, json + "\n").expect("write baseline file");
     println!("wrote {path}");

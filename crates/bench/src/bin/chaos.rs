@@ -40,13 +40,21 @@
 //! always stays sequential-conservative, so the same invariant then proves
 //! speculation and planning bit-identical under live fault scripts.
 
-use psn_core::{run_execution, ExecutionConfig, ExecutionTrace, ShardPlanKind, SpeculationMode};
+use psn_bench::metrics_out::cell_object;
+use psn_bench::telemetry_out;
+use psn_core::{
+    run_execution, run_execution_profiled, ExecutionConfig, ExecutionTrace, ShardPlanKind,
+    SpeculationMode,
+};
 use psn_predicates::{detect_occurrences, detection_matches, Discipline, Predicate};
 use psn_sim::fault::{ChaosConfig, FaultScript};
+use psn_sim::metrics::Metrics;
+use psn_sim::telemetry::Telemetry;
 use psn_sim::time::{SimDuration, SimTime};
 use psn_sim::trace_analysis::TraceAnalysis;
 use psn_world::scenarios::exhibition::{self, ExhibitionParams};
 use psn_world::truth_intervals;
+use serde::Value;
 
 fn params(quick: bool) -> ExhibitionParams {
     ExhibitionParams {
@@ -95,7 +103,29 @@ fn run_seed(
         speculation: Some(speculation),
         ..Default::default()
     };
-    let trace: ExecutionTrace = run_execution(&scenario, &cfg);
+    // With a --telemetry-out sink open the primary run is profiled and one
+    // JSONL record is emitted per seed; otherwise this is run_execution.
+    let trace: ExecutionTrace = if telemetry_out::is_enabled() {
+        let metrics = Metrics::new();
+        let telemetry = Telemetry::new();
+        let trace = run_execution_profiled(&scenario, &cfg, &metrics, &telemetry);
+        telemetry_out::emit_cell(
+            "chaos",
+            cell_object(
+                &format!("seed={seed} shards={shards}"),
+                &[
+                    ("seed", Value::UInt(seed)),
+                    ("shards", Value::UInt(shards as u64)),
+                    ("optimistic", Value::Bool(optimistic)),
+                ],
+            ),
+            &metrics.snapshot(),
+            &telemetry.snapshot(),
+        );
+        trace
+    } else {
+        run_execution(&scenario, &cfg)
+    };
 
     // 1. Determinism: same (scenario, script, seed) ⇒ identical run. When
     // the primary run is sharded (and possibly optimistic), the replay runs
@@ -221,11 +251,20 @@ fn main() {
         })
         .unwrap_or(ShardPlanKind::Contiguous);
     let optimistic = args.iter().any(|a| a == "--optimistic");
+    let telemetry_path: Option<&String> =
+        args.iter().position(|a| a == "--telemetry-out").and_then(|p| args.get(p + 1));
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: chaos [--seeds N] [--quick] [--shards K] [--shard-plan NAME] [--optimistic]"
+            "usage: chaos [--seeds N] [--quick] [--shards K] [--shard-plan NAME] \
+             [--optimistic] [--telemetry-out <path.jsonl>]"
         );
         return;
+    }
+    if let Some(path) = telemetry_path {
+        if let Err(e) = telemetry_out::set_telemetry_out(path) {
+            eprintln!("cannot open --telemetry-out {path}: {e}");
+            std::process::exit(1);
+        }
     }
     if shards > 1 {
         let mode = if optimistic { "optimistic" } else { "conservative" };
@@ -244,6 +283,7 @@ fn main() {
             }
         }
     }
+    telemetry_out::finish();
     if failures > 0 {
         eprintln!("chaos: {failures}/{seeds} seed(s) violated an invariant");
         std::process::exit(1);

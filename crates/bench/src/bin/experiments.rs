@@ -26,6 +26,7 @@ use std::time::Instant;
 
 use psn_bench::experiments::{run_one, ALL};
 use psn_bench::metrics_out;
+use psn_bench::telemetry_out;
 use psn_bench::trace_out;
 
 fn main() {
@@ -36,6 +37,8 @@ fn main() {
         args.iter().position(|a| a == "--metrics-out").and_then(|p| args.get(p + 1));
     let trace_dir: Option<&String> =
         args.iter().position(|a| a == "--trace-out").and_then(|p| args.get(p + 1));
+    let telemetry_path: Option<&String> =
+        args.iter().position(|a| a == "--telemetry-out").and_then(|p| args.get(p + 1));
     let trace_format: Option<&String> =
         args.iter().position(|a| a == "--trace-format").and_then(|p| args.get(p + 1));
     let shards: Option<usize> = args
@@ -66,7 +69,8 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: experiments [--quick] [--csv] [--only e1 e2,e3 ...] [--list] \
-             [--metrics-out <path.jsonl>] [--trace-out <dir>] [--trace-format chrome|jsonl] \
+             [--metrics-out <path.jsonl>] [--telemetry-out <path.jsonl>] \
+             [--trace-out <dir>] [--trace-format chrome|jsonl] \
              [--shards N] [--delay-floor-ms X] [--shard-plan NAME] [--optimistic]\n\
              \n\
              --only accepts experiment ids separated by spaces, commas, or both\n\
@@ -103,6 +107,12 @@ fn main() {
     if let Some(path) = metrics_path {
         if let Err(e) = metrics_out::set_metrics_out(path) {
             eprintln!("cannot open --metrics-out {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = telemetry_path {
+        if let Err(e) = telemetry_out::set_telemetry_out(path) {
+            eprintln!("cannot open --telemetry-out {path}: {e}");
             std::process::exit(1);
         }
     }
@@ -144,6 +154,7 @@ fn main() {
         }
     }
     metrics_out::finish();
+    telemetry_out::finish();
     let traces = trace_out::finish();
     if traces > 0 {
         eprintln!("trace-out: wrote {traces} cell trace file(s)");

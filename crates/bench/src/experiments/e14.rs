@@ -11,10 +11,12 @@
 //! Each cell runs one exhibition workload at every shard count and
 //! reports, besides wall time, machine-independent shape quantities:
 //!
-//! - `win(con)` — barrier count of the conservative sharded run: parallel
-//!   windows plus fault-op sub-barriers (identical for every shard count
+//! - `win(con)` / `ops` — barrier counts of the conservative sharded run,
+//!   split by cause: `win(con)` counts lookahead windows
+//!   (`engine.windows`) and `ops` counts fault-plane sub-barriers
+//!   (`engine.op_barriers`). Both are identical for every shard count
 //!   above 1: the schedule depends on event times, op times, and
-//!   lookahead only);
+//!   lookahead only;
 //! - `win(opt)` / `rollbacks` — barrier count and lane re-runs of the
 //!   optimistic (Time Warp) run at the largest shard count: speculation
 //!   commits a doubled window per barrier, so `win(opt) < win(con)` is the
@@ -42,15 +44,20 @@
 use std::time::Instant;
 
 use psn_core::{
-    run_execution_instrumented, ExecutionConfig, ExecutionTrace, ShardPlanKind, SpeculationMode,
+    run_execution_instrumented, run_execution_profiled, ExecutionConfig, ExecutionTrace,
+    ShardPlanKind, SpeculationMode,
 };
 use psn_sim::delay::DelayModel;
 use psn_sim::fault::{CutPolicy, FaultScript, FaultSpec};
 use psn_sim::metrics::Metrics;
+use psn_sim::telemetry::Telemetry;
 use psn_sim::time::{SimDuration, SimTime};
 use psn_world::scenarios::exhibition::{self, ExhibitionParams};
 
+use crate::metrics_out::cell_object;
 use crate::table::Table;
+use crate::telemetry_out;
+use serde::Value;
 
 /// The Δ-band every E14 cell runs under: 40 ms minimum (= the sharded
 /// engine's lookahead), 240 ms ceiling.
@@ -64,6 +71,7 @@ fn delay() -> DelayModel {
 struct Cell {
     events: u64,
     windows: u64,
+    op_barriers: u64,
     rollbacks: u64,
     wall: f64,
     trace: ExecutionTrace,
@@ -85,6 +93,7 @@ fn run_cell(
         capacity: 240,
     };
     let scenario = exhibition::generate(&params, 11);
+    let faulted = faults.is_some();
     let cfg = ExecutionConfig {
         delay: delay(),
         seed: 1,
@@ -95,13 +104,37 @@ fn run_cell(
         ..Default::default()
     };
     let metrics = Metrics::new();
+    // With a --telemetry-out sink open, run through the profiled entry
+    // point and emit one JSONL record per cell; otherwise the registry is
+    // disabled and the run is exactly as before.
+    let telemetry =
+        if telemetry_out::is_enabled() { Telemetry::new() } else { Telemetry::disabled() };
     let t0 = Instant::now();
-    let trace = run_execution_instrumented(&scenario, &cfg, &metrics);
+    let trace = run_execution_profiled(&scenario, &cfg, &metrics, &telemetry);
     let wall = t0.elapsed().as_secs_f64();
     let snap = metrics.snapshot();
+    if telemetry.is_enabled() {
+        let label = format!("n={n} shards={shards} plan={plan:?} spec={spec:?}");
+        telemetry_out::emit_cell(
+            "e14",
+            cell_object(
+                &label,
+                &[
+                    ("n", Value::UInt(n as u64)),
+                    ("shards", Value::UInt(shards as u64)),
+                    ("plan", Value::Str(format!("{plan:?}"))),
+                    ("spec", Value::Str(format!("{spec:?}"))),
+                    ("faults", Value::Bool(faulted)),
+                ],
+            ),
+            &snap,
+            &telemetry.snapshot(),
+        );
+    }
     Cell {
         events: snap.counter("engine.events_processed").unwrap_or(0),
         windows: snap.counter("engine.windows").unwrap_or(0),
+        op_barriers: snap.counter("engine.op_barriers").unwrap_or(0),
         rollbacks: snap.counter("engine.rollbacks").unwrap_or(0),
         wall,
         trace,
@@ -156,6 +189,7 @@ pub fn run(quick: bool) -> Table {
             "faults",
             "events",
             "win(con)",
+            "ops",
             "win(opt)",
             "rollbacks",
             "ev/window",
@@ -187,6 +221,7 @@ pub fn run(quick: bool) -> Table {
         );
         let mut best_rate = 0.0f64;
         let mut windows = 0u64;
+        let mut op_barriers = 0u64;
         for &k in shard_counts {
             let par = run_cell(
                 n,
@@ -198,6 +233,7 @@ pub fn run(quick: bool) -> Table {
             );
             assert_identical(&seq.trace, &par.trace, n, k);
             windows = windows.max(par.windows);
+            op_barriers = op_barriers.max(par.op_barriers);
             best_rate = best_rate.max(par.events as f64 / par.wall);
         }
         // Conservative vs optimistic: same workload, same shard count, Time
@@ -237,6 +273,7 @@ pub fn run(quick: bool) -> Table {
             fault_label.to_string(),
             seq.events.to_string(),
             windows.to_string(),
+            op_barriers.to_string(),
             opt.windows.to_string(),
             opt.rollbacks.to_string(),
             format!("{ev_per_window:.0}"),
@@ -281,6 +318,7 @@ pub fn run(quick: bool) -> Table {
         "—".to_string(),
         "—".to_string(),
         "—".to_string(),
+        "—".to_string(),
         format!("{:.0}", seq_events as f64 / seq_wall),
         format!("{:.0}", par_events as f64 / par_wall),
         "—".to_string(),
@@ -292,17 +330,18 @@ pub fn run(quick: bool) -> Table {
     table.note(format!(
         "Every variant cell — each shard count, the optimistic run, and both plan runs — is \
          asserted bit-identical to its sequential run before timing. `win(con)`/`win(opt)` \
-         count coordinator barriers under conservative vs optimistic windows: speculation \
-         commits a doubled window span per barrier, so win(opt) < win(con) measures the \
-         synchronization saved; `rollbacks` counts lanes re-run after a straggler (the Time \
-         Warp cost). `con/opt/rr/aff ev/s` ran at {k_var} shards (con = best over all shard \
-         counts, contiguous plan; rr = round-robin/interleaved; aff = traffic-aware affinity). \
-         Shape claim: parallel work per barrier (`ev/window`) grows ~linearly with n at fixed \
-         per-node event rate — wall-clock speedup on a multicore machine follows it, and the \
-         partition-storm row shows the collapse when fault barriers shrink effective lookahead \
-         (windows ↑, ev/window ↓). Wall-clock columns measured on {cores} core(s); with a \
-         single core the sharded rates can only show coordination overhead (≤1x by \
-         construction).",
+         count lookahead windows (`engine.windows`) under conservative vs optimistic \
+         discipline: speculation commits a doubled window span per barrier, so win(opt) < \
+         win(con) measures the synchronization saved; `ops` counts fault-plane sub-barriers \
+         separately (`engine.op_barriers`), and `rollbacks` counts lanes re-run after a \
+         straggler (the Time Warp cost). `con/opt/rr/aff ev/s` ran at {k_var} shards (con = \
+         best over all shard counts, contiguous plan; rr = round-robin/interleaved; aff = \
+         traffic-aware affinity). Shape claim: parallel work per lookahead window \
+         (`ev/window`) grows ~linearly with n at fixed per-node event rate — wall-clock \
+         speedup on a multicore machine follows it, and the partition-storm row shows the \
+         collapse when fault ops multiply barriers and shrink effective lookahead (windows + \
+         ops ↑, ev/window ↓). Wall-clock columns measured on {cores} core(s); with a single \
+         core the sharded rates can only show coordination overhead (≤1x by construction).",
     ));
     table
 }

@@ -10,7 +10,11 @@
 //!   [`psn_sim::metrics::MetricsSnapshot`];
 //! - [`trace_out`] — the `--trace-out` sink: one causally stamped
 //!   structured trace file per experiment cell (Chrome trace-event JSON
-//!   for Perfetto, or JSONL).
+//!   for Perfetto, or JSONL);
+//! - [`telemetry_out`] — the `--telemetry-out` sink: one JSONL record per
+//!   cell with both the metrics and the phase-profiling
+//!   [`psn_sim::telemetry::TelemetrySnapshot`], consumed by the
+//!   `psn-profile` report tool.
 //!
 //! Criterion micro-benchmarks live in `benches/` (clock operations,
 //! detectors, lattice enumeration, engine throughput, sweep scaling).
@@ -21,6 +25,7 @@ pub mod common;
 pub mod experiments;
 pub mod metrics_out;
 pub mod table;
+pub mod telemetry_out;
 pub mod trace_out;
 
 pub use table::Table;

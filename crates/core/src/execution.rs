@@ -417,11 +417,37 @@ pub fn run_execution_full(
     rule: Box<dyn ActuationRule>,
     metrics: &psn_sim::metrics::Metrics,
 ) -> ExecutionTrace {
+    run_execution_inner(scenario, cfg, rule, metrics, &psn_sim::telemetry::Telemetry::disabled())
+}
+
+/// Run `scenario` with both a metrics registry and a phase-scoped
+/// wall-clock [`psn_sim::telemetry::Telemetry`] registry attached. The
+/// telemetry plane records where the host machine's time goes (per-shard
+/// busy / barrier-wait / ring-exchange, coordinator drain / rollback /
+/// redo) and is strictly observational: the returned trace is bit-identical
+/// to an unprofiled [`run_execution`] of the same inputs.
+pub fn run_execution_profiled(
+    scenario: &Scenario,
+    cfg: &ExecutionConfig,
+    metrics: &psn_sim::metrics::Metrics,
+    telemetry: &psn_sim::telemetry::Telemetry,
+) -> ExecutionTrace {
+    run_execution_inner(scenario, cfg, Box::new(NoActuation), metrics, telemetry)
+}
+
+fn run_execution_inner(
+    scenario: &Scenario,
+    cfg: &ExecutionConfig,
+    rule: Box<dyn ActuationRule>,
+    metrics: &psn_sim::metrics::Metrics,
+    telemetry: &psn_sim::telemetry::Telemetry,
+) -> ExecutionTrace {
     let n = scenario.num_processes();
     assert!(n > 0, "scenario must have at least one sensor process");
     let log = ExecutionLog::shared();
     let horizon = scenario.timeline.duration() + psn_sim::time::SimDuration::from_secs(30);
     let mut engine = build_engine(n, cfg, rule, metrics, &log, Some(horizon));
+    engine.set_telemetry(telemetry);
 
     // Inject the world timeline through the provider abstraction: a single
     // `poll(MAX)` surrenders the pre-built list in list order, so the

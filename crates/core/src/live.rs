@@ -185,6 +185,9 @@ pub struct LiveExecution {
     rejected: u64,
     last_rejection: Option<EngineError>,
     scratch: Vec<ExternalEvent<NetMsg>>,
+    /// Coordinator-slot handle of the attached telemetry registry (inert
+    /// until [`LiveExecution::set_telemetry`]); times the ingest drain.
+    tel: psn_sim::telemetry::ShardTelemetry,
 }
 
 impl LiveExecution {
@@ -224,7 +227,19 @@ impl LiveExecution {
             rejected: 0,
             last_rejection: None,
             scratch: Vec::new(),
+            tel: psn_sim::telemetry::ShardTelemetry::disabled(),
         }
+    }
+
+    /// Attach a phase-scoped wall-clock [`psn_sim::telemetry::Telemetry`]
+    /// registry: the engine records its run phases (busy, barrier wait,
+    /// ring exchange, …) and [`advance_to`](Self::advance_to) times its
+    /// provider poll + inject drain on the coordinator slot. Strictly
+    /// observational — the session's results are bit-identical with or
+    /// without telemetry attached.
+    pub fn set_telemetry(&mut self, t: &psn_sim::telemetry::Telemetry) {
+        self.engine.set_telemetry(t);
+        self.tel = t.coordinator();
     }
 
     /// Pull every due event from the provider, inject it, and step the
@@ -240,6 +255,10 @@ impl LiveExecution {
         if t < self.watermark {
             return Err(EngineError::TimeRegression { at: t, now: self.watermark });
         }
+        // The poll + inject drain is coordinator work in the live session:
+        // time it on the coordinator slot so serve-side profiles separate
+        // ingest cost from engine stepping.
+        let d0 = self.tel.start();
         let mut batch = std::mem::take(&mut self.scratch);
         self.provider.poll(t, &mut batch);
         for ev in batch.drain(..) {
@@ -259,6 +278,7 @@ impl LiveExecution {
             }
         }
         self.scratch = batch;
+        self.tel.record(psn_sim::telemetry::Phase::CoordinatorDrain, d0);
         let now = self.engine.step_until(t)?;
         self.watermark = t;
         Ok(now)

@@ -3,16 +3,21 @@
 //! ```text
 //! psn-serve [--port N] [--sensors N] [--delta-ms N] [--seed N]
 //!           [--hold-back-ms N] [--snapshot PATH] [--restore PATH]
-//! psn-serve --smoke
+//!           [--metrics-listen PORT]
+//! psn-serve --smoke [--metrics-listen PORT]
 //! ```
 //!
 //! Serves the length-prefixed JSON wire protocol (see the `psn_serve`
 //! crate docs) on `127.0.0.1`. `--port 0` (the default) binds an
 //! ephemeral port and prints `listening on 127.0.0.1:PORT` so scripts can
-//! scrape it. `--restore` resumes from a snapshot written by an earlier
-//! `Snapshot` request; `--smoke` runs a scripted
-//! ingest → detect → snapshot → kill → restore cycle against a real
-//! socket and exits nonzero on any mismatch (CI's serve-smoke job).
+//! scrape it. `--metrics-listen PORT` additionally serves a Prometheus
+//! text `GET /metrics` endpoint on `127.0.0.1:PORT` (again, 0 binds an
+//! ephemeral port, printed as `metrics on 127.0.0.1:PORT`). `--restore`
+//! resumes from a snapshot written by an earlier `Snapshot` request;
+//! `--smoke` runs a scripted ingest → detect → snapshot → kill → restore
+//! cycle against a real socket — including HTTP probes of the metrics
+//! endpoint when `--metrics-listen` is given — and exits nonzero on any
+//! mismatch (CI's serve-smoke and telemetry-smoke jobs).
 
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -32,6 +37,7 @@ struct Options {
     snapshot: Option<PathBuf>,
     restore: Option<PathBuf>,
     smoke: bool,
+    metrics_listen: Option<u16>,
 }
 
 impl Default for Options {
@@ -45,6 +51,7 @@ impl Default for Options {
             snapshot: None,
             restore: None,
             smoke: false,
+            metrics_listen: None,
         }
     }
 }
@@ -75,11 +82,16 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--snapshot" => o.snapshot = Some(PathBuf::from(value(a, &mut it)?)),
             "--restore" => o.restore = Some(PathBuf::from(value(a, &mut it)?)),
             "--smoke" => o.smoke = true,
+            "--metrics-listen" => {
+                o.metrics_listen =
+                    Some(value(a, &mut it)?.parse().map_err(|e| format!("--metrics-listen: {e}"))?)
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: psn-serve [--port N] [--sensors N] [--delta-ms N] [--seed N]\n\
                      \x20                [--hold-back-ms N] [--snapshot PATH] [--restore PATH]\n\
-                     \x20      psn-serve --smoke"
+                     \x20                [--metrics-listen PORT]\n\
+                     \x20      psn-serve --smoke [--metrics-listen PORT]"
                 );
                 std::process::exit(0);
             }
@@ -114,9 +126,23 @@ fn run_server(o: &Options) -> Result<(), String> {
         None => ServeSession::new(config(o)),
     };
     let listener = TcpListener::bind(("127.0.0.1", o.port)).map_err(|e| format!("bind: {e}"))?;
+    let http = match o.metrics_listen {
+        Some(port) => {
+            let (m, t) = (session.metrics_registry(), session.telemetry_registry());
+            let l =
+                TcpListener::bind(("127.0.0.1", port)).map_err(|e| format!("bind metrics: {e}"))?;
+            let h = psn_serve::serve_metrics(l, m, t);
+            println!("metrics on {}", h.addr());
+            Some(h)
+        }
+        None => None,
+    };
     let handle = serve(listener, session).map_err(|e| format!("serve: {e}"))?;
     println!("listening on {}", handle.addr());
     handle.wait();
+    if let Some(h) = http {
+        h.stop();
+    }
     Ok(())
 }
 
@@ -149,17 +175,53 @@ const SCRIPT: &[(u64, usize, usize, i64)] = &[
     (6, 1, 1, 2),
 ];
 
-fn smoke() -> Result<(), String> {
+/// Send a raw request to the HTTP metrics endpoint and read the whole
+/// response (status line + headers + body).
+fn http_exchange(addr: std::net::SocketAddr, request: &[u8]) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("http connect: {e}"))?;
+    s.write_all(request).map_err(|e| format!("http write: {e}"))?;
+    let _ = s.shutdown(std::net::Shutdown::Write);
+    let mut out = String::new();
+    s.read_to_string(&mut out).map_err(|e| format!("http read: {e}"))?;
+    Ok(out)
+}
+
+/// Exercise the Prometheus endpoint while the serve session is live: a
+/// valid scrape must return engine counters, and malformed requests must
+/// cost only their own connection.
+fn smoke_http(addr: std::net::SocketAddr) -> Result<(), String> {
+    let resp = http_exchange(addr, b"GET /metrics HTTP/1.0\r\n\r\n")?;
+    check(resp.starts_with("HTTP/1.0 200 OK"), "metrics endpoint answers 200")?;
+    check(resp.contains("psn_engine_events"), "scrape exposes engine counters")?;
+    check(resp.contains("psn_telemetry_phase_ns"), "scrape exposes telemetry phases")?;
+    let resp = http_exchange(addr, b"\x01\x02 not even close to http\r\n\r\n")?;
+    check(resp.starts_with("HTTP/1.0 400"), "malformed HTTP request answered 400")?;
+    let resp = http_exchange(addr, b"GET /metrics HTTP/1.0\r\n\r\n")?;
+    check(resp.starts_with("HTTP/1.0 200 OK"), "endpoint survives malformed request")?;
+    Ok(())
+}
+
+fn smoke(metrics_listen: Option<u16>) -> Result<(), String> {
     let snap_path =
         std::env::temp_dir().join(format!("psn-serve-smoke-{}.json", std::process::id()));
     let mut o = Options { sensors: 2, snapshot: Some(snap_path.clone()), ..Default::default() };
 
     // Phase 1: serve, ingest the script over the wire, detect, snapshot.
-    let h = serve(
-        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?,
-        ServeSession::new(config(&o)),
-    )
-    .map_err(|e| format!("serve: {e}"))?;
+    let session = ServeSession::new(config(&o));
+    let http = match metrics_listen {
+        Some(port) => {
+            let (m, t) = (session.metrics_registry(), session.telemetry_registry());
+            let l =
+                TcpListener::bind(("127.0.0.1", port)).map_err(|e| format!("bind metrics: {e}"))?;
+            let h = psn_serve::serve_metrics(l, m, t);
+            eprintln!("smoke: metrics on {}", h.addr());
+            Some(h)
+        }
+        None => None,
+    };
+    let h = serve(TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?, session)
+        .map_err(|e| format!("serve: {e}"))?;
     let addr = h.addr();
     eprintln!("smoke: phase 1 serving on {addr}");
     let mut c = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
@@ -200,6 +262,12 @@ fn smoke() -> Result<(), String> {
     };
     check(reports_before == 6, "frontier counts six reports")?;
 
+    // With --metrics-listen, scrape the Prometheus endpoint while the
+    // session is live and prove malformed HTTP can't take it down.
+    if let Some(http) = &http {
+        smoke_http(http.addr())?;
+    }
+
     // Malformed input must yield a typed error, not kill anything.
     use std::io::Write as _;
     let garbage = b"}{ definitely not json";
@@ -220,6 +288,9 @@ fn smoke() -> Result<(), String> {
     )?;
     drop(c);
     check(h.wait().is_some(), "phase 1 session recovered")?;
+    if let Some(http) = http {
+        http.stop();
+    }
 
     // Phase 2: restore from the snapshot, verify nothing was lost, and
     // keep serving live.
@@ -278,7 +349,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let result = if opts.smoke { smoke() } else { run_server(&opts) };
+    let result = if opts.smoke { smoke(opts.metrics_listen) } else { run_server(&opts) };
     if let Err(e) = result {
         eprintln!("psn-serve: {e}");
         std::process::exit(1);

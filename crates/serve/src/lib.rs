@@ -15,7 +15,11 @@
 //!   snapshot/restore built on deterministic journal replay;
 //! - [`server`] — connection fan-in: reader threads decode frames and
 //!   funnel them through one command channel to the service thread, so no
-//!   wire input — malformed or otherwise — can panic or wedge the engine.
+//!   wire input — malformed or otherwise — can panic or wedge the engine;
+//! - [`http`] — an optional Prometheus-text `GET /metrics` endpoint
+//!   (`--metrics-listen`) that snapshots the session's `Arc`-shared
+//!   metrics and telemetry registries without touching the command
+//!   channel.
 //!
 //! The `psn-serve` binary wraps this into a CLI (see `--help`); its
 //! `--smoke` mode runs a scripted ingest-detect-snapshot-restore cycle
@@ -24,10 +28,12 @@
 
 #![warn(missing_docs)]
 
+pub mod http;
 pub mod server;
 pub mod session;
 pub mod wire;
 
-pub use server::{serve, ServerHandle};
+pub use http::{prometheus_text, serve_metrics, HttpHandle};
+pub use server::{clamp_subscription, serve, ServerHandle};
 pub use session::{ServeConfig, ServeSession, ServeSnapshot, MAX_SLICE};
 pub use wire::{read_frame, write_frame, ErrorCode, Request, Response, WireError, MAX_FRAME};

@@ -24,6 +24,20 @@ use crate::wire::{self, ErrorCode, Request, Response};
 
 type Command = (Request, Sender<Response>);
 
+/// Server-side clamps for subscription streams: a push period below
+/// [`MIN_PUSH_INTERVAL_MS`] would let one connection monopolise the
+/// command channel, and an unbounded count would pin the reader thread
+/// forever.
+pub const MIN_PUSH_INTERVAL_MS: u64 = 10;
+/// Maximum push frames one subscription may request.
+pub const MAX_PUSH_COUNT: u32 = 10_000;
+
+/// Apply the server's subscription clamps to a requested
+/// `(interval_ms, count)` pair.
+pub fn clamp_subscription(interval_ms: u64, count: u32) -> (u64, u32) {
+    (interval_ms.max(MIN_PUSH_INTERVAL_MS), count.min(MAX_PUSH_COUNT))
+}
+
 /// A running server: address, in-process request path, and shutdown.
 pub struct ServerHandle {
     addr: SocketAddr,
@@ -136,6 +150,39 @@ fn connection(stream: TcpStream, tx: Sender<Command>) {
     loop {
         match wire::read_frame::<Request>(&mut reader) {
             Ok(Some(req)) => {
+                // Subscriptions are served by this reader: ack, then pace
+                // push frames by issuing ordinary requests through the
+                // command channel — the session stays single-threaded and
+                // every pushed snapshot is consistent.
+                match req {
+                    Request::SubscribeMetrics { interval_ms, count } => {
+                        if subscription(&mut writer, &tx, "metrics", interval_ms, count, |_| {
+                            Request::Metrics
+                        })
+                        .is_err()
+                        {
+                            break;
+                        }
+                        continue;
+                    }
+                    Request::SubscribeTrace { from, interval_ms, count } => {
+                        // The cursor advances by however many reports each
+                        // push returned, so frames never repeat a report.
+                        let cursor = std::cell::Cell::new(from);
+                        if subscription(&mut writer, &tx, "trace", interval_ms, count, |last| {
+                            if let Some(Response::TraceSlice { from, reports, .. }) = last {
+                                cursor.set(from + reports.len());
+                            }
+                            Request::TraceSlice { from: cursor.get(), limit: crate::MAX_SLICE }
+                        })
+                        .is_err()
+                        {
+                            break;
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
                 let (rtx, rrx) = mpsc::channel();
                 if tx.send((req, rtx)).is_err() {
                     let _ = wire::write_frame(&mut writer, &Response::ShuttingDown);
@@ -157,6 +204,35 @@ fn connection(stream: TcpStream, tx: Sender<Command>) {
             }
         }
     }
+}
+
+/// Run one subscription stream on a connection: write the
+/// [`Response::Subscribed`] ack, then `count` push frames at
+/// `interval_ms` cadence, each produced by sending `next(last_response)`
+/// through the command channel. Returns `Err(())` when the connection or
+/// the service is gone (the caller closes the connection).
+fn subscription(
+    writer: &mut BufWriter<TcpStream>,
+    tx: &Sender<Command>,
+    stream: &str,
+    interval_ms: u64,
+    count: u32,
+    mut next: impl FnMut(Option<&Response>) -> Request,
+) -> Result<(), ()> {
+    let (interval_ms, count) = clamp_subscription(interval_ms, count);
+    let ack = Response::Subscribed { stream: stream.into(), count, interval_ms };
+    wire::write_frame(writer, &ack).map_err(|_| ())?;
+    let mut last: Option<Response> = None;
+    for _ in 0..count {
+        std::thread::sleep(Duration::from_millis(interval_ms));
+        let req = next(last.as_ref());
+        let (rtx, rrx) = mpsc::channel();
+        tx.send((req, rtx)).map_err(|_| ())?;
+        let resp = rrx.recv().map_err(|_| ())?;
+        wire::write_frame(writer, &resp).map_err(|_| ())?;
+        last = Some(resp);
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -313,6 +389,63 @@ mod tests {
             panic!()
         };
         assert_eq!(new_reports, 50, "every concurrent ingest landed");
+        h.stop();
+    }
+
+    #[test]
+    fn subscribe_metrics_pushes_the_requested_frames() {
+        let h = start();
+        let mut c = connect(&h);
+        // Ask for 3 frames at the fastest cadence; the 1ms interval must
+        // come back clamped to the server minimum.
+        wire::write_frame(&mut c, &Request::SubscribeMetrics { interval_ms: 1, count: 3 })
+            .expect("write");
+        let ack = wire::read_frame::<Response>(&mut c).expect("read").expect("ack");
+        assert_eq!(
+            ack,
+            Response::Subscribed {
+                stream: "metrics".into(),
+                count: 3,
+                interval_ms: MIN_PUSH_INTERVAL_MS
+            }
+        );
+        for _ in 0..3 {
+            let frame = wire::read_frame::<Response>(&mut c).expect("read").expect("frame");
+            assert!(matches!(frame, Response::Metrics { .. }), "{frame:?}");
+        }
+        // The connection is back in request/response mode afterwards.
+        assert_eq!(roundtrip(&mut c, &Request::Ping), Response::Pong);
+        h.stop();
+    }
+
+    #[test]
+    fn subscribe_trace_advances_its_cursor_across_frames() {
+        let h = start();
+        let mut c = connect(&h);
+        for i in 0..4u64 {
+            let r = roundtrip(
+                &mut c,
+                &Request::Ingest {
+                    at: SimTime::from_secs(i + 1),
+                    process: (i % 2) as usize,
+                    key: AttrKey::new((i % 2) as usize, 0),
+                    value: AttrValue::Int(i as i64),
+                },
+            );
+            assert!(matches!(r, Response::Ingested { .. }));
+        }
+        let r = roundtrip(&mut c, &Request::Advance { to: SimTime::from_secs(30) });
+        assert!(matches!(r, Response::Advanced { new_reports: 4, .. }), "{r:?}");
+        wire::write_frame(&mut c, &Request::SubscribeTrace { from: 0, interval_ms: 1, count: 2 })
+            .expect("write");
+        let ack = wire::read_frame::<Response>(&mut c).expect("read").expect("ack");
+        assert!(matches!(ack, Response::Subscribed { .. }), "{ack:?}");
+        let first = wire::read_frame::<Response>(&mut c).expect("read").expect("frame");
+        let Response::TraceSlice { from: 0, reports, .. } = &first else { panic!("{first:?}") };
+        assert_eq!(reports.len(), 4, "first push delivers everything so far");
+        let second = wire::read_frame::<Response>(&mut c).expect("read").expect("frame");
+        let Response::TraceSlice { from: 4, reports, .. } = &second else { panic!("{second:?}") };
+        assert!(reports.is_empty(), "cursor moved past the consumed reports");
         h.stop();
     }
 }

@@ -20,10 +20,13 @@ use std::sync::mpsc::{self, Sender};
 use serde::{Deserialize, Serialize};
 
 use psn_core::live::{LiveExecution, LiveSnapshot, LoggedEvent, RestoreError};
+use psn_core::root::NoActuation;
 use psn_core::{ExecutionConfig, NetMsg};
 use psn_predicates::{modal_status, OnlineDetector, Predicate};
 use psn_sim::engine::EngineError;
+use psn_sim::metrics::Metrics;
 use psn_sim::provider::{ChannelProvider, ExternalEvent};
+use psn_sim::telemetry::Telemetry;
 use psn_sim::time::SimDuration;
 use psn_world::WorldState;
 
@@ -120,13 +123,28 @@ pub struct ServeSession {
     hold_back: SimDuration,
     initial: WorldState,
     snapshot_path: Option<PathBuf>,
+    /// The session's metrics registry, shared with the live engine.
+    /// Clones are cheap `Arc` handles; the HTTP exposition listener holds
+    /// one and snapshots it without going through the command channel.
+    metrics: Metrics,
+    /// The phase-scoped wall-clock telemetry registry (same sharing).
+    telemetry: Telemetry,
 }
 
 impl ServeSession {
     /// A fresh session under `cfg`.
     pub fn new(cfg: ServeConfig) -> Self {
         let (tx, rx) = mpsc::channel();
-        let live = LiveExecution::new(cfg.n, cfg.exec, Box::new(ChannelProvider::new(rx)));
+        let metrics = Metrics::new();
+        let telemetry = Telemetry::new();
+        let mut live = LiveExecution::new_full(
+            cfg.n,
+            cfg.exec,
+            Box::new(NoActuation),
+            &metrics,
+            Box::new(ChannelProvider::new(rx)),
+        );
+        live.set_telemetry(&telemetry);
         ServeSession {
             live,
             ingest_tx: tx,
@@ -137,6 +155,8 @@ impl ServeSession {
             hold_back: cfg.hold_back,
             initial: cfg.initial,
             snapshot_path: cfg.snapshot_path,
+            metrics,
+            telemetry,
         }
     }
 
@@ -149,7 +169,14 @@ impl ServeSession {
         snapshot_path: Option<PathBuf>,
     ) -> Result<Self, RestoreError> {
         let (tx, rx) = mpsc::channel();
-        let live = snap.live.restore(Box::new(ChannelProvider::new(rx)))?;
+        let metrics = Metrics::new();
+        let telemetry = Telemetry::new();
+        let mut live = snap.live.restore_full(
+            Box::new(ChannelProvider::new(rx)),
+            Box::new(NoActuation),
+            &metrics,
+        )?;
+        live.set_telemetry(&telemetry);
         let next_world_event = live
             .journal()
             .iter()
@@ -175,6 +202,8 @@ impl ServeSession {
             hold_back: snap.hold_back,
             initial: snap.initial,
             snapshot_path,
+            metrics,
+            telemetry,
         };
         for (name, predicate) in snap.watches {
             session.add_watch(name, predicate);
@@ -186,6 +215,19 @@ impl ServeSession {
     /// The session's live engine (read-only).
     pub fn live(&self) -> &LiveExecution {
         &self.live
+    }
+
+    /// A handle to the session's metrics registry. Snapshotting through a
+    /// clone is thread-safe and does not go through the command channel —
+    /// this is what the `--metrics-listen` HTTP exposition listener holds.
+    pub fn metrics_registry(&self) -> Metrics {
+        self.metrics.clone()
+    }
+
+    /// A handle to the session's telemetry registry (same sharing rules
+    /// as [`metrics_registry`](Self::metrics_registry)).
+    pub fn telemetry_registry(&self) -> Telemetry {
+        self.telemetry.clone()
     }
 
     fn add_watch(&mut self, name: String, predicate: Predicate) {
@@ -305,6 +347,23 @@ impl ServeSession {
                 };
                 let modal = modal_status(&self.live.trace_view(), predicate, &self.initial);
                 Response::Status { name, online: detector.status(), modal }
+            }
+            Request::Metrics => Response::Metrics {
+                metrics: self.metrics.snapshot(),
+                telemetry: self.telemetry.snapshot(),
+            },
+            // Subscriptions are a connection-level protocol: the reader
+            // acknowledges and paces the push frames itself (see
+            // `server::connection`). Reaching the session — e.g. via the
+            // in-process `ServerHandle::request` path — they just return
+            // the ack with the server's clamping applied.
+            Request::SubscribeMetrics { interval_ms, count } => {
+                let (interval_ms, count) = crate::server::clamp_subscription(interval_ms, count);
+                Response::Subscribed { stream: "metrics".into(), count, interval_ms }
+            }
+            Request::SubscribeTrace { interval_ms, count, .. } => {
+                let (interval_ms, count) = crate::server::clamp_subscription(interval_ms, count);
+                Response::Subscribed { stream: "trace".into(), count, interval_ms }
             }
             Request::TraceSlice { from, limit } => self.live.with_log(|l| {
                 let total = l.reports.len();

@@ -155,6 +155,35 @@ pub enum Request {
         /// Maximum number of reports to return (server-capped).
         limit: usize,
     },
+    /// The session's metrics and telemetry registries, snapshotted now:
+    /// engine counters/gauges/timers plus the phase-scoped wall-clock
+    /// telemetry (per-shard busy / barrier-wait / …).
+    Metrics,
+    /// Subscribe to periodic [`Response::Metrics`] push frames on this
+    /// connection: after the [`Response::Subscribed`] ack, the server
+    /// writes one `Metrics` frame every `interval_ms` until `count`
+    /// frames have been pushed (both server-clamped). The connection is
+    /// dedicated to the stream until it completes; other requests on it
+    /// wait.
+    SubscribeMetrics {
+        /// Push period in milliseconds (clamped to ≥ 10).
+        interval_ms: u64,
+        /// Number of frames to push (clamped to ≤ 10 000).
+        count: u32,
+    },
+    /// Subscribe to the report stream: after the [`Response::Subscribed`]
+    /// ack, the server pushes a [`Response::TraceSlice`] every
+    /// `interval_ms` containing the reports that arrived since the last
+    /// push (starting at index `from`), until `count` frames have been
+    /// pushed. Empty slices are pushed too — the cadence is the contract.
+    SubscribeTrace {
+        /// First report index to stream from.
+        from: usize,
+        /// Push period in milliseconds (clamped to ≥ 10).
+        interval_ms: u64,
+        /// Number of frames to push (clamped to ≤ 10 000).
+        count: u32,
+    },
     /// Write a snapshot (to the server's configured path).
     Snapshot,
     /// Stop the server.
@@ -234,6 +263,26 @@ pub enum Response {
         /// The reports.
         reports: Vec<ReceivedReport>,
     },
+    /// Metrics + telemetry snapshot (reply to [`Request::Metrics`], and
+    /// the push frame of a `SubscribeMetrics` stream).
+    Metrics {
+        /// The session's metrics registry (engine + exec counters,
+        /// gauges, timers), snapshotted at reply time.
+        metrics: psn_sim::metrics::MetricsSnapshot,
+        /// The phase-scoped wall-clock telemetry snapshot (per-shard
+        /// busy / barrier-wait / ring-exchange, coordinator drain, log
+        /// histograms).
+        telemetry: psn_sim::telemetry::TelemetrySnapshot,
+    },
+    /// A subscription was accepted; push frames follow on this connection.
+    Subscribed {
+        /// `"metrics"` or `"trace"`.
+        stream: String,
+        /// Frames the server will push (after clamping).
+        count: u32,
+        /// Push period in milliseconds (after clamping).
+        interval_ms: u64,
+    },
     /// A snapshot was written.
     Snapshot {
         /// Where it was written (`None` if the server has no snapshot
@@ -272,6 +321,9 @@ mod tests {
             Request::Watch { name: "occ".into(), predicate: Predicate::occupancy_over(2, 3) },
             Request::Status { name: "occ".into() },
             Request::TraceSlice { from: 3, limit: 10 },
+            Request::Metrics,
+            Request::SubscribeMetrics { interval_ms: 50, count: 3 },
+            Request::SubscribeTrace { from: 0, interval_ms: 50, count: 3 },
             Request::Snapshot,
             Request::Shutdown,
         ];

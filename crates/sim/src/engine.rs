@@ -45,6 +45,7 @@ use crate::metrics::{Counter, Gauge, Metrics, Timer};
 use crate::network::{ActorId, NetStats, NetworkConfig};
 use crate::queue::{event_key, key_class, EventQueue};
 use crate::rng::{RngFactory, RngStream};
+use crate::telemetry::{Phase, ShardTelemetry, Telemetry};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{ClockStamp, FaultRecordKind, MsgId, ProcessEventKind, Trace, TraceKind};
 
@@ -311,7 +312,9 @@ struct EngineMetrics {
     run_wall: Timer,
     events_per_sec: Gauge,
     windows: Counter,
+    op_barriers: Counter,
     rollbacks: Counter,
+    ring_spills: Counter,
 }
 
 impl EngineMetrics {
@@ -325,7 +328,9 @@ impl EngineMetrics {
             run_wall: m.timer_with_range("engine.run_wall_ns", 0.0, 1e10, 128),
             events_per_sec: m.gauge("engine.events_per_sec"),
             windows: m.counter("engine.windows"),
+            op_barriers: m.counter("engine.op_barriers"),
             rollbacks: m.counter("engine.rollbacks"),
+            ring_spills: m.counter("engine.ring_spills"),
         }
     }
 }
@@ -576,6 +581,9 @@ struct Lane<M: Message> {
     action_scratch: Vec<Action<M>>,
     peer_scratch: Vec<ActorId>,
     m: EngineMetrics,
+    /// Phase-scoped wall-clock telemetry for this shard. Inert (no clock
+    /// reads, no stores) unless a live [`Telemetry`] registry was attached.
+    tel: ShardTelemetry,
 }
 
 impl<M: Message> Lane<M> {
@@ -611,6 +619,7 @@ impl<M: Message> Lane<M> {
             action_scratch: Vec::new(),
             peer_scratch: Vec::new(),
             m,
+            tel: ShardTelemetry::disabled(),
         }
     }
 
@@ -649,6 +658,10 @@ impl<M: Message> Lane<M> {
             match self.ring_out.get_mut(dest).and_then(Option::as_mut) {
                 Some(ring) => {
                     if let Err(item) = ring.push((at, key, pending)) {
+                        // Ring full: spill to the outbox (routed at the next
+                        // barrier). Count it — sustained spills mean the ring
+                        // capacity is undersized for this workload.
+                        self.m.ring_spills.inc();
                         self.outbox.push(item);
                     }
                 }
@@ -1348,6 +1361,9 @@ pub struct Engine<M: Message> {
     /// `engine.rollbacks` counter).
     rollback_count: u64,
     m: EngineMetrics,
+    /// Phase-scoped wall-clock telemetry registry. Disabled (inert, no
+    /// clock reads) unless [`Engine::set_telemetry`] attached a live one.
+    tel: Telemetry,
 }
 
 impl<M: Message> Engine<M> {
@@ -1370,6 +1386,7 @@ impl<M: Message> Engine<M> {
             hooks: None,
             rollback_count: 0,
             m,
+            tel: Telemetry::disabled(),
         }
     }
 
@@ -1459,6 +1476,17 @@ impl<M: Message> Engine<M> {
     pub fn set_metrics(&mut self, metrics: &Metrics) {
         self.m = EngineMetrics::attach(metrics);
         self.lane.m = self.m.clone();
+    }
+
+    /// Attach a phase-scoped wall-clock [`Telemetry`] registry: sequential
+    /// runs record into shard slot 0; sharded runs record per shard plus a
+    /// coordinator slot. Strictly off the deterministic path — wall-clock
+    /// reads feed only telemetry, and a run with telemetry attached is
+    /// bit-identical to the same run without (see the `telemetry` module
+    /// docs and `tests/telemetry_determinism.rs`).
+    pub fn set_telemetry(&mut self, t: &Telemetry) {
+        self.tel = t.clone();
+        self.lane.tel = t.shard(0);
     }
 
     /// Register an actor; returns its id. Actors must be added before
@@ -1566,6 +1594,9 @@ impl<M: Message> Engine<M> {
         let events_before = self.lane.events_processed;
         self.ensure_started();
         self.advance_loop(None);
+        // The whole sequential run (start dispatch included) is shard-0
+        // busy time; `record` is a no-op when no registry is attached.
+        self.lane.tel.record(Phase::Busy, Some(wall_start));
         self.finish_run(wall_start, events_before)
     }
 
@@ -1584,7 +1615,9 @@ impl<M: Message> Engine<M> {
             return Err(EngineError::TimeRegression { at: bound, now: self.lane.now });
         }
         self.ensure_started();
+        let t0 = self.lane.tel.start();
         self.advance_loop(Some(bound));
+        self.lane.tel.record(Phase::Busy, t0);
         if !self.lane.halted {
             let target = bound.min(self.end_time);
             if target > self.lane.now {
@@ -1738,6 +1771,11 @@ impl<M: Message> Engine<M> {
         let net = &self.network;
         let end_time = self.end_time;
         let metrics = self.m.clone();
+        // Telemetry is recorded per shard (workers) plus a coordinator
+        // slot; `tel_on` gates every wall-clock read so a disabled
+        // registry costs nothing on the barrier path.
+        let tel_on = self.tel.is_enabled();
+        let coord_tel = self.tel.coordinator();
         let mut op_cursor = self.op_cursor;
         let mut end_hit = false;
         let mut outbox_scratch: Vec<(SimTime, u64, Pending<M>)> = Vec::new();
@@ -1795,25 +1833,63 @@ impl<M: Message> Engine<M> {
             snaps = lanes.iter().map(MetricSnap::of).collect();
         }
 
+        // The serial prefix (lane split, start dispatch, plan routing) is
+        // coordinator busy time. During the window loop the coordinator
+        // records only drains/rollbacks, so its busy spans never overlap
+        // the shards' own accounting.
+        coord_tel.record(Phase::Busy, Some(wall_start));
+        // Per-worker shard handles for the one wait the lane can't record:
+        // the final block on a closing command channel (the lane has
+        // already been sent back by then).
+        let wtels: Vec<ShardTelemetry> = (0..k).map(|i| self.tel.shard(i)).collect();
         std::thread::scope(|scope| {
             let mut cmd_tx: Vec<mpsc::Sender<(Lane<M>, SimTime)>> = Vec::with_capacity(k);
             let mut res_rx: Vec<mpsc::Receiver<Lane<M>>> = Vec::with_capacity(k);
-            for _ in 0..k {
+            for wtel in wtels {
                 let (tx, rx) = mpsc::channel::<(Lane<M>, SimTime)>();
                 let (res_tx, rres) = mpsc::channel::<Lane<M>>();
                 cmd_tx.push(tx);
                 res_rx.push(rres);
                 let plane_lock = &plane_lock;
+                // The first wait clock starts on the coordinator side so
+                // thread-spawn latency lands in barrier wait — the shard
+                // slots then cover the scope's whole lifetime and the
+                // profile report can attribute ~all of the run wall.
+                let spawn0 = if tel_on { Some(Instant::now()) } else { None };
                 scope.spawn(move || {
-                    while let Ok((mut lane, wend)) = rx.recv() {
+                    let mut wait0 = spawn0;
+                    loop {
+                        // Time blocked on the coordinator as barrier wait
+                        // — recorded into the received lane's shard slot,
+                        // so the attribution follows the lane even though
+                        // the clock read happens before we know which
+                        // window this is.
+                        let Ok((mut lane, wend)) = rx.recv() else {
+                            if let Some(w0) = wait0 {
+                                wtel.record_ns(Phase::BarrierWait, w0.elapsed().as_nanos() as u64);
+                            }
+                            break;
+                        };
+                        if let Some(w0) = wait0 {
+                            lane.tel.record_ns(Phase::BarrierWait, w0.elapsed().as_nanos() as u64);
+                        }
+                        let t0 = lane.tel.start();
                         {
                             let guard = plane_lock.read();
                             lane.advance_until(Some(wend), net, guard.as_deref());
                         }
+                        lane.tel.record(Phase::Busy, t0);
                         // Overlap exchange with other lanes' windows: pull
                         // whatever peers have published so far; the
                         // coordinator finishes the drain at the barrier.
+                        let r0 = lane.tel.start();
                         lane.absorb_rings();
+                        lane.tel.record(Phase::RingExchange, r0);
+                        // Clock the next wait from *before* the send: on a
+                        // busy machine the scheduler may run the whole
+                        // coordinator barrier between our send and our next
+                        // statement, and that time is barrier wait.
+                        wait0 = if tel_on { Some(Instant::now()) } else { None };
                         if res_tx.send(lane).is_err() {
                             break;
                         }
@@ -1845,10 +1921,12 @@ impl<M: Message> Engine<M> {
                 }
                 if op_at == Some(next) {
                     // Coordinator sub-barrier: apply the op under the write
-                    // lock, with all lanes at rest. Counts as a window in
-                    // `engine.windows` — the metric measures synchronization
-                    // points, and an op barrier synchronizes every lane just
-                    // like a window boundary does.
+                    // lock, with all lanes at rest. Counted in
+                    // `engine.op_barriers`, not `engine.windows` — an op
+                    // barrier synchronizes every lane like a window boundary
+                    // does, but it advances no lookahead window, and folding
+                    // the two together made barrier-wait attribution lie
+                    // about window cost.
                     let idx = op_cursor;
                     op_cursor += 1;
                     if !optimistic_run {
@@ -1856,7 +1934,7 @@ impl<M: Message> Engine<M> {
                         // reaches `engine.events_processed` via the flush.)
                         metrics.events.inc();
                     }
-                    metrics.windows.inc();
+                    metrics.op_barriers.inc();
                     let mut guard = plane_lock.write();
                     let plane = guard.as_deref_mut().expect("op implies plane");
                     collect_parked(&mut lanes, plane);
@@ -1868,10 +1946,12 @@ impl<M: Message> Engine<M> {
                     // would surface after the destination lane advanced
                     // past their delivery time. Workers are idle at an op
                     // barrier, so the ring drain is exhaustive.
+                    let d0 = coord_tel.start();
                     for lane in &mut lanes {
                         lane.absorb_rings();
                     }
                     route_outboxes(&mut lanes, &mut outbox_scratch);
+                    coord_tel.record(Phase::CoordinatorDrain, d0);
                     if optimistic_run {
                         // Op effects (drops at a cut, the op's own event
                         // count) go through the deferred flush like window
@@ -1935,16 +2015,20 @@ impl<M: Message> Engine<M> {
                                 // window), so even the rollback path makes a
                                 // full conservative window of progress per
                                 // two barriers.
+                                let rb0 = coord_tel.start();
                                 if let Some(h) = hooks.as_deref_mut() {
                                     h.rollback();
                                 }
                                 for (lane, cp) in lanes.iter_mut().zip(cps) {
                                     lane.rollback_spec(cp);
                                 }
+                                coord_tel.record(Phase::Rollback, rb0);
                                 rollbacks += k as u64;
                                 metrics.rollbacks.add(k as u64);
                                 metrics.windows.inc();
+                                let rd0 = coord_tel.start();
                                 run_window(&cmd_tx, &res_rx, &mut lanes, c);
+                                coord_tel.record(Phase::Redo, rd0);
                             }
                             _ => {
                                 // No straggler: the whole span is causally
@@ -1961,10 +2045,12 @@ impl<M: Message> Engine<M> {
                     // Producers are quiescent at the barrier, so this
                     // coordinator drain (after the workers' own overlapped
                     // absorb) is exhaustive.
+                    let d0 = coord_tel.start();
                     for lane in &mut lanes {
                         lane.absorb_rings();
                     }
                     route_outboxes(&mut lanes, &mut outbox_scratch);
+                    coord_tel.record(Phase::CoordinatorDrain, d0);
                     if optimistic_run {
                         for (lane, snap) in lanes.iter().zip(snaps.iter_mut()) {
                             lane.flush_metrics(snap, &metrics);
@@ -1974,6 +2060,9 @@ impl<M: Message> Engine<M> {
             }
             drop(cmd_tx); // workers exit on channel close
         });
+        // Serial suffix: parked-message collection, ring teardown, lane
+        // merge — coordinator busy time again (see the prefix span above).
+        let suffix0 = coord_tel.start();
 
         self.hooks = hooks;
         self.rollback_count += rollbacks;
@@ -1987,6 +2076,14 @@ impl<M: Message> Engine<M> {
             // Rings are drained at every barrier, so dropping the handles
             // here cannot lose events.
             debug_assert!(lane.ring_in.iter_mut().flatten().all(|r| r.is_empty()));
+            if tel_on {
+                // Worst occupancy this lane's producers ever observed —
+                // the capacity-pressure signal behind `engine.ring_spills`.
+                let hw = lane.ring_out.iter().flatten().map(|p| p.high_water()).max();
+                if let Some(hw) = hw {
+                    lane.tel.record_ring_high_water(hw as u64);
+                }
+            }
             lane.ring_out.clear();
             lane.ring_in.clear();
         }
@@ -1996,6 +2093,7 @@ impl<M: Message> Engine<M> {
         }
         self.m.queue_depth.set(self.lane.queue.len() as u64);
         self.m.in_flight.set(self.lane.in_flight.max(0) as u64);
+        coord_tel.record(Phase::Busy, suffix0);
         self.finish_run(wall_start, events_before)
     }
 
@@ -2004,6 +2102,7 @@ impl<M: Message> Engine<M> {
         self.lane.trace.seal();
         let wall = wall_start.elapsed();
         self.m.run_wall.record_duration(wall);
+        self.tel.record_run_wall(wall.as_nanos() as u64);
         let secs = wall.as_secs_f64();
         if secs > 0.0 {
             self.m
@@ -2018,6 +2117,7 @@ impl<M: Message> Engine<M> {
     /// (cheap: RNG streams are ~32 B) so workers index by global id.
     fn split_lanes(&mut self, owner: &[u32], k: usize) -> Vec<Lane<M>> {
         let n = self.lane.actors.len();
+        let tel = &self.tel;
         let base = &mut self.lane;
         let mut lanes: Vec<Lane<M>> = (0..k)
             .map(|shard| Lane {
@@ -2051,6 +2151,7 @@ impl<M: Message> Engine<M> {
                 action_scratch: Vec::new(),
                 peer_scratch: Vec::new(),
                 m: base.m.clone(),
+                tel: tel.shard(shard),
             })
             .collect();
         for (id, &shard) in owner.iter().enumerate() {
@@ -3263,6 +3364,38 @@ mod tests {
         assert!(ow < cw, "optimistic must reduce barriers: {ow} vs {cw}");
         assert!(opt.counter("engine.rollbacks").unwrap() > 0);
         assert_eq!(cons.counter("engine.rollbacks"), Some(0));
+        // No fault script installed, so no op sub-barriers: the windows
+        // counter now measures lookahead windows alone.
+        assert_eq!(cons.counter("engine.op_barriers"), Some(0));
+        assert_eq!(opt.counter("engine.op_barriers"), Some(0));
+    }
+
+    #[test]
+    fn op_barriers_counted_separately_from_windows() {
+        let script = FaultScript::new()
+            .with(
+                SimTime::from_millis(25),
+                FaultSpec::Crash { actor: 3, recover_after: Some(SimDuration::from_millis(30)) },
+            )
+            .with(
+                SimTime::from_millis(40),
+                FaultSpec::Partition {
+                    group: vec![1, 2],
+                    heal_after: SimDuration::from_millis(50),
+                    policy: CutPolicy::Park,
+                },
+            );
+        let m = Metrics::new();
+        let mut e = gossip_engine(12, shardable_delay(), 4242);
+        e.set_metrics(&m);
+        e.install_faults(&script);
+        e.run_sharded(4);
+        let snap = m.snapshot();
+        // Two scripted faults with timed recoveries expand to four
+        // time-sorted plane ops, each a coordinator sub-barrier — and none
+        // of them count as lookahead windows any more.
+        assert_eq!(snap.counter("engine.op_barriers"), Some(4));
+        assert!(snap.counter("engine.windows").unwrap() > 4);
     }
 
     #[test]

@@ -21,8 +21,9 @@
 //!   happened-before analysis ([`trace_analysis`]),
 //! - summary statistics ([`stats`]),
 //! - a deterministic parallel sweep runner ([`sweep`]), and
-//! - a run-wide metrics/instrumentation registry ([`metrics`]) whose
-//!   recording provably never perturbs simulation results.
+//! - a run-wide metrics/instrumentation registry ([`metrics`]) and a
+//!   phase-scoped wall-clock telemetry plane ([`telemetry`]), both of
+//!   whose recording provably never perturbs simulation results.
 //!
 //! Every run is a pure function of `(actors, network, seed)`; sweeps return
 //! identical results at any thread count.
@@ -70,6 +71,7 @@ pub mod ring;
 pub mod rng;
 pub mod stats;
 pub mod sweep;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 pub mod trace_analysis;
@@ -92,6 +94,7 @@ pub mod prelude {
     pub use crate::rng::{RngFactory, RngStream};
     pub use crate::stats::OnlineStats;
     pub use crate::sweep::{run_sweep, run_sweep_auto, run_sweep_instrumented};
+    pub use crate::telemetry::{Phase, ShardTelemetry, Telemetry, TelemetrySnapshot};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{
         ClockStamp, MsgId, ProcessEventKind, Trace, TraceEvent, TraceKind, TraceRecord,

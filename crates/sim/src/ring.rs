@@ -59,6 +59,10 @@ pub struct Producer<T> {
     shared: Arc<Shared<T>>,
     /// Cached consumer position; refreshed only when the ring looks full.
     head_cache: usize,
+    /// Worst occupancy this producer has observed (against its possibly
+    /// stale `head_cache`, so an upper bound on true occupancy). Telemetry
+    /// only — maintained with producer-local arithmetic, no extra atomics.
+    high_water: usize,
 }
 
 /// The consuming half of an SPSC ring (not `Clone`: single consumer).
@@ -79,13 +83,25 @@ pub fn spsc<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         head: CacheAligned(AtomicUsize::new(0)),
         slots,
     });
-    (Producer { shared: Arc::clone(&shared), head_cache: 0 }, Consumer { shared, tail_cache: 0 })
+    (
+        Producer { shared: Arc::clone(&shared), head_cache: 0, high_water: 0 },
+        Consumer { shared, tail_cache: 0 },
+    )
 }
 
 impl<T> Producer<T> {
     /// Number of slots in the ring.
     pub fn capacity(&self) -> usize {
         self.shared.mask + 1
+    }
+
+    /// Worst occupancy this producer ever observed after a successful
+    /// push (an upper bound on true occupancy — the cached consumer
+    /// position may lag). A high-water near [`Producer::capacity`] means
+    /// the ring is undersized for the workload and pushes are about to
+    /// start spilling.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Publish `item`; returns it back if the ring is full.
@@ -95,11 +111,16 @@ impl<T> Producer<T> {
         if tail.wrapping_sub(self.head_cache) > s.mask {
             self.head_cache = s.head.0.load(Ordering::Acquire);
             if tail.wrapping_sub(self.head_cache) > s.mask {
+                self.high_water = s.mask + 1;
                 return Err(item); // genuinely full
             }
         }
         unsafe { (*s.slots[tail & s.mask].get()).write(item) };
         s.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        let occupancy = tail.wrapping_add(1).wrapping_sub(self.head_cache);
+        if occupancy > self.high_water {
+            self.high_water = occupancy;
+        }
         Ok(())
     }
 }
@@ -149,6 +170,30 @@ mod tests {
             assert_eq!(rx.pop(), Some(i));
         }
         assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn high_water_tracks_worst_occupancy() {
+        let (mut tx, mut rx) = spsc::<u32>(8);
+        assert_eq!(tx.high_water(), 0);
+        for i in 0..3 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.high_water(), 3);
+        for _ in 0..3 {
+            rx.pop();
+        }
+        tx.push(3).unwrap();
+        // Draining does not lower the recorded worst case (and the
+        // producer's view may overshoot while its consumer cache is
+        // stale — high_water is an upper bound).
+        assert!(tx.high_water() >= 3);
+        // Filling the ring pins it at capacity, spill or no spill.
+        for i in 4..11 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.push(99), Err(99));
+        assert_eq!(tx.high_water(), tx.capacity());
     }
 
     #[test]

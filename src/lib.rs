@@ -85,9 +85,9 @@ pub mod prelude {
         VectorClock, VectorStamp,
     };
     pub use psn_core::{
-        run_execution, run_execution_instrumented, run_execution_with_rule, ActuationRule,
-        ClockConfig, ExecMetrics, ExecutionConfig, ExecutionTrace, ShardPlanKind, SpeculationMode,
-        StrobePolicy,
+        run_execution, run_execution_instrumented, run_execution_profiled, run_execution_with_rule,
+        ActuationRule, ClockConfig, ExecMetrics, ExecutionConfig, ExecutionTrace, ShardPlanKind,
+        SpeculationMode, StrobePolicy,
     };
     pub use psn_faults::{
         ChannelEffect, ChannelFaultRule, ChaosConfig, ClockFaultKind, CutPolicy, FaultScript,
@@ -101,6 +101,7 @@ pub mod prelude {
     pub use psn_sim::delay::DelayModel;
     pub use psn_sim::loss::LossModel;
     pub use psn_sim::metrics::{Metrics, MetricsSnapshot};
+    pub use psn_sim::telemetry::{Phase, Telemetry, TelemetrySnapshot};
     pub use psn_sim::time::{SimDuration, SimTime};
     pub use psn_world::scenarios::exhibition::{self, ExhibitionParams};
     pub use psn_world::scenarios::habitat::{self, HabitatParams};
