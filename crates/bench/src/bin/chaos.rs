@@ -4,7 +4,7 @@
 //! For each seed a [`FaultScript::generate`] schedule (crashes with and
 //! without recovery, partitions with drop/park policies, channel
 //! drop/duplicate/reorder/corrupt rules, clock faults) is installed over
-//! the exhibition scenario, and the run must satisfy:
+//! a scenario, and the run must satisfy:
 //!
 //! 1. **Determinism** — re-running the same `(scenario, script, seed)`
 //!    reproduces the structured trace, net stats, fault stats, and end
@@ -17,7 +17,7 @@
 //!    an injected fault or a lost message (the E9/E11–E13 locality
 //!    claims, enforced as an invariant instead of a table).
 //!
-//! Any violation prints the offending seed and the process exits
+//! Any violation prints the offending run and the process exits
 //! non-zero, so the same binary serves as a CI smoke job (`--quick
 //! --seeds 3`) and a longer soak (default 20 seeds).
 //!
@@ -28,17 +28,33 @@
 //! cargo run --release -p psn-bench --bin chaos -- --quick --seeds 3 --shards 4
 //! cargo run --release -p psn-bench --bin chaos -- --quick --seeds 3 --shards 4 \
 //!     --optimistic --shard-plan affinity
+//! cargo run --release -p psn-bench --bin chaos -- --only office,hospital --seeds 5
+//! cargo run --release -p psn-bench --bin chaos -- --only scenarios/exhibition.psn
+//! cargo run --release -p psn-bench --bin chaos -- --grammar --seeds 20
 //! ```
+//!
+//! The default soak targets the exhibition world. `--only LIST` widens or
+//! narrows the target set: a comma- or space-separated list mixing
+//! built-in world names (`exhibition`, `office`, `hospital`, `habitat`)
+//! and paths to `.psn` scenario programs. Built-ins run once per seed
+//! with a freshly generated fault script; `.psn` files run once each,
+//! exactly as written (their faults come from the file's own `faults`
+//! block and seed). `--grammar` soaks the language itself: each seed
+//! draws a random scenario program from the `psn-lang` grammar sampler,
+//! compiles it, and checks the same three invariants — coverage of the
+//! scenario space instead of one hand-picked world.
 //!
 //! With `--shards N` the primary run executes on the sharded engine while
 //! the replay leg stays sequential, so invariant 1 sharpens into a
 //! sharded-vs-sequential bit-equivalence check under live fault scripts.
-//! Sharding needs lookahead, so this mode swaps the pure Δ-bounded delay
-//! (minimum 0) for a `[50 ms, 300 ms]` band — same Δ ceiling, nonzero
-//! floor. `--optimistic` additionally runs the primary on the Time Warp
-//! path and `--shard-plan NAME` picks the actor→shard map; the replay leg
-//! always stays sequential-conservative, so the same invariant then proves
-//! speculation and planning bit-identical under live fault scripts.
+//! Sharding needs lookahead, so built-in targets swap the pure Δ-bounded
+//! delay (minimum 0) for a `[50 ms, 300 ms]` band — same Δ ceiling,
+//! nonzero floor (grammar-sampled scenarios always carry a nonzero delay
+//! floor for the same reason). `--optimistic` additionally runs the
+//! primary on the Time Warp path and `--shard-plan NAME` picks the
+//! actor→shard map; the replay leg always stays sequential-conservative,
+//! so the same invariant then proves speculation and planning
+//! bit-identical under live fault scripts.
 
 use psn_bench::metrics_out::cell_object;
 use psn_bench::telemetry_out;
@@ -46,15 +62,40 @@ use psn_core::{
     run_execution, run_execution_profiled, ExecutionConfig, ExecutionTrace, ShardPlanKind,
     SpeculationMode,
 };
-use psn_predicates::{detect_occurrences, detection_matches, Discipline, Predicate};
+use psn_predicates::{detect_occurrences, detection_matches, Discipline, Expr, Predicate};
 use psn_sim::fault::{ChaosConfig, FaultScript};
 use psn_sim::metrics::Metrics;
 use psn_sim::telemetry::Telemetry;
 use psn_sim::time::{SimDuration, SimTime};
 use psn_sim::trace_analysis::TraceAnalysis;
-use psn_world::scenarios::exhibition::{self, ExhibitionParams};
-use psn_world::truth_intervals;
+use psn_world::scenarios::exhibition::ExhibitionParams;
+use psn_world::scenarios::{exhibition, habitat, hospital, office, Scenario};
+use psn_world::{truth_intervals, AttrKey};
 use serde::Value;
+
+const USAGE: &str = "usage: chaos [--seeds N] [--quick] [--shards K] [--shard-plan NAME] \
+     [--optimistic] [--telemetry-out <path.jsonl>] [--only LIST] [--grammar]\n\
+     --only LIST  soak specific targets: a comma- or space-separated list of\n\
+                  built-in world names (exhibition, office, hospital, habitat)\n\
+                  and/or .psn file paths, e.g. `--only office,hospital` or\n\
+                  `--only scenarios/exhibition.psn office`. Built-ins run once\n\
+                  per seed under a generated fault script; .psn files run once\n\
+                  each, exactly as written.\n\
+     --grammar    soak grammar-sampled scenarios: each seed draws a random .psn\n\
+                  program from the psn-lang sampler, compiles it, and checks\n\
+                  the same three invariants.";
+
+/// Everything one soak run needs: a world, an engine configuration (with
+/// the fault script already installed), the predicates to monitor, and
+/// the horizon for detection matching.
+struct SoakCase {
+    label: String,
+    scenario: Scenario,
+    cfg: ExecutionConfig,
+    preds: Vec<(String, Predicate)>,
+    discipline: Discipline,
+    horizon: SimTime,
+}
 
 fn params(quick: bool) -> ExhibitionParams {
     ExhibitionParams {
@@ -66,35 +107,79 @@ fn params(quick: bool) -> ExhibitionParams {
     }
 }
 
-fn run_seed(
-    seed: u64,
-    quick: bool,
-    shards: usize,
-    plan: ShardPlanKind,
-    optimistic: bool,
-) -> Result<String, String> {
-    let params = params(quick);
-    let scenario = exhibition::generate(&params, 9100 + seed);
-    let pred = Predicate::occupancy_over(params.doors, params.capacity);
-    let truth = truth_intervals(&scenario.timeline, |s| pred.eval_state(s));
-    let script = FaultScript::generate(
-        &ChaosConfig::new((0..params.doors).collect(), params.duration),
-        seed,
-    );
-    let n_faults = script.faults.len();
-    let delay = if shards > 1 {
-        // Sharded mode needs a nonzero minimum delay (lookahead).
+/// Delay model for built-in targets: sharded mode needs a nonzero
+/// minimum delay (lookahead), sequential mode keeps the pure Δ bound.
+fn builtin_delay(shards: usize) -> psn_sim::delay::DelayModel {
+    if shards > 1 {
         psn_sim::delay::DelayModel::DeltaBounded {
             min: SimDuration::from_millis(50),
             max: SimDuration::from_millis(300),
         }
     } else {
         psn_sim::delay::DelayModel::delta(SimDuration::from_millis(300))
+    }
+}
+
+/// Build the soak case for a built-in world name, or `None` if the name
+/// is not a built-in. Each world gets its canonical predicate and a
+/// generated fault script over all of its processes.
+fn builtin_case(
+    name: &str,
+    seed: u64,
+    quick: bool,
+    shards: usize,
+    plan: ShardPlanKind,
+    optimistic: bool,
+) -> Option<SoakCase> {
+    let secs = if quick { 300 } else { 600 };
+    let (scenario, pred, horizon): (Scenario, Predicate, SimTime) = match name {
+        "exhibition" => {
+            let p = params(quick);
+            let scenario = exhibition::generate(&p, 9100 + seed);
+            (scenario, Predicate::occupancy_over(p.doors, p.capacity), p.duration)
+        }
+        "office" => {
+            let p = office::OfficeParams {
+                base_temp: 29.0,
+                duration: SimTime::from_secs(secs),
+                ..Default::default()
+            };
+            let scenario = office::generate(&p, 9100 + seed);
+            (scenario, Predicate::hot_and_occupied(0, 30.0), p.duration)
+        }
+        "hospital" => {
+            let p = hospital::HospitalParams {
+                mean_dwell: SimDuration::from_secs(60),
+                duration: SimTime::from_secs(secs),
+                ..Default::default()
+            };
+            let ward = p.infectious_ward;
+            let scenario = hospital::generate(&p, 9100 + seed);
+            let pred = Predicate::Relational(
+                Expr::var(AttrKey::new(ward, hospital::ATTR_COUNT)).gt(Expr::int(0)),
+            );
+            (scenario, pred, p.duration)
+        }
+        "habitat" => {
+            let p = habitat::HabitatParams {
+                mean_dwell: SimDuration::from_secs(60),
+                duration: SimTime::from_secs(secs),
+                ..Default::default()
+            };
+            let scenario = habitat::generate(&p, 9100 + seed);
+            let pred = Predicate::Relational(
+                Expr::var(AttrKey::new(0, habitat::ATTR_PRESENT)).gt(Expr::int(0)),
+            );
+            (scenario, pred, p.duration)
+        }
+        _ => return None,
     };
+    let n = scenario.num_processes();
+    let script = FaultScript::generate(&ChaosConfig::new((0..n).collect(), horizon), seed);
     let speculation =
         if optimistic { SpeculationMode::Optimistic } else { SpeculationMode::Conservative };
     let cfg = ExecutionConfig {
-        delay,
+        delay: builtin_delay(shards),
         seed,
         record_sim_trace: true,
         faults: Some(script),
@@ -103,18 +188,70 @@ fn run_seed(
         speculation: Some(speculation),
         ..Default::default()
     };
+    Some(SoakCase {
+        label: format!("{name} seed {seed}"),
+        scenario,
+        cfg,
+        preds: vec![(name.to_string(), pred)],
+        discipline: Discipline::VectorStrobe,
+        horizon,
+    })
+}
+
+/// Build a soak case from compiled `.psn` source (a file or a sampled
+/// program), applying the CLI shard/plan/speculation overrides.
+fn compiled_case(
+    label: String,
+    source: &str,
+    origin: &str,
+    shards: usize,
+    plan: ShardPlanKind,
+    optimistic: bool,
+) -> Result<SoakCase, String> {
+    let compiled = psn_lang::compile(source).map_err(|diags| {
+        format!(
+            "{label}: scenario failed to compile:\n{}",
+            psn_lang::render(source, origin, &diags)
+        )
+    })?;
+    let mut cfg = compiled.config;
+    cfg.record_sim_trace = true;
+    if shards > 1 {
+        cfg.shards = shards;
+        cfg.shard_plan = Some(plan);
+    }
+    if optimistic {
+        cfg.speculation = Some(SpeculationMode::Optimistic);
+    }
+    let horizon = compiled.scenario.timeline.duration();
+    Ok(SoakCase {
+        label: format!("{label} ({})", compiled.name),
+        scenario: compiled.scenario,
+        cfg,
+        preds: compiled.predicates.into_iter().map(|p| (p.name, p.predicate)).collect(),
+        discipline: compiled.discipline,
+        horizon,
+    })
+}
+
+/// Run one case and check the three invariants. Returns the one-line
+/// summary on success, a violation message otherwise.
+fn soak(case: &SoakCase) -> Result<String, String> {
+    let SoakCase { label, scenario, cfg, preds, discipline, horizon } = case;
+    let shards = cfg.shards;
+    let optimistic = cfg.speculation == Some(SpeculationMode::Optimistic);
     // With a --telemetry-out sink open the primary run is profiled and one
-    // JSONL record is emitted per seed; otherwise this is run_execution.
+    // JSONL record is emitted per run; otherwise this is run_execution.
     let trace: ExecutionTrace = if telemetry_out::is_enabled() {
         let metrics = Metrics::new();
         let telemetry = Telemetry::new();
-        let trace = run_execution_profiled(&scenario, &cfg, &metrics, &telemetry);
+        let trace = run_execution_profiled(scenario, cfg, &metrics, &telemetry);
         telemetry_out::emit_cell(
             "chaos",
             cell_object(
-                &format!("seed={seed} shards={shards}"),
+                &format!("{label} shards={shards}"),
                 &[
-                    ("seed", Value::UInt(seed)),
+                    ("seed", Value::UInt(cfg.seed)),
                     ("shards", Value::UInt(shards as u64)),
                     ("optimistic", Value::Bool(optimistic)),
                 ],
@@ -124,7 +261,7 @@ fn run_seed(
         );
         trace
     } else {
-        run_execution(&scenario, &cfg)
+        run_execution(scenario, cfg)
     };
 
     // 1. Determinism: same (scenario, script, seed) ⇒ identical run. When
@@ -134,13 +271,13 @@ fn run_seed(
     // this fault script.
     let replay_cfg =
         ExecutionConfig { shards: 1, shard_plan: None, speculation: None, ..cfg.clone() };
-    let replay = run_execution(&scenario, &replay_cfg);
+    let replay = run_execution(scenario, &replay_cfg);
     if replay.sim.records() != trace.sim.records() {
-        return Err(format!("seed {seed}: replay diverged (structured trace records differ)"));
+        return Err(format!("{label}: replay diverged (structured trace records differ)"));
     }
     if replay.net != trace.net || replay.faults != trace.faults || replay.ended_at != trace.ended_at
     {
-        return Err(format!("seed {seed}: replay diverged (stats or end time differ)"));
+        return Err(format!("{label}: replay diverged (stats or end time differ)"));
     }
 
     // 2. Message conservation. The run quiesces (no heartbeats), so
@@ -158,7 +295,7 @@ fn run_seed(
     let accounted = trace.net.messages_delivered + trace.net.messages_lost + fs.parked_leftover;
     if trace.net.messages_sent + injected != accounted {
         return Err(format!(
-            "seed {seed}: conservation violated: sent {} + injected {injected} != \
+            "{label}: conservation violated: sent {} + injected {injected} != \
              delivered {} + lost {} + parked {}",
             trace.net.messages_sent,
             trace.net.messages_delivered,
@@ -172,35 +309,39 @@ fn run_seed(
     let tol = SimDuration::from_millis(1_000);
     let vicinity = SimDuration::from_secs(15);
     let analysis = TraceAnalysis::build(&trace.sim);
-    let det = detect_occurrences(
-        &trace,
-        &pred,
-        &scenario.timeline.initial_state(),
-        Discipline::VectorStrobe,
-    );
-    let mut unexplained = 0usize;
-    for d in det.iter().filter(|d| !d.borderline) {
-        if detection_matches(d, &truth, params.duration, tol) {
-            continue;
+    let initial = scenario.timeline.initial_state();
+    let mut det_total = 0usize;
+    let mut truth_total = 0usize;
+    for (name, pred) in preds {
+        let truth = truth_intervals(&scenario.timeline, |s| pred.eval_state(s));
+        let det = detect_occurrences(&trace, pred, &initial, *discipline);
+        let mut unexplained = 0usize;
+        for d in det.iter().filter(|d| !d.borderline) {
+            if detection_matches(d, &truth, *horizon, tol) {
+                continue;
+            }
+            let end = d.end.unwrap_or(trace.ended_at);
+            if !analysis.near_any_fault(d.start, end, vicinity)
+                && !analysis.near_any_loss(d.start, end, vicinity)
+            {
+                unexplained += 1;
+            }
         }
-        let end = d.end.unwrap_or(trace.ended_at);
-        if !analysis.near_any_fault(d.start, end, vicinity)
-            && !analysis.near_any_loss(d.start, end, vicinity)
-        {
-            unexplained += 1;
+        if unexplained > 0 {
+            return Err(format!(
+                "{label}: {unexplained} detection(s) of `{name}` match no truth occurrence \
+                 and are not near any fault or loss"
+            ));
         }
-    }
-    if unexplained > 0 {
-        return Err(format!(
-            "seed {seed}: {unexplained} detection(s) match no truth occurrence and are not \
-             near any fault or loss"
-        ));
+        det_total += det.len();
+        truth_total += truth.len();
     }
 
+    let n_faults = cfg.faults.as_ref().map_or(0, |s| s.faults.len());
     let spec_note =
         if optimistic { format!(", {} rollbacks", trace.rollbacks) } else { String::new() };
     Ok(format!(
-        "seed {seed}: ok — {} faults scripted (crashes {} recoveries {} cuts {} heals {} \
+        "{label}: ok — {} faults scripted (crashes {} recoveries {} cuts {} heals {} \
          clock {}), {} msgs ({} lost, {} corrupted, {} duplicated, {} reordered, {} parked), \
          {} detections / {} truth{spec_note}",
         n_faults,
@@ -215,14 +356,59 @@ fn run_seed(
         fs.duplicated,
         fs.reordered,
         fs.parked,
-        det.len(),
-        truth.len(),
+        det_total,
+        truth_total,
     ))
 }
+
+fn run_grammar_seed(
+    seed: u64,
+    shards: usize,
+    plan: ShardPlanKind,
+    optimistic: bool,
+) -> Result<String, String> {
+    let source = psn_lang::sample_source(seed);
+    let case = compiled_case(
+        format!("grammar seed {seed}"),
+        &source,
+        "<sampled>",
+        shards,
+        plan,
+        optimistic,
+    )?;
+    soak(&case)
+}
+
+fn run_file(
+    path: &str,
+    shards: usize,
+    plan: ShardPlanKind,
+    optimistic: bool,
+) -> Result<String, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    let case = compiled_case(path.to_string(), &source, path, shards, plan, optimistic)?;
+    soak(&case)
+}
+
+fn run_builtin_seed(
+    name: &str,
+    seed: u64,
+    quick: bool,
+    shards: usize,
+    plan: ShardPlanKind,
+    optimistic: bool,
+) -> Result<String, String> {
+    let case = builtin_case(name, seed, quick, shards, plan, optimistic)
+        .unwrap_or_else(|| panic!("not a built-in scenario: {name}"));
+    soak(&case)
+}
+
+const BUILTINS: [&str; 4] = ["exhibition", "office", "hospital", "habitat"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let grammar = args.iter().any(|a| a == "--grammar");
     let seeds: u64 = args
         .iter()
         .position(|a| a == "--seeds")
@@ -251,14 +437,35 @@ fn main() {
         })
         .unwrap_or(ShardPlanKind::Contiguous);
     let optimistic = args.iter().any(|a| a == "--optimistic");
+    // --only takes a comma- or space-separated list of built-in names
+    // and/or .psn paths, terminated by the next --flag.
+    let only: Vec<String> = args
+        .iter()
+        .position(|a| a == "--only")
+        .map(|p| {
+            args[p + 1..]
+                .iter()
+                .take_while(|a| !a.starts_with("--"))
+                .flat_map(|a| a.split(','))
+                .filter(|s| !s.is_empty())
+                .map(String::from)
+                .collect()
+        })
+        .unwrap_or_default();
     let telemetry_path: Option<&String> =
         args.iter().position(|a| a == "--telemetry-out").and_then(|p| args.get(p + 1));
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!(
-            "usage: chaos [--seeds N] [--quick] [--shards K] [--shard-plan NAME] \
-             [--optimistic] [--telemetry-out <path.jsonl>]"
-        );
+        eprintln!("{USAGE}");
         return;
+    }
+    for entry in &only {
+        if !BUILTINS.contains(&entry.as_str()) && !std::path::Path::new(entry).is_file() {
+            eprintln!(
+                "--only {entry}: not a built-in scenario (known: {}) and not a .psn file",
+                BUILTINS.join(", ")
+            );
+            std::process::exit(2);
+        }
     }
     if let Some(path) = telemetry_path {
         if let Err(e) = telemetry_out::set_telemetry_out(path) {
@@ -274,19 +481,41 @@ fn main() {
         );
     }
     let mut failures = 0u64;
-    for seed in 0..seeds {
-        match run_seed(seed, quick, shards, plan, optimistic) {
+    let mut runs = 0u64;
+    let mut tally = |res: Result<String, String>| {
+        runs += 1;
+        match res {
             Ok(line) => println!("{line}"),
             Err(line) => {
                 eprintln!("VIOLATION {line}");
                 failures += 1;
             }
         }
+    };
+    if grammar {
+        println!("chaos: grammar mode — {seeds} sampled scenario(s) from the psn-lang grammar");
+        for seed in 0..seeds {
+            tally(run_grammar_seed(seed, shards, plan, optimistic));
+        }
+    } else if !only.is_empty() {
+        for entry in &only {
+            if BUILTINS.contains(&entry.as_str()) {
+                for seed in 0..seeds {
+                    tally(run_builtin_seed(entry, seed, quick, shards, plan, optimistic));
+                }
+            } else {
+                tally(run_file(entry, shards, plan, optimistic));
+            }
+        }
+    } else {
+        for seed in 0..seeds {
+            tally(run_builtin_seed("exhibition", seed, quick, shards, plan, optimistic));
+        }
     }
     telemetry_out::finish();
     if failures > 0 {
-        eprintln!("chaos: {failures}/{seeds} seed(s) violated an invariant");
+        eprintln!("chaos: {failures}/{runs} run(s) violated an invariant");
         std::process::exit(1);
     }
-    println!("chaos: all {seeds} seeded fault scripts clean");
+    println!("chaos: all {runs} run(s) clean");
 }

@@ -1,0 +1,260 @@
+//! `psn-script` — parse, type-check, and run `.psn` scenario programs.
+//!
+//! The front door to the scenario language (`psn-lang`): each file on
+//! the command line is compiled into a world + execution config +
+//! predicates and, unless `--check` is given, run end-to-end through the
+//! engine. Per-predicate detections are scored against ground truth and
+//! the usual output sinks are available (`--metrics-out`,
+//! `--telemetry-out`, `--trace-out`).
+//!
+//! ```sh
+//! cargo run --release -p psn-bench --bin psn-script -- scenarios/exhibition.psn
+//! cargo run --release -p psn-bench --bin psn-script -- --check scenarios/*.psn
+//! cargo run --release -p psn-bench --bin psn-script -- scenarios/office.psn \
+//!     --shards 4 --shard-plan affinity --optimistic --telemetry-out tel.jsonl
+//! ```
+//!
+//! `--check` parses and type-checks without running (a pre-commit lint);
+//! diagnostics render compiler-style with the offending line and a caret
+//! under the span:
+//!
+//! ```text
+//! error: unknown exhibition field `dors` (known: doors, arrival_rate_hz, …)
+//!  --> bad.psn:3:25
+//!   |
+//! 3 |     world exhibition { dors 3 }
+//!   |                        ^^^^
+//! ```
+
+use psn_bench::metrics_out::{self, cell_object};
+use psn_bench::{telemetry_out, trace_out};
+use psn_core::{run_execution_profiled, ShardPlanKind, SpeculationMode};
+use psn_lang::{compile, render, CompiledScenario};
+use psn_predicates::{detect_occurrences, score, BorderlinePolicy};
+use psn_sim::metrics::Metrics;
+use psn_sim::telemetry::Telemetry;
+use psn_sim::time::SimDuration;
+use psn_world::truth_intervals;
+use serde::Value;
+
+const USAGE: &str = "usage: psn-script [--check] FILE.psn... \
+    [--shards K] [--shard-plan contiguous|interleaved|hash|affinity] [--optimistic] \
+    [--metrics-out <path.jsonl>] [--telemetry-out <path.jsonl>] \
+    [--trace-out <dir>] [--trace-format chrome|jsonl]\n\
+    --check parses and type-checks without running.";
+
+struct Options {
+    check: bool,
+    files: Vec<String>,
+    shards: Option<usize>,
+    plan: Option<ShardPlanKind>,
+    optimistic: bool,
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{USAGE}");
+        std::process::exit(0);
+    }
+    let mut opts =
+        Options { check: false, files: Vec::new(), shards: None, plan: None, optimistic: false };
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value\n{USAGE}");
+            std::process::exit(2);
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => opts.check = true,
+            "--optimistic" => opts.optimistic = true,
+            "--shards" => {
+                let v = value(&args, &mut i, "--shards");
+                opts.shards = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --shards {v}");
+                    std::process::exit(2);
+                }));
+            }
+            "--shard-plan" => {
+                let v = value(&args, &mut i, "--shard-plan");
+                opts.plan = Some(psn_bench::common::parse_shard_plan(&v).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown --shard-plan {v} (known: contiguous, interleaved, roundrobin, \
+                         hash, affinity)"
+                    );
+                    std::process::exit(2);
+                }));
+            }
+            "--metrics-out" => {
+                let v = value(&args, &mut i, "--metrics-out");
+                if let Err(e) = metrics_out::set_metrics_out(&v) {
+                    eprintln!("cannot open --metrics-out {v}: {e}");
+                    std::process::exit(2);
+                }
+            }
+            "--telemetry-out" => {
+                let v = value(&args, &mut i, "--telemetry-out");
+                if let Err(e) = telemetry_out::set_telemetry_out(&v) {
+                    eprintln!("cannot open --telemetry-out {v}: {e}");
+                    std::process::exit(2);
+                }
+            }
+            "--trace-out" => {
+                let v = value(&args, &mut i, "--trace-out");
+                let format = args
+                    .iter()
+                    .position(|a| a == "--trace-format")
+                    .and_then(|p| args.get(p + 1))
+                    .map(|f| {
+                        trace_out::TraceFormat::parse(f).unwrap_or_else(|| {
+                            eprintln!("unknown --trace-format {f} (known: chrome, jsonl)");
+                            std::process::exit(2);
+                        })
+                    })
+                    .unwrap_or(trace_out::TraceFormat::Jsonl);
+                if let Err(e) = trace_out::set_trace_out(&v, format) {
+                    eprintln!("cannot open --trace-out {v}: {e}");
+                    std::process::exit(2);
+                }
+            }
+            "--trace-format" => {
+                i += 1; // consumed together with --trace-out
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}\n{USAGE}");
+                std::process::exit(2);
+            }
+            file => opts.files.push(file.to_string()),
+        }
+        i += 1;
+    }
+    if opts.files.is_empty() {
+        eprintln!("no .psn files given\n{USAGE}");
+        std::process::exit(2);
+    }
+    opts
+}
+
+/// Compile one file, rendering diagnostics on failure.
+fn compile_file(path: &str) -> Result<CompiledScenario, ()> {
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: cannot read: {e}");
+            return Err(());
+        }
+    };
+    match compile(&source) {
+        Ok(c) => Ok(c),
+        Err(diags) => {
+            eprint!("{}", render(&source, path, &diags));
+            Err(())
+        }
+    }
+}
+
+fn run_file(path: &str, opts: &Options) -> Result<(), ()> {
+    let mut compiled = compile_file(path)?;
+    if let Some(shards) = opts.shards {
+        compiled.config.shards = shards;
+    }
+    if let Some(plan) = opts.plan {
+        compiled.config.shard_plan = Some(plan);
+    }
+    if opts.optimistic {
+        compiled.config.speculation = Some(SpeculationMode::Optimistic);
+    }
+
+    let metrics = Metrics::new();
+    let telemetry = Telemetry::new();
+    let trace = run_execution_profiled(&compiled.scenario, &compiled.config, &metrics, &telemetry);
+    let horizon = trace.ended_at;
+    println!(
+        "{path}: scenario \"{}\" seed {} n={} shards={} — {} world events, {} sent / {} delivered / {} lost, ended at {:?}",
+        compiled.name,
+        compiled.seed,
+        compiled.scenario.num_processes(),
+        compiled.config.shards,
+        compiled.scenario.timeline.len(),
+        trace.net.messages_sent,
+        trace.net.messages_delivered,
+        trace.net.messages_lost,
+        horizon,
+    );
+
+    let initial = compiled.scenario.timeline.initial_state();
+    for p in &compiled.predicates {
+        let detections = detect_occurrences(&trace, &p.predicate, &initial, compiled.discipline);
+        let truth = truth_intervals(&compiled.scenario.timeline, |s| p.predicate.eval_state(s));
+        let report = score(
+            &detections,
+            &truth,
+            horizon,
+            SimDuration::from_secs(1),
+            BorderlinePolicy::AsPositive,
+        );
+        println!(
+            "  predicate \"{}\" [{}]: {} truth / {} detected ({} borderline) — \
+             precision {:.3} recall {:.3}",
+            p.name,
+            compiled.discipline.label(),
+            truth.len(),
+            detections.len(),
+            report.borderline,
+            report.precision(),
+            report.recall(),
+        );
+    }
+
+    let cell = cell_object(
+        &compiled.name,
+        &[
+            ("file", Value::Str(path.to_string())),
+            ("seed", Value::UInt(compiled.seed)),
+            ("shards", Value::UInt(compiled.config.shards as u64)),
+        ],
+    );
+    if metrics_out::is_enabled() {
+        metrics_out::emit_cell("psn-script", cell.clone(), &metrics.snapshot());
+    }
+    if telemetry_out::is_enabled() {
+        telemetry_out::emit_cell("psn-script", cell, &metrics.snapshot(), &telemetry.snapshot());
+    }
+    if trace_out::is_enabled() {
+        trace_out::emit_cell_trace("psn-script", &compiled.name, &trace.sim, trace.n);
+    }
+    Ok(())
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut failures = 0usize;
+    for path in &opts.files {
+        let outcome = if opts.check {
+            compile_file(path).map(|c| {
+                println!(
+                    "{path}: ok — scenario \"{}\", {} processes, {} predicate(s), {} world events",
+                    c.name,
+                    c.scenario.num_processes(),
+                    c.predicates.len(),
+                    c.scenario.timeline.len(),
+                );
+            })
+        } else {
+            run_file(path, &opts)
+        };
+        if outcome.is_err() {
+            failures += 1;
+        }
+    }
+    metrics_out::finish();
+    telemetry_out::finish();
+    trace_out::finish();
+    if failures > 0 {
+        eprintln!("psn-script: {failures}/{} file(s) failed", opts.files.len());
+        std::process::exit(1);
+    }
+}

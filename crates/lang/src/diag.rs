@@ -1,0 +1,126 @@
+//! Span-carrying diagnostics.
+//!
+//! Every error the lexer, parser, or compiler produces points at a byte
+//! range of the source with its 1-based line and column, so
+//! [`render`] can show the offending line with a caret underline —
+//! the `psn-script --check` lint mode prints exactly this.
+
+use std::fmt;
+
+/// A byte range of the source with its human coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub offset: usize,
+    /// Length in bytes (at least 1 for rendering; 0 only at EOF).
+    pub len: usize,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering both `self` and `other` (assumed on the same line
+    /// for rendering purposes; multi-line unions keep `self`'s line/col and
+    /// clamp the underline at the line end).
+    pub fn to(self, other: Span) -> Span {
+        let end = (other.offset + other.len).max(self.offset + self.len);
+        Span { offset: self.offset, len: end - self.offset, line: self.line, col: self.col }
+    }
+}
+
+/// A value paired with the source span it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned<T> {
+    /// The value.
+    pub node: T,
+    /// Where it was written.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Pair `node` with `span`.
+    pub fn new(node: T, span: Span) -> Self {
+        Spanned { node, span }
+    }
+}
+
+/// One error, anchored to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Where in the source.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A diagnostic at `span`.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { span, message: message.into() }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.span.line, self.span.col, self.message)
+    }
+}
+
+/// Render `diags` against `source` in the familiar compiler format: the
+/// message, a `--> path:line:col` locus, and the source line with a caret
+/// underline. Every diagnostic carries a line:col span and a one-line
+/// excerpt.
+pub fn render(source: &str, path: &str, diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        let line_text = source.lines().nth(d.span.line.saturating_sub(1) as usize).unwrap_or("");
+        let gutter = format!("{}", d.span.line);
+        let pad = " ".repeat(gutter.len());
+        out.push_str(&format!("error: {}\n", d.message));
+        out.push_str(&format!("{pad}--> {path}:{}:{}\n", d.span.line, d.span.col));
+        out.push_str(&format!("{pad} |\n"));
+        out.push_str(&format!("{gutter} | {line_text}\n"));
+        let col = d.span.col.saturating_sub(1) as usize;
+        // Clamp the underline to the excerpt so multi-line spans stay tidy.
+        let width = d.span.len.max(1).min(line_text.chars().count().saturating_sub(col).max(1));
+        out.push_str(&format!("{pad} | {}{}\n", " ".repeat(col), "^".repeat(width)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shows_line_and_caret() {
+        let src = "scenario \"x\" {\n  wrld office {}\n}\n";
+        let d =
+            Diagnostic::new(Span { offset: 17, len: 4, line: 2, col: 3 }, "unknown block `wrld`");
+        let s = render(src, "test.psn", &[d]);
+        assert!(s.contains("error: unknown block `wrld`"), "{s}");
+        assert!(s.contains("--> test.psn:2:3"), "{s}");
+        assert!(s.contains("2 |   wrld office {}"), "{s}");
+        assert!(s.contains(" |   ^^^^"), "{s}");
+    }
+
+    #[test]
+    fn span_union_covers_both() {
+        let a = Span { offset: 4, len: 3, line: 1, col: 5 };
+        let b = Span { offset: 10, len: 2, line: 1, col: 11 };
+        let u = a.to(b);
+        assert_eq!(u.offset, 4);
+        assert_eq!(u.len, 8);
+        assert_eq!((u.line, u.col), (1, 5));
+    }
+
+    #[test]
+    fn caret_clamps_to_line_end() {
+        let src = "ab\n";
+        let d = Diagnostic::new(Span { offset: 0, len: 99, line: 1, col: 1 }, "long span");
+        let s = render(src, "p", &[d]);
+        assert!(s.contains("| ^^\n"), "underline clamped to 2 chars: {s}");
+    }
+}

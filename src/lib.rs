@@ -24,6 +24,7 @@
 //! | [`lattice`] | consistent cuts, lattice enumeration, interval algebra |
 //! | [`sync`] | RBS/TPSN sync protocols, skew and energy accounting |
 //! | [`faults`] | fault plane: scripted crashes, partitions, channel + clock faults |
+//! | [`lang`] | the `.psn` scenario language: lexer/parser, compiler, grammar sampler |
 //!
 //! ## Quickstart
 //!
@@ -71,6 +72,7 @@
 pub use psn_clocks as clocks;
 pub use psn_core as core;
 pub use psn_faults as faults;
+pub use psn_lang as lang;
 pub use psn_lattice as lattice;
 pub use psn_predicates as predicates;
 pub use psn_sim as sim;
