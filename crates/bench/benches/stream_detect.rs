@@ -1,0 +1,90 @@
+//! Streaming detector throughput: reports/second sustained by
+//! [`StreamingModal`] under live ingest, against the whole-trace
+//! re-sweep it replaces. The streaming path pays a hold-back heap push
+//! plus an O(1) amortized apply per report and answers a status query
+//! from the O(window) live frontier; the old service path re-ran the
+//! O(R log R) offline sweep on every query.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use psn_core::{run_execution, ExecutionConfig, ExecutionTrace};
+use psn_predicates::{modal_status, Predicate, StreamingModal};
+use psn_sim::time::{SimDuration, SimTime};
+use psn_world::scenarios::exhibition::{self, ExhibitionParams};
+use psn_world::Scenario;
+
+/// Status-probe cadence of the sustained-ingest legs: one `Status` query
+/// per this many ingested reports, the cadence the serve smoke uses.
+const PROBE_EVERY: usize = 512;
+
+fn fixture() -> (Scenario, ExecutionTrace, Predicate) {
+    let params = ExhibitionParams {
+        doors: 4,
+        arrival_rate_hz: 4.0,
+        mean_stay: SimDuration::from_secs(60),
+        duration: SimTime::from_secs(600),
+        capacity: 240,
+    };
+    let scenario = exhibition::generate(&params, 11);
+    let trace = run_execution(
+        &scenario,
+        &ExecutionConfig {
+            delay: psn_sim::delay::DelayModel::delta(SimDuration::from_millis(300)),
+            ..Default::default()
+        },
+    );
+    let pred = Predicate::occupancy_over(4, 240);
+    (scenario, trace, pred)
+}
+
+fn bench_stream_detect(c: &mut Criterion) {
+    let (scenario, trace, pred) = fixture();
+    let init = scenario.timeline.initial_state();
+    let reports = trace.log.reports.len() as u64;
+    let hold_back = SimDuration::from_millis(601); // 2Δ + 1
+    let mut g = c.benchmark_group("stream_detect");
+    g.throughput(Throughput::Elements(reports));
+
+    // Pure ingest: every report offered once, verdict sealed at the end.
+    g.bench_function("offer_all_seal", |b| {
+        b.iter(|| {
+            let mut s = StreamingModal::new(&pred, &init, trace.n, hold_back);
+            for r in &trace.log.reports {
+                s.offer(black_box(r));
+            }
+            black_box(s.seal())
+        })
+    });
+
+    // Sustained ingest with a status probe every PROBE_EVERY reports —
+    // the serve `Status`/`Watch` workload.
+    g.bench_function("sustained_with_status_probes", |b| {
+        b.iter(|| {
+            let mut s = StreamingModal::new(&pred, &init, trace.n, hold_back);
+            for (i, r) in trace.log.reports.iter().enumerate() {
+                s.offer(black_box(r));
+                if i % PROBE_EVERY == 0 {
+                    black_box(s.status());
+                }
+            }
+            black_box(s.seal())
+        })
+    });
+
+    // The path the streaming detector replaced: one offline whole-trace
+    // sweep per probe (prefix cost ≈ full cost by the end of ingest; one
+    // full sweep is the *lower bound* of the old per-probe price).
+    g.bench_function("offline_resweep_per_probe", |b| {
+        let probes = (trace.log.reports.len() / PROBE_EVERY).max(1) as u64;
+        b.iter(|| {
+            for _ in 0..probes {
+                black_box(modal_status(&trace, &pred, &init));
+            }
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_stream_detect);
+criterion_main!(benches);

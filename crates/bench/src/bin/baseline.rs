@@ -25,7 +25,7 @@ use psn_core::{
     run_execution_instrumented, run_execution_profiled, ExecutionConfig, SpeculationMode,
 };
 use psn_lattice::{enumerate_lattice, History};
-use psn_predicates::{detect_occurrences, Discipline, Predicate};
+use psn_predicates::{detect_occurrences, Discipline, Predicate, StreamingModal};
 use psn_sim::delay::DelayModel;
 use psn_sim::metrics::Metrics;
 use psn_sim::telemetry::Telemetry;
@@ -64,6 +64,12 @@ struct Baseline {
     scalar_tick_ops_per_sec: f64,
     vector64_merge_ops_per_sec: f64,
     detector_reports_per_sec: f64,
+    /// Sustained ingest rate of the streaming detector on the same
+    /// workload as `detector_reports_per_sec`: every delivered report
+    /// offered through `StreamingModal` (2Δ hold-back) with a `status()`
+    /// probe every 512 reports — the serve `Status`/`Watch` path that
+    /// previously re-ran the whole-trace sweep per query.
+    detector_stream_events_per_sec: f64,
     lattice_states_per_sec: f64,
     trace_records_per_sec: f64,
     /// Sustained live-ingest rate of `psn-serve` over its TCP wire
@@ -206,6 +212,39 @@ fn detector_reports_per_sec() -> f64 {
     let t0 = Instant::now();
     for _ in 0..rounds {
         black_box(detect_occurrences(&trace, &pred, &init, Discipline::ScalarStrobe));
+    }
+    (reports * rounds) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn detector_stream_events_per_sec() -> f64 {
+    let params = ExhibitionParams {
+        doors: 4,
+        arrival_rate_hz: 4.0,
+        mean_stay: SimDuration::from_secs(60),
+        duration: SimTime::from_secs(600),
+        capacity: 240,
+    };
+    let scenario = exhibition::generate(&params, 11);
+    let cfg = ExecutionConfig {
+        delay: DelayModel::delta(SimDuration::from_millis(300)),
+        ..Default::default()
+    };
+    let trace = run_execution_instrumented(&scenario, &cfg, &Metrics::disabled());
+    let pred = Predicate::occupancy_over(4, 240);
+    let init = scenario.timeline.initial_state();
+    let hold_back = SimDuration::from_millis(601); // 2Δ + 1
+    let reports = trace.log.reports.len() as u64;
+    let rounds = 20u64;
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        let mut s = StreamingModal::new(&pred, &init, trace.n, hold_back);
+        for (i, r) in trace.log.reports.iter().enumerate() {
+            s.offer(black_box(r));
+            if i % 512 == 0 {
+                black_box(s.status());
+            }
+        }
+        black_box(s.seal());
     }
     (reports * rounds) as f64 / t0.elapsed().as_secs_f64()
 }
@@ -501,6 +540,7 @@ fn main() {
         scalar_tick_ops_per_sec: scalar_tick_ops_per_sec(),
         vector64_merge_ops_per_sec: vector64_merge_ops_per_sec(),
         detector_reports_per_sec: detector_reports_per_sec(),
+        detector_stream_events_per_sec: detector_stream_events_per_sec(),
         lattice_states_per_sec: lattice_states_per_sec(),
         trace_records_per_sec: trace_records_per_sec(),
         serve_ingest_events_per_sec: serve_ingest_events_per_sec(),

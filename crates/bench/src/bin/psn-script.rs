@@ -30,21 +30,32 @@ use psn_bench::metrics_out::{self, cell_object};
 use psn_bench::{telemetry_out, trace_out};
 use psn_core::{run_execution_profiled, ShardPlanKind, SpeculationMode};
 use psn_lang::{compile, render, CompiledScenario};
-use psn_predicates::{detect_occurrences, score, BorderlinePolicy};
+use psn_predicates::{
+    detect_occurrences, modal_status, score, stream_packing, BorderlinePolicy, StreamingModal,
+};
 use psn_sim::metrics::Metrics;
 use psn_sim::telemetry::Telemetry;
 use psn_sim::time::SimDuration;
 use psn_world::truth_intervals;
 use serde::Value;
 
-const USAGE: &str = "usage: psn-script [--check] FILE.psn... \
+const USAGE: &str = "usage: psn-script [--check] [--stream] FILE.psn... \
     [--shards K] [--shard-plan contiguous|interleaved|hash|affinity] [--optimistic] \
     [--metrics-out <path.jsonl>] [--telemetry-out <path.jsonl>] \
     [--trace-out <dir>] [--trace-format chrome|jsonl]\n\
-    --check parses and type-checks without running.";
+    --check parses and type-checks without running.\n\
+    --stream also scores each predicate through the streaming detector \
+    (bounded hold-back, Δ-bound GC) and reports its memory high-water.";
+
+/// Live-window depth assumed by the `--check` packing diagnostic: how many
+/// un-retired events per involved process the streaming detector is sized
+/// for when deciding between the packed-`u64` cut encoding and the hash
+/// frontier fallback.
+const CHECK_WINDOW_DEPTH: usize = 15;
 
 struct Options {
     check: bool,
+    stream: bool,
     files: Vec<String>,
     shards: Option<usize>,
     plan: Option<ShardPlanKind>,
@@ -57,8 +68,14 @@ fn parse_args() -> Options {
         eprintln!("{USAGE}");
         std::process::exit(0);
     }
-    let mut opts =
-        Options { check: false, files: Vec::new(), shards: None, plan: None, optimistic: false };
+    let mut opts = Options {
+        check: false,
+        stream: false,
+        files: Vec::new(),
+        shards: None,
+        plan: None,
+        optimistic: false,
+    };
     let mut i = 0;
     let value = |args: &[String], i: &mut usize, flag: &str| -> String {
         *i += 1;
@@ -70,6 +87,7 @@ fn parse_args() -> Options {
     while i < args.len() {
         match args[i].as_str() {
             "--check" => opts.check = true,
+            "--stream" => opts.stream = true,
             "--optimistic" => opts.optimistic = true,
             "--shards" => {
                 let v = value(&args, &mut i, "--shards");
@@ -207,6 +225,40 @@ fn run_file(path: &str, opts: &Options) -> Result<(), ()> {
             report.precision(),
             report.recall(),
         );
+
+        if opts.stream {
+            // Hold reports back for one worst-case delay so strobe keys
+            // release in order; an unbounded delay model falls back to the
+            // sealed-trace adapter (hold everything, sort at the seal).
+            let hold_back = compiled.config.delay.delta_bound().unwrap_or(SimDuration::MAX);
+            let mut sm = StreamingModal::new(&p.predicate, &initial, trace.n, hold_back);
+            for r in &trace.log.reports {
+                sm.offer(r);
+            }
+            let high = sm.mem_high_water_cuts();
+            let width = sm.frontier_width();
+            let late = sm.late_reports();
+            let streamed = sm.seal();
+            let offline = modal_status(&trace, &p.predicate, &initial);
+            let agree = streamed == offline;
+            println!(
+                "    stream: possibly {} definitely {} holding_now {} — \
+                 mem_high_water_cuts {high} frontier_width {width} late {late} — \
+                 {} offline sweep",
+                streamed.possibly,
+                streamed.definitely,
+                streamed.holding_now,
+                if agree { "matches" } else { "DIVERGES from" },
+            );
+            if !agree && late == 0 {
+                eprintln!(
+                    "{path}: predicate \"{}\": streaming verdict diverged from the \
+                     offline sweep with no late reports — this is a detector bug",
+                    p.name,
+                );
+                return Err(());
+            }
+        }
     }
 
     let cell = cell_object(
@@ -242,6 +294,18 @@ fn main() {
                     c.predicates.len(),
                     c.scenario.timeline.len(),
                 );
+                for p in &c.predicates {
+                    let (involved, fits) = stream_packing(&p.predicate, CHECK_WINDOW_DEPTH);
+                    if !fits {
+                        eprintln!(
+                            "{path}: warning: predicate \"{}\" spans {involved} processes — a \
+                             {CHECK_WINDOW_DEPTH}-deep live window exceeds the packed 64-bit cut \
+                             encoding, so the streaming detector will use the slower hash-set \
+                             frontier fallback",
+                            p.name,
+                        );
+                    }
+                }
             })
         } else {
             run_file(path, &opts)

@@ -1,6 +1,6 @@
 //! The claim-reproduction experiments E1–E10, the fault-plane
-//! resilience experiments E11–E13, and the sharded-engine scaling
-//! experiment E14.
+//! resilience experiments E11–E13, the sharded-engine scaling
+//! experiment E14, and the streaming-detector memory/fidelity sweep E15.
 //!
 //! The paper is a model paper with no numbered tables/figures; each module
 //! here turns one *quantitative claim in the text* into a measured table
@@ -13,6 +13,7 @@ pub mod e11;
 pub mod e12;
 pub mod e13;
 pub mod e14;
+pub mod e15;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -24,7 +25,7 @@ pub mod e9;
 
 use crate::table::Table;
 
-/// Run one experiment by id ("e1" … "e14").
+/// Run one experiment by id ("e1" … "e15").
 pub fn run_one(id: &str, quick: bool) -> Option<Table> {
     match id {
         "e1" => Some(e1::run(quick)),
@@ -41,6 +42,7 @@ pub fn run_one(id: &str, quick: bool) -> Option<Table> {
         "e12" => Some(e12::run(quick)),
         "e13" => Some(e13::run(quick)),
         "e14" => Some(e14::run(quick)),
+        "e15" => Some(e15::run(quick)),
         "a1" => Some(ablations::a1(quick)),
         "a2" => Some(ablations::a2(quick)),
         "a3" => Some(ablations::a3(quick)),
@@ -50,9 +52,9 @@ pub fn run_one(id: &str, quick: bool) -> Option<Table> {
 }
 
 /// All experiment ids, in order (claim reproductions then ablations).
-pub const ALL: [&str; 18] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "a1",
-    "a2", "a3", "a4",
+pub const ALL: [&str; 19] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "a1", "a2", "a3", "a4",
 ];
 
 #[cfg(test)]

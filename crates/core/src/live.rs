@@ -344,6 +344,24 @@ impl LiveExecution {
         f(&self.log.lock())
     }
 
+    /// Visit every report from index `from` onward, in arrival order,
+    /// without cloning (briefly locking the log). Returns how many were
+    /// visited. This is the streaming-detector pump: `psn-serve` feeds
+    /// fresh reports to its per-predicate detectors through here instead
+    /// of materialising a `Vec` per advance.
+    pub fn visit_new_reports(
+        &self,
+        from: usize,
+        mut f: impl FnMut(&crate::log::ReceivedReport),
+    ) -> usize {
+        let log = self.log.lock();
+        let from = from.min(log.reports.len());
+        for r in &log.reports[from..] {
+            f(r);
+        }
+        log.reports.len() - from
+    }
+
     /// Network counters so far.
     pub fn net_stats(&self) -> NetStats {
         self.engine.stats().clone()

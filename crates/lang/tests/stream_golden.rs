@@ -1,0 +1,115 @@
+//! Streaming ≡ offline on the four committed golden worlds.
+//!
+//! For every predicate of every `scenarios/*.psn` program, the streaming
+//! detector — run both through the sealed-trace adapter and incrementally
+//! with a finite `2Δ` hold-back — must produce a [`ModalStatus`]
+//! bit-identical to the offline [`modal_status`] sweep. The verdicts are
+//! additionally pinned with an FNV-1a hash so any drift in either
+//! implementation (they would have to drift *together* to escape the
+//! equivalence assertions) still shows up as a failing constant.
+
+use std::fs;
+use std::path::PathBuf;
+
+use psn_core::run_execution;
+use psn_lang::{compile, render};
+use psn_predicates::{modal_status, modal_status_streaming, ModalStatus, StreamingModal};
+use psn_sim::time::SimDuration;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// FNV-1a over the ordered per-predicate verdicts of one world.
+fn verdict_hash(verdicts: &[(String, ModalStatus)]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for (name, m) in verdicts {
+        fnv1a(&mut h, name.as_bytes());
+        fnv1a(&mut h, &(m.possibly as u64).to_le_bytes());
+        fnv1a(&mut h, &(m.definitely as u64).to_le_bytes());
+        fnv1a(&mut h, &[u8::from(m.holding_now)]);
+    }
+    h
+}
+
+fn golden_stream(name: &str, pinned: u64) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../scenarios")
+        .join(format!("{name}.psn"));
+    let src = fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+    let compiled = match compile(&src) {
+        Ok(c) => c,
+        Err(diags) => panic!("{name}.psn failed to compile:\n{}", render(&src, name, &diags)),
+    };
+    let trace = run_execution(&compiled.scenario, &compiled.config);
+    let init = compiled.scenario.timeline.initial_state();
+    let hold_back = compiled
+        .config
+        .delay
+        .delta_bound()
+        .map(|d| SimDuration::from_nanos(2 * d.as_nanos() + 1))
+        .unwrap_or(SimDuration::MAX);
+
+    let mut verdicts = Vec::new();
+    for p in &compiled.predicates {
+        let offline = modal_status(&trace, &p.predicate, &init);
+
+        let sealed = modal_status_streaming(&trace, &p.predicate, &init);
+        assert_eq!(
+            sealed, offline,
+            "{name}.psn predicate \"{}\": sealed-trace streaming verdict differs from offline",
+            p.name
+        );
+
+        let mut live = StreamingModal::new(&p.predicate, &init, trace.n, hold_back);
+        for r in &trace.log.reports {
+            live.offer(r);
+        }
+        assert_eq!(live.late_reports(), 0, "{name}.psn: 2Δ hold-back must suffice");
+        assert_eq!(
+            live.seal(),
+            offline,
+            "{name}.psn predicate \"{}\": incremental streaming verdict differs from offline",
+            p.name
+        );
+
+        verdicts.push((p.name.clone(), offline));
+    }
+    let got = verdict_hash(&verdicts);
+    assert_eq!(
+        got, pinned,
+        "{name}.psn: golden modal verdict hash moved (got {got:#018x}) — if the change is \
+         intentional, update the pinned constant"
+    );
+}
+
+#[test]
+fn office_streaming_matches_offline() {
+    golden_stream("office", OFFICE_MODAL_HASH);
+}
+
+#[test]
+fn exhibition_streaming_matches_offline() {
+    golden_stream("exhibition", EXHIBITION_MODAL_HASH);
+}
+
+#[test]
+fn hospital_streaming_matches_offline() {
+    golden_stream("hospital", HOSPITAL_MODAL_HASH);
+}
+
+#[test]
+fn habitat_streaming_matches_offline() {
+    golden_stream("habitat", HABITAT_MODAL_HASH);
+}
+
+// Golden modal-verdict hashes for the four committed scenarios at seed 42.
+// Recorded from the offline sweep; the streaming detector must land on the
+// same constants via the equivalence assertions above.
+const OFFICE_MODAL_HASH: u64 = 0x48e43e67f29d1496;
+const EXHIBITION_MODAL_HASH: u64 = 0xd0bc903ed9669a3e;
+const HOSPITAL_MODAL_HASH: u64 = 0xe3a7157117bf3d93;
+const HABITAT_MODAL_HASH: u64 = 0x420913d4cb4f6fc9;

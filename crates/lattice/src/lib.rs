@@ -22,6 +22,7 @@ pub mod intervals;
 pub mod lattice;
 pub mod slim;
 pub mod snapshot;
+pub mod stream;
 
 pub use fine_grained::{distinct_codes, RelationCode, Trit};
 pub use history::History;
@@ -29,3 +30,7 @@ pub use intervals::{allen_relation, Allen, StampedInterval};
 pub use lattice::{enumerate_lattice, LatticeStats};
 pub use slim::{measure, SlimReport};
 pub use snapshot::{max_consistent_cut_within, min_consistent_cut_containing};
+pub use stream::{
+    packed_window_fits, AdvancementFrontier, FrontierInterval, FrontierOccurrence, PeerGate,
+    StreamLattice,
+};

@@ -17,7 +17,10 @@
 //!   the borderline policy (§5's "err on the safe side");
 //! - [`metrics`] — detector instrumentation (occurrences emitted,
 //!   borderline-bin size, detection latency vs ground truth) recorded into
-//!   a [`psn_sim::metrics::Metrics`] registry without changing output.
+//!   a [`psn_sim::metrics::Metrics`] registry without changing output;
+//! - [`stream`] — the streaming `Possibly`/`Definitely` detector: O(window)
+//!   memory via the incremental antichain frontier and Δ-bound GC, exact
+//!   [`modal::modal_status`] answers at any prefix.
 
 #![warn(missing_docs)]
 
@@ -29,6 +32,7 @@ pub mod metrics;
 pub mod modal;
 pub mod online;
 pub mod spec;
+pub mod stream;
 pub mod timing;
 
 pub use accuracy::{detection_matches, score, AccuracyReport, BorderlinePolicy};
@@ -42,4 +46,5 @@ pub use metrics::DetectorMetrics;
 pub use modal::{modal_status, ModalStatus};
 pub use online::{OnlineDetector, OnlineStatus};
 pub use spec::{Conjunct, Expr, Predicate};
+pub use stream::{modal_status_streaming, stream_packing, StreamingModal};
 pub use timing::{detect_timing, match_timing, TimingMatch, TimingSpec};

@@ -1,0 +1,746 @@
+//! Streaming `Possibly` / `Definitely` with O(window) memory.
+//!
+//! [`crate::modal::modal_status`] re-sweeps the whole report log on every
+//! query; this module maintains the same verdict **incrementally**, so a
+//! live service answers each status query from a bounded frontier instead
+//! of an O(trace) re-sort:
+//!
+//! - Reports are buffered under the [`crate::online`] **hold-back
+//!   watermark** and released strictly in strobe-key order — with
+//!   `hold_back ≥ 2Δ` on intact strobes the release order equals the
+//!   offline sweep's global sort, so every decision the streaming detector
+//!   makes is made on the same data in the same order.
+//! - **Relational** predicates run the scalar-strobe sweep one released
+//!   report at a time (state map + edge detection), keeping only counts and
+//!   the open interval — O(1) beyond the hold-back buffer.
+//! - **Conjunctive** predicates build each conjunct's truth intervals
+//!   incrementally and feed the closed ones to
+//!   [`psn_lattice::stream::AdvancementFrontier`], the streaming form of
+//!   the Garg–Waldecker advancement: it pauses while a needed interval is
+//!   still open or in flight and resumes when it closes, producing the
+//!   offline occurrence sequence exactly. Consumed intervals pop
+//!   immediately; stalled queues are garbage-collected under delivered-
+//!   stamp dominance ([`AdvancementFrontier::prune`]) — the Δ-bound GC.
+//! - [`StreamingModal::status`] is **exact**: it seals a clone of the
+//!   bounded live state (buffer flushed in key order, open intervals
+//!   closed, advancement run to quiescence) and returns precisely
+//!   [`modal_status`] of the reports offered so far — in O(window), not
+//!   O(trace) — whenever release order was globally correct (zero
+//!   [`late_reports`](StreamingModal::late_reports), guaranteed by an
+//!   adequate hold-back).
+//! - [`modal_status_streaming`] is the sealed-trace adapter: it feeds a
+//!   whole trace with an infinite hold-back (so the seal performs the full
+//!   sort) and is **unconditionally** bit-identical to [`modal_status`] —
+//!   batch experiments share the one streaming implementation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use psn_clocks::VectorStamp;
+use psn_core::{ExecutionTrace, ReceivedReport};
+use psn_lattice::stream::{AdvancementFrontier, FrontierInterval, FrontierOccurrence, PeerGate};
+use psn_lattice::StampedInterval;
+use psn_sim::time::{SimDuration, SimTime};
+use psn_world::{AttrKey, AttrValue, WorldState};
+
+use crate::modal::ModalStatus;
+use crate::spec::{Conjunct, Predicate};
+
+type OrderKey = (u64, usize, usize);
+
+fn strobe_key(r: &ReceivedReport) -> OrderKey {
+    (r.report.stamps.strobe_scalar.value, r.report.process, r.report.sense_seq)
+}
+
+/// A buffered report, slimmed to what the sweep needs (the strobe vector is
+/// carried only for conjunctive shapes).
+#[derive(Debug, Clone)]
+struct Pending {
+    key: OrderKey,
+    arrived_at: SimTime,
+    attr: AttrKey,
+    value: AttrValue,
+    truth: SimTime,
+    stamp: Option<VectorStamp>,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// The per-shape incremental machinery.
+#[derive(Debug, Clone)]
+enum Shape {
+    /// Empty conjunctive predicate: vacuously never occurs.
+    Vacuous,
+    Relational(RelationalSweep),
+    Conjunctive(ConjunctiveStream),
+}
+
+/// Incremental scalar-strobe sweep: the offline relational detector's
+/// state machine with only counts retained.
+#[derive(Debug, Clone)]
+struct RelationalSweep {
+    predicate: Predicate,
+    /// Dense live state: `vals[i]` is the current value of `vars[i]`.
+    /// Predicate arity is small, so the linear scan beats hashing on the
+    /// per-report hot path (every eval reads every variable anyway).
+    vars: Vec<AttrKey>,
+    vals: Vec<AttrValue>,
+    holds: bool,
+    /// Truth start of the currently open occurrence.
+    open: Option<SimTime>,
+    closed: usize,
+}
+
+impl RelationalSweep {
+    fn new(predicate: Predicate, initial: &WorldState) -> Self {
+        let mut vars: Vec<AttrKey> = Vec::new();
+        for k in predicate.variables() {
+            if !vars.contains(&k) {
+                vars.push(k);
+            }
+        }
+        let vals: Vec<AttrValue> =
+            vars.iter().map(|&k| initial.get(k).unwrap_or(AttrValue::Int(0))).collect();
+        let holds = predicate.eval(&|k| {
+            vars.iter().position(|&v| v == k).map(|i| vals[i]).unwrap_or(AttrValue::Int(0))
+        });
+        let open = holds.then_some(SimTime::ZERO);
+        RelationalSweep { predicate, vars, vals, holds, open, closed: 0 }
+    }
+
+    fn slot(&self, k: AttrKey) -> Option<usize> {
+        self.vars.iter().position(|&v| v == k)
+    }
+
+    fn apply(&mut self, e: &Pending) {
+        // Only relevant keys are buffered, so the slot exists.
+        if let Some(i) = self.slot(e.attr) {
+            self.vals[i] = e.value;
+        }
+        let (vars, vals) = (&self.vars, &self.vals);
+        let now = self.predicate.eval(&|k| {
+            vars.iter().position(|&v| v == k).map(|i| vals[i]).unwrap_or(AttrValue::Int(0))
+        });
+        match (self.holds, now) {
+            (false, true) => self.open = Some(e.truth),
+            (true, false) => {
+                self.open = None;
+                self.closed += 1;
+            }
+            _ => {}
+        }
+        self.holds = now;
+    }
+
+    fn seal(&self) -> ModalStatus {
+        let possibly = self.closed + usize::from(self.open.is_some());
+        ModalStatus { possibly, definitely: possibly, holding_now: self.open.is_some() }
+    }
+}
+
+/// One conjunct's incremental truth-interval builder (the streaming form of
+/// the offline detector's per-process replay).
+#[derive(Debug, Clone)]
+struct ConjunctBuilder {
+    conjunct: Conjunct,
+    /// Dense live state (see [`RelationalSweep`]): conjunct arity is tiny,
+    /// so linear search beats hashing per report.
+    vars: Vec<AttrKey>,
+    vals: Vec<AttrValue>,
+    holds: bool,
+    /// `(lo stamp, truth start)` of the currently open interval.
+    open: Option<(VectorStamp, SimTime)>,
+    last_stamp: VectorStamp,
+}
+
+impl ConjunctBuilder {
+    fn new(conjunct: Conjunct, initial: &WorldState, n_stamp: usize) -> Self {
+        let mut vars: Vec<AttrKey> = Vec::new();
+        for &k in conjunct.expr.variables().iter() {
+            if !vars.contains(&k) {
+                vars.push(k);
+            }
+        }
+        let vals: Vec<AttrValue> =
+            vars.iter().map(|&k| initial.get(k).unwrap_or(AttrValue::Int(0))).collect();
+        let holds = conjunct.expr.eval_bool(&|k| {
+            vars.iter().position(|&v| v == k).map(|i| vals[i]).unwrap_or(AttrValue::Int(0))
+        });
+        let open = holds.then(|| (VectorStamp::zero(n_stamp), SimTime::ZERO));
+        ConjunctBuilder {
+            conjunct,
+            vars,
+            vals,
+            holds,
+            open,
+            last_stamp: VectorStamp::zero(n_stamp),
+        }
+    }
+
+    /// Apply one report of this conjunct's process; a falling edge returns
+    /// the closed interval for the advancement frontier.
+    fn apply(&mut self, e: &Pending) -> Option<FrontierInterval> {
+        let stamp = e.stamp.as_ref().expect("conjunctive entries carry the strobe vector");
+        if let Some(i) = self.vars.iter().position(|&v| v == e.attr) {
+            self.vals[i] = e.value;
+        }
+        self.last_stamp = stamp.clone();
+        let (vars, vals) = (&self.vars, &self.vals);
+        let now = self.conjunct.expr.eval_bool(&|k| {
+            vars.iter().position(|&v| v == k).map(|i| vals[i]).unwrap_or(AttrValue::Int(0))
+        });
+        let out = match (self.holds, now) {
+            (false, true) => {
+                self.open = Some((stamp.clone(), e.truth));
+                None
+            }
+            (true, false) => {
+                let (lo, t0) = self.open.take().expect("open interval");
+                Some(FrontierInterval {
+                    stamped: StampedInterval { lo, hi: stamp.clone() },
+                    truth_start: t0,
+                    truth_end: Some(e.truth),
+                })
+            }
+            _ => None,
+        };
+        self.holds = now;
+        out
+    }
+
+    /// The still-open interval, closed at the last delivered stamp — what
+    /// the offline detector appends after the final report.
+    fn trailing(&self) -> Option<FrontierInterval> {
+        self.open.as_ref().map(|(lo, t0)| FrontierInterval {
+            stamped: StampedInterval { lo: lo.clone(), hi: self.last_stamp.clone() },
+            truth_start: *t0,
+            truth_end: None,
+        })
+    }
+}
+
+/// Conjunctive streaming: builders + the lattice advancement frontier, with
+/// only running tallies kept (mid-stream occurrences always close).
+#[derive(Debug, Clone)]
+struct ConjunctiveStream {
+    builders: Vec<ConjunctBuilder>,
+    frontier: AdvancementFrontier,
+    possibly: usize,
+    definitely: usize,
+    scratch: Vec<FrontierOccurrence>,
+}
+
+impl ConjunctiveStream {
+    fn new(conjuncts: &[Conjunct], initial: &WorldState, n_stamp: usize) -> Self {
+        let builders =
+            conjuncts.iter().map(|c| ConjunctBuilder::new(c.clone(), initial, n_stamp)).collect();
+        ConjunctiveStream {
+            builders,
+            frontier: AdvancementFrontier::new(conjuncts.len()),
+            possibly: 0,
+            definitely: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    fn apply(&mut self, e: &Pending) {
+        let process = e.key.1;
+        let mut fed = false;
+        for (i, b) in self.builders.iter_mut().enumerate() {
+            if b.conjunct.process == process {
+                if let Some(iv) = b.apply(e) {
+                    self.frontier.push(i, iv);
+                    fed = true;
+                }
+            }
+        }
+        if fed {
+            self.run_frontier();
+        }
+    }
+
+    /// Advance as far as closed intervals allow, tally, then Δ-bound GC
+    /// against starved peers.
+    fn run_frontier(&mut self) {
+        self.scratch.clear();
+        self.frontier.advance(&mut self.scratch);
+        self.possibly += self.scratch.len();
+        self.definitely += self.scratch.iter().filter(|o| o.definitely).count();
+        if self.frontier.pending() > 0
+            && (0..self.builders.len()).any(|i| self.frontier.starved(i))
+        {
+            let gates: Vec<PeerGate> = self
+                .builders
+                .iter()
+                .map(|b| PeerGate { open: b.open.is_some(), floor: b.last_stamp.clone() })
+                .collect();
+            self.frontier.prune(&gates);
+        }
+    }
+
+    /// Close every open interval at its last delivered stamp and run the
+    /// advancement to quiescence — exactly the offline detector's seal.
+    fn seal(mut self) -> ModalStatus {
+        for (i, b) in self.builders.iter().enumerate() {
+            if let Some(iv) = b.trailing() {
+                self.frontier.push(i, iv);
+            }
+        }
+        let mut out = Vec::new();
+        self.frontier.advance(&mut out);
+        let possibly = self.possibly + out.len();
+        let definitely = self.definitely + out.iter().filter(|o| o.definitely).count();
+        let holding_now = out.last().is_some_and(|o| o.truth_end.is_none());
+        ModalStatus { possibly, definitely, holding_now }
+    }
+
+    fn live(&self) -> usize {
+        self.frontier.pending()
+    }
+}
+
+/// A streaming modal detector: incremental `Possibly` / `Definitely` for
+/// one predicate, O(window) memory, exact [`modal_status`] answers.
+///
+/// Feed reports in arrival order with [`offer`](Self::offer); query with
+/// [`status`](Self::status) (non-destructive, O(window)); finish with
+/// [`seal`](Self::seal). `hold_back ≥ 2Δ` keeps the release order equal to
+/// the offline sort (zero late reports) and therefore every answer
+/// bit-identical to the offline sweep over the same reports.
+#[derive(Debug, Clone)]
+pub struct StreamingModal {
+    shape: Shape,
+    hold_back: SimDuration,
+    buffer: BinaryHeap<Reverse<Pending>>,
+    last_released: Option<OrderKey>,
+    late_reports: usize,
+    mem_high_water: u64,
+}
+
+impl StreamingModal {
+    /// A detector for `predicate` over `n` sensor processes (stamps cover
+    /// sensors + root), holding each report back `hold_back` before
+    /// evaluation. `initial` is the deployment-time observed state.
+    pub fn new(
+        predicate: &Predicate,
+        initial: &WorldState,
+        n: usize,
+        hold_back: SimDuration,
+    ) -> Self {
+        let shape = match predicate {
+            Predicate::Conjunctive(cs) if cs.is_empty() => Shape::Vacuous,
+            Predicate::Conjunctive(cs) => {
+                Shape::Conjunctive(ConjunctiveStream::new(cs, initial, n + 1))
+            }
+            Predicate::Relational(_) => {
+                Shape::Relational(RelationalSweep::new(predicate.clone(), initial))
+            }
+        };
+        StreamingModal {
+            shape,
+            hold_back,
+            buffer: BinaryHeap::new(),
+            last_released: None,
+            late_reports: 0,
+            mem_high_water: 0,
+        }
+    }
+
+    /// Slim a report down to what this shape needs, or `None` if it cannot
+    /// affect the verdict (wrong process / irrelevant attribute).
+    fn wants(&self, r: &ReceivedReport) -> Option<Pending> {
+        let base = |stamp: Option<VectorStamp>| Pending {
+            key: strobe_key(r),
+            arrived_at: r.arrived_at,
+            attr: r.report.key,
+            value: r.report.value,
+            truth: r.report.stamps.truth,
+            stamp,
+        };
+        match &self.shape {
+            Shape::Vacuous => None,
+            // Irrelevant attributes cannot change the swept state, so they
+            // cannot produce an edge — skip them entirely.
+            Shape::Relational(sw) => sw.slot(r.report.key).is_some().then(|| base(None)),
+            // Every report of a watched process matters (it advances that
+            // conjunct's last delivered stamp even when the attribute is
+            // irrelevant), and it carries the strobe vector.
+            Shape::Conjunctive(cs) => cs
+                .builders
+                .iter()
+                .any(|b| b.conjunct.process == r.report.process)
+                .then(|| base(Some(r.report.stamps.strobe_vector.clone()))),
+        }
+    }
+
+    /// Feed the next report **in arrival order**; releases (and evaluates)
+    /// every buffered report whose hold-back has expired.
+    pub fn offer(&mut self, r: &ReceivedReport) {
+        let Some(entry) = self.wants(r) else { return };
+        let now = entry.arrived_at;
+        self.buffer.push(Reverse(entry));
+        if self.hold_back != SimDuration::MAX {
+            let watermark =
+                SimTime::from_nanos(now.as_nanos().saturating_sub(self.hold_back.as_nanos()));
+            self.release_until(watermark);
+        }
+        self.note_high_water();
+    }
+
+    /// Strictly in key order: release the minimum-key buffered report while
+    /// it is due; stop at the first not-yet-due one (the [`crate::online`]
+    /// rule — releasing a due report over a smaller-key, recently-arrived
+    /// one would evaluate out of strobe order).
+    fn release_until(&mut self, watermark: SimTime) {
+        while let Some(Reverse(head)) = self.buffer.peek() {
+            if head.arrived_at > watermark {
+                break;
+            }
+            let Reverse(e) = self.buffer.pop().expect("peeked");
+            self.apply(&e);
+        }
+    }
+
+    fn apply(&mut self, e: &Pending) {
+        if let Some(last) = self.last_released {
+            if e.key < last {
+                self.late_reports += 1;
+            }
+        }
+        self.last_released = Some(self.last_released.unwrap_or(e.key).max(e.key));
+        match &mut self.shape {
+            Shape::Vacuous => {}
+            Shape::Relational(sw) => sw.apply(e),
+            Shape::Conjunctive(cs) => cs.apply(e),
+        }
+    }
+
+    fn note_high_water(&mut self) {
+        let live = self.buffer.len()
+            + match &self.shape {
+                Shape::Conjunctive(cs) => cs.live(),
+                _ => 0,
+            };
+        self.mem_high_water = self.mem_high_water.max(live as u64);
+    }
+
+    /// The exact modal status of everything offered so far — equal to
+    /// [`modal_status`] over the same reports whenever release order was
+    /// globally correct ([`late_reports`](Self::late_reports) == 0).
+    /// O(window): clones the bounded live state and seals the clone; the
+    /// stream itself is undisturbed.
+    pub fn status(&self) -> ModalStatus {
+        let mut probe = self.clone();
+        probe.release_until(SimTime::MAX);
+        probe.shape.seal()
+    }
+
+    /// Flush the buffer in key order, close open intervals, and return the
+    /// final verdict (end of stream).
+    pub fn seal(mut self) -> ModalStatus {
+        self.release_until(SimTime::MAX);
+        self.note_high_water();
+        self.shape.seal()
+    }
+
+    /// Reports applied after their strobe-order position had been passed
+    /// (0 with adequate hold-back on intact strobes).
+    pub fn late_reports(&self) -> usize {
+        self.late_reports
+    }
+
+    /// Reports currently held back awaiting their watermark.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Current live frontier width: queued conjunct intervals (the
+    /// antichain the advancement still considers) plus held-back reports.
+    pub fn frontier_width(&self) -> usize {
+        self.buffer.len()
+            + match &self.shape {
+                Shape::Conjunctive(cs) => cs.live(),
+                _ => 0,
+            }
+    }
+
+    /// High-water mark of live frontier entries (buffered reports + queued
+    /// intervals) — the O(window) memory bound the Δ-bound GC maintains.
+    pub fn mem_high_water_cuts(&self) -> u64 {
+        self.mem_high_water
+    }
+
+    /// Intervals dropped by the Δ-bound GC so far (conjunctive shapes).
+    pub fn pruned_intervals(&self) -> usize {
+        match &self.shape {
+            Shape::Conjunctive(cs) => cs.frontier.pruned(),
+            _ => 0,
+        }
+    }
+}
+
+impl Shape {
+    fn seal(self) -> ModalStatus {
+        match self {
+            Shape::Vacuous => ModalStatus { possibly: 0, definitely: 0, holding_now: false },
+            Shape::Relational(sw) => sw.seal(),
+            Shape::Conjunctive(cs) => cs.seal(),
+        }
+    }
+}
+
+/// Does `predicate`'s shape keep the streaming cut window inside the packed
+/// 64-bit encoding with `window_depth` un-retired events per involved
+/// process? Conjunctive predicates involve their conjunct processes;
+/// relational predicates involve every process their attributes name.
+/// Returns `(involved processes, fits)` — `psn-script --check` warns when a
+/// shape forces the hash fallback.
+pub fn stream_packing(predicate: &Predicate, window_depth: usize) -> (usize, bool) {
+    let involved: std::collections::BTreeSet<usize> = match predicate {
+        Predicate::Conjunctive(cs) => cs.iter().map(|c| c.process).collect(),
+        // Relational attributes are sensed by the process watching their
+        // object (the repo's door-d / room-d convention).
+        Predicate::Relational(_) => predicate.variables().into_iter().map(|k| k.object).collect(),
+    };
+    let lens = vec![window_depth; involved.len()];
+    (involved.len(), psn_lattice::stream::packed_window_fits(&lens))
+}
+
+/// Sealed-trace adapter: the modal status of a whole trace computed by the
+/// streaming detector. Feeds every report with an infinite hold-back (so
+/// nothing is released before the seal performs the full key-order sort)
+/// and is therefore **unconditionally** bit-identical to
+/// [`crate::modal::modal_status`] — batch callers share the streaming
+/// implementation.
+pub fn modal_status_streaming(
+    trace: &ExecutionTrace,
+    predicate: &Predicate,
+    initial: &WorldState,
+) -> ModalStatus {
+    let mut s = StreamingModal::new(predicate, initial, trace.n, SimDuration::MAX);
+    for r in &trace.log.reports {
+        s.offer(r);
+    }
+    s.seal()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modal::modal_status;
+    use crate::spec::Expr;
+    use psn_core::{run_execution, ExecutionConfig};
+    use psn_sim::delay::DelayModel;
+    use psn_world::scenarios::exhibition::{self, ExhibitionParams};
+
+    fn fixture(delta_ms: u64, seed: u64) -> (psn_world::Scenario, ExecutionTrace) {
+        let params = ExhibitionParams {
+            doors: 3,
+            arrival_rate_hz: 2.0,
+            mean_stay: SimDuration::from_secs(45),
+            duration: SimTime::from_secs(400),
+            capacity: 70,
+        };
+        let scenario = exhibition::generate(&params, seed);
+        let cfg = ExecutionConfig {
+            delay: DelayModel::delta(SimDuration::from_millis(delta_ms)),
+            seed,
+            ..Default::default()
+        };
+        let trace = run_execution(&scenario, &cfg);
+        (scenario, trace)
+    }
+
+    fn busy_conjuncts(k: i64) -> Vec<Conjunct> {
+        (0..2)
+            .map(|d| Conjunct {
+                process: d,
+                expr: Expr::var(AttrKey::new(d, 0))
+                    .sub(Expr::var(AttrKey::new(d, 1)))
+                    .gt(Expr::int(k)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sealed_adapter_equals_offline_relational() {
+        for seed in 0..4 {
+            let (scenario, trace) = fixture(200, seed);
+            let pred = Predicate::occupancy_over(3, 70);
+            let init = scenario.timeline.initial_state();
+            assert_eq!(
+                modal_status_streaming(&trace, &pred, &init),
+                modal_status(&trace, &pred, &init),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn sealed_adapter_equals_offline_conjunctive() {
+        for seed in 0..4 {
+            let (scenario, trace) = fixture(250, seed);
+            let pred = Predicate::Conjunctive(busy_conjuncts(2));
+            let init = scenario.timeline.initial_state();
+            assert_eq!(
+                modal_status_streaming(&trace, &pred, &init),
+                modal_status(&trace, &pred, &init),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_status_equals_offline_prefix() {
+        // Feed one report at a time with an adequate hold-back; after each
+        // chunk, status() must equal modal_status over the prefix offered
+        // so far (the offline oracle run on a truncated trace).
+        let (scenario, trace) = fixture(150, 7);
+        let init = scenario.timeline.initial_state();
+        for pred in [
+            Predicate::occupancy_over(3, 70),
+            Predicate::Conjunctive(busy_conjuncts(2)),
+        ] {
+            let mut s =
+                StreamingModal::new(&pred, &init, trace.n, SimDuration::from_millis(300));
+            let step = (trace.log.reports.len() / 7).max(1);
+            for (i, r) in trace.log.reports.iter().enumerate() {
+                s.offer(r);
+                if i % step == 0 || i + 1 == trace.log.reports.len() {
+                    let mut prefix = trace.clone();
+                    prefix.log.reports.truncate(i + 1);
+                    assert_eq!(s.late_reports(), 0, "hold-back must suffice");
+                    assert_eq!(
+                        s.status(),
+                        modal_status(&prefix, &pred, &init),
+                        "prefix {} of {}",
+                        i + 1,
+                        trace.log.reports.len()
+                    );
+                }
+            }
+            assert_eq!(s.seal(), modal_status(&trace, &pred, &init));
+        }
+    }
+
+    #[test]
+    fn vacuous_conjunctive_is_zero() {
+        let (scenario, trace) = fixture(100, 1);
+        let init = scenario.timeline.initial_state();
+        let pred = Predicate::Conjunctive(Vec::new());
+        let mut s = StreamingModal::new(&pred, &init, trace.n, SimDuration::ZERO);
+        for r in &trace.log.reports {
+            s.offer(r);
+        }
+        assert_eq!(
+            s.status(),
+            ModalStatus { possibly: 0, definitely: 0, holding_now: false }
+        );
+    }
+
+    #[test]
+    fn memory_stays_bounded_with_finite_holdback() {
+        // 10× the ingest must not grow the high-water mark ~10×: the
+        // frontier is O(rate × hold_back), not O(trace).
+        let pred = Predicate::occupancy_over(3, 70);
+        let mut highs = Vec::new();
+        for secs in [400u64, 4000] {
+            let params = ExhibitionParams {
+                doors: 3,
+                arrival_rate_hz: 2.0,
+                mean_stay: SimDuration::from_secs(45),
+                duration: SimTime::from_secs(secs),
+                capacity: 70,
+            };
+            let scenario = exhibition::generate(&params, 3);
+            let cfg = ExecutionConfig {
+                delay: DelayModel::delta(SimDuration::from_millis(150)),
+                seed: 3,
+                ..Default::default()
+            };
+            let trace = run_execution(&scenario, &cfg);
+            let init = scenario.timeline.initial_state();
+            let mut s = StreamingModal::new(&pred, &init, trace.n, SimDuration::from_millis(300));
+            for r in &trace.log.reports {
+                s.offer(r);
+            }
+            highs.push((trace.log.reports.len(), s.mem_high_water_cuts()));
+        }
+        let (n0, h0) = highs[0];
+        let (n1, h1) = highs[1];
+        assert!(n1 > 8 * n0, "the long run must really be ~10× the ingest");
+        assert!(h1 <= h0.max(1) * 3, "high-water {h1} vs {h0} must stay O(window)");
+    }
+
+    #[test]
+    fn conjunctive_gc_prunes_stalled_queues() {
+        // Room 0's motion flag toggles constantly; conjunct 1 (temp over an
+        // absurd threshold) never becomes true, so its queue starves forever
+        // — without the Δ-bound GC, room 0's closed intervals pile up
+        // without bound.
+        use psn_world::scenarios::office::{self, OfficeParams, ATTR_MOTION, ATTR_TEMP};
+        let params = OfficeParams {
+            rooms: 2,
+            persons: 3,
+            mean_dwell: SimDuration::from_secs(20),
+            duration: SimTime::from_secs(1800),
+            ..Default::default()
+        };
+        let scenario = office::generate(&params, 5);
+        let cfg = ExecutionConfig {
+            delay: DelayModel::delta(SimDuration::from_millis(150)),
+            seed: 5,
+            ..Default::default()
+        };
+        let trace = run_execution(&scenario, &cfg);
+        let init = scenario.timeline.initial_state();
+        let pred = Predicate::Conjunctive(vec![
+            Conjunct { process: 0, expr: Expr::var(AttrKey::new(0, ATTR_MOTION)) },
+            Conjunct {
+                process: 1,
+                expr: Expr::var(AttrKey::new(1, ATTR_TEMP)).gt(Expr::int(10_000)),
+            },
+        ]);
+        let mut s = StreamingModal::new(&pred, &init, trace.n, SimDuration::from_millis(300));
+        for r in &trace.log.reports {
+            s.offer(r);
+        }
+        assert!(s.pruned_intervals() > 0, "the Δ-bound GC must fire on the stalled queue");
+        assert!(
+            (s.frontier_width() as u64) < trace.log.reports.len() as u64 / 4,
+            "pruning must keep the frontier far below the report count"
+        );
+        // And the GC must not have changed the verdict.
+        assert_eq!(s.seal(), modal_status(&trace, &pred, &init));
+    }
+
+    #[test]
+    fn stream_packing_reports_shape() {
+        let (n, fits) = stream_packing(&Predicate::occupancy_over(3, 10), 15);
+        assert_eq!(n, 3);
+        assert!(fits, "3 processes × 4-bit windows pack easily");
+        let wide = Predicate::Conjunctive(
+            (0..20)
+                .map(|p| Conjunct { process: p, expr: Expr::int(1).gt(Expr::int(0)) })
+                .collect(),
+        );
+        let (n, fits) = stream_packing(&wide, 15);
+        assert_eq!(n, 20);
+        assert!(!fits, "20 processes × 4-bit windows exceed 64 bits");
+    }
+}

@@ -4,7 +4,8 @@ use proptest::prelude::*;
 
 use psn_core::{run_execution, ExecutionConfig};
 use psn_predicates::{
-    detect_occurrences, score, BorderlinePolicy, Detection, Discipline, Expr, Predicate,
+    detect_occurrences, modal_status, modal_status_streaming, score, BorderlinePolicy, Conjunct,
+    Detection, Discipline, Expr, Predicate, StreamingModal,
 };
 use psn_sim::delay::DelayModel;
 use psn_sim::time::{SimDuration, SimTime};
@@ -146,6 +147,68 @@ proptest! {
         prop_assert!(plus.recall() >= minus.recall() - 1e-12);
         prop_assert!(plus.precision() >= 0.0 && plus.precision() <= 1.0);
         prop_assert!(plus.f1() >= 0.0 && plus.f1() <= 1.0);
+    }
+
+    /// Streaming ≡ offline: the streaming detector fed one report at a
+    /// time, in chunks (with interleaved `status()` probes), and via the
+    /// sealed-trace adapter all agree with the offline [`modal_status`]
+    /// sweep — counts *and* `holding_now` — across random exhibition
+    /// traces, both predicate shapes, and shard counts {1, 4}.
+    #[test]
+    fn streaming_matches_offline_modal_status(
+        seed in 0u64..400,
+        delta_ms in 1u64..600,
+        shards_of_four in 0u8..2,
+        chunk in 1usize..97,
+    ) {
+        let s = exhibition::generate(&small_params(3.0), seed);
+        let cfg = ExecutionConfig {
+            delay: DelayModel::delta(SimDuration::from_millis(delta_ms)),
+            seed,
+            shards: if shards_of_four == 1 { 4 } else { 1 },
+            ..Default::default()
+        };
+        let trace = run_execution(&s, &cfg);
+        let init = s.timeline.initial_state();
+        // hold_back ≥ 2Δ keeps strobe-key release order intact; the margin
+        // absorbs same-instant ties at the watermark.
+        let hold_back = SimDuration::from_millis(2 * delta_ms + 1);
+        let conjunctive = Predicate::Conjunctive(
+            (0..2)
+                .map(|d| Conjunct {
+                    process: d,
+                    expr: Expr::var(AttrKey::new(d, 0))
+                        .sub(Expr::var(AttrKey::new(d, 1)))
+                        .gt(Expr::int(1)),
+                })
+                .collect(),
+        );
+        for pred in [Predicate::occupancy_over(3, 25), conjunctive] {
+            let offline = modal_status(&trace, &pred, &init);
+
+            // Sealed-trace adapter: unconditionally bit-identical.
+            prop_assert_eq!(modal_status_streaming(&trace, &pred, &init), offline.clone());
+
+            // One report at a time.
+            let mut one = StreamingModal::new(&pred, &init, trace.n, hold_back);
+            for r in &trace.log.reports {
+                one.offer(r);
+            }
+            prop_assert_eq!(one.late_reports(), 0, "2Δ hold-back must suffice");
+            prop_assert_eq!(one.seal(), offline.clone());
+
+            // Chunked, probing status() between chunks (the probe must not
+            // perturb the final verdict — it clones before sealing).
+            let mut chunked = StreamingModal::new(&pred, &init, trace.n, hold_back);
+            for batch in trace.log.reports.chunks(chunk) {
+                for r in batch {
+                    chunked.offer(r);
+                }
+                let probe = chunked.status();
+                prop_assert!(probe.possibly >= probe.definitely);
+            }
+            prop_assert_eq!(chunked.seal(), offline.clone());
+        }
     }
 
     /// Detections are time-ordered and non-overlapping per discipline

@@ -332,6 +332,58 @@ fn smoke(metrics_listen: Option<u16>) -> Result<(), String> {
         matches!(r, Response::Advanced { new_reports: 1, .. }),
         "restored server keeps detecting",
     )?;
+
+    // Phase 3: sustained ingest. The streaming modal detector must keep
+    // its live frontier O(window): after thousands of reports its
+    // high-water mark stays bounded by the hold-back window, not the
+    // trace length.
+    const SUSTAINED: u64 = 2000;
+    let mut high_mid = 0u64;
+    for i in 0..SUSTAINED {
+        let at = SimTime::from_millis(61_000 + i * 100);
+        let p = (i % 2) as usize;
+        let attr = ((i / 2) % 2) as usize;
+        let r = roundtrip(
+            &mut c,
+            &Request::Ingest { at, process: p, key: AttrKey::new(p, attr), value: AttrValue::Int((i % 7) as i64) },
+        )?;
+        if !matches!(r, Response::Ingested { .. }) {
+            return Err(format!("sustained ingest event {i}: {r:?}"));
+        }
+        if (i + 1) % 500 == 0 {
+            // Stay behind the next ingest time (at + 100 ms) so sustained
+            // ingest and advancing interleave like a real live feed.
+            let r = roundtrip(&mut c, &Request::Advance { to: at + SimDuration::from_millis(50) })?;
+            if !matches!(r, Response::Advanced { .. }) {
+                return Err(format!("sustained advance at event {i}: {r:?}"));
+            }
+            if i + 1 == SUSTAINED / 2 {
+                let r = roundtrip(&mut c, &Request::Status { name: "occ".into() })?;
+                let Response::Status { mem_high_water_cuts, .. } = r else {
+                    return Err(format!("status: {r:?}"));
+                };
+                high_mid = mem_high_water_cuts;
+            }
+        }
+    }
+    let r = roundtrip(&mut c, &Request::Status { name: "occ".into() })?;
+    let Response::Status { mem_high_water_cuts, frontier_width, .. } = r else {
+        return Err(format!("status: {r:?}"));
+    };
+    eprintln!(
+        "smoke: sustained ingest of {SUSTAINED} events: mem_high_water_cuts {high_mid} \
+         at the midpoint, {mem_high_water_cuts} at the end (frontier width {frontier_width})"
+    );
+    check(mem_high_water_cuts > 0, "streaming detector really buffered reports")?;
+    check(
+        mem_high_water_cuts < SUSTAINED / 10,
+        "mem_high_water_cuts bounded by the hold-back window, not the trace",
+    )?;
+    check(
+        mem_high_water_cuts <= high_mid.max(1) * 2,
+        "doubling the ingest did not double the high-water mark",
+    )?;
+
     check(roundtrip(&mut c, &Request::Shutdown)? == Response::ShuttingDown, "phase 2 shutdown")?;
     drop(c);
     h.wait();

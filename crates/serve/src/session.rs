@@ -6,8 +6,10 @@
 //!
 //! - a [`LiveExecution`] fed by a [`ChannelProvider`] (the ingest path),
 //! - a set of **named detectors**: for each `Watch`ed predicate, a
-//!   streaming [`OnlineDetector`] kept current as reports arrive, with
-//!   modal (`Possibly`/`Definitely`) sweeps computed on demand,
+//!   streaming [`OnlineDetector`] plus a [`StreamingModal`] kept current
+//!   as reports arrive — modal (`Possibly`/`Definitely`) status is
+//!   answered from the bounded live frontier in O(window), never by
+//!   re-sweeping the whole trace,
 //! - the ingest journal that makes [`ServeSnapshot`] possible.
 //!
 //! Every validation failure is a typed [`Response::Error`]; nothing a
@@ -22,7 +24,7 @@ use serde::{Deserialize, Serialize};
 use psn_core::live::{LiveExecution, LiveSnapshot, LoggedEvent, RestoreError};
 use psn_core::root::NoActuation;
 use psn_core::{ExecutionConfig, NetMsg};
-use psn_predicates::{modal_status, OnlineDetector, Predicate};
+use psn_predicates::{OnlineDetector, Predicate, StreamingModal};
 use psn_sim::engine::EngineError;
 use psn_sim::metrics::Metrics;
 use psn_sim::provider::{ChannelProvider, ExternalEvent};
@@ -108,12 +110,24 @@ impl ServeSnapshot {
     }
 }
 
+/// One watched predicate: the report-stream online detector (edge counts,
+/// lag) and the streaming modal detector (Possibly/Definitely from the
+/// bounded frontier), plus the exported memory gauges.
+struct NamedDetector {
+    name: String,
+    predicate: Predicate,
+    online: OnlineDetector,
+    modal: StreamingModal,
+    mem_gauge: psn_sim::metrics::Gauge,
+    width_gauge: psn_sim::metrics::Gauge,
+}
+
 /// The server-side state machine: applies [`Request`]s, produces
 /// [`Response`]s.
 pub struct ServeSession {
     live: LiveExecution,
     ingest_tx: Sender<ExternalEvent<NetMsg>>,
-    detectors: Vec<(String, Predicate, OnlineDetector)>,
+    detectors: Vec<NamedDetector>,
     /// Ingested events not yet due at the watermark (mirrors the channel
     /// provider's buffer, so snapshots can capture them).
     pending: Vec<LoggedEvent>,
@@ -231,28 +245,50 @@ impl ServeSession {
     }
 
     fn add_watch(&mut self, name: String, predicate: Predicate) {
-        let detector = OnlineDetector::new(predicate.clone(), &self.initial, self.hold_back);
+        let mut online = OnlineDetector::new(predicate.clone(), &self.initial, self.hold_back);
+        let mut modal =
+            StreamingModal::new(&predicate, &self.initial, self.live.n(), self.hold_back);
         // Catch a late registration up with the stream seen so far.
-        let mut detector = detector;
         self.live.with_log(|l| {
             for r in &l.reports[..self.report_cursor.min(l.reports.len())] {
-                detector.offer(r);
+                online.offer(r);
+                modal.offer(r);
             }
         });
-        self.detectors.retain(|(n, _, _)| n != &name);
-        self.detectors.push((name, predicate, detector));
+        let mem_gauge = self.metrics.gauge(&format!("detector.{name}.mem_high_water_cuts"));
+        let width_gauge = self.metrics.gauge(&format!("detector.{name}.frontier_width"));
+        mem_gauge.set(modal.mem_high_water_cuts());
+        width_gauge.set(modal.frontier_width() as u64);
+        self.detectors.retain(|d| d.name != name);
+        self.detectors.push(NamedDetector {
+            name,
+            predicate,
+            online,
+            modal,
+            mem_gauge,
+            width_gauge,
+        });
     }
 
-    /// Feed reports that arrived since the last pump to every detector.
+    /// Feed reports that arrived since the last pump to every detector —
+    /// zero-copy out of the shared log, timed as the `detector` telemetry
+    /// phase, with the per-detector memory gauges refreshed after.
     fn pump_detectors(&mut self) {
-        let fresh: Vec<_> =
-            self.live.with_log(|l| l.reports[self.report_cursor.min(l.reports.len())..].to_vec());
-        self.report_cursor += fresh.len();
-        for r in &fresh {
-            for (_, _, d) in &mut self.detectors {
-                d.offer(r);
+        let tel = self.telemetry.coordinator();
+        let t0 = tel.start();
+        let detectors = &mut self.detectors;
+        let seen = self.live.visit_new_reports(self.report_cursor, |r| {
+            for d in detectors.iter_mut() {
+                d.online.offer(r);
+                d.modal.offer(r);
             }
+        });
+        self.report_cursor += seen;
+        for d in &self.detectors {
+            d.mem_gauge.set(d.modal.mem_high_water_cuts());
+            d.width_gauge.set(d.modal.frontier_width() as u64);
         }
+        tel.record(psn_sim::telemetry::Phase::Detector, t0);
     }
 
     fn engine_error(e: EngineError) -> Response {
@@ -337,16 +373,25 @@ impl ServeSession {
                 Response::Watching { name, watched: self.detectors.len() }
             }
             Request::Status { name } => {
-                let Some((_, predicate, detector)) =
-                    self.detectors.iter().find(|(n, _, _)| n == &name)
-                else {
+                let Some(d) = self.detectors.iter().find(|d| d.name == name) else {
                     return Response::Error {
                         code: ErrorCode::UnknownPredicate,
                         message: format!("no predicate named {name:?} is watched"),
                     };
                 };
-                let modal = modal_status(&self.live.trace_view(), predicate, &self.initial);
-                Response::Status { name, online: detector.status(), modal }
+                // The modal verdict comes from the streaming detector's
+                // bounded frontier — O(window), never a whole-trace sweep.
+                let tel = self.telemetry.coordinator();
+                let t0 = tel.start();
+                let modal = d.modal.status();
+                tel.record(psn_sim::telemetry::Phase::Detector, t0);
+                Response::Status {
+                    name,
+                    online: d.online.status(),
+                    modal,
+                    mem_high_water_cuts: d.modal.mem_high_water_cuts(),
+                    frontier_width: d.modal.frontier_width(),
+                }
             }
             Request::Metrics => Response::Metrics {
                 metrics: self.metrics.snapshot(),
@@ -397,7 +442,11 @@ impl ServeSession {
         ServeSnapshot {
             live: self.live.snapshot(),
             pending: self.pending.clone(),
-            watches: self.detectors.iter().map(|(n, p, _)| (n.clone(), p.clone())).collect(),
+            watches: self
+                .detectors
+                .iter()
+                .map(|d| (d.name.clone(), d.predicate.clone()))
+                .collect(),
             hold_back: self.hold_back,
             initial: self.initial.clone(),
         }

@@ -251,8 +251,16 @@ pub enum Response {
         name: String,
         /// Streaming (online) detector status.
         online: OnlineStatus,
-        /// Modal verdict counts over the observation so far.
+        /// Modal verdict counts over the observation so far (computed by
+        /// the streaming modal detector — O(window), not a trace re-sweep).
         modal: ModalStatus,
+        /// High-water mark of the streaming detector's live frontier
+        /// (held-back reports + queued conjunct intervals) — the bounded-
+        /// memory guarantee, per detector.
+        mem_high_water_cuts: u64,
+        /// Current width of the live frontier (held-back reports plus
+        /// intervals the advancement still considers).
+        frontier_width: usize,
     },
     /// A slice of the report stream.
     TraceSlice {
@@ -338,6 +346,27 @@ mod tests {
         }
         let done: Option<Request> = read_frame(&mut cursor).unwrap();
         assert!(done.is_none(), "clean EOF at the frame boundary");
+    }
+
+    #[test]
+    fn status_response_roundtrips_with_memory_fields() {
+        let resp = Response::Status {
+            name: "occ".into(),
+            online: OnlineStatus {
+                holds: true,
+                open_since: Some(SimTime::from_secs(2)),
+                occurrences: 3,
+                buffered: 1,
+                late_reports: 0,
+            },
+            modal: ModalStatus { possibly: 3, definitely: 2, holding_now: true },
+            mem_high_water_cuts: 17,
+            frontier_width: 4,
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &resp).unwrap();
+        let got: Response = read_frame(&mut &buf[..]).unwrap().expect("frame present");
+        assert_eq!(got, resp);
     }
 
     #[test]

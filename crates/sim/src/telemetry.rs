@@ -61,10 +61,13 @@ pub enum Phase {
     Redo = 4,
     /// Coordinator barrier work: outbox routing, op barriers, live ingest.
     CoordinatorDrain = 5,
+    /// Streaming predicate detection: feeding fresh reports to the
+    /// per-predicate streaming detectors and answering status queries.
+    Detector = 6,
 }
 
 /// How many phases exist (array dimension for the per-shard slots).
-pub const PHASE_COUNT: usize = 6;
+pub const PHASE_COUNT: usize = 7;
 
 impl Phase {
     /// Every phase, in discriminant order.
@@ -75,6 +78,7 @@ impl Phase {
         Phase::Rollback,
         Phase::Redo,
         Phase::CoordinatorDrain,
+        Phase::Detector,
     ];
 
     /// The canonical snake_case name (also the wire/JSONL spelling).
@@ -86,6 +90,7 @@ impl Phase {
             Phase::Rollback => "rollback",
             Phase::Redo => "redo",
             Phase::CoordinatorDrain => "coordinator_drain",
+            Phase::Detector => "detector",
         }
     }
 

@@ -76,6 +76,8 @@ impl SimTime {
 impl SimDuration {
     /// The zero-length duration (used for the synchronous, Δ = 0 model).
     pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable span (an "unbounded hold-back" sentinel).
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
 
     /// Construct from whole seconds.
     pub const fn from_secs(s: u64) -> Self {
